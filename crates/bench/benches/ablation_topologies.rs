@@ -1,0 +1,25 @@
+//! Regenerates the §5.1 ablation: liveness topology trade-offs, plus the
+//! §3 all-to-all detection bound.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::ablation::{detection_bound, render, run, Params};
+
+fn main() {
+    let t = banner("Section 5.1 ablation - liveness topologies");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+
+    let seeds = if scale() == Scale::Paper { 16 } else { 4 };
+    let mut lat = detection_bound(seeds, 6);
+    println!(
+        "all-to-all crash detection (s): median {:.1}  p90 {:.1}  max {:.1}  bound(2x interval + timeout) = 140.0",
+        lat.median().unwrap_or(f64::NAN),
+        lat.quantile(0.9).unwrap_or(f64::NAN),
+        lat.max().unwrap_or(f64::NAN),
+    );
+    footer(t);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 10: message cost of overlay churn.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig10_churn::{render, run, Params};
+
+fn main() {
+    let t = banner("Figure 10 - churn message load");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+    footer(t);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 11: per-route loss CDFs.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig11_route_loss::{render, run, Params};
+
+fn main() {
+    let t = banner("Figure 11 - per-route loss CDFs");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+    footer(t);
+}

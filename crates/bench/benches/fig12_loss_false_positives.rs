@@ -1,0 +1,15 @@
+//! Regenerates Figure 12: group failures due to packet loss.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig12_loss_failures::{render, run, Params};
+
+fn main() {
+    let t = banner("Figure 12 - loss-induced group failures");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+    footer(t);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 6: RPC latency CDFs (cluster cold/warm, simulator).
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig6_rpc::{render, run, Params};
+
+fn main() {
+    let t = banner("Figure 6 - RPC calibration");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+    footer(t);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 7: latency of group creation (cluster, simulator,
+//! and the 16,000-node scaling check).
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig7_creation::{render, run, Params};
+use fuse_net::NetConfig;
+
+fn main() {
+    let t = banner("Figure 7 - group creation latency");
+    let mut p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let mut r = run(&p);
+    println!("cluster profile, n={}:\n{}", p.n, render(&mut r));
+
+    p.net = NetConfig::simulator();
+    let mut r = run(&p);
+    println!("simulator profile, n={} (paper: ~half the cluster latency):\n{}", p.n, render(&mut r));
+
+    if scale() == Scale::Paper {
+        p.n = 16_000;
+        p.groups_per_size = 10;
+        let mut r = run(&p);
+        println!(
+            "simulator profile, n=16000 (paper: identical to n=400 - creation is direct):\n{}",
+            render(&mut r)
+        );
+    }
+    footer(t);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: latency of explicitly signaled notification.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig8_notification::{render, run, Params};
+
+fn main() {
+    let t = banner("Figure 8 - signaled notification latency");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let mut r = run(&p);
+    println!("{}", render(&mut r));
+    footer(t);
+}

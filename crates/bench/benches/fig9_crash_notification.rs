@@ -1,0 +1,15 @@
+//! Regenerates Figure 9: notification latency under a machine disconnect.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::fig9_crash::{render, run, Params};
+
+fn main() {
+    let t = banner("Figure 9 - crash notification latency");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+    footer(t);
+}

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! SHA-1 (the piggyback digest), the wire codec, overlay routing decisions,
+//! and the simulation kernel's event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig, OverlayNode};
+use fuse_sim::process::Ctx;
+use fuse_sim::{Payload, PerfectMedium, ProcId, Process, Sim, SimDuration};
+use fuse_wire::{sha1, Decode, Encode};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha1(std::hint::black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use fuse_overlay::OverlayMsg;
+    let msg = OverlayMsg::Routed {
+        src: NodeInfo::new(7, NodeName::numbered(7)),
+        target: NodeName::numbered(99),
+        ttl: 64,
+        class: 0,
+        payload: bytes::Bytes::from_static(&[0u8; 48]),
+        path: vec![NodeInfo::new(1, NodeName::numbered(1))],
+    };
+    let bytes = msg.to_bytes();
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("encode_routed", |b| {
+        b.iter(|| std::hint::black_box(&msg).to_bytes())
+    });
+    g.bench_function("decode_routed", |b| {
+        b.iter(|| OverlayMsg::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let cfg = OverlayConfig::default();
+    let infos: Vec<NodeInfo> = (0..4096)
+        .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
+        .collect();
+    let tables = build_oracle_tables(&infos, &cfg);
+    let (cw, ccw, rt) = tables[0].clone();
+    let mut node = OverlayNode::new(infos[0].clone(), None, cfg);
+    node.preload_tables(cw, ccw, rt);
+    let target = NodeName::numbered(3071);
+    c.bench_function("overlay_next_hop_4096", |b| {
+        b.iter(|| node.next_hop(std::hint::black_box(&target)))
+    });
+}
+
+#[derive(Clone)]
+struct Tick;
+
+impl Payload for Tick {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+struct Pinger {
+    peer: ProcId,
+}
+
+impl Process for Pinger {
+    type Msg = Tick;
+    type Timer = ();
+
+    fn on_boot(&mut self, ctx: &mut Ctx<'_, Tick, ()>) {
+        if ctx.self_id == 0 {
+            ctx.send(self.peer, Tick);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Tick, ()>, from: ProcId, _m: Tick) {
+        ctx.send(from, Tick);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Tick, ()>, _t: ()) {}
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Sim::new(1, PerfectMedium::new(SimDuration::from_micros(10)));
+                sim.add_process(Pinger { peer: 1 });
+                sim.add_process(Pinger { peer: 0 });
+                sim
+            },
+            |mut sim| {
+                for _ in 0..100_000 {
+                    sim.step();
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sha1, bench_codec, bench_routing, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the §7.5 steady-state load table.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::steady_state::{render, run, Params};
+
+fn main() {
+    let t = banner("Section 7.5 - steady-state load");
+    let p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("{}", render(&r));
+    footer(t);
+}

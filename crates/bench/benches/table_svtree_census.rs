@@ -1,0 +1,25 @@
+//! Regenerates the §4 table: SV-tree FUSE group census, with and without
+//! volunteers.
+
+use fuse_bench::{banner, footer, scale, Scale};
+use fuse_harness::experiments::svtree_census::{render, run, Params};
+
+fn main() {
+    let t = banner("Section 4 table - SV-tree group census");
+    let mut p = match scale() {
+        Scale::Paper => Params::paper(),
+        Scale::Quick => Params::quick(),
+    };
+    let r = run(&p);
+    println!("with volunteers (the SV design):\n{}", render(&r));
+    if scale() == Scale::Paper {
+        p.grid.truncate(2);
+    }
+    p.volunteer_fraction = 0.25;
+    let r = run(&p);
+    println!("with 25% volunteers (paper's 2.9-member mean sits in this regime):\n{}", render(&r));
+    p.volunteer_fraction = 0.0;
+    let r = run(&p);
+    println!("without volunteers (bypass sets grow to full route prefixes):\n{}", render(&r));
+    footer(t);
+}

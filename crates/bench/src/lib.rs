@@ -1,0 +1,48 @@
+//! Support for the benchmark targets.
+//!
+//! Every figure/table of the paper has a `harness = false` bench target in
+//! `benches/` that runs the corresponding experiment from `fuse-harness`
+//! and prints the paper-style rows. `cargo bench` therefore regenerates the
+//! full evaluation. Scale is controlled by the `FUSE_BENCH_SCALE`
+//! environment variable: `paper` (default) or `quick`.
+
+/// Benchmark scale selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale parameters (the default).
+    Paper,
+    /// Reduced parameters for smoke runs.
+    Quick,
+}
+
+/// Reads `FUSE_BENCH_SCALE` (`paper`|`quick`; default `paper`).
+pub fn scale() -> Scale {
+    match std::env::var("FUSE_BENCH_SCALE").as_deref() {
+        Ok("quick") => Scale::Quick,
+        _ => Scale::Paper,
+    }
+}
+
+/// Prints a bench header with wall-clock bookkeeping.
+pub fn banner(name: &str) -> std::time::Instant {
+    println!("==== {name} (scale: {:?}) ====", scale());
+    std::time::Instant::now()
+}
+
+/// Prints the wall-clock footer.
+pub fn footer(start: std::time::Instant) {
+    println!("[wall time: {:.2}s]\n", start.elapsed().as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // Only valid when the variable is unset in the test environment.
+        if std::env::var("FUSE_BENCH_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Paper);
+        }
+    }
+}

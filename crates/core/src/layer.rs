@@ -1,0 +1,1230 @@
+//! The FUSE protocol state machine (paper §6).
+//!
+//! One [`FuseLayer`] lives on every node, above the overlay. It holds every
+//! group the node participates in — as **root** (the creator, coordinator of
+//! repair), **member**, or **delegate** (a non-member node on an overlay
+//! route between a member and the root, holding only liveness-tree state).
+//!
+//! The invariant the layer maintains is the paper's *distributed one-way
+//! agreement*: once any participant decides the group failed, every live
+//! member's application handler is invoked exactly once, within a bounded
+//! time, regardless of crashes, partitions or message loss. Failure burns
+//! along the liveness tree ("the fuse"): any link that stops refreshing
+//! converts into `SoftNotification`s and repair attempts, and any repair
+//! that cannot complete converts into `HardNotification`s.
+
+use bytes::Bytes;
+
+use fuse_overlay::node::RouteStart;
+use fuse_overlay::{NodeInfo, OverlayIo, OverlayNode, OverlayUpcall};
+use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_util::backoff::Backoff;
+use fuse_util::idgen::IdGen;
+use fuse_util::{DetHashMap, DetHashSet};
+use fuse_wire::{Decode, Digest, Encode, Sha1};
+
+use crate::messages::{FuseMsg, InstallChecking};
+use crate::types::{CreateError, FuseConfig, FuseId, FuseTimer, FuseUpcall};
+
+/// Host services for the FUSE layer (implemented by the node stack).
+///
+/// Extends [`OverlayIo`] because the layer also drives the overlay (routing
+/// `InstallChecking` messages and pushing piggyback hashes): one shim object
+/// serves both layers.
+pub trait FuseIo: OverlayIo {
+    /// Sends a FUSE message directly to a peer process.
+    fn send_fuse(&mut self, to: ProcId, msg: FuseMsg);
+
+    /// Arms a FUSE timer (cancel with [`OverlayIo::cancel_timer`]).
+    fn set_fuse_timer(&mut self, after: SimDuration, tag: FuseTimer) -> TimerHandle;
+
+    /// Delivers an event to the application (buffered by the stack).
+    fn app(&mut self, ev: FuseUpcall);
+}
+
+/// Counters exposed for tests and experiments.
+#[derive(Debug, Clone, Default)]
+pub struct FuseStats {
+    /// Groups successfully created (root side).
+    pub groups_created: u64,
+    /// Creation attempts that failed.
+    pub creates_failed: u64,
+    /// Application failure handlers invoked on this node.
+    pub notifications: u64,
+    /// Hard notifications sent.
+    pub hard_sent: u64,
+    /// Soft notifications sent.
+    pub soft_sent: u64,
+    /// Repair rounds started (root side).
+    pub repairs_started: u64,
+    /// Repair rounds that failed (group declared dead).
+    pub repairs_failed: u64,
+    /// Per-(group, link) liveness timers that expired.
+    pub links_expired: u64,
+    /// Reconciliations triggered by hash mismatches.
+    pub reconciles: u64,
+}
+
+struct Link {
+    timer: TimerHandle,
+    installed_at: SimTime,
+}
+
+struct RootState {
+    members: Vec<NodeInfo>,
+    install_missing: DetHashSet<ProcId>,
+    install_timer: Option<TimerHandle>,
+    repair: Option<RepairRound>,
+    kick: Option<TimerHandle>,
+    dirty: bool,
+    backoff: Backoff,
+}
+
+struct RepairRound {
+    seq: u64,
+    awaiting: DetHashSet<ProcId>,
+    timer: TimerHandle,
+}
+
+struct MemberState {
+    repair_wait: Option<TimerHandle>,
+}
+
+enum Role {
+    Root(RootState),
+    Member(MemberState),
+    Delegate,
+}
+
+struct Group {
+    seq: u64,
+    root: NodeInfo,
+    role: Role,
+    created_at: SimTime,
+    links: DetHashMap<ProcId, Link>,
+}
+
+struct CreateAttempt {
+    token: u64,
+    members: Vec<NodeInfo>,
+    awaiting: DetHashSet<ProcId>,
+    timer: TimerHandle,
+    /// InstallChecking arrivals that raced ahead of the last create reply.
+    early_ics: Vec<(ProcId, ProcId)>,
+}
+
+/// The per-node FUSE layer.
+pub struct FuseLayer {
+    cfg: FuseConfig,
+    me: NodeInfo,
+    idgen: IdGen,
+    groups: DetHashMap<FuseId, Group>,
+    creating: DetHashMap<FuseId, CreateAttempt>,
+    /// Index: which groups monitor each link (drives the piggyback hash).
+    by_peer: DetHashMap<ProcId, DetHashSet<FuseId>>,
+    /// Exposed counters.
+    pub stats: FuseStats,
+}
+
+impl FuseLayer {
+    /// Creates the layer for node `me`.
+    pub fn new(me: NodeInfo, cfg: FuseConfig) -> Self {
+        let tag = u64::from(me.proc);
+        FuseLayer {
+            cfg,
+            me,
+            idgen: IdGen::new(tag),
+            groups: DetHashMap::default(),
+            creating: DetHashMap::default(),
+            by_peer: DetHashMap::default(),
+            stats: FuseStats::default(),
+        }
+    }
+
+    /// Number of live groups this node holds state for (any role).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether this node holds state for `id`.
+    pub fn knows_group(&self, id: FuseId) -> bool {
+        self.groups.contains_key(&id)
+    }
+
+    /// Whether this node holds *member or root* state for `id`.
+    pub fn is_participant(&self, id: FuseId) -> bool {
+        matches!(
+            self.groups.get(&id).map(|g| &g.role),
+            Some(Role::Root(_)) | Some(Role::Member(_))
+        )
+    }
+
+    /// Liveness-tree neighbors currently monitored for `id` (visibility for
+    /// tests and the SV-tree census).
+    pub fn tree_links(&self, id: FuseId) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self
+            .groups
+            .get(&id)
+            .map(|g| g.links.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    // ---- Public API (paper Figure 1) --------------------------------------
+
+    /// `CreateGroup`: blocking creation of a group over `others` (the other
+    /// participants; the caller is the root and an implicit participant).
+    ///
+    /// Returns the new group's ID immediately; the outcome arrives as a
+    /// [`FuseUpcall::Created`] carrying `token` once every member has been
+    /// contacted (the paper's blocking-create semantics: success implies all
+    /// members were alive and reachable).
+    pub fn create_group(
+        &mut self,
+        io: &mut impl FuseIo,
+        others: Vec<NodeInfo>,
+        token: u64,
+    ) -> FuseId {
+        let id = FuseId(self.idgen.next_id());
+        if others.is_empty() {
+            // Singleton group: alive until explicitly signalled.
+            self.groups.insert(
+                id,
+                Group {
+                    seq: 0,
+                    root: self.me.clone(),
+                    role: Role::Root(RootState {
+                        members: Vec::new(),
+                        install_missing: DetHashSet::default(),
+                        install_timer: None,
+                        repair: None,
+                        kick: None,
+                        dirty: false,
+                        backoff: self.new_backoff(),
+                    }),
+                    created_at: io.now(),
+                    links: DetHashMap::default(),
+                },
+            );
+            self.stats.groups_created += 1;
+            io.app(FuseUpcall::Created {
+                token,
+                result: Ok(id),
+            });
+            return id;
+        }
+        let awaiting: DetHashSet<ProcId> = others.iter().map(|m| m.proc).collect();
+        for m in &others {
+            io.send_fuse(
+                m.proc,
+                FuseMsg::GroupCreateRequest {
+                    id,
+                    root: self.me.clone(),
+                    members: others.clone(),
+                },
+            );
+        }
+        let timer = io.set_fuse_timer(self.cfg.create_timeout, FuseTimer::CreateTimeout { id });
+        self.creating.insert(
+            id,
+            CreateAttempt {
+                token,
+                members: others,
+                awaiting,
+                timer,
+                early_ics: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// `RegisterFailureHandler`: if the group is unknown on this node
+    /// (never existed here, or already failed), the failure callback fires
+    /// immediately, exactly as §3.1 specifies.
+    pub fn register_handler(&mut self, io: &mut impl FuseIo, id: FuseId) {
+        if !self.is_participant(id) {
+            io.app(FuseUpcall::Failure { id });
+        }
+    }
+
+    /// `SignalFailure`: explicit, application-triggered group failure
+    /// (including fail-on-send, §3.4).
+    pub fn signal_failure(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
+        let Some(g) = self.groups.get(&id) else {
+            return; // Already failed; handler already ran.
+        };
+        match &g.role {
+            Role::Root(_) => self.group_failed_at_root(io, ov, id, None),
+            Role::Member(_) => {
+                let root = g.root.proc;
+                let seq = g.seq;
+                self.stats.hard_sent += 1;
+                io.send_fuse(root, FuseMsg::HardNotification { id, seq });
+                self.fail_locally(io, ov, id);
+            }
+            Role::Delegate => {
+                // Only participants may signal; a delegate-only node has no
+                // registered application handler for the group.
+            }
+        }
+    }
+
+    // ---- Message handling --------------------------------------------------
+
+    /// Handles a FUSE message from `from`.
+    pub fn on_message(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        msg: FuseMsg,
+    ) {
+        match msg {
+            FuseMsg::GroupCreateRequest { id, root, members } => {
+                self.on_create_request(io, ov, from, id, root, members);
+            }
+            FuseMsg::GroupCreateReply { id, ok } => {
+                self.on_create_reply(io, ov, from, id, ok);
+            }
+            FuseMsg::SoftNotification { id, seq } => {
+                self.on_soft(io, ov, from, id, seq);
+            }
+            FuseMsg::HardNotification { id, seq } => {
+                self.on_hard(io, ov, from, id, seq);
+            }
+            FuseMsg::NeedRepair { id, .. } => {
+                if self.groups.get(&id).map(|g| matches!(g.role, Role::Root(_))) == Some(true) {
+                    self.request_repair(io, id);
+                } else if !self.groups.contains_key(&id) && !self.creating.contains_key(&id) {
+                    // The group already failed here; burn the fuse back.
+                    io.send_fuse(from, FuseMsg::HardNotification { id, seq: u64::MAX });
+                }
+            }
+            FuseMsg::GroupRepairRequest { id, seq, root } => {
+                self.on_repair_request(io, ov, from, id, seq, root);
+            }
+            FuseMsg::GroupRepairReply { id, seq, ok } => {
+                self.on_repair_reply(io, ov, from, id, seq, ok);
+            }
+            FuseMsg::ReconcileRequest { links } => {
+                let mine = self.links_with(from);
+                io.send_fuse(from, FuseMsg::ReconcileReply { links: mine });
+                self.reconcile(io, ov, from, &links);
+            }
+            FuseMsg::ReconcileReply { links } => {
+                self.reconcile(io, ov, from, &links);
+            }
+        }
+    }
+
+    fn on_create_request(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        id: FuseId,
+        root: NodeInfo,
+        _members: Vec<NodeInfo>,
+    ) {
+        let now = io.now();
+        match self.groups.get_mut(&id) {
+            Some(g) => {
+                // A delegate branch for this group was installed before our
+                // own create request arrived; upgrade to member.
+                if matches!(g.role, Role::Delegate) {
+                    g.role = Role::Member(MemberState { repair_wait: None });
+                    g.root = root.clone();
+                    g.created_at = now;
+                }
+            }
+            None => {
+                self.groups.insert(
+                    id,
+                    Group {
+                        seq: 0,
+                        root: root.clone(),
+                        role: Role::Member(MemberState { repair_wait: None }),
+                        created_at: now,
+                        links: DetHashMap::default(),
+                    },
+                );
+            }
+        }
+        io.send_fuse(from, FuseMsg::GroupCreateReply { id, ok: true });
+        self.route_install_checking(io, ov, id, 0, root);
+    }
+
+    fn route_install_checking(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        seq: u64,
+        root: NodeInfo,
+    ) {
+        if root.proc == self.me.proc {
+            return;
+        }
+        let ic = InstallChecking {
+            id,
+            seq,
+            member: self.me.clone(),
+            root: root.clone(),
+        };
+        let payload = Bytes::from(ic.to_bytes());
+        match ov.route_client(io, &root.name, payload) {
+            RouteStart::Sent { next } => {
+                self.add_link(io, ov, id, next);
+            }
+            RouteStart::SelfIsTarget => {}
+            RouteStart::NoRoute => {
+                // No overlay path right now: fall back on root-driven repair.
+                self.initiate_member_repair(io, id);
+            }
+        }
+    }
+
+    fn on_create_reply(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        id: FuseId,
+        ok: bool,
+    ) {
+        let Some(attempt) = self.creating.get_mut(&id) else {
+            return; // Late reply for an already-failed creation.
+        };
+        if !ok {
+            self.create_failed(io, id, CreateError::Refused);
+            return;
+        }
+        attempt.awaiting.remove(&from);
+        if !attempt.awaiting.is_empty() {
+            return;
+        }
+        // Blocking create complete: every member answered.
+        let attempt = self.creating.remove(&id).expect("attempt present");
+        io.cancel_timer(attempt.timer);
+        let install_missing: DetHashSet<ProcId> =
+            attempt.members.iter().map(|m| m.proc).collect();
+        let install_timer =
+            Some(io.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
+        self.groups.insert(
+            id,
+            Group {
+                seq: 0,
+                root: self.me.clone(),
+                role: Role::Root(RootState {
+                    members: attempt.members,
+                    install_missing,
+                    install_timer,
+                    repair: None,
+                    kick: None,
+                    dirty: false,
+                    backoff: self.new_backoff(),
+                }),
+                created_at: io.now(),
+                links: DetHashMap::default(),
+            },
+        );
+        self.stats.groups_created += 1;
+        io.app(FuseUpcall::Created {
+            token: attempt.token,
+            result: Ok(id),
+        });
+        // Process InstallChecking arrivals that raced ahead.
+        for (member, prev) in attempt.early_ics {
+            self.install_arrived_at_root(io, ov, id, 0, member, prev);
+        }
+    }
+
+    fn create_failed(&mut self, io: &mut impl FuseIo, id: FuseId, err: CreateError) {
+        let Some(attempt) = self.creating.remove(&id) else {
+            return;
+        };
+        io.cancel_timer(attempt.timer);
+        self.stats.creates_failed += 1;
+        // Best effort: tear down any member state already installed.
+        for m in &attempt.members {
+            self.stats.hard_sent += 1;
+            io.send_fuse(m.proc, FuseMsg::HardNotification { id, seq: 0 });
+        }
+        io.app(FuseUpcall::Created {
+            token: attempt.token,
+            result: Err(err),
+        });
+    }
+
+    fn on_soft(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        id: FuseId,
+        seq: u64,
+    ) {
+        let Some(g) = self.groups.get(&id) else {
+            return;
+        };
+        if seq < g.seq {
+            return; // Stale notification from before a completed repair.
+        }
+        // Forward along the tree, away from the originator, then drop the
+        // damaged tree locally.
+        let peers: Vec<ProcId> = g.links.keys().copied().filter(|&p| p != from).collect();
+        for p in peers {
+            self.stats.soft_sent += 1;
+            io.send_fuse(p, FuseMsg::SoftNotification { id, seq });
+        }
+        self.clear_links(io, ov, id);
+        match &self.groups.get(&id).expect("group present").role {
+            Role::Delegate => {
+                self.groups.remove(&id);
+            }
+            Role::Member(_) => self.initiate_member_repair(io, id),
+            Role::Root(_) => self.request_repair(io, id),
+        }
+    }
+
+    fn on_hard(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        id: FuseId,
+        _seq: u64,
+    ) {
+        if self.creating.contains_key(&id) {
+            // A member installed state and failed before creation finished.
+            self.create_failed(io, id, CreateError::Refused);
+            return;
+        }
+        let Some(g) = self.groups.get(&id) else {
+            return; // Already failed here; handler already ran.
+        };
+        if matches!(g.role, Role::Root(_)) {
+            self.group_failed_at_root(io, ov, id, Some(from));
+        } else {
+            self.fail_locally(io, ov, id);
+        }
+    }
+
+    fn on_repair_request(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        id: FuseId,
+        seq: u64,
+        root: NodeInfo,
+    ) {
+        match self.groups.get_mut(&id) {
+            None => {
+                // "If a repair message ever encounters a member that no
+                // longer has knowledge of the group, it fails and signals a
+                // HardNotification" (§6.5). Crash recovery lands here.
+                io.send_fuse(
+                    from,
+                    FuseMsg::GroupRepairReply {
+                        id,
+                        seq,
+                        ok: false,
+                    },
+                );
+            }
+            Some(g) => {
+                if seq <= g.seq {
+                    // Stale repair (we already advanced); still acknowledge.
+                    io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: true });
+                    return;
+                }
+                g.seq = seq;
+                if matches!(g.role, Role::Delegate) {
+                    // A delegate that happens to also be addressed as a
+                    // member (stale root view); treat conservatively as
+                    // unknown membership.
+                    io.send_fuse(
+                        from,
+                        FuseMsg::GroupRepairReply {
+                            id,
+                            seq,
+                            ok: false,
+                        },
+                    );
+                    return;
+                }
+                if let Role::Member(ms) = &mut g.role {
+                    if let Some(h) = ms.repair_wait.take() {
+                        io.cancel_timer(h);
+                    }
+                }
+                io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: true });
+                self.clear_links(io, ov, id);
+                self.route_install_checking(io, ov, id, seq, root);
+            }
+        }
+    }
+
+    fn on_repair_reply(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        from: ProcId,
+        id: FuseId,
+        seq: u64,
+        ok: bool,
+    ) {
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        let Role::Root(rs) = &mut g.role else {
+            return;
+        };
+        let Some(round) = &mut rs.repair else {
+            return;
+        };
+        if round.seq != seq {
+            return;
+        }
+        if !ok {
+            self.group_failed_at_root(io, ov, id, None);
+            return;
+        }
+        round.awaiting.remove(&from);
+        if !round.awaiting.is_empty() {
+            return;
+        }
+        // Round succeeded.
+        let round = rs.repair.take().expect("round present");
+        io.cancel_timer(round.timer);
+        rs.install_missing = rs.members.iter().map(|m| m.proc).collect();
+        if let Some(h) = rs.install_timer.take() {
+            io.cancel_timer(h);
+        }
+        rs.install_timer =
+            Some(io.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
+        if rs.dirty {
+            rs.dirty = false;
+            self.request_repair(io, id);
+        } else {
+            rs.backoff.reset();
+        }
+    }
+
+    // ---- Overlay upcalls ----------------------------------------------------
+
+    /// Handles an upcall from the overlay beneath.
+    pub fn on_overlay_upcall(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        up: OverlayUpcall,
+    ) {
+        match up {
+            OverlayUpcall::PingHash { peer, hash } => self.on_ping_hash(io, peer, hash),
+            OverlayUpcall::LinkUp { .. } => {}
+            OverlayUpcall::LinkDown { peer, .. } => {
+                // Dead or rerouted link: every group monitoring it soft-fails
+                // that branch and repairs.
+                let ids: Vec<FuseId> = self
+                    .by_peer
+                    .get(&peer)
+                    .map(|s| {
+                        let mut v: Vec<FuseId> = s.iter().copied().collect();
+                        v.sort_unstable();
+                        v
+                    })
+                    .unwrap_or_default();
+                for id in ids {
+                    self.local_link_failed(io, ov, id, peer);
+                }
+            }
+            OverlayUpcall::Delivered { src, prev, payload } => {
+                if let Ok(ic) = InstallChecking::from_bytes(&payload) {
+                    self.install_delivered(io, ov, ic, src.proc, prev);
+                }
+            }
+            OverlayUpcall::Forwarded {
+                prev, next, payload, ..
+            } => {
+                if let Ok(ic) = InstallChecking::from_bytes(&payload) {
+                    self.install_forwarded(io, ov, ic, prev, next);
+                }
+            }
+            OverlayUpcall::RouteStuck { payload, .. } => {
+                if let Ok(ic) = InstallChecking::from_bytes(&payload) {
+                    // Our InstallChecking could not reach the root.
+                    if ic.member.proc == self.me.proc {
+                        self.initiate_member_repair(io, ic.id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn install_delivered(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        ic: InstallChecking,
+        src: ProcId,
+        prev: ProcId,
+    ) {
+        if ic.root.proc != self.me.proc {
+            // Routed to us although we are not the root: stale name tables.
+            return;
+        }
+        if self.creating.contains_key(&ic.id) {
+            let attempt = self.creating.get_mut(&ic.id).expect("attempt");
+            attempt.early_ics.push((src, prev));
+            return;
+        }
+        if !self.groups.contains_key(&ic.id) {
+            // Group already failed: burn the fuse back toward the member.
+            self.stats.hard_sent += 1;
+            io.send_fuse(src, FuseMsg::HardNotification { id: ic.id, seq: ic.seq });
+            return;
+        }
+        self.install_arrived_at_root(io, ov, ic.id, ic.seq, src, prev);
+    }
+
+    fn install_arrived_at_root(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        seq: u64,
+        member: ProcId,
+        prev: ProcId,
+    ) {
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        if seq < g.seq {
+            return; // Stale branch from before a repair.
+        }
+        if let Role::Root(rs) = &mut g.role {
+            rs.install_missing.remove(&member);
+            if rs.install_missing.is_empty() {
+                if let Some(h) = rs.install_timer.take() {
+                    io.cancel_timer(h);
+                }
+            }
+        }
+        if prev != self.me.proc {
+            self.add_link(io, ov, id, prev);
+        }
+    }
+
+    fn install_forwarded(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        ic: InstallChecking,
+        prev: ProcId,
+        next: ProcId,
+    ) {
+        let now = io.now();
+        match self.groups.get_mut(&ic.id) {
+            Some(g) => {
+                if ic.seq < g.seq {
+                    return;
+                }
+                g.seq = g.seq.max(ic.seq);
+            }
+            None => {
+                self.groups.insert(
+                    ic.id,
+                    Group {
+                        seq: ic.seq,
+                        root: ic.root.clone(),
+                        role: Role::Delegate,
+                        created_at: now,
+                        links: DetHashMap::default(),
+                    },
+                );
+            }
+        }
+        if prev != self.me.proc {
+            self.add_link(io, ov, ic.id, prev);
+        }
+        if next != self.me.proc {
+            self.add_link(io, ov, ic.id, next);
+        }
+    }
+
+    fn on_ping_hash(&mut self, io: &mut impl FuseIo, peer: ProcId, hash: Digest) {
+        let mine = self.hash_for(peer);
+        if mine == hash {
+            // Agreement: refresh every (group, link) timer this hash covers.
+            let ids: Vec<FuseId> = self
+                .by_peer
+                .get(&peer)
+                .map(|s| {
+                    let mut v: Vec<FuseId> = s.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .unwrap_or_default();
+            for id in ids {
+                self.reset_link_timer(io, id, peer);
+            }
+        } else {
+            // Disagreement: exchange lists (§6.3).
+            self.stats.reconciles += 1;
+            let links = self.links_with(peer);
+            io.send_fuse(peer, FuseMsg::ReconcileRequest { links });
+        }
+    }
+
+    fn reconcile(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        peer: ProcId,
+        theirs: &[(FuseId, u64)],
+    ) {
+        let their_ids: DetHashSet<FuseId> = theirs.iter().map(|&(id, _)| id).collect();
+        let mine: Vec<FuseId> = self
+            .by_peer
+            .get(&peer)
+            .map(|s| {
+                let mut v: Vec<FuseId> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default();
+        let now = io.now();
+        for id in mine {
+            if their_ids.contains(&id) {
+                // Agreed link: treat like a refresh.
+                self.reset_link_timer(io, id, peer);
+            } else {
+                // They do not monitor this tree with us. Outside the grace
+                // period (creation race, §6.3) the disagreeing tree is torn
+                // down and repaired.
+                let fresh = self
+                    .groups
+                    .get(&id)
+                    .and_then(|g| g.links.get(&peer))
+                    .map(|l| now.since(l.installed_at) < self.cfg.reconcile_grace)
+                    .unwrap_or(true);
+                if !fresh {
+                    self.local_link_failed(io, ov, id, peer);
+                }
+            }
+        }
+    }
+
+    // ---- Timers ---------------------------------------------------------------
+
+    /// Handles a FUSE timer.
+    pub fn on_timer(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, tag: FuseTimer) {
+        match tag {
+            FuseTimer::LinkExpired { id, peer } => {
+                self.stats.links_expired += 1;
+                self.local_link_failed(io, ov, id, peer);
+            }
+            FuseTimer::CreateTimeout { id } => {
+                self.create_failed(io, id, CreateError::MemberUnreachable);
+            }
+            FuseTimer::InstallWait { id } => {
+                let needs = match self.groups.get_mut(&id) {
+                    Some(Group {
+                        role: Role::Root(rs),
+                        ..
+                    }) => {
+                        rs.install_timer = None;
+                        !rs.install_missing.is_empty()
+                    }
+                    _ => false,
+                };
+                if needs {
+                    self.request_repair(io, id);
+                }
+            }
+            FuseTimer::MemberRepairWait { id } => {
+                let give_up = match self.groups.get_mut(&id) {
+                    Some(Group {
+                        role: Role::Member(ms),
+                        ..
+                    }) => {
+                        ms.repair_wait = None;
+                        true
+                    }
+                    _ => false,
+                };
+                if give_up {
+                    // "If the timer fires, it signals a failure notification
+                    // to the FUSE client application, sends a
+                    // HardNotification message to the root, and cleans up"
+                    // (§6.5).
+                    let (root, seq) = {
+                        let g = self.groups.get(&id).expect("member state");
+                        (g.root.proc, g.seq)
+                    };
+                    self.stats.hard_sent += 1;
+                    io.send_fuse(root, FuseMsg::HardNotification { id, seq });
+                    self.fail_locally(io, ov, id);
+                }
+            }
+            FuseTimer::RepairRound { id, seq } => {
+                let failed = matches!(
+                    self.groups.get(&id),
+                    Some(Group {
+                        role: Role::Root(RootState {
+                            repair: Some(r),
+                            ..
+                        }),
+                        ..
+                    }) if r.seq == seq && !r.awaiting.is_empty()
+                );
+                if failed {
+                    self.group_failed_at_root(io, ov, id, None);
+                }
+            }
+            FuseTimer::RepairKick { id } => {
+                self.start_repair_round(io, id);
+            }
+        }
+    }
+
+    /// Handles a transport-level broken connection (direct messages).
+    pub fn on_link_broken(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, peer: ProcId) {
+        // Creation attempts waiting on this peer fail immediately.
+        let failed_creates: Vec<FuseId> = self
+            .creating
+            .iter()
+            .filter(|(_, a)| a.awaiting.contains(&peer))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in failed_creates {
+            self.create_failed(io, id, CreateError::ConnectionBroken);
+        }
+        // Repair rounds waiting on this peer fail the group.
+        let failed_repairs: Vec<FuseId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| match &g.role {
+                Role::Root(RootState {
+                    repair: Some(r), ..
+                }) => r.awaiting.contains(&peer),
+                _ => false,
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in failed_repairs {
+            self.group_failed_at_root(io, ov, id, None);
+        }
+        // Liveness-tree links to this peer are gone.
+        let ids: Vec<FuseId> = self
+            .by_peer
+            .get(&peer)
+            .map(|s| {
+                let mut v: Vec<FuseId> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default();
+        for id in ids {
+            self.local_link_failed(io, ov, id, peer);
+        }
+    }
+
+    // ---- Failure machinery ------------------------------------------------------
+
+    fn local_link_failed(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        peer: ProcId,
+    ) {
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        let Some(link) = g.links.remove(&peer) else {
+            return;
+        };
+        io.cancel_timer(link.timer);
+        let seq = g.seq;
+        let others: Vec<ProcId> = g.links.keys().copied().collect();
+        self.unindex_link(ov, id, peer);
+        for p in others {
+            self.stats.soft_sent += 1;
+            io.send_fuse(p, FuseMsg::SoftNotification { id, seq });
+        }
+        match &self.groups.get(&id).expect("group present").role {
+            Role::Delegate => {
+                if self.groups.get(&id).expect("present").links.is_empty() {
+                    self.groups.remove(&id);
+                }
+            }
+            Role::Member(_) => self.initiate_member_repair(io, id),
+            Role::Root(_) => self.request_repair(io, id),
+        }
+    }
+
+    fn initiate_member_repair(&mut self, io: &mut impl FuseIo, id: FuseId) {
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        let root = g.root.proc;
+        let seq = g.seq;
+        let Role::Member(ms) = &mut g.role else {
+            return;
+        };
+        if ms.repair_wait.is_some() {
+            return;
+        }
+        io.send_fuse(root, FuseMsg::NeedRepair { id, seq });
+        ms.repair_wait = Some(io.set_fuse_timer(
+            self.cfg.member_repair_timeout,
+            FuseTimer::MemberRepairWait { id },
+        ));
+    }
+
+    fn request_repair(&mut self, io: &mut impl FuseIo, id: FuseId) {
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        let Role::Root(rs) = &mut g.role else {
+            return;
+        };
+        if rs.repair.is_some() {
+            rs.dirty = true;
+            return;
+        }
+        if rs.kick.is_some() {
+            return;
+        }
+        let delay = SimDuration(rs.backoff.next_delay());
+        rs.kick = Some(io.set_fuse_timer(delay, FuseTimer::RepairKick { id }));
+    }
+
+    fn start_repair_round(&mut self, io: &mut impl FuseIo, id: FuseId) {
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        let Role::Root(rs) = &mut g.role else {
+            return;
+        };
+        rs.kick = None;
+        if rs.repair.is_some() {
+            rs.dirty = true;
+            return;
+        }
+        g.seq += 1;
+        let seq = g.seq;
+        let awaiting: DetHashSet<ProcId> = rs.members.iter().map(|m| m.proc).collect();
+        if awaiting.is_empty() {
+            return;
+        }
+        self.stats.repairs_started += 1;
+        for m in rs.members.clone() {
+            io.send_fuse(
+                m.proc,
+                FuseMsg::GroupRepairRequest {
+                    id,
+                    seq,
+                    root: self.me.clone(),
+                },
+            );
+        }
+        let timer = io.set_fuse_timer(
+            self.cfg.root_repair_timeout,
+            FuseTimer::RepairRound { id, seq },
+        );
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        let Role::Root(rs) = &mut g.role else {
+            return;
+        };
+        rs.repair = Some(RepairRound {
+            seq,
+            awaiting,
+            timer,
+        });
+    }
+
+    fn group_failed_at_root(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        except: Option<ProcId>,
+    ) {
+        self.stats.repairs_failed += 1;
+        if let Some(Group {
+            role: Role::Root(rs),
+            ..
+        }) = self.groups.get(&id)
+        {
+            let seq = self.groups.get(&id).expect("present").seq;
+            for m in &rs.members {
+                if Some(m.proc) != except {
+                    io.send_fuse(m.proc, FuseMsg::HardNotification { id, seq });
+                }
+            }
+            self.stats.hard_sent += rs.members.len() as u64;
+        }
+        self.fail_locally(io, ov, id);
+    }
+
+    /// Tears down all local state for `id` and invokes the application
+    /// handler when this node is a participant. Exactly-once: state presence
+    /// gates the upcall.
+    fn fail_locally(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
+        let Some(g) = self.groups.get(&id) else {
+            return;
+        };
+        let seq = g.seq;
+        let participant = matches!(g.role, Role::Root(_) | Role::Member(_));
+        // Clean the liveness tree below us.
+        let peers: Vec<ProcId> = g.links.keys().copied().collect();
+        for p in &peers {
+            self.stats.soft_sent += 1;
+            io.send_fuse(*p, FuseMsg::SoftNotification { id, seq });
+        }
+        self.clear_links(io, ov, id);
+        let g = self.groups.remove(&id).expect("group present");
+        match g.role {
+            Role::Root(rs) => {
+                if let Some(h) = rs.install_timer {
+                    io.cancel_timer(h);
+                }
+                if let Some(h) = rs.kick {
+                    io.cancel_timer(h);
+                }
+                if let Some(r) = rs.repair {
+                    io.cancel_timer(r.timer);
+                }
+            }
+            Role::Member(ms) => {
+                if let Some(h) = ms.repair_wait {
+                    io.cancel_timer(h);
+                }
+            }
+            Role::Delegate => {}
+        }
+        if participant {
+            self.stats.notifications += 1;
+            io.app(FuseUpcall::Failure { id });
+        }
+    }
+
+    // ---- Link bookkeeping -------------------------------------------------------
+
+    fn add_link(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId, peer: ProcId) {
+        debug_assert_ne!(peer, self.me.proc);
+        let now = io.now();
+        let timeout = self.cfg.link_failure_timeout;
+        let Some(g) = self.groups.get_mut(&id) else {
+            return;
+        };
+        match g.links.get_mut(&peer) {
+            Some(link) => {
+                io.cancel_timer(link.timer);
+                link.timer = io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer });
+            }
+            None => {
+                let timer = io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer });
+                g.links.insert(
+                    peer,
+                    Link {
+                        timer,
+                        installed_at: now,
+                    },
+                );
+                self.by_peer.entry(peer).or_default().insert(id);
+                self.push_hash(ov, peer);
+            }
+        }
+    }
+
+    fn reset_link_timer(&mut self, io: &mut impl FuseIo, id: FuseId, peer: ProcId) {
+        let timeout = self.cfg.link_failure_timeout;
+        if let Some(g) = self.groups.get_mut(&id) {
+            if let Some(link) = g.links.get_mut(&peer) {
+                io.cancel_timer(link.timer);
+                link.timer = io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer });
+            }
+        }
+    }
+
+    fn unindex_link(&mut self, ov: &mut OverlayNode, id: FuseId, peer: ProcId) {
+        if let Some(set) = self.by_peer.get_mut(&peer) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_peer.remove(&peer);
+            }
+        }
+        self.push_hash(ov, peer);
+    }
+
+    fn clear_links(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
+        let peers: Vec<ProcId> = self
+            .groups
+            .get(&id)
+            .map(|g| g.links.keys().copied().collect())
+            .unwrap_or_default();
+        for peer in peers {
+            if let Some(g) = self.groups.get_mut(&id) {
+                if let Some(link) = g.links.remove(&peer) {
+                    io.cancel_timer(link.timer);
+                }
+            }
+            self.unindex_link(ov, id, peer);
+        }
+    }
+
+    /// The piggyback digest for one link: SHA-1 over the sorted FUSE IDs
+    /// jointly monitored on it (paper §6.1: a 20-byte hash encoding "all the
+    /// FUSE groups that use this overlay link").
+    fn hash_for(&self, peer: ProcId) -> Digest {
+        match self.by_peer.get(&peer) {
+            None => Digest::of_empty(),
+            Some(set) => {
+                let mut ids: Vec<FuseId> = set.iter().copied().collect();
+                ids.sort_unstable();
+                let mut h = Sha1::new();
+                for id in ids {
+                    h.update(&id.0.to_be_bytes());
+                }
+                h.finalize()
+            }
+        }
+    }
+
+    fn push_hash(&mut self, ov: &mut OverlayNode, peer: ProcId) {
+        let hash = match self.by_peer.get(&peer) {
+            None => None,
+            Some(_) => Some(self.hash_for(peer)),
+        };
+        ov.set_link_hash(peer, hash);
+    }
+
+    fn links_with(&self, peer: ProcId) -> Vec<(FuseId, u64)> {
+        let mut v: Vec<(FuseId, u64)> = self
+            .by_peer
+            .get(&peer)
+            .map(|set| {
+                set.iter()
+                    .filter_map(|id| self.groups.get(id).map(|g| (*id, g.seq)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(
+            self.cfg.repair_backoff_base.nanos(),
+            self.cfg.repair_backoff_cap.nanos(),
+        )
+    }
+}

@@ -1,0 +1,307 @@
+//! FUSE wire messages (§6.2–§6.5 of the paper).
+//!
+//! Creation, repair and hard notifications travel *directly* between the
+//! root and the members (the design choice §6 motivates with rapid failure
+//! detection); `InstallChecking` travels through the overlay inside a routed
+//! client envelope; `SoftNotification`s travel hop-by-hop along the liveness
+//! tree.
+
+use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
+
+use fuse_overlay::NodeInfo;
+
+use crate::types::FuseId;
+
+/// FUSE protocol messages exchanged directly between processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuseMsg {
+    /// Root → member: join this new group (blocking creation, §6.2).
+    GroupCreateRequest {
+        /// The new group.
+        id: FuseId,
+        /// The creating node (root of the liveness tree).
+        root: NodeInfo,
+        /// The immutable participant list.
+        members: Vec<NodeInfo>,
+    },
+    /// Member → root: group state installed.
+    GroupCreateReply {
+        /// The group.
+        id: FuseId,
+        /// Whether the member accepted.
+        ok: bool,
+    },
+    /// Member/root → tree neighbor: the liveness tree is damaged; clean up
+    /// delegate state and (on members/root) trigger repair. Never surfaces
+    /// to the application (§6.4).
+    SoftNotification {
+        /// The group.
+        id: FuseId,
+        /// Sequence number; stale notifications are discarded.
+        seq: u64,
+    },
+    /// Group failure: invoke the application handler. Travels member → root
+    /// → all members (§6.4).
+    HardNotification {
+        /// The group.
+        id: FuseId,
+        /// Sequence number (informational; hard notifications always fire).
+        seq: u64,
+    },
+    /// Member → root: my liveness checking broke, please repair (§6.5).
+    NeedRepair {
+        /// The group.
+        id: FuseId,
+        /// The member's current sequence number.
+        seq: u64,
+    },
+    /// Root → member: rebuild liveness checking with this new sequence
+    /// number (§6.5).
+    GroupRepairRequest {
+        /// The group.
+        id: FuseId,
+        /// The new sequence number.
+        seq: u64,
+        /// Root identity (recovered members may have lost it).
+        root: NodeInfo,
+    },
+    /// Member → root: repair acknowledged (`ok=false` when the member no
+    /// longer knows the group — which fails the repair and hard-notifies).
+    GroupRepairReply {
+        /// The group.
+        id: FuseId,
+        /// Echoed sequence number.
+        seq: u64,
+        /// Whether the member still holds group state.
+        ok: bool,
+    },
+    /// Neighbor hash mismatch: here is my list of (group, seq) monitored on
+    /// our shared link (§6.3).
+    ReconcileRequest {
+        /// Monitored groups on this link.
+        links: Vec<(FuseId, u64)>,
+    },
+    /// Answer to reconciliation with the responder's list.
+    ReconcileReply {
+        /// Monitored groups on this link.
+        links: Vec<(FuseId, u64)>,
+    },
+}
+
+/// Payload of the `InstallChecking` message routed through the overlay
+/// (§6.2): installs per-hop delegate state from the member toward the root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstallChecking {
+    /// The group.
+    pub id: FuseId,
+    /// Tree sequence number (incremented by repair).
+    pub seq: u64,
+    /// The member whose branch this is.
+    pub member: NodeInfo,
+    /// The root the branch leads to.
+    pub root: NodeInfo,
+}
+
+impl Encode for InstallChecking {
+    fn encode(&self, w: &mut dyn Writer) {
+        self.id.encode(w);
+        self.seq.encode(w);
+        self.member.encode(w);
+        self.root.encode(w);
+    }
+}
+
+impl Decode for InstallChecking {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(InstallChecking {
+            id: FuseId::decode(r)?,
+            seq: u64::decode(r)?,
+            member: NodeInfo::decode(r)?,
+            root: NodeInfo::decode(r)?,
+        })
+    }
+}
+
+const TAG_CREATE_REQ: u8 = 1;
+const TAG_CREATE_REPLY: u8 = 2;
+const TAG_SOFT: u8 = 3;
+const TAG_HARD: u8 = 4;
+const TAG_NEED_REPAIR: u8 = 5;
+const TAG_REPAIR_REQ: u8 = 6;
+const TAG_REPAIR_REPLY: u8 = 7;
+const TAG_RECONCILE_REQ: u8 = 8;
+const TAG_RECONCILE_REPLY: u8 = 9;
+
+impl Encode for FuseMsg {
+    fn encode(&self, w: &mut dyn Writer) {
+        match self {
+            FuseMsg::GroupCreateRequest { id, root, members } => {
+                TAG_CREATE_REQ.encode(w);
+                id.encode(w);
+                root.encode(w);
+                members.encode(w);
+            }
+            FuseMsg::GroupCreateReply { id, ok } => {
+                TAG_CREATE_REPLY.encode(w);
+                id.encode(w);
+                ok.encode(w);
+            }
+            FuseMsg::SoftNotification { id, seq } => {
+                TAG_SOFT.encode(w);
+                id.encode(w);
+                seq.encode(w);
+            }
+            FuseMsg::HardNotification { id, seq } => {
+                TAG_HARD.encode(w);
+                id.encode(w);
+                seq.encode(w);
+            }
+            FuseMsg::NeedRepair { id, seq } => {
+                TAG_NEED_REPAIR.encode(w);
+                id.encode(w);
+                seq.encode(w);
+            }
+            FuseMsg::GroupRepairRequest { id, seq, root } => {
+                TAG_REPAIR_REQ.encode(w);
+                id.encode(w);
+                seq.encode(w);
+                root.encode(w);
+            }
+            FuseMsg::GroupRepairReply { id, seq, ok } => {
+                TAG_REPAIR_REPLY.encode(w);
+                id.encode(w);
+                seq.encode(w);
+                ok.encode(w);
+            }
+            FuseMsg::ReconcileRequest { links } => {
+                TAG_RECONCILE_REQ.encode(w);
+                links.encode(w);
+            }
+            FuseMsg::ReconcileReply { links } => {
+                TAG_RECONCILE_REPLY.encode(w);
+                links.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for FuseMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            TAG_CREATE_REQ => Ok(FuseMsg::GroupCreateRequest {
+                id: FuseId::decode(r)?,
+                root: NodeInfo::decode(r)?,
+                members: Vec::decode(r)?,
+            }),
+            TAG_CREATE_REPLY => Ok(FuseMsg::GroupCreateReply {
+                id: FuseId::decode(r)?,
+                ok: bool::decode(r)?,
+            }),
+            TAG_SOFT => Ok(FuseMsg::SoftNotification {
+                id: FuseId::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            TAG_HARD => Ok(FuseMsg::HardNotification {
+                id: FuseId::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            TAG_NEED_REPAIR => Ok(FuseMsg::NeedRepair {
+                id: FuseId::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            TAG_REPAIR_REQ => Ok(FuseMsg::GroupRepairRequest {
+                id: FuseId::decode(r)?,
+                seq: u64::decode(r)?,
+                root: NodeInfo::decode(r)?,
+            }),
+            TAG_REPAIR_REPLY => Ok(FuseMsg::GroupRepairReply {
+                id: FuseId::decode(r)?,
+                seq: u64::decode(r)?,
+                ok: bool::decode(r)?,
+            }),
+            TAG_RECONCILE_REQ => Ok(FuseMsg::ReconcileRequest {
+                links: Vec::decode(r)?,
+            }),
+            TAG_RECONCILE_REPLY => Ok(FuseMsg::ReconcileReply {
+                links: Vec::decode(r)?,
+            }),
+            _ => Err(DecodeError::Invalid("fuse message tag")),
+        }
+    }
+}
+
+impl FuseMsg {
+    /// Metrics class label.
+    pub fn class_label(&self) -> &'static str {
+        match self {
+            FuseMsg::GroupCreateRequest { .. } | FuseMsg::GroupCreateReply { .. } => "fuse.create",
+            FuseMsg::SoftNotification { .. } => "fuse.soft",
+            FuseMsg::HardNotification { .. } => "fuse.hard",
+            FuseMsg::NeedRepair { .. }
+            | FuseMsg::GroupRepairRequest { .. }
+            | FuseMsg::GroupRepairReply { .. } => "fuse.repair",
+            FuseMsg::ReconcileRequest { .. } | FuseMsg::ReconcileReply { .. } => "fuse.reconcile",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_overlay::NodeName;
+
+    fn info(i: usize) -> NodeInfo {
+        NodeInfo::new(i as u32, NodeName::numbered(i))
+    }
+
+    fn roundtrip(m: FuseMsg) {
+        let b = m.to_bytes();
+        assert_eq!(b.len(), m.wire_size());
+        assert_eq!(FuseMsg::from_bytes(&b).unwrap(), m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let id = FuseId(42);
+        roundtrip(FuseMsg::GroupCreateRequest {
+            id,
+            root: info(0),
+            members: vec![info(0), info(1), info(2)],
+        });
+        roundtrip(FuseMsg::GroupCreateReply { id, ok: true });
+        roundtrip(FuseMsg::SoftNotification { id, seq: 3 });
+        roundtrip(FuseMsg::HardNotification { id, seq: 3 });
+        roundtrip(FuseMsg::NeedRepair { id, seq: 1 });
+        roundtrip(FuseMsg::GroupRepairRequest {
+            id,
+            seq: 2,
+            root: info(0),
+        });
+        roundtrip(FuseMsg::GroupRepairReply {
+            id,
+            seq: 2,
+            ok: false,
+        });
+        roundtrip(FuseMsg::ReconcileRequest {
+            links: vec![(id, 1), (FuseId(7), 0)],
+        });
+        roundtrip(FuseMsg::ReconcileReply { links: vec![] });
+    }
+
+    #[test]
+    fn install_checking_roundtrips() {
+        let ic = InstallChecking {
+            id: FuseId(9),
+            seq: 4,
+            member: info(1),
+            root: info(0),
+        };
+        let b = ic.to_bytes();
+        assert_eq!(InstallChecking::from_bytes(&b).unwrap(), ic);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(FuseMsg::from_bytes(&[200]).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! The node stack: transport ↔ overlay ↔ FUSE ↔ application, as one
+//! simulated process.
+//!
+//! The stack is the "base messaging layer" glue the paper swaps between its
+//! simulator and its cluster: protocol layers never touch the kernel
+//! directly — a [`Shim`] implementing [`OverlayIo`] and [`FuseIo`] adapts
+//! the kernel's handler context, buffers inter-layer upcalls, and replays
+//! them in order (overlay → FUSE → application).
+
+use bytes::Bytes;
+
+use fuse_overlay::{
+    NodeInfo, OverlayConfig, OverlayIo, OverlayMsg, OverlayNode, OverlayTimer, OverlayUpcall,
+};
+use fuse_sim::process::Ctx;
+use fuse_sim::{Payload, ProcId, Process, SimDuration, SimTime, TimerHandle};
+use fuse_wire::Encode;
+
+use crate::layer::{FuseIo, FuseLayer};
+use crate::messages::FuseMsg;
+use crate::types::{FuseConfig, FuseId, FuseTimer, FuseUpcall};
+
+/// Union message type carried between node stacks.
+#[derive(Debug, Clone)]
+pub enum StackMsg {
+    /// Overlay maintenance and routed envelopes.
+    Overlay(OverlayMsg),
+    /// FUSE protocol messages.
+    Fuse(FuseMsg),
+    /// Opaque application payloads.
+    App(Bytes),
+}
+
+impl Payload for StackMsg {
+    fn size_bytes(&self) -> usize {
+        // One tag byte plus the real encoded size of the inner message.
+        1 + match self {
+            StackMsg::Overlay(m) => m.wire_size(),
+            StackMsg::Fuse(m) => m.wire_size(),
+            StackMsg::App(b) => b.len(),
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            StackMsg::Overlay(m) => m.class_label(),
+            StackMsg::Fuse(m) => m.class_label(),
+            StackMsg::App(_) => "app",
+        }
+    }
+}
+
+/// Union timer tag.
+#[derive(Debug, Clone)]
+pub enum StackTimer {
+    /// Overlay timers (pings, maintenance, join).
+    Overlay(OverlayTimer),
+    /// FUSE timers (liveness, create, repair).
+    Fuse(FuseTimer),
+    /// Application timers.
+    App(u64),
+}
+
+/// The adapter the protocol layers see instead of the kernel.
+struct Shim<'a, 'b> {
+    ctx: &'a mut Ctx<'b, StackMsg, StackTimer>,
+    ov_up: &'a mut Vec<OverlayUpcall>,
+    app_up: &'a mut Vec<FuseUpcall>,
+}
+
+impl OverlayIo for Shim<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.ctx.rng()
+    }
+
+    fn send(&mut self, to: ProcId, msg: OverlayMsg) {
+        self.ctx.send(to, StackMsg::Overlay(msg));
+    }
+
+    fn set_timer(&mut self, after: SimDuration, tag: OverlayTimer) -> TimerHandle {
+        self.ctx.set_timer(after, StackTimer::Overlay(tag))
+    }
+
+    fn cancel_timer(&mut self, h: TimerHandle) {
+        self.ctx.cancel_timer(h);
+    }
+
+    fn upcall(&mut self, ev: OverlayUpcall) {
+        self.ov_up.push(ev);
+    }
+}
+
+impl FuseIo for Shim<'_, '_> {
+    fn send_fuse(&mut self, to: ProcId, msg: FuseMsg) {
+        self.ctx.send(to, StackMsg::Fuse(msg));
+    }
+
+    fn set_fuse_timer(&mut self, after: SimDuration, tag: FuseTimer) -> TimerHandle {
+        self.ctx.set_timer(after, StackTimer::Fuse(tag))
+    }
+
+    fn app(&mut self, ev: FuseUpcall) {
+        self.app_up.push(ev);
+    }
+}
+
+/// What the application sees: the FUSE API of the paper's Figure 1, plus
+/// app-level messaging and timers.
+pub struct FuseApi<'a, 'b, 'c> {
+    fuse: &'a mut FuseLayer,
+    overlay: &'a mut OverlayNode,
+    io: Shim<'a, 'c>,
+    _marker: std::marker::PhantomData<&'b ()>,
+}
+
+impl FuseApi<'_, '_, '_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.io.now()
+    }
+
+    /// This node's overlay identity.
+    pub fn me(&self) -> NodeInfo {
+        self.overlay.info().clone()
+    }
+
+    /// `CreateGroup` (Figure 1): asynchronous-blocking creation; completion
+    /// arrives as [`FuseUpcall::Created`] with `token`.
+    pub fn create_group(&mut self, others: Vec<NodeInfo>, token: u64) -> FuseId {
+        self.fuse.create_group(&mut self.io, others, token)
+    }
+
+    /// `RegisterFailureHandler` (Figure 1).
+    pub fn register_handler(&mut self, id: FuseId) {
+        self.fuse.register_handler(&mut self.io, id);
+    }
+
+    /// `SignalFailure` (Figure 1).
+    pub fn signal_failure(&mut self, id: FuseId) {
+        self.fuse.signal_failure(&mut self.io, self.overlay, id);
+    }
+
+    /// Sends an opaque application payload to a peer.
+    pub fn send_app(&mut self, to: ProcId, payload: Bytes) {
+        self.io.ctx.send(to, StackMsg::App(payload));
+    }
+
+    /// Arms an application timer.
+    pub fn set_app_timer(&mut self, after: SimDuration, tag: u64) -> TimerHandle {
+        self.io.ctx.set_timer(after, StackTimer::App(tag))
+    }
+
+    /// Cancels any timer handle.
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        self.io.ctx.cancel_timer(h);
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.io.ctx.rng()
+    }
+
+    /// Read access to the FUSE layer (state introspection).
+    pub fn fuse(&self) -> &FuseLayer {
+        self.fuse
+    }
+
+    /// Read access to the overlay (routing-table visibility, §6.1).
+    pub fn overlay(&self) -> &OverlayNode {
+        self.overlay
+    }
+}
+
+/// A FUSE application: receives the API plus FUSE events.
+pub trait FuseApp: Sized {
+    /// Called once at process start.
+    fn on_boot(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+        let _ = api;
+    }
+
+    /// A FUSE event (creation completed, or a failure notification).
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall);
+
+    /// An application payload from a peer.
+    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+        let _ = (api, from, payload);
+    }
+
+    /// An application timer fired.
+    fn on_app_timer(&mut self, api: &mut FuseApi<'_, '_, '_>, tag: u64) {
+        let _ = (api, tag);
+    }
+}
+
+/// The composed per-process protocol stack.
+pub struct NodeStack<A> {
+    /// The overlay layer.
+    pub overlay: OverlayNode,
+    /// The FUSE layer.
+    pub fuse: FuseLayer,
+    /// The application layer.
+    pub app: A,
+}
+
+impl<A: FuseApp> NodeStack<A> {
+    /// Builds a stack for `me`, joining through `bootstrap` (or starting a
+    /// fresh ring when `None`).
+    pub fn new(
+        me: NodeInfo,
+        bootstrap: Option<ProcId>,
+        ov_cfg: OverlayConfig,
+        fuse_cfg: FuseConfig,
+        app: A,
+    ) -> Self {
+        NodeStack {
+            overlay: OverlayNode::new(me.clone(), bootstrap, ov_cfg),
+            fuse: FuseLayer::new(me, fuse_cfg),
+            app,
+        }
+    }
+
+    /// Runs `f` with the application API — the entry point for scripted
+    /// calls (`CreateGroup`, `SignalFailure`, sends) from experiments.
+    pub fn with_api<R>(
+        &mut self,
+        ctx: &mut Ctx<'_, StackMsg, StackTimer>,
+        f: impl FnOnce(&mut FuseApi<'_, '_, '_>, &mut A) -> R,
+    ) -> R {
+        let mut ov_up = Vec::new();
+        let mut app_up = Vec::new();
+        let r = {
+            let mut api = FuseApi {
+                fuse: &mut self.fuse,
+                overlay: &mut self.overlay,
+                io: Shim {
+                    ctx,
+                    ov_up: &mut ov_up,
+                    app_up: &mut app_up,
+                },
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut api, &mut self.app)
+        };
+        self.pump(ctx, ov_up, app_up);
+        r
+    }
+
+    /// Replays buffered upcalls through the layers until quiescent.
+    fn pump(
+        &mut self,
+        ctx: &mut Ctx<'_, StackMsg, StackTimer>,
+        mut ov_up: Vec<OverlayUpcall>,
+        mut app_up: Vec<FuseUpcall>,
+    ) {
+        loop {
+            // Overlay upcalls feed the FUSE layer.
+            while !ov_up.is_empty() {
+                let batch = std::mem::take(&mut ov_up);
+                for up in batch {
+                    let mut shim = Shim {
+                        ctx,
+                        ov_up: &mut ov_up,
+                        app_up: &mut app_up,
+                    };
+                    self.fuse.on_overlay_upcall(&mut shim, &mut self.overlay, up);
+                }
+            }
+            // FUSE upcalls feed the application (which may call back in).
+            if app_up.is_empty() {
+                break;
+            }
+            let batch = std::mem::take(&mut app_up);
+            for ev in batch {
+                let mut api = FuseApi {
+                    fuse: &mut self.fuse,
+                    overlay: &mut self.overlay,
+                    io: Shim {
+                        ctx,
+                        ov_up: &mut ov_up,
+                        app_up: &mut app_up,
+                    },
+                    _marker: std::marker::PhantomData,
+                };
+                self.app.on_fuse_event(&mut api, ev);
+            }
+        }
+    }
+}
+
+impl<A: FuseApp> Process for NodeStack<A> {
+    type Msg = StackMsg;
+    type Timer = StackTimer;
+
+    fn on_boot(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>) {
+        let mut ov_up = Vec::new();
+        let mut app_up = Vec::new();
+        {
+            let mut shim = Shim {
+                ctx,
+                ov_up: &mut ov_up,
+                app_up: &mut app_up,
+            };
+            self.overlay.boot(&mut shim);
+        }
+        self.pump(ctx, ov_up, app_up);
+        self.with_api(ctx, |api, app| app.on_boot(api));
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, StackMsg, StackTimer>,
+        from: ProcId,
+        msg: StackMsg,
+    ) {
+        let mut ov_up = Vec::new();
+        let mut app_up = Vec::new();
+        match msg {
+            StackMsg::Overlay(m) => {
+                let mut shim = Shim {
+                    ctx,
+                    ov_up: &mut ov_up,
+                    app_up: &mut app_up,
+                };
+                self.overlay.on_message(&mut shim, from, m);
+            }
+            StackMsg::Fuse(m) => {
+                let mut shim = Shim {
+                    ctx,
+                    ov_up: &mut ov_up,
+                    app_up: &mut app_up,
+                };
+                self.fuse.on_message(&mut shim, &mut self.overlay, from, m);
+            }
+            StackMsg::App(payload) => {
+                self.pump(ctx, ov_up, app_up);
+                self.with_api(ctx, |api, app| app.on_app_message(api, from, payload));
+                return;
+            }
+        }
+        self.pump(ctx, ov_up, app_up);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>, tag: StackTimer) {
+        let mut ov_up = Vec::new();
+        let mut app_up = Vec::new();
+        match tag {
+            StackTimer::Overlay(t) => {
+                let mut shim = Shim {
+                    ctx,
+                    ov_up: &mut ov_up,
+                    app_up: &mut app_up,
+                };
+                self.overlay.on_timer(&mut shim, t);
+            }
+            StackTimer::Fuse(t) => {
+                let mut shim = Shim {
+                    ctx,
+                    ov_up: &mut ov_up,
+                    app_up: &mut app_up,
+                };
+                self.fuse.on_timer(&mut shim, &mut self.overlay, t);
+            }
+            StackTimer::App(t) => {
+                self.pump(ctx, ov_up, app_up);
+                self.with_api(ctx, |api, app| app.on_app_timer(api, t));
+                return;
+            }
+        }
+        self.pump(ctx, ov_up, app_up);
+    }
+
+    fn on_link_broken(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>, peer: ProcId) {
+        let mut ov_up = Vec::new();
+        let mut app_up = Vec::new();
+        {
+            let mut shim = Shim {
+                ctx,
+                ov_up: &mut ov_up,
+                app_up: &mut app_up,
+            };
+            self.overlay.on_link_broken(&mut shim, peer);
+        }
+        {
+            let mut shim = Shim {
+                ctx,
+                ov_up: &mut ov_up,
+                app_up: &mut app_up,
+            };
+            self.fuse.on_link_broken(&mut shim, &mut self.overlay, peer);
+        }
+        self.pump(ctx, ov_up, app_up);
+    }
+}

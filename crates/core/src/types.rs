@@ -1,0 +1,166 @@
+//! Core FUSE types: identifiers, configuration, timers and upcalls.
+
+use fuse_sim::{ProcId, SimDuration};
+use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
+
+/// A FUSE group identifier.
+///
+/// "Not bound to a process or machine" (§2): just a unique opaque token the
+/// application can associate with any distributed state. Uniqueness comes
+/// from mixing the creator's node tag with a local counter through a 64-bit
+/// bijection (see `fuse_util::idgen`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuseId(pub u64);
+
+impl Encode for FuseId {
+    fn encode(&self, w: &mut dyn Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for FuseId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FuseId(u64::decode(r)?))
+    }
+}
+
+impl std::fmt::Display for FuseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fuse:{:016x}", self.0)
+    }
+}
+
+/// FUSE protocol configuration, defaulting to the paper's constants.
+#[derive(Debug, Clone)]
+pub struct FuseConfig {
+    /// Root-side timeout for the blocking group creation attempt.
+    pub create_timeout: SimDuration,
+    /// Root-side wait for `InstallChecking` arrivals after create/repair.
+    pub install_wait: SimDuration,
+    /// Member-side wait for the root to react to `NeedRepair` before
+    /// declaring the group failed (paper §7.4: members time out after one
+    /// minute with no repair response).
+    pub member_repair_timeout: SimDuration,
+    /// Root-side wait for repair replies before declaring the group failed
+    /// (paper §7.4: the root times out after two minutes).
+    pub root_repair_timeout: SimDuration,
+    /// Per-(group, link) liveness timer: expires when no matching piggyback
+    /// hash refreshes the link. Set above ping period + ping timeout so the
+    /// pinging side's 20 s timeout normally detects failures first.
+    pub link_failure_timeout: SimDuration,
+    /// Grace period before hash-mismatch reconciliation may tear down a
+    /// freshly installed liveness tree (paper §6.3: 5 seconds).
+    pub reconcile_grace: SimDuration,
+    /// First-retry delay of the per-group repair backoff.
+    pub repair_backoff_base: SimDuration,
+    /// Cap of the per-group repair backoff (paper §6.5: 40 seconds).
+    pub repair_backoff_cap: SimDuration,
+}
+
+impl Default for FuseConfig {
+    fn default() -> Self {
+        FuseConfig {
+            create_timeout: SimDuration::from_secs(10),
+            install_wait: SimDuration::from_secs(30),
+            member_repair_timeout: SimDuration::from_secs(60),
+            root_repair_timeout: SimDuration::from_secs(120),
+            link_failure_timeout: SimDuration::from_secs(90),
+            reconcile_grace: SimDuration::from_secs(5),
+            repair_backoff_base: SimDuration::from_secs(1),
+            repair_backoff_cap: SimDuration::from_secs(40),
+        }
+    }
+}
+
+/// Why a blocking group creation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateError {
+    /// Some member did not answer within the creation timeout.
+    MemberUnreachable,
+    /// A member's transport connection broke during creation.
+    ConnectionBroken,
+    /// A member explicitly refused (e.g. shutting down).
+    Refused,
+}
+
+/// FUSE timer tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuseTimer {
+    /// Per-(group, link) liveness expiry.
+    LinkExpired {
+        /// The group.
+        id: FuseId,
+        /// The liveness-tree neighbor.
+        peer: ProcId,
+    },
+    /// Root-side creation attempt timeout.
+    CreateTimeout {
+        /// The group being created.
+        id: FuseId,
+    },
+    /// Root-side wait for `InstallChecking` arrivals.
+    InstallWait {
+        /// The group.
+        id: FuseId,
+    },
+    /// Member-side wait for the root after `NeedRepair`.
+    MemberRepairWait {
+        /// The group.
+        id: FuseId,
+    },
+    /// Root-side repair round timeout.
+    RepairRound {
+        /// The group.
+        id: FuseId,
+        /// Sequence number of the round.
+        seq: u64,
+    },
+    /// Root-side delayed (backed-off) repair start.
+    RepairKick {
+        /// The group.
+        id: FuseId,
+    },
+}
+
+/// Events FUSE delivers to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuseUpcall {
+    /// A blocking `create_group` call completed.
+    Created {
+        /// The caller-supplied token identifying the request.
+        token: u64,
+        /// The new group's ID, or why creation failed.
+        result: Result<FuseId, CreateError>,
+    },
+    /// The failure handler for `id` fired (exactly once per node per group).
+    Failure {
+        /// The failed group.
+        id: FuseId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_wire::{Decode, Encode};
+
+    #[test]
+    fn fuse_id_roundtrips() {
+        let id = FuseId(0xdead_beef_1234_5678);
+        let b = id.to_bytes();
+        assert_eq!(FuseId::from_bytes(&b).unwrap(), id);
+    }
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = FuseConfig::default();
+        assert_eq!(c.member_repair_timeout, SimDuration::from_secs(60));
+        assert_eq!(c.root_repair_timeout, SimDuration::from_secs(120));
+        assert_eq!(c.reconcile_grace, SimDuration::from_secs(5));
+        assert_eq!(c.repair_backoff_cap, SimDuration::from_secs(40));
+        assert!(
+            c.link_failure_timeout > SimDuration::from_secs(80),
+            "link expiry must exceed ping period + ping timeout"
+        );
+    }
+}

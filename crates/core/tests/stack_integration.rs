@@ -1,0 +1,321 @@
+//! Full-stack integration tests: overlay + FUSE + application over the
+//! deterministic kernel with a perfect medium.
+//!
+//! These tests exercise the paper's semantics end to end: blocking create,
+//! explicit signal, crash detection through shared liveness pings, repair,
+//! exactly-once notification, and the no-orphaned-state guarantee.
+
+use bytes::Bytes;
+
+use fuse_core::{
+    CreateError, FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack,
+};
+use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
+use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration, SimTime};
+
+/// Records every FUSE event with its arrival time.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<(SimTime, FuseUpcall)>,
+    app_msgs: Vec<(ProcId, Bytes)>,
+}
+
+impl FuseApp for Recorder {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+        self.events.push((api.now(), ev));
+    }
+
+    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+        let _ = api;
+        self.app_msgs.push((from, payload));
+    }
+}
+
+type World = Sim<NodeStack<Recorder>, PerfectMedium>;
+
+/// Builds an `n`-node world with converged (oracle) overlay tables.
+fn world(n: usize, seed: u64) -> (World, Vec<NodeInfo>) {
+    let infos: Vec<NodeInfo> = (0..n)
+        .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
+        .collect();
+    let ov_cfg = OverlayConfig::default();
+    let tables = build_oracle_tables(&infos, &ov_cfg);
+    let medium = PerfectMedium::new(SimDuration::from_millis(25));
+    let mut sim = Sim::new(seed, medium);
+    for (info, (cw, ccw, rt)) in infos.iter().zip(tables) {
+        let mut stack = NodeStack::new(
+            info.clone(),
+            None,
+            ov_cfg.clone(),
+            FuseConfig::default(),
+            Recorder::default(),
+        );
+        stack.overlay.preload_tables(cw, ccw, rt);
+        sim.add_process(stack);
+    }
+    (sim, infos)
+}
+
+fn create_group(sim: &mut World, infos: &[NodeInfo], root: ProcId, members: &[ProcId]) -> FuseId {
+    let others: Vec<NodeInfo> = members.iter().map(|&m| infos[m as usize].clone()).collect();
+    let id = sim
+        .with_proc(root, |stack, ctx| {
+            stack.with_api(ctx, |api, _app| api.create_group(others, 1))
+        })
+        .expect("root alive");
+    // Let creation complete.
+    sim.run_for(SimDuration::from_secs(2));
+    let created = sim
+        .proc(root)
+        .unwrap()
+        .app
+        .events
+        .iter()
+        .any(|(_, ev)| matches!(ev, FuseUpcall::Created { result: Ok(g), .. } if *g == id));
+    assert!(created, "creation must complete");
+    id
+}
+
+fn failures_of(sim: &World, node: ProcId, id: FuseId) -> Vec<SimTime> {
+    sim.proc(node)
+        .map(|s| {
+            s.app
+                .events
+                .iter()
+                .filter(|(_, ev)| matches!(ev, FuseUpcall::Failure { id: g } if *g == id))
+                .map(|&(t, _)| t)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// No node in the world retains any state for `id`.
+fn assert_no_orphans(sim: &World, id: FuseId) {
+    for p in 0..sim.process_count() as ProcId {
+        if let Some(s) = sim.proc(p) {
+            assert!(
+                !s.fuse.knows_group(id),
+                "node {p} still holds state for {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn create_then_signal_notifies_all_members_exactly_once() {
+    let (mut sim, infos) = world(24, 7);
+    sim.run_for(SimDuration::from_secs(5));
+    let members = [3, 9, 17];
+    let id = create_group(&mut sim, &infos, 0, &members);
+
+    // A random member signals failure explicitly.
+    sim.with_proc(9, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.run_for(SimDuration::from_secs(5));
+
+    for node in [0u32, 3, 9, 17] {
+        let f = failures_of(&sim, node, id);
+        assert_eq!(f.len(), 1, "node {node} must hear exactly one failure");
+    }
+    assert_no_orphans(&sim, id);
+}
+
+#[test]
+fn signaled_notification_is_fast() {
+    let (mut sim, infos) = world(24, 8);
+    sim.run_for(SimDuration::from_secs(5));
+    let id = create_group(&mut sim, &infos, 0, &[5, 11]);
+    let t0 = sim.now();
+    sim.with_proc(5, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.run_for(SimDuration::from_secs(2));
+    for node in [0u32, 11] {
+        let f = failures_of(&sim, node, id);
+        assert_eq!(f.len(), 1);
+        // Member → root → member: a few 25 ms one-way hops, well under 1 s.
+        assert!(f[0].since(t0) < SimDuration::from_secs(1));
+    }
+}
+
+#[test]
+fn member_crash_notifies_survivors_within_detection_bound() {
+    let (mut sim, infos) = world(24, 9);
+    sim.run_for(SimDuration::from_secs(5));
+    let id = create_group(&mut sim, &infos, 0, &[4, 8, 15]);
+    let t0 = sim.now();
+    sim.crash(8);
+    // Bound: ping interval (60) + ping timeout (20) + repair round (120)
+    // plus margin.
+    sim.run_for(SimDuration::from_secs(300));
+    for node in [0u32, 4, 15] {
+        let f = failures_of(&sim, node, id);
+        assert_eq!(f.len(), 1, "survivor {node} must be notified once");
+        assert!(
+            f[0].since(t0) < SimDuration::from_secs(240),
+            "notification too slow: {:?}",
+            f[0].since(t0)
+        );
+    }
+    assert_no_orphans(&sim, id);
+}
+
+#[test]
+fn root_crash_notifies_members() {
+    let (mut sim, infos) = world(24, 10);
+    sim.run_for(SimDuration::from_secs(5));
+    let id = create_group(&mut sim, &infos, 2, &[6, 13]);
+    sim.crash(2);
+    sim.run_for(SimDuration::from_secs(300));
+    for node in [6u32, 13] {
+        assert_eq!(failures_of(&sim, node, id).len(), 1, "member {node}");
+    }
+    assert_no_orphans(&sim, id);
+}
+
+#[test]
+fn no_false_positives_in_quiet_network() {
+    let (mut sim, infos) = world(24, 11);
+    sim.run_for(SimDuration::from_secs(5));
+    let mut ids = Vec::new();
+    for root in [0u32, 1, 2, 3] {
+        let members = [(root + 5) % 24, (root + 10) % 24, (root + 15) % 24];
+        ids.push(create_group(&mut sim, &infos, root, &members));
+    }
+    // 20 quiet minutes: several ping periods and link-expiry windows.
+    sim.run_for(SimDuration::from_secs(1200));
+    for (i, &id) in ids.iter().enumerate() {
+        for node in 0..24u32 {
+            assert!(
+                failures_of(&sim, node, id).is_empty(),
+                "false positive for group {i} on node {node}"
+            );
+        }
+    }
+}
+
+#[test]
+fn register_handler_on_unknown_group_fires_immediately() {
+    let (mut sim, _infos) = world(8, 12);
+    sim.run_for(SimDuration::from_secs(2));
+    let ghost = FuseId(0xdeadbeef);
+    sim.with_proc(3, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.register_handler(ghost))
+    });
+    sim.run_for(SimDuration::from_millis(10));
+    assert_eq!(failures_of(&sim, 3, ghost).len(), 1);
+}
+
+#[test]
+fn create_with_dead_member_fails() {
+    let (mut sim, infos) = world(16, 13);
+    sim.run_for(SimDuration::from_secs(2));
+    sim.crash(7);
+    let others: Vec<NodeInfo> = [3u32, 7].iter().map(|&m| infos[m as usize].clone()).collect();
+    let id = sim
+        .with_proc(0, |stack, ctx| {
+            stack.with_api(ctx, |api, _| api.create_group(others, 42))
+        })
+        .unwrap();
+    sim.run_for(SimDuration::from_secs(60));
+    let events = &sim.proc(0).unwrap().app.events;
+    let failed = events.iter().any(|(_, ev)| {
+        matches!(
+            ev,
+            FuseUpcall::Created {
+                token: 42,
+                result: Err(CreateError::MemberUnreachable | CreateError::ConnectionBroken)
+            }
+        )
+    });
+    assert!(failed, "creation against a dead member must fail: {events:?}");
+    // The contacted live member must not be left with orphaned state.
+    sim.run_for(SimDuration::from_secs(300));
+    assert!(!sim.proc(3).unwrap().fuse.knows_group(id));
+}
+
+#[test]
+fn crashed_and_restarted_member_groups_fail_via_reconciliation() {
+    let (mut sim, infos) = world(24, 14);
+    sim.run_for(SimDuration::from_secs(5));
+    let id = create_group(&mut sim, &infos, 0, &[4, 8]);
+    // Crash and immediately restart node 4 with fresh state (no stable
+    // storage, §3.6): it forgets the group; reconciliation must burn it.
+    sim.crash(4);
+    let ov_cfg = OverlayConfig::default();
+    let all: Vec<NodeInfo> = infos.clone();
+    let tables = build_oracle_tables(&all, &ov_cfg);
+    let mut stack = NodeStack::new(
+        infos[4].clone(),
+        None,
+        ov_cfg.clone(),
+        FuseConfig::default(),
+        Recorder::default(),
+    );
+    let (cw, ccw, rt) = tables[4].clone();
+    stack.overlay.preload_tables(cw, ccw, rt);
+    sim.restart(4, stack);
+    sim.run_for(SimDuration::from_secs(400));
+    for node in [0u32, 8] {
+        assert_eq!(
+            failures_of(&sim, node, id).len(),
+            1,
+            "survivor {node} must learn of the forgotten group"
+        );
+    }
+    assert_no_orphans(&sim, id);
+}
+
+#[test]
+fn independent_groups_do_not_interfere() {
+    let (mut sim, infos) = world(24, 15);
+    sim.run_for(SimDuration::from_secs(5));
+    // Two groups over the same nodes (§1: groups may span the same set).
+    let id_a = create_group(&mut sim, &infos, 0, &[5, 10]);
+    let id_b = create_group(&mut sim, &infos, 0, &[5, 10]);
+    sim.with_proc(5, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id_a))
+    });
+    sim.run_for(SimDuration::from_secs(60));
+    for node in [0u32, 5, 10] {
+        assert_eq!(failures_of(&sim, node, id_a).len(), 1);
+        assert!(
+            failures_of(&sim, node, id_b).is_empty(),
+            "group B must survive group A's failure"
+        );
+    }
+    assert_no_orphans(&sim, id_a);
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = |seed| {
+        let (mut sim, infos) = world(16, seed);
+        sim.run_for(SimDuration::from_secs(5));
+        let id = create_group(&mut sim, &infos, 0, &[3, 6, 9]);
+        sim.crash(6);
+        sim.run_for(SimDuration::from_secs(400));
+        let times: Vec<u64> = [0u32, 3, 9]
+            .iter()
+            .flat_map(|&n| failures_of(&sim, n, id))
+            .map(|t| t.nanos())
+            .collect();
+        (sim.events_executed(), times)
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99).1, Vec::<u64>::new());
+}
+
+#[test]
+fn app_messages_flow_between_stacks() {
+    let (mut sim, _infos) = world(8, 16);
+    sim.with_proc(0, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.send_app(5, Bytes::from_static(b"hi")))
+    });
+    sim.run_for(SimDuration::from_secs(1));
+    let msgs = &sim.proc(5).unwrap().app.app_msgs;
+    assert_eq!(msgs.len(), 1);
+    assert_eq!(&msgs[0].1[..], b"hi");
+    assert_eq!(msgs[0].0, 0);
+}

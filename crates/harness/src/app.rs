@@ -1,0 +1,95 @@
+//! Recording application used by most experiments.
+//!
+//! Remembers every FUSE event with its timestamp, and implements the tiny
+//! request/response protocol behind the paper's RPC calibration experiment
+//! (Figure 6).
+
+use bytes::Bytes;
+
+use fuse_core::{FuseApi, FuseApp, FuseId, FuseUpcall};
+use fuse_sim::{ProcId, SimDuration, SimTime};
+use fuse_util::DetHashMap;
+use fuse_wire::{Decode, Encode};
+
+const RPC_REQUEST: u8 = 1;
+const RPC_REPLY: u8 = 2;
+
+/// Test/experiment application: records events, answers RPCs.
+#[derive(Default)]
+pub struct RecorderApp {
+    /// Every FUSE event, timestamped.
+    pub events: Vec<(SimTime, FuseUpcall)>,
+    /// Outstanding RPCs by nonce.
+    outstanding: DetHashMap<u64, SimTime>,
+    /// Completed RPC round-trip times.
+    pub rpc_rtts: Vec<(SimTime, SimDuration)>,
+}
+
+impl RecorderApp {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        RecorderApp::default()
+    }
+
+    /// Starts an RPC to `to`; the RTT lands in [`RecorderApp::rpc_rtts`].
+    pub fn start_rpc(&mut self, api: &mut FuseApi<'_, '_, '_>, to: ProcId, nonce: u64) {
+        self.outstanding.insert(nonce, api.now());
+        let mut w = fuse_wire::codec::BufWriter::new();
+        RPC_REQUEST.encode(&mut w);
+        nonce.encode(&mut w);
+        api.send_app(to, w.into_bytes());
+    }
+
+    /// Failure timestamps recorded for `id`.
+    pub fn failures(&self, id: FuseId) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter(|(_, ev)| matches!(ev, FuseUpcall::Failure { id: g } if *g == id))
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// The `Created` result for `token`, if it arrived.
+    pub fn created_result(&self, token: u64) -> Option<Result<FuseId, fuse_core::CreateError>> {
+        self.events.iter().find_map(|(_, ev)| match ev {
+            FuseUpcall::Created { token: t, result } if *t == token => Some(*result),
+            _ => None,
+        })
+    }
+
+    /// Time at which `Created` for `token` arrived.
+    pub fn created_at(&self, token: u64) -> Option<SimTime> {
+        self.events.iter().find_map(|(t, ev)| match ev {
+            FuseUpcall::Created { token: tk, .. } if *tk == token => Some(*t),
+            _ => None,
+        })
+    }
+}
+
+impl FuseApp for RecorderApp {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+        self.events.push((api.now(), ev));
+    }
+
+    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+        let mut r = fuse_wire::codec::Reader::new(&payload);
+        let Ok(tag) = u8::decode(&mut r) else { return };
+        let Ok(nonce) = u64::decode(&mut r) else {
+            return;
+        };
+        match tag {
+            RPC_REQUEST => {
+                let mut w = fuse_wire::codec::BufWriter::new();
+                RPC_REPLY.encode(&mut w);
+                nonce.encode(&mut w);
+                api.send_app(from, w.into_bytes());
+            }
+            RPC_REPLY => {
+                if let Some(sent) = self.outstanding.remove(&nonce) {
+                    self.rpc_rtts.push((api.now(), api.now().since(sent)));
+                }
+            }
+            _ => {}
+        }
+    }
+}

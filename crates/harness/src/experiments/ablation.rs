@@ -1,0 +1,272 @@
+//! §5.1 ablation — liveness-checking topology trade-offs.
+//!
+//! The paper argues the overlay-shared topology keeps steady-state load
+//! independent of the number of groups, while the alternatives trade
+//! scalability for security: per-group direct trees are additive in groups
+//! (modulo shared edges), all-to-all pinging is quadratic in group size,
+//! and a central server concentrates the whole load on one node. The
+//! ablation measures messages/second as the number of groups grows, for
+//! all four implementations, plus the all-to-all detection bound (§3:
+//! notification within twice the ping interval).
+
+use fuse_core::topologies::alltoall::{AllToAllConfig, AllToAllNode};
+use fuse_core::topologies::central::{CentralConfig, CentralNode};
+use fuse_core::topologies::direct::{DirectConfig, DirectNode};
+use fuse_net::NetConfig;
+use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration};
+use fuse_util::Summary;
+
+use crate::metrics::MsgTrace;
+use crate::world::{pick_nodes, World, WorldParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Node population.
+    pub n: usize,
+    /// Group counts to sweep.
+    pub group_counts: Vec<usize>,
+    /// Group size.
+    pub group_size: usize,
+    /// Measurement window.
+    pub window: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Default scale.
+    pub fn paper() -> Self {
+        Params {
+            n: 128,
+            group_counts: vec![1, 10, 50, 100],
+            group_size: 8,
+            window: SimDuration::from_secs(600),
+            seed: 15,
+        }
+    }
+
+    /// Reduced scale.
+    pub fn quick() -> Self {
+        Params {
+            n: 48,
+            group_counts: vec![1, 10, 40],
+            group_size: 6,
+            window: SimDuration::from_secs(300),
+            seed: 15,
+        }
+    }
+}
+
+/// Messages/second per topology per group count.
+pub struct AblationResult {
+    /// `(groups, overlay, direct, all_to_all, central)` rows.
+    pub rows: Vec<(usize, f64, f64, f64, f64)>,
+}
+
+fn overlay_rate(p: &Params, groups: usize) -> f64 {
+    let mut world = World::build(&WorldParams::new(p.n, p.seed, NetConfig::simulator()));
+    let mut wrng = StdRng::seed_from_u64(p.seed.wrapping_mul(0x165667b1));
+    world.run(SimDuration::from_secs(2));
+    for _ in 0..groups {
+        let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
+        let members = pick_nodes(&mut wrng, p.n, p.group_size - 1, &[root]);
+        let _ = world.create_group_blocking(root, &members);
+    }
+    world.run(SimDuration::from_secs(120));
+    let s0 = world.sim.trace().snapshot(world.now());
+    world.run(p.window);
+    let s1 = world.sim.trace().snapshot(world.now());
+    MsgTrace::rates(&s0, &s1).msgs_per_sec
+}
+
+fn direct_rate(p: &Params, groups: usize) -> f64 {
+    let medium = PerfectMedium::new(SimDuration::from_millis(30));
+    let mut sim: Sim<DirectNode, PerfectMedium, MsgTrace> =
+        Sim::with_trace(p.seed, medium, MsgTrace::new());
+    for i in 0..p.n {
+        sim.add_process(DirectNode::new(i as ProcId, DirectConfig::default()));
+    }
+    for g in 0..groups {
+        let root = (g % p.n) as ProcId;
+        let members = {
+            let mut rng_members = Vec::new();
+            let mut k = 1usize;
+            while rng_members.len() < p.group_size - 1 {
+                let m = ((g * 31 + k * 17) % p.n) as ProcId;
+                k += 1;
+                if m != root && !rng_members.contains(&m) {
+                    rng_members.push(m);
+                }
+            }
+            rng_members
+        };
+        sim.with_proc(root, |n, ctx| n.create_group(ctx, members));
+    }
+    sim.run_for(SimDuration::from_secs(90));
+    let s0 = sim.trace().snapshot(sim.now());
+    let w = p.window;
+    sim.run_for(w);
+    let s1 = sim.trace().snapshot(sim.now());
+    MsgTrace::rates(&s0, &s1).msgs_per_sec
+}
+
+fn alltoall_rate(p: &Params, groups: usize) -> f64 {
+    let medium = PerfectMedium::new(SimDuration::from_millis(30));
+    let mut sim: Sim<AllToAllNode, PerfectMedium, MsgTrace> =
+        Sim::with_trace(p.seed, medium, MsgTrace::new());
+    for i in 0..p.n {
+        sim.add_process(AllToAllNode::new(i as ProcId, AllToAllConfig::default()));
+    }
+    for g in 0..groups {
+        let root = (g % p.n) as ProcId;
+        let mut members = Vec::new();
+        let mut k = 1usize;
+        while members.len() < p.group_size - 1 {
+            let m = ((g * 37 + k * 13) % p.n) as ProcId;
+            k += 1;
+            if m != root && !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        sim.with_proc(root, |n, ctx| n.create_group(ctx, members));
+    }
+    sim.run_for(SimDuration::from_secs(90));
+    let s0 = sim.trace().snapshot(sim.now());
+    sim.run_for(p.window);
+    let s1 = sim.trace().snapshot(sim.now());
+    MsgTrace::rates(&s0, &s1).msgs_per_sec
+}
+
+fn central_rate(p: &Params, groups: usize) -> f64 {
+    let medium = PerfectMedium::new(SimDuration::from_millis(30));
+    let mut sim: Sim<CentralNode, PerfectMedium, MsgTrace> =
+        Sim::with_trace(p.seed, medium, MsgTrace::new());
+    for i in 0..p.n {
+        sim.add_process(CentralNode::new(i as ProcId, 0, CentralConfig::default()));
+    }
+    for g in 0..groups {
+        let root = (1 + g % (p.n - 1)) as ProcId;
+        let mut members = Vec::new();
+        let mut k = 1usize;
+        while members.len() < p.group_size - 1 {
+            let m = (1 + ((g * 41 + k * 19) % (p.n - 1))) as ProcId;
+            k += 1;
+            if m != root && !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        sim.with_proc(root, |n, ctx| n.create_group(ctx, members));
+    }
+    sim.run_for(SimDuration::from_secs(90));
+    let s0 = sim.trace().snapshot(sim.now());
+    sim.run_for(p.window);
+    let s1 = sim.trace().snapshot(sim.now());
+    MsgTrace::rates(&s0, &s1).msgs_per_sec
+}
+
+/// Runs the sweep.
+pub fn run(p: &Params) -> AblationResult {
+    let rows = p
+        .group_counts
+        .iter()
+        .map(|&g| {
+            (
+                g,
+                overlay_rate(p, g),
+                direct_rate(p, g),
+                alltoall_rate(p, g),
+                central_rate(p, g),
+            )
+        })
+        .collect();
+    AblationResult { rows }
+}
+
+/// Renders the sweep.
+pub fn render(r: &AblationResult) -> String {
+    let mut out = String::from("§5.1 ablation — liveness topology message load (msg/s)\n");
+    out.push_str("paper claims: overlay-shared load independent of #groups; direct additive; all-to-all n² per group; central = n heartbeats/period through one server\n");
+    out.push_str("  groups   overlay    direct   all-to-all   central\n");
+    for (g, ov, d, a, c) in &r.rows {
+        out.push_str(&format!(
+            "  {g:>6}   {ov:>7.1}   {d:>7.1}   {a:>10.1}   {c:>7.1}\n"
+        ));
+    }
+    out
+}
+
+/// §3 bound check: all-to-all notification latency across seeds.
+pub fn detection_bound(seeds: u32, group_size: usize) -> Summary {
+    let mut lat = Summary::new();
+    for seed in 0..seeds {
+        let medium = PerfectMedium::new(SimDuration::from_millis(30));
+        let mut sim: Sim<AllToAllNode, PerfectMedium> = Sim::new(u64::from(seed) + 500, medium);
+        for i in 0..(group_size + 2) {
+            sim.add_process(AllToAllNode::new(i as ProcId, AllToAllConfig::default()));
+        }
+        let members: Vec<ProcId> = (1..group_size as ProcId).collect();
+        let id = sim
+            .with_proc(0, |n, ctx| n.create_group(ctx, members))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        let victim = 1 + (seed % (group_size as u32 - 1));
+        let t0 = sim.now();
+        sim.crash(victim);
+        sim.run_for(SimDuration::from_secs(300));
+        for p in 0..group_size as ProcId {
+            if p == victim {
+                continue;
+            }
+            let n = sim.proc(p).expect("alive");
+            let t = n
+                .notified
+                .iter()
+                .find(|&&(_, g)| g == id)
+                .map(|&(t, _)| t)
+                .expect("notified");
+            lat.add(t.since(t0).as_secs_f64());
+        }
+    }
+    lat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_shapes_match_section_5_1() {
+        let p = Params::quick();
+        let r = run(&p);
+        let (g_lo, ov_lo, d_lo, a_lo, _c_lo) = r.rows[0];
+        let (g_hi, ov_hi, d_hi, a_hi, _c_hi) = r.rows[r.rows.len() - 1];
+        assert!(g_hi > g_lo);
+        // Overlay-shared: load nearly independent of group count.
+        assert!(
+            ov_hi < ov_lo * 1.5,
+            "overlay load must stay flat: {ov_lo} -> {ov_hi}"
+        );
+        // All-to-all: grows steeply with group count.
+        assert!(
+            a_hi > a_lo * 8.0,
+            "all-to-all must scale with groups: {a_lo} -> {a_hi}"
+        );
+        // Direct trees: grow, but far less than all-to-all (edge sharing,
+        // star instead of clique).
+        assert!(
+            d_hi > d_lo * 2.0 && d_hi < a_hi,
+            "direct {d_lo}->{d_hi} vs all-to-all {a_hi}"
+        );
+    }
+
+    #[test]
+    fn alltoall_detection_within_twice_ping_interval() {
+        let mut lat = detection_bound(4, 5);
+        let max = lat.max().unwrap();
+        // §3's bound, adapted for the ack timeout: period + timeout.
+        assert!(max <= 2.0 * 60.0 + 20.0, "max detection {max}s");
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 12 — group failures due to packet loss (false positives).
+//!
+//! 20 groups each of sizes 2–32 are created on a loss-free network; loss is
+//! then enabled and the system runs for 30 simulated minutes. Groups fail
+//! when retransmission delays exceed the liveness timeouts or TCP
+//! connections break and the subsequent repair round cannot complete.
+//! Paper shape: **no failures** at 0% and 5.8% median route loss (TCP
+//! masks the drops); failures appear at 11.4% and grow at 21.5%, larger
+//! groups suffering more (more monitored links).
+
+use fuse_net::NetConfig;
+use fuse_sim::SimDuration;
+
+use crate::world::{pick_nodes, World, WorldParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Overlay size (paper: 400).
+    pub n: usize,
+    /// Group sizes.
+    pub sizes: Vec<usize>,
+    /// Groups per size (paper: 20).
+    pub groups_per_size: usize,
+    /// Per-link loss rates (paper: 0, 0.004, 0.008, 0.016).
+    pub link_loss: Vec<f64>,
+    /// Observation window after loss is enabled (paper: 30 min).
+    pub window: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params {
+            n: 400,
+            sizes: vec![2, 4, 8, 16, 32],
+            groups_per_size: 20,
+            link_loss: vec![0.0, 0.004, 0.008, 0.016],
+            window: SimDuration::from_secs(30 * 60),
+            seed: 12,
+        }
+    }
+
+    /// Reduced scale.
+    pub fn quick() -> Self {
+        Params {
+            n: 120,
+            sizes: vec![2, 8, 32],
+            groups_per_size: 8,
+            link_loss: vec![0.0, 0.004, 0.016],
+            window: SimDuration::from_secs(15 * 60),
+            seed: 12,
+        }
+    }
+}
+
+/// Result: per loss rate, per size, the fraction of groups that failed.
+pub struct Fig12Result {
+    /// `(per_link_loss, Vec<(size, failed, total)>)`.
+    pub rows: Vec<(f64, Vec<(usize, usize, usize)>)>,
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Fig12Result {
+    let mut rows = Vec::new();
+    for &pl in &p.link_loss {
+        let mut world = World::build(&WorldParams::new(p.n, p.seed, NetConfig::cluster()));
+        world.run(SimDuration::from_secs(2));
+        // Create all groups while the network is loss-free.
+        let mut wrng = StdRng::seed_from_u64(p.seed.wrapping_mul(0x6c62272e));
+        let mut groups = Vec::new();
+        for &size in &p.sizes {
+            for _ in 0..p.groups_per_size {
+                let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
+                let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);
+                let (res, _) = world.create_group_blocking(root, &members);
+                if let Ok(id) = res {
+                    let mut all = members;
+                    all.push(root);
+                    groups.push((size, id, all));
+                }
+            }
+        }
+        world.run(SimDuration::from_secs(60));
+        // Enable loss and observe.
+        world.sim.medium_mut().set_per_link_loss(pl);
+        world.run(p.window);
+
+        let mut by_size: Vec<(usize, usize, usize)> = Vec::new();
+        for &size in &p.sizes {
+            let mut failed = 0;
+            let mut total = 0;
+            for (s, id, members) in &groups {
+                if *s != size {
+                    continue;
+                }
+                total += 1;
+                let anyone_notified = members.iter().any(|&m| !world.failures(m, *id).is_empty());
+                if anyone_notified {
+                    failed += 1;
+                }
+            }
+            by_size.push((size, failed, total));
+        }
+        rows.push((pl, by_size));
+    }
+    Fig12Result { rows }
+}
+
+/// Renders the figure.
+pub fn render(r: &Fig12Result) -> String {
+    let mut out = String::from("Figure 12 — group failures due to packet loss (% of groups)\n");
+    out.push_str(
+        "paper: 0% failed at 0%/5.8% route loss; failures appear at 11.4% and grow at 21.5%, worse for larger groups\n",
+    );
+    for (pl, by_size) in &r.rows {
+        out.push_str(&format!("  per-link loss {:>4.1}%:", pl * 100.0));
+        for (size, failed, total) in by_size {
+            out.push_str(&format!(
+                "  size {size}: {:>5.1}%",
+                100.0 * *failed as f64 / (*total).max(1) as f64
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_without_loss_and_more_with_heavy_loss() {
+        let mut p = Params::quick();
+        p.n = 80;
+        p.groups_per_size = 6;
+        p.sizes = vec![2, 16];
+        let r = run(&p);
+        // Loss-free row: zero failures.
+        let (pl0, row0) = &r.rows[0];
+        assert_eq!(*pl0, 0.0);
+        for (size, failed, _) in row0 {
+            assert_eq!(*failed, 0, "size {size} failed without loss");
+        }
+        // Low loss (5.8% route median): zero or nearly zero failures.
+        let (_, row_low) = &r.rows[1];
+        let low_total: usize = row_low.iter().map(|(_, f, _)| f).sum();
+        assert!(low_total <= 1, "low loss should be masked by TCP: {low_total}");
+        // Heavy loss: strictly more failures than low loss.
+        let (_, row_heavy) = &r.rows[r.rows.len() - 1];
+        let heavy_total: usize = row_heavy.iter().map(|(_, f, _)| f).sum();
+        assert!(
+            heavy_total > low_total,
+            "heavy {heavy_total} vs low {low_total}"
+        );
+    }
+}

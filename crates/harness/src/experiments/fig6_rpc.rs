@@ -1,0 +1,186 @@
+//! Figure 6 — RPC latency calibration.
+//!
+//! The paper measures 2400 RPCs between random node pairs on a 400-node
+//! overlay, producing three CDFs: the first cluster RPC of each pair (pays
+//! TCP connection establishment), the second (warm connection), and the
+//! simulator. Expected shape: median ≈ 130 ms with a heavy tail; the first
+//! RPC curve sits roughly a connection-setup RTT to the right of the other
+//! two, which track each other.
+
+use fuse_net::NetConfig;
+use fuse_sim::{ProcId, SimDuration};
+use fuse_util::Cdf;
+use rand::Rng;
+
+use crate::world::{World, WorldParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Overlay size (paper: 400).
+    pub n: usize,
+    /// Number of node pairs (paper: 1200 pairs × 2 RPCs = 2400).
+    pub pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params {
+            n: 400,
+            pairs: 1200,
+            seed: 6,
+        }
+    }
+
+    /// Reduced scale for quick runs.
+    pub fn quick() -> Self {
+        Params {
+            n: 100,
+            pairs: 200,
+            seed: 6,
+        }
+    }
+}
+
+/// Result: the three RPC-time distributions (milliseconds).
+pub struct Fig6Result {
+    /// First cluster RPC of each pair (cold connection).
+    pub cluster_first: Cdf,
+    /// Second cluster RPC (warm connection).
+    pub cluster_second: Cdf,
+    /// Simulator RPCs.
+    pub simulator: Cdf,
+}
+
+fn measure(world: &mut World, wrng: &mut StdRng, pairs: usize, double: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = world.infos.len();
+    let mut first = Vec::new();
+    let mut second = Vec::new();
+    let mut nonce = 0u64;
+    for _ in 0..pairs {
+        let a = wrng.gen_range(0..n) as ProcId;
+        let mut b = wrng.gen_range(0..n) as ProcId;
+        while b == a {
+            b = wrng.gen_range(0..n) as ProcId;
+        }
+        for round in 0..(if double { 2 } else { 1 }) {
+            nonce += 1;
+            let this = nonce;
+            world.sim.with_proc(a, move |stack, ctx| {
+                stack.with_api(ctx, |api, app| app.start_rpc(api, b, this))
+            });
+            // Let the round trip finish before the next one (back-to-back
+            // RPCs, as in the paper).
+            world.run(SimDuration::from_secs(30));
+            let rtt = world
+                .sim
+                .proc(a)
+                .and_then(|s| {
+                    s.app
+                        .rpc_rtts
+                        .iter()
+                        .last()
+                        .map(|&(_, d)| d.as_millis_f64())
+                })
+                .unwrap_or(f64::NAN);
+            if round == 0 {
+                first.push(rtt);
+            } else {
+                second.push(rtt);
+            }
+        }
+    }
+    (first, second)
+}
+
+/// Runs the calibration under both emulation profiles.
+pub fn run(p: &Params) -> Fig6Result {
+    let mut cluster = World::build(&WorldParams::new(p.n, p.seed, NetConfig::cluster()));
+    let mut wrng = StdRng::seed_from_u64(p.seed.wrapping_mul(0x85ebca77));
+    let (first, second) = measure(&mut cluster, &mut wrng, p.pairs, true);
+
+    let mut sim = World::build(&WorldParams::new(p.n, p.seed, NetConfig::simulator()));
+    let mut wrng = StdRng::seed_from_u64(p.seed.wrapping_mul(0x85ebca77));
+    let (only, _) = measure(&mut sim, &mut wrng, p.pairs, false);
+
+    Fig6Result {
+        cluster_first: Cdf::from_samples(first),
+        cluster_second: Cdf::from_samples(second),
+        simulator: Cdf::from_samples(only),
+    }
+}
+
+/// Renders the figure.
+pub fn render(r: &Fig6Result) -> String {
+    let mut out = String::from("Figure 6 — RPC latency CDFs (ms)\n");
+    out.push_str("paper: median ~130 ms, heavy tail to seconds; 1st cluster RPC ≈ 2nd + connection setup; simulator tracks 2nd cluster curve\n");
+    for (name, cdf) in [
+        ("1st cluster RPC", &r.cluster_first),
+        ("2nd cluster RPC", &r.cluster_second),
+        ("simulator", &r.simulator),
+    ] {
+        out.push_str(&format!(
+            "  {name:>16}: p25 {:>7.1}  median {:>7.1}  p75 {:>7.1}  p95 {:>8.1}  max {:>8.1}\n",
+            cdf.value_at(0.25).unwrap_or(f64::NAN),
+            cdf.value_at(0.5).unwrap_or(f64::NAN),
+            cdf.value_at(0.75).unwrap_or(f64::NAN),
+            cdf.value_at(0.95).unwrap_or(f64::NAN),
+            cdf.value_at(1.0).unwrap_or(f64::NAN),
+        ));
+    }
+    out
+}
+
+/// Summary statistics used by tests.
+pub fn medians(r: &Fig6Result) -> (f64, f64, f64) {
+    (
+        r.cluster_first.value_at(0.5).unwrap_or(f64::NAN),
+        r.cluster_second.value_at(0.5).unwrap_or(f64::NAN),
+        r.simulator.value_at(0.5).unwrap_or(f64::NAN),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let r = run(&Params::quick());
+        let (first, second, sim) = medians(&r);
+        // Median in the wide-area band.
+        assert!((60.0..=350.0).contains(&second), "2nd median {second}");
+        // Cold connections pay the setup round trip.
+        assert!(
+            first > second + 30.0,
+            "first {first} must exceed warm {second}"
+        );
+        // Simulator tracks the warm-cluster curve sans fixed overheads
+        // (within ~30 ms).
+        assert!(
+            (sim - second).abs() < 60.0,
+            "simulator {sim} vs cluster-warm {second}"
+        );
+        // Heavy tail from T3 paths.
+        let p95 = r.simulator.value_at(0.95).unwrap();
+        assert!(p95 > 1.5 * sim, "tail p95 {p95} median {sim}");
+    }
+
+    #[test]
+    fn all_rpcs_complete() {
+        let p = Params {
+            n: 64,
+            pairs: 40,
+            seed: 3,
+        };
+        let r = run(&p);
+        assert_eq!(r.cluster_first.len(), 40);
+        assert_eq!(r.cluster_second.len(), 40);
+        assert_eq!(r.simulator.len(), 40);
+    }
+}

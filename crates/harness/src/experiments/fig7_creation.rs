@@ -1,0 +1,137 @@
+//! Figure 7 — latency of group creation.
+//!
+//! 20 groups each of sizes 2, 4, 8, 16, 32, members uniformly random over a
+//! 400-node overlay; report 25th/50th/75th percentiles. Expected shape:
+//! latency grows with group size (creation blocks on the farthest member);
+//! the simulator profile runs at roughly half the cluster latency (no
+//! connection setup or serialization); 16,000-node results match 400-node
+//! ones because create messages travel directly, not through the overlay.
+
+use fuse_net::NetConfig;
+use fuse_sim::SimDuration;
+use fuse_util::Summary;
+
+use crate::world::{pick_nodes, World, WorldParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Overlay size (paper: 400 cluster / 16,000 simulator).
+    pub n: usize,
+    /// Group sizes (total member count including the root).
+    pub sizes: Vec<usize>,
+    /// Groups per size (paper: 20).
+    pub groups_per_size: usize,
+    /// Network profile.
+    pub net: NetConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale (cluster profile).
+    pub fn paper() -> Self {
+        Params {
+            n: 400,
+            sizes: vec![2, 4, 8, 16, 32],
+            groups_per_size: 20,
+            net: NetConfig::cluster(),
+            seed: 7,
+        }
+    }
+
+    /// Reduced scale.
+    pub fn quick() -> Self {
+        Params {
+            n: 100,
+            sizes: vec![2, 8, 32],
+            groups_per_size: 8,
+            net: NetConfig::cluster(),
+            seed: 7,
+        }
+    }
+}
+
+/// Result: creation latency distribution per group size (milliseconds).
+pub struct Fig7Result {
+    /// `(size, latencies)` pairs.
+    pub per_size: Vec<(usize, Summary)>,
+    /// Creation attempts that failed (expected 0 in a quiet network).
+    pub failures: usize,
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Fig7Result {
+    let mut world = World::build(&WorldParams::new(p.n, p.seed, p.net.clone()));
+    let mut wrng = StdRng::seed_from_u64(p.seed.wrapping_mul(0x9e3779b9));
+    world.run(SimDuration::from_secs(2));
+    let mut per_size = Vec::new();
+    let mut failures = 0;
+    for &size in &p.sizes {
+        let mut lat = Summary::new();
+        for _ in 0..p.groups_per_size {
+            let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
+            let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);
+            let (res, d) = world.create_group_blocking(root, &members);
+            match res {
+                Ok(_) => lat.add(d.as_millis_f64()),
+                Err(_) => failures += 1,
+            }
+            // Space creations out a little.
+            world.run(SimDuration::from_millis(500));
+        }
+        per_size.push((size, lat));
+    }
+    Fig7Result { per_size, failures }
+}
+
+/// Renders the figure.
+pub fn render(r: &mut Fig7Result) -> String {
+    let mut out = String::from("Figure 7 — latency of group creation (ms)\n");
+    out.push_str(
+        "paper (cluster): grows with size, roughly 300 ms (size 2) to 2-3 s (size 32); simulator ≈ half\n",
+    );
+    for (size, s) in r.per_size.iter_mut() {
+        out.push_str(&super::quartile_row(&format!("size {size}"), s));
+    }
+    out.push_str(&format!("  failed creations: {}\n", r.failures));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_group_size_and_nothing_fails() {
+        let mut r = run(&Params::quick());
+        assert_eq!(r.failures, 0);
+        let med2 = r.per_size[0].1.median().unwrap();
+        let med32 = r.per_size[2].1.median().unwrap();
+        assert!(
+            med32 > med2,
+            "creation must slow with size: {med2} vs {med32}"
+        );
+        // Wide-area blocking create: hundreds of ms.
+        assert!(med2 > 50.0, "size-2 median {med2} suspiciously fast");
+        assert!(med32 < 10_000.0, "size-32 median {med32} suspiciously slow");
+    }
+
+    #[test]
+    fn simulator_profile_is_faster_than_cluster() {
+        let mut quick = Params::quick();
+        quick.groups_per_size = 6;
+        quick.sizes = vec![8];
+        let mut cluster = run(&quick);
+        quick.net = NetConfig::simulator();
+        let mut sim = run(&quick);
+        let c = cluster.per_size[0].1.median().unwrap();
+        let s = sim.per_size[0].1.median().unwrap();
+        assert!(
+            s < c,
+            "simulator {s} must be faster than cluster {c} (no setup/serialization)"
+        );
+    }
+}

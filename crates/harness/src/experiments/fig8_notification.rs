@@ -1,0 +1,153 @@
+//! Figure 8 — latency of explicitly signaled failure notification.
+//!
+//! For the same group population as Figure 7, a random member calls
+//! `SignalFailure`; we measure, at every other member, the time from the
+//! signal to the application callback. Expected shape: far below creation
+//! latency (one-way messages over warm connections, no blocking); a rise
+//! from size 2 to 8 (non-root signals add the member→root hop), slower
+//! growth after (per-member serialization at the root); paper max 1165 ms.
+
+use fuse_net::NetConfig;
+use fuse_sim::{ProcId, SimDuration};
+use fuse_util::Summary;
+
+use crate::world::{pick_nodes, World, WorldParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Overlay size.
+    pub n: usize,
+    /// Group sizes (total member count including the root).
+    pub sizes: Vec<usize>,
+    /// Create/notify cycles per size (paper: 20).
+    pub cycles: usize,
+    /// Network profile.
+    pub net: NetConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params {
+            n: 400,
+            sizes: vec![2, 4, 8, 16, 32],
+            cycles: 20,
+            net: NetConfig::cluster(),
+            seed: 8,
+        }
+    }
+
+    /// Reduced scale.
+    pub fn quick() -> Self {
+        Params {
+            n: 100,
+            sizes: vec![2, 8, 32],
+            cycles: 8,
+            net: NetConfig::cluster(),
+            seed: 8,
+        }
+    }
+}
+
+/// Result: per-member notification latency per group size (ms).
+pub struct Fig8Result {
+    /// `(size, latencies)` pairs.
+    pub per_size: Vec<(usize, Summary)>,
+    /// Largest observed notification latency (ms).
+    pub max_ms: f64,
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Fig8Result {
+    let mut world = World::build(&WorldParams::new(p.n, p.seed, p.net.clone()));
+    let mut wrng = StdRng::seed_from_u64(p.seed.wrapping_mul(0x517cc1b7));
+    world.run(SimDuration::from_secs(2));
+    let mut per_size = Vec::new();
+    let mut max_ms: f64 = 0.0;
+    for &size in &p.sizes {
+        let mut lat = Summary::new();
+        for _ in 0..p.cycles {
+            let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
+            let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);
+            let (res, _) = world.create_group_blocking(root, &members);
+            let Ok(id) = res else { continue };
+            // Random member (possibly the root) signals.
+            let mut all: Vec<ProcId> = members.clone();
+            all.push(root);
+            let signaler = {
+                let idx = rand::Rng::gen_range(&mut wrng, 0..all.len());
+                all[idx]
+            };
+            let t0 = world.now();
+            world.signal(signaler, id);
+            world.run(SimDuration::from_secs(10));
+            for &m in &all {
+                if m == signaler {
+                    continue;
+                }
+                for t in world.failures(m, id) {
+                    let ms = t.since(t0).as_millis_f64();
+                    lat.add(ms);
+                    max_ms = max_ms.max(ms);
+                }
+            }
+        }
+        per_size.push((size, lat));
+    }
+    Fig8Result { per_size, max_ms }
+}
+
+/// Renders the figure.
+pub fn render(r: &mut Fig8Result) -> String {
+    let mut out = String::from("Figure 8 — latency of signaled notification (ms)\n");
+    out.push_str(
+        "paper (cluster): ~100-400 ms band, rising from size 2 to 8 then flattening; max observed 1165 ms\n",
+    );
+    for (size, s) in r.per_size.iter_mut() {
+        out.push_str(&super::quartile_row(&format!("size {size}"), s));
+    }
+    out.push_str(&format!("  max observed: {:.1} ms\n", r.max_ms));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig7_creation;
+
+    #[test]
+    fn notification_is_much_faster_than_creation() {
+        let mut notif = run(&Params::quick());
+        let mut create = fig7_creation::run(&fig7_creation::Params::quick());
+        for ((size_n, n), (size_c, c)) in notif.per_size.iter_mut().zip(create.per_size.iter_mut())
+        {
+            assert_eq!(size_n, size_c);
+            let mn = n.median().unwrap();
+            let mc = c.median().unwrap();
+            assert!(
+                mn < mc,
+                "size {size_n}: notification {mn} must beat creation {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_non_signaling_member_is_notified() {
+        let p = Params {
+            n: 64,
+            sizes: vec![8],
+            cycles: 5,
+            net: NetConfig::cluster(),
+            seed: 4,
+        };
+        let r = run(&p);
+        // 5 cycles × 7 notified members.
+        assert_eq!(r.per_size[0].1.len(), 35);
+        assert!(r.max_ms < 5_000.0, "max {} ms", r.max_ms);
+    }
+}

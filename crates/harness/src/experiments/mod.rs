@@ -1,0 +1,39 @@
+//! One experiment per paper figure/table.
+//!
+//! Every module exposes `Params` (with `paper()` scale and a faster
+//! `quick()` scale), a `run` function returning a result struct, and a
+//! `render` producing the rows/series the paper reports side by side with
+//! the paper's published values. Absolute numbers are not expected to match
+//! a 2004 ModelNet testbed; the shape claims are (see EXPERIMENTS.md).
+
+pub mod ablation;
+pub mod fig10_churn;
+pub mod fig11_route_loss;
+pub mod fig12_loss_failures;
+pub mod fig6_rpc;
+pub mod fig7_creation;
+pub mod fig8_notification;
+pub mod fig9_crash;
+pub mod steady_state;
+pub mod svtree_census;
+
+/// Renders a `(value, fraction)` CDF as an aligned two-column table.
+pub fn render_cdf(title: &str, series: &[(f64, f64)], unit: &str) -> String {
+    let mut s = format!("{title}\n  {unit:>12}   cum.fraction\n");
+    for (v, f) in series {
+        s.push_str(&format!("  {v:>12.1}   {f:>6.3}\n"));
+    }
+    s
+}
+
+/// Formats a quartile row (the paper's 25th/median/75th bars).
+pub fn quartile_row(label: &str, s: &mut fuse_util::Summary) -> String {
+    format!(
+        "  {label:>8}  p25 {:>8.1}  median {:>8.1}  p75 {:>8.1}  max {:>8.1}  (n={})\n",
+        s.quantile(0.25).unwrap_or(f64::NAN),
+        s.median().unwrap_or(f64::NAN),
+        s.quantile(0.75).unwrap_or(f64::NAN),
+        s.max().unwrap_or(f64::NAN),
+        s.len()
+    )
+}

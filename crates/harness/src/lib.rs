@@ -1,0 +1,16 @@
+//! Experiment harness for the FUSE reproduction.
+//!
+//! One module per paper figure/table. Every experiment is a pure function
+//! from parameters to a result struct plus a text `render` that prints the
+//! same rows/series the paper reports, next to the paper's published values
+//! — the regeneration targets listed in DESIGN.md §3.
+
+pub mod app;
+pub mod metrics;
+pub mod world;
+
+pub mod experiments;
+
+pub use app::RecorderApp;
+pub use metrics::MsgTrace;
+pub use world::{World, WorldParams};

@@ -1,0 +1,152 @@
+//! Scriptable network failures.
+//!
+//! The paper's failure model is "any pattern of packet loss, duplication or
+//! re-ordering ... includ[ing] simultaneous network partitions and even an
+//! adversary dropping packets based on their content" (§3.5), and its
+//! experiments disconnect machines (Figure 9) and inject per-link loss
+//! (Figures 11–12). The fault plane implements the *control* part:
+//!
+//! * node **disconnect** — the process stays alive but no packet enters or
+//!   leaves it (Figure 9's unplugged machine),
+//! * directed **blackholes** — `a` cannot reach `b` while every other path
+//!   works (intransitive connectivity, §3.4),
+//! * **partitions** — only nodes in the same partition cell communicate.
+//!
+//! Stochastic loss lives in the TCP model; crash-stop lives in the kernel.
+
+use fuse_sim::ProcId;
+use fuse_util::{DetHashMap, DetHashSet};
+
+/// Mutable switchboard of injected connectivity failures.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlane {
+    disconnected: DetHashSet<ProcId>,
+    blackholes: DetHashSet<(ProcId, ProcId)>,
+    partition_of: DetHashMap<ProcId, u32>,
+}
+
+impl FaultPlane {
+    /// No failures.
+    pub fn new() -> Self {
+        FaultPlane::default()
+    }
+
+    /// Unplugs `n` from the network (process still running).
+    pub fn disconnect(&mut self, n: ProcId) {
+        self.disconnected.insert(n);
+    }
+
+    /// Restores `n`'s connectivity.
+    pub fn reconnect(&mut self, n: ProcId) {
+        self.disconnected.remove(&n);
+    }
+
+    /// Whether `n` is currently unplugged.
+    pub fn is_disconnected(&self, n: ProcId) -> bool {
+        self.disconnected.contains(&n)
+    }
+
+    /// Makes packets from `a` to `b` vanish (one direction only).
+    pub fn add_blackhole(&mut self, a: ProcId, b: ProcId) {
+        self.blackholes.insert((a, b));
+    }
+
+    /// Makes `a`↔`b` unreachable in both directions.
+    pub fn add_bidirectional_blackhole(&mut self, a: ProcId, b: ProcId) {
+        self.blackholes.insert((a, b));
+        self.blackholes.insert((b, a));
+    }
+
+    /// Removes a directed blackhole.
+    pub fn clear_blackhole(&mut self, a: ProcId, b: ProcId) {
+        self.blackholes.remove(&(a, b));
+    }
+
+    /// Assigns `n` to a partition cell; nodes in different cells cannot
+    /// communicate. All nodes start in cell 0.
+    pub fn set_partition(&mut self, n: ProcId, cell: u32) {
+        if cell == 0 {
+            self.partition_of.remove(&n);
+        } else {
+            self.partition_of.insert(n, cell);
+        }
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.partition_of.clear();
+    }
+
+    /// Whether a packet from `a` to `b` is administratively blocked.
+    pub fn blocked(&self, a: ProcId, b: ProcId) -> bool {
+        if self.disconnected.contains(&a) || self.disconnected.contains(&b) {
+            return true;
+        }
+        if self.blackholes.contains(&(a, b)) {
+            return true;
+        }
+        let ca = self.partition_of.get(&a).copied().unwrap_or(0);
+        let cb = self.partition_of.get(&b).copied().unwrap_or(0);
+        ca != cb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allows_everything() {
+        let f = FaultPlane::new();
+        assert!(!f.blocked(1, 2));
+        assert!(!f.blocked(2, 1));
+    }
+
+    #[test]
+    fn disconnect_blocks_both_directions() {
+        let mut f = FaultPlane::new();
+        f.disconnect(3);
+        assert!(f.blocked(3, 1));
+        assert!(f.blocked(1, 3));
+        assert!(!f.blocked(1, 2));
+        f.reconnect(3);
+        assert!(!f.blocked(3, 1));
+    }
+
+    #[test]
+    fn blackhole_is_directional() {
+        // The intransitive scenario of §3.4: A cannot reach C, but C can
+        // reach A, and both talk to B.
+        let (a, b, c) = (0, 1, 2);
+        let mut f = FaultPlane::new();
+        f.add_blackhole(a, c);
+        assert!(f.blocked(a, c));
+        assert!(!f.blocked(c, a));
+        assert!(!f.blocked(a, b));
+        assert!(!f.blocked(b, c));
+        f.clear_blackhole(a, c);
+        assert!(!f.blocked(a, c));
+    }
+
+    #[test]
+    fn partitions_split_cells() {
+        let mut f = FaultPlane::new();
+        f.set_partition(1, 1);
+        f.set_partition(2, 1);
+        assert!(!f.blocked(1, 2), "same cell communicates");
+        assert!(f.blocked(1, 3), "cross-cell blocked");
+        assert!(f.blocked(3, 2));
+        assert!(!f.blocked(3, 4), "cell 0 intact");
+        f.heal_partitions();
+        assert!(!f.blocked(1, 3));
+    }
+
+    #[test]
+    fn returning_to_cell_zero_heals_a_node() {
+        let mut f = FaultPlane::new();
+        f.set_partition(5, 2);
+        assert!(f.blocked(5, 0));
+        f.set_partition(5, 0);
+        assert!(!f.blocked(5, 0));
+    }
+}

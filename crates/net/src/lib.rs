@@ -1,0 +1,32 @@
+//! Wide-area network substrate for the FUSE reproduction.
+//!
+//! The paper's evaluation runs over a Mercator-derived router topology
+//! (102,639 routers; 97% OC3 links at 10–40 ms, 3% T3 links at 300–500 ms;
+//! median RTT ≈ 130 ms with a heavy tail; routes of 2–43 hops, median 15)
+//! emulated by ModelNet, with all messages carried over TCP (§7.1, §7.6).
+//! That measured topology is unavailable, so [`topology`] generates a
+//! synthetic hierarchical AS/router graph *tuned to those published
+//! distributions* — every property FUSE can observe (latency, hop count,
+//! loss composition, tail) is matched; see DESIGN.md §2.
+//!
+//! The crate provides:
+//!
+//! * [`topology`] — AS/router graph generation with OC3/T3 link classes,
+//! * [`routes`] — shortest-latency routes with hop and loss accounting,
+//! * [`tcp`] — an analytic TCP model (connection cache, retransmission
+//!   backoff, connection breakage under loss),
+//! * [`fault`] — scriptable failures: crashes, disconnects, intransitive
+//!   blackholes, partitions,
+//! * [`network`] — the [`fuse_sim::Medium`] implementation combining them,
+//!   with `Simulator` and `Cluster` (ModelNet-like) emulation profiles.
+
+pub mod fault;
+pub mod network;
+pub mod routes;
+pub mod tcp;
+pub mod topology;
+
+pub use fault::FaultPlane;
+pub use network::{EmulationProfile, NetConfig, Network};
+pub use routes::{RouteInfo, RouteTable};
+pub use topology::{LinkClass, RouterId, Topology, TopologyConfig};

@@ -1,0 +1,198 @@
+//! Static routes over the router graph.
+//!
+//! Routing in the emulated Internet is static (ModelNet precomputes routes
+//! the same way): one shortest-path computation per *attachment* router,
+//! memoized. Paths minimize **hop count** (ties broken by latency), like the
+//! policy routing of the real Internet — crucially, paths do *not* detour
+//! around slow T3 links, which is what produces the heavy RTT tail of
+//! Figure 6. Each route records total one-way latency and hop count;
+//! per-route loss under a uniform per-link loss rate `p` is
+//! `1 − (1−p)^hops`, exactly the composition behind Figure 11's per-route
+//! loss CDFs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fuse_sim::SimDuration;
+use fuse_util::DetHashMap;
+
+use crate::topology::{RouterId, Topology};
+
+/// Latency/hop summary of one route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Number of links traversed.
+    pub hops: u32,
+}
+
+impl RouteInfo {
+    /// Per-route one-way delivery probability given a uniform per-link loss
+    /// rate.
+    pub fn delivery_prob(&self, per_link_loss: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&per_link_loss));
+        (1.0 - per_link_loss).powi(self.hops as i32)
+    }
+
+    /// Per-route one-way loss rate given a uniform per-link loss rate.
+    pub fn loss_rate(&self, per_link_loss: f64) -> f64 {
+        1.0 - self.delivery_prob(per_link_loss)
+    }
+}
+
+/// All-destination shortest-path tables from each attachment router.
+pub struct RouteTable {
+    /// Per source router: `(latency_ns, hops)` for every destination router.
+    tables: DetHashMap<RouterId, Vec<(u64, u32)>>,
+}
+
+impl RouteTable {
+    /// Builds tables for every distinct router in `sources`.
+    pub fn build(topo: &Topology, sources: &[RouterId]) -> Self {
+        let mut tables = DetHashMap::default();
+        for &s in sources {
+            tables
+                .entry(s)
+                .or_insert_with(|| Self::dijkstra(topo, s));
+        }
+        RouteTable { tables }
+    }
+
+    fn dijkstra(topo: &Topology, src: RouterId) -> Vec<(u64, u32)> {
+        // Lexicographic Dijkstra on (hops, latency): minimum hop count,
+        // ties broken by total latency. Deterministic for a fixed topology.
+        let n = topo.n_routers();
+        let mut best: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
+        let mut heap = BinaryHeap::new();
+        best[src as usize] = (0, 0);
+        heap.push(Reverse((0u32, 0u64, src)));
+        while let Some(Reverse((hops, lat, r))) = heap.pop() {
+            if (hops, lat) > best[r as usize] {
+                continue;
+            }
+            for &(next, link) in &topo.adj[r as usize] {
+                let w = topo.links[link as usize].latency.nanos();
+                let cand = (hops + 1, lat + w);
+                if cand < best[next as usize] {
+                    best[next as usize] = cand;
+                    heap.push(Reverse((cand.0, cand.1, next)));
+                }
+            }
+        }
+        best.into_iter().map(|(h, l)| (l, h)).collect()
+    }
+
+    /// Route summary from `src` to `dst`; `src` must be a built source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` was not in the source set or `dst` is unreachable
+    /// (the generator produces connected graphs).
+    pub fn route(&self, src: RouterId, dst: RouterId) -> RouteInfo {
+        if src == dst {
+            // Same attachment router: a LAN hop, not a wide-area route.
+            return RouteInfo {
+                latency: SimDuration::from_micros(100),
+                hops: 0,
+            };
+        }
+        let t = self
+            .tables
+            .get(&src)
+            .expect("route requested from an unbuilt source");
+        let (lat, hops) = t[dst as usize];
+        assert_ne!(lat, u64::MAX, "destination unreachable");
+        RouteInfo {
+            latency: SimDuration(lat),
+            hops,
+        }
+    }
+
+    /// Whether a table was built for `src`.
+    pub fn has_source(&self, src: RouterId) -> bool {
+        self.tables.contains_key(&src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_topo() -> (Topology, Vec<RouterId>) {
+        let cfg = TopologyConfig {
+            n_as: 8,
+            core_per_as: 4,
+            chains_per_as: 1,
+            chain_len: (2, 4),
+            ..TopologyConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let topo = Topology::generate(&cfg, &mut rng);
+        let n = topo.n_routers() as RouterId;
+        (topo, (0..n).collect())
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_latency() {
+        // Undirected links with symmetric weights: shortest-path distances
+        // must match in both directions.
+        let (topo, all) = small_topo();
+        let table = RouteTable::build(&topo, &all);
+        for a in [0u32, 5, 13, 21] {
+            for b in [3u32, 9, 30] {
+                if a == b {
+                    continue;
+                }
+                let f = table.route(a, b);
+                let r = table.route(b, a);
+                assert_eq!(f.latency, r.latency);
+                assert_eq!(f.hops, r.hops);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let (topo, all) = small_topo();
+        let table = RouteTable::build(&topo, &all);
+        let ab = table.route(0, 10).latency.nanos();
+        let bc = table.route(10, 20).latency.nanos();
+        let ac = table.route(0, 20).latency.nanos();
+        assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn same_router_is_lan_latency() {
+        let (topo, all) = small_topo();
+        let table = RouteTable::build(&topo, &all);
+        let r = table.route(7, 7);
+        assert_eq!(r.hops, 0);
+        assert!(r.latency < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn loss_composition_matches_formula() {
+        let info = RouteInfo {
+            latency: SimDuration::from_millis(100),
+            hops: 15,
+        };
+        // Paper Figure 11: 0.4% per-link loss over median-15-hop routes
+        // yields ~5.8% route loss; 0.8% -> ~11.4%; 1.6% -> ~21.5%.
+        assert!((info.loss_rate(0.004) - 0.058).abs() < 0.004);
+        assert!((info.loss_rate(0.008) - 0.114).abs() < 0.006);
+        assert!((info.loss_rate(0.016) - 0.215).abs() < 0.008);
+    }
+
+    #[test]
+    fn zero_loss_delivers_always() {
+        let info = RouteInfo {
+            latency: SimDuration::from_millis(10),
+            hops: 40,
+        };
+        assert_eq!(info.delivery_prob(0.0), 1.0);
+    }
+}

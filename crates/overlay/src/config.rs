@@ -1,0 +1,54 @@
+//! Overlay configuration.
+
+use fuse_sim::SimDuration;
+
+/// Tunables for the overlay, defaulting to the paper's configuration (§7.1):
+/// 60 s ping period, 20 s ping timeout, base 8, leaf set of size 16.
+#[derive(Debug, Clone)]
+pub struct OverlayConfig {
+    /// Liveness ping period per neighbor.
+    pub ping_period: SimDuration,
+    /// Time to wait for a ping acknowledgment before declaring the neighbor
+    /// dead.
+    pub ping_timeout: SimDuration,
+    /// Leaf-set entries per side (paper: 8 per side, 16 total).
+    pub leaf_side: usize,
+    /// Period of background table-maintenance probes to random names.
+    pub maintenance_period: SimDuration,
+    /// TTL for routed messages (loop guard).
+    pub route_ttl: u8,
+    /// Join retry timeout.
+    pub join_timeout: SimDuration,
+    /// Maximum numeric-ID levels used for routing-table construction.
+    pub max_levels: usize,
+    /// Capacity of the passive candidate cache.
+    pub candidate_cache: usize,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            ping_period: SimDuration::from_secs(60),
+            ping_timeout: SimDuration::from_secs(20),
+            leaf_side: 8,
+            maintenance_period: SimDuration::from_secs(120),
+            route_ttl: 64,
+            join_timeout: SimDuration::from_secs(10),
+            max_levels: 8,
+            candidate_cache: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = OverlayConfig::default();
+        assert_eq!(c.ping_period, SimDuration::from_secs(60));
+        assert_eq!(c.ping_timeout, SimDuration::from_secs(20));
+        assert_eq!(c.leaf_side * 2, 16);
+    }
+}

@@ -1,0 +1,252 @@
+//! Overlay identities and ring geometry.
+//!
+//! SkipNet nodes have two identities: a **name ID** (a string; the ring is
+//! ordered lexicographically, with wraparound) and a **numeric ID** (a
+//! sequence of uniformly random digits, base 8 here as in the paper's
+//! configuration). The routing table at level `h` points to the nearest ring
+//! neighbors sharing the first `h` numeric digits, which is what yields
+//! O(log n) routing.
+
+use fuse_sim::ProcId;
+use fuse_wire::{sha1, Decode, DecodeError, Encode, Reader, Writer};
+
+/// Number of numeric-ID digits we derive (enough levels for any
+/// experiment's scale).
+pub const NUMERIC_DIGITS: usize = 16;
+
+/// A node's name ID: ring position in lexicographic order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeName(pub String);
+
+impl NodeName {
+    /// Builds a deterministic padded name; zero-padding makes lexicographic
+    /// order match numeric order, handy in tests.
+    pub fn numbered(i: usize) -> Self {
+        NodeName(format!("node-{i:06}"))
+    }
+
+    /// Cyclic "is `x` strictly inside the arc (self → to], walking
+    /// clockwise (increasing names, wrapping at the top)?"
+    pub fn arc_contains(&self, to: &NodeName, x: &NodeName) -> bool {
+        if self == to {
+            // Degenerate full-circle arc: everything but the start is inside.
+            return x != self;
+        }
+        if self < to {
+            x > self && x <= to
+        } else {
+            x > self || x <= to
+        }
+    }
+}
+
+impl std::fmt::Display for NodeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Encode for NodeName {
+    fn encode(&self, w: &mut dyn Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for NodeName {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeName(String::decode(r)?))
+    }
+}
+
+/// A node's numeric ID: `NUMERIC_DIGITS` base-8 digits derived from the
+/// name by hashing, so it is uniform and reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NumericId {
+    digits: [u8; NUMERIC_DIGITS],
+}
+
+impl NumericId {
+    /// Derives the numeric ID for `name` (SHA-1 bits, 3 bits per digit).
+    pub fn for_name(name: &NodeName) -> Self {
+        let d = sha1(name.0.as_bytes());
+        let mut digits = [0u8; NUMERIC_DIGITS];
+        for (i, digit) in digits.iter_mut().enumerate() {
+            // 3 bits per digit out of the 160-bit digest.
+            let bit = i * 3;
+            let byte = bit / 8;
+            let off = bit % 8;
+            let word = (u16::from(d.0[byte]) << 8) | u16::from(d.0[(byte + 1) % 20]);
+            *digit = ((word >> (16 - 3 - off)) & 0x7) as u8;
+        }
+        NumericId { digits }
+    }
+
+    /// The digit at `level`.
+    pub fn digit(&self, level: usize) -> u8 {
+        self.digits[level]
+    }
+
+    /// Length of the common digit prefix with `other`.
+    pub fn common_prefix(&self, other: &NumericId) -> usize {
+        self.digits
+            .iter()
+            .zip(other.digits.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+/// Identity and address of an overlay node, as carried in messages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeInfo {
+    /// Simulation process id (the "network address").
+    pub proc: ProcId,
+    /// Ring name.
+    pub name: NodeName,
+}
+
+impl NodeInfo {
+    /// Convenience constructor.
+    pub fn new(proc: ProcId, name: NodeName) -> Self {
+        NodeInfo { proc, name }
+    }
+
+    /// Numeric ID derived from the name.
+    pub fn numeric(&self) -> NumericId {
+        NumericId::for_name(&self.name)
+    }
+}
+
+impl Encode for NodeInfo {
+    fn encode(&self, w: &mut dyn Writer) {
+        self.proc.encode(w);
+        self.name.encode(w);
+    }
+}
+
+impl Decode for NodeInfo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeInfo {
+            proc: ProcId::decode(r)?,
+            name: NodeName::decode(r)?,
+        })
+    }
+}
+
+/// Clockwise arc comparison: among candidates inside the arc
+/// `(from → target]`, the best next hop is the one *furthest* along, i.e.
+/// with maximal position in arc order. Returns whether `a` is strictly
+/// further clockwise from `from` than `b` (i.e. `b` lies inside the arc
+/// `(from → a]`).
+pub fn further_clockwise(from: &NodeName, a: &NodeName, b: &NodeName) -> bool {
+    a != b && from.arc_contains(a, b)
+}
+
+/// Whether `a` is strictly closer than `b` when walking clockwise from
+/// `from` (i.e. `a` lies inside the arc `(from → b)`).
+pub fn closer_clockwise(from: &NodeName, a: &NodeName, b: &NodeName) -> bool {
+    a != b && from.arc_contains(b, a)
+}
+
+/// Whether `a` is strictly closer than `b` when walking counterclockwise
+/// from `from` (i.e. `a` lies inside the cw arc `(b → from)`).
+pub fn closer_counterclockwise(from: &NodeName, a: &NodeName, b: &NodeName) -> bool {
+    a != b && a != from && b.arc_contains(from, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_wire::Encode;
+
+    fn n(s: &str) -> NodeName {
+        NodeName(s.to_string())
+    }
+
+    #[test]
+    fn arc_contains_basic() {
+        let a = n("b");
+        let c = n("m");
+        assert!(a.arc_contains(&c, &n("c")));
+        assert!(a.arc_contains(&c, &n("m")), "arc is closed at the far end");
+        assert!(!a.arc_contains(&c, &n("b")), "arc is open at the start");
+        assert!(!a.arc_contains(&c, &n("z")));
+    }
+
+    #[test]
+    fn arc_contains_wraps() {
+        let a = n("x");
+        let c = n("c");
+        assert!(a.arc_contains(&c, &n("z")), "after start, pre-wrap");
+        assert!(a.arc_contains(&c, &n("a")), "post-wrap");
+        assert!(!a.arc_contains(&c, &n("m")));
+    }
+
+    #[test]
+    fn arc_degenerate_full_circle() {
+        let a = n("k");
+        assert!(a.arc_contains(&a, &n("z")));
+        assert!(!a.arc_contains(&a, &n("k")));
+    }
+
+    #[test]
+    fn numeric_ids_are_uniform_ish_and_deterministic() {
+        let x = NumericId::for_name(&n("node-000001"));
+        let y = NumericId::for_name(&n("node-000001"));
+        assert_eq!(x, y);
+        // Digit histogram over many names should cover all 8 values.
+        let mut counts = [0usize; 8];
+        for i in 0..512 {
+            let id = NumericId::for_name(&NodeName::numbered(i));
+            counts[id.digit(0) as usize] += 1;
+        }
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(c > 20, "digit {d} badly skewed: {c}/512");
+        }
+    }
+
+    #[test]
+    fn common_prefix_reflexive_and_bounded() {
+        let a = NumericId::for_name(&n("alpha"));
+        let b = NumericId::for_name(&n("beta"));
+        assert_eq!(a.common_prefix(&a), NUMERIC_DIGITS);
+        assert!(a.common_prefix(&b) < NUMERIC_DIGITS);
+    }
+
+    #[test]
+    fn node_info_roundtrips_on_wire() {
+        let info = NodeInfo::new(42, n("node-000042"));
+        let bytes = info.to_bytes();
+        let back = NodeInfo::from_bytes(&bytes).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn further_clockwise_orders_candidates() {
+        let from = n("a");
+        assert!(further_clockwise(&from, &n("m"), &n("c")));
+        assert!(!further_clockwise(&from, &n("c"), &n("m")));
+        // With wraparound: from "x", "b" (wrapped) is further than "z".
+        assert!(further_clockwise(&n("x"), &n("b"), &n("z")));
+        assert!(!further_clockwise(&n("x"), &n("z"), &n("b")));
+    }
+
+    #[test]
+    fn closer_clockwise_orders_candidates() {
+        let from = n("f");
+        assert!(closer_clockwise(&from, &n("g"), &n("k")));
+        assert!(!closer_clockwise(&from, &n("k"), &n("g")));
+        // Wraparound: from "x", "z" is closer than "b".
+        assert!(closer_clockwise(&n("x"), &n("z"), &n("b")));
+    }
+
+    #[test]
+    fn closer_counterclockwise_orders_candidates() {
+        let from = n("m");
+        assert!(closer_counterclockwise(&from, &n("k"), &n("c")));
+        assert!(!closer_counterclockwise(&from, &n("c"), &n("k")));
+        // Wraparound: from "c", "z" is ccw-closer than "x".
+        assert!(closer_counterclockwise(&n("c"), &n("z"), &n("x")));
+        assert!(!closer_counterclockwise(&n("c"), &n("x"), &n("z")));
+    }
+}

@@ -1,0 +1,117 @@
+//! The overlay's interface to its host (the node stack) and its client
+//! (the FUSE layer).
+//!
+//! All side effects — sends, timers, randomness, and upcalls to the layer
+//! above — flow through [`OverlayIo`]. The node stack in `fuse-core`
+//! implements it over the simulation kernel's handler context; tests
+//! implement it over a scratch buffer.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+
+use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_wire::Digest;
+
+use crate::id::{NodeInfo, NodeName};
+use crate::messages::OverlayMsg;
+
+/// Timer tags owned by the overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayTimer {
+    /// Periodic liveness ping for one neighbor.
+    PingDue(ProcId),
+    /// A ping to `peer` (nonce-matched) was not acknowledged in time.
+    AckTimeout {
+        /// The pinged neighbor.
+        peer: ProcId,
+        /// Nonce of the outstanding ping.
+        nonce: u64,
+    },
+    /// The join request went unanswered; retry.
+    JoinRetry,
+    /// Periodic background table maintenance.
+    Maintenance,
+}
+
+/// Upcalls from the overlay to its client layer.
+#[derive(Debug, Clone)]
+pub enum OverlayUpcall {
+    /// A liveness message (ping or ack) from `peer` carried this piggyback
+    /// digest — the client refreshes whatever state the digest covers
+    /// (paper §6.3).
+    PingHash {
+        /// Monitored neighbor.
+        peer: ProcId,
+        /// The digest the neighbor piggybacked for this link.
+        hash: Digest,
+    },
+    /// A new neighbor entered the monitored set.
+    LinkUp {
+        /// The neighbor.
+        peer: ProcId,
+    },
+    /// A monitored link stopped being monitored.
+    LinkDown {
+        /// The neighbor.
+        peer: ProcId,
+        /// `true` when the neighbor was declared dead (ping timeout or
+        /// transport break); `false` when it was merely evicted by table
+        /// maintenance (overlay route change).
+        died: bool,
+    },
+    /// A routed client payload reached this node (the routing target).
+    Delivered {
+        /// The originator.
+        src: NodeInfo,
+        /// The hop the message arrived from (the originator itself when the
+        /// route was a single hop).
+        prev: ProcId,
+        /// Opaque client payload.
+        payload: Bytes,
+    },
+    /// A routed client payload passed through this node (the per-hop upcall
+    /// of §6.1).
+    Forwarded {
+        /// The originator.
+        src: NodeInfo,
+        /// Final routing target.
+        target: NodeName,
+        /// Previous hop process.
+        prev: ProcId,
+        /// Next hop process.
+        next: ProcId,
+        /// Opaque client payload.
+        payload: Bytes,
+    },
+    /// A routed client payload could not make progress (routing hole); the
+    /// upcall fires on the node where the message stalled.
+    RouteStuck {
+        /// The originator.
+        src: NodeInfo,
+        /// Unreachable routing target.
+        target: NodeName,
+        /// Opaque client payload.
+        payload: Bytes,
+    },
+}
+
+/// Host services for the overlay.
+pub trait OverlayIo {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Deterministic randomness.
+    fn rng(&mut self) -> &mut StdRng;
+
+    /// Sends an overlay message to a peer process.
+    fn send(&mut self, to: ProcId, msg: OverlayMsg);
+
+    /// Arms a timer with an overlay tag.
+    fn set_timer(&mut self, after: SimDuration, tag: OverlayTimer) -> TimerHandle;
+
+    /// Cancels a previously armed timer.
+    fn cancel_timer(&mut self, h: TimerHandle);
+
+    /// Delivers an upcall to the client layer (buffered by the stack).
+    fn upcall(&mut self, ev: OverlayUpcall);
+}

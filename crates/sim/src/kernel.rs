@@ -1,0 +1,632 @@
+//! The event loop: a time-ordered heap of deliveries, timers and scripted
+//! calls, executed deterministically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::medium::{Medium, Verdict};
+use crate::process::{Action, Ctx, Payload, ProcId, Process};
+use crate::time::{SimDuration, SimTime};
+use crate::timer::{TimerHandle, TimerTable};
+use crate::trace::{NullTrace, TraceSink};
+
+enum Event<P: Process, Md, S> {
+    Deliver {
+        from: ProcId,
+        to: ProcId,
+        msg: P::Msg,
+    },
+    Timer(TimerHandle),
+    LinkBroken {
+        proc: ProcId,
+        peer: ProcId,
+    },
+    Call(Box<dyn FnOnce(&mut Sim<P, Md, S>)>),
+}
+
+struct HeapEntry<P: Process, Md, S> {
+    at: SimTime,
+    seq: u64,
+    ev: Event<P, Md, S>,
+}
+
+impl<P: Process, Md, S> PartialEq for HeapEntry<P, Md, S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<P: Process, Md, S> Eq for HeapEntry<P, Md, S> {}
+
+impl<P: Process, Md, S> PartialOrd for HeapEntry<P, Md, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: Process, Md, S> Ord for HeapEntry<P, Md, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first, and
+        // FIFO (smallest sequence number) among equal timestamps.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct ProcSlot<P: Process> {
+    proc: Option<P>,
+    timers: TimerTable<P::Timer>,
+}
+
+/// The simulation world: processes, medium, clock and event queue.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_sim::{PerfectMedium, Payload, Process, ProcId, Sim, SimDuration};
+///
+/// #[derive(Clone)]
+/// struct Hello;
+/// impl Payload for Hello {
+///     fn size_bytes(&self) -> usize { 5 }
+/// }
+///
+/// struct Greeter { got: u32 }
+/// impl Process for Greeter {
+///     type Msg = Hello;
+///     type Timer = ();
+///     fn on_boot(&mut self, ctx: &mut fuse_sim::process::Ctx<'_, Hello, ()>) {
+///         if ctx.self_id == 0 { ctx.send(1, Hello); }
+///     }
+///     fn on_message(&mut self, _ctx: &mut fuse_sim::process::Ctx<'_, Hello, ()>, _from: ProcId, _m: Hello) {
+///         self.got += 1;
+///     }
+///     fn on_timer(&mut self, _ctx: &mut fuse_sim::process::Ctx<'_, Hello, ()>, _t: ()) {}
+/// }
+///
+/// let medium = PerfectMedium::new(SimDuration::from_millis(10));
+/// let mut sim = Sim::new(42, medium);
+/// sim.add_process(Greeter { got: 0 });
+/// sim.add_process(Greeter { got: 0 });
+/// sim.run_for(SimDuration::from_secs(1));
+/// assert_eq!(sim.proc(1).unwrap().got, 1);
+/// ```
+pub struct Sim<P: Process, Md, S = NullTrace> {
+    clock: SimTime,
+    seq: u64,
+    heap: BinaryHeap<HeapEntry<P, Md, S>>,
+    procs: Vec<ProcSlot<P>>,
+    rng: StdRng,
+    medium: Md,
+    trace: S,
+    scratch_actions: Vec<Action<P::Msg>>,
+    scratch_timers: Vec<(TimerHandle, SimTime)>,
+    events_executed: u64,
+}
+
+impl<P: Process, Md: Medium> Sim<P, Md, NullTrace> {
+    /// Creates a simulation with the default (no-op) trace sink.
+    pub fn new(seed: u64, medium: Md) -> Self {
+        Sim::with_trace(seed, medium, NullTrace)
+    }
+}
+
+impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
+    /// Creates a simulation observing events through `trace`.
+    pub fn with_trace(seed: u64, medium: Md, trace: S) -> Self {
+        Sim {
+            clock: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            procs: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            medium,
+            trace,
+            scratch_actions: Vec::new(),
+            scratch_timers: Vec::new(),
+            events_executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of processes ever added (including crashed ones).
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Total events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Whether process `id` is currently alive.
+    pub fn is_up(&self, id: ProcId) -> bool {
+        self.procs
+            .get(id as usize)
+            .map(|s| s.proc.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Immutable view of a live process's state.
+    pub fn proc(&self, id: ProcId) -> Option<&P> {
+        self.procs.get(id as usize).and_then(|s| s.proc.as_ref())
+    }
+
+    /// The medium, for fault injection.
+    pub fn medium_mut(&mut self) -> &mut Md {
+        &mut self.medium
+    }
+
+    /// Immutable medium access.
+    pub fn medium(&self) -> &Md {
+        &self.medium
+    }
+
+    /// The trace sink, for metrics extraction.
+    pub fn trace_mut(&mut self) -> &mut S {
+        &mut self.trace
+    }
+
+    /// Immutable trace access.
+    pub fn trace(&self) -> &S {
+        &self.trace
+    }
+
+    /// Kernel RNG; scripts may draw from it (deterministically).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Adds a process, boots it, and returns its id.
+    pub fn add_process(&mut self, p: P) -> ProcId {
+        let id = self.procs.len() as ProcId;
+        self.procs.push(ProcSlot {
+            proc: Some(p),
+            timers: TimerTable::new(),
+        });
+        self.medium.node_up(id);
+        self.trace.on_lifecycle(self.clock, id, true);
+        self.dispatch(id, |p, ctx| p.on_boot(ctx));
+        id
+    }
+
+    /// Crashes process `id`: state dropped, timers cleared, medium informed.
+    ///
+    /// In-flight messages *to* the process are discarded on arrival; messages
+    /// it already sent still propagate (packets in flight survive a sender
+    /// crash).
+    pub fn crash(&mut self, id: ProcId) {
+        let slot = &mut self.procs[id as usize];
+        if slot.proc.take().is_none() {
+            return;
+        }
+        slot.timers.clear();
+        self.medium.node_down(id);
+        self.trace.on_lifecycle(self.clock, id, false);
+    }
+
+    /// Restarts a crashed process with fresh state `p` (same id).
+    pub fn restart(&mut self, id: ProcId, p: P) {
+        let slot = &mut self.procs[id as usize];
+        assert!(slot.proc.is_none(), "restart of a live process");
+        slot.proc = Some(p);
+        self.medium.node_up(id);
+        self.trace.on_lifecycle(self.clock, id, true);
+        self.dispatch(id, |p, ctx| p.on_boot(ctx));
+    }
+
+    /// Runs `f` against live process `id` with a full handler context; the
+    /// entry point for scripted API calls (e.g. `CreateGroup`).
+    ///
+    /// Returns `None` if the process is down.
+    pub fn with_proc<R>(
+        &mut self,
+        id: ProcId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>) -> R,
+    ) -> Option<R> {
+        let mut out = None;
+        let ran = self.dispatch_inner(id, |p, ctx| {
+            out = Some(f(p, ctx));
+        });
+        if ran {
+            out
+        } else {
+            None
+        }
+    }
+
+    /// Schedules `f(&mut Sim)` to run at absolute time `at`.
+    pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut Self) + 'static) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        self.push(at, Event::Call(Box::new(f)));
+    }
+
+    /// Schedules `f(&mut Sim)` to run `after` from now.
+    pub fn schedule_in(&mut self, after: SimDuration, f: impl FnOnce(&mut Self) + 'static) {
+        self.push(self.clock + after, Event::Call(Box::new(f)));
+    }
+
+    /// Executes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.clock, "time went backwards");
+        self.clock = entry.at;
+        self.events_executed += 1;
+        match entry.ev {
+            Event::Deliver { from, to, msg } => {
+                if self.is_up(to) {
+                    self.trace.on_deliver(self.clock, from, to, &msg);
+                    self.dispatch(to, |p, ctx| p.on_message(ctx, from, msg));
+                }
+            }
+            Event::Timer(h) => {
+                let slot = &mut self.procs[h.proc as usize];
+                if slot.proc.is_none() {
+                    return true;
+                }
+                if let Some(tag) = slot.timers.fire(h) {
+                    self.dispatch(h.proc, |p, ctx| p.on_timer(ctx, tag));
+                }
+            }
+            Event::LinkBroken { proc, peer } => {
+                self.dispatch(proc, |p, ctx| p.on_link_broken(ctx, peer));
+            }
+            Event::Call(f) => f(self),
+        }
+        true
+    }
+
+    /// Runs all events up to and including time `t`, then sets the clock to
+    /// `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(entry) = self.heap.peek() {
+            if entry.at > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.clock + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the event queue drains or the clock passes `limit`.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while let Some(entry) = self.heap.peek() {
+            if entry.at > limit {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Event<P, Md, S>) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn dispatch(&mut self, id: ProcId, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>)) {
+        self.dispatch_inner(id, f);
+    }
+
+    /// Runs a handler and flushes its effects. Returns whether it ran.
+    fn dispatch_inner(
+        &mut self,
+        id: ProcId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>),
+    ) -> bool {
+        // Scratch buffers are taken to tolerate (rare) nested dispatches
+        // from scripted calls.
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let mut new_timers = std::mem::take(&mut self.scratch_timers);
+        let ran = {
+            let slot = match self.procs.get_mut(id as usize) {
+                Some(s) => s,
+                None => return false,
+            };
+            let ProcSlot { proc, timers } = slot;
+            match proc.as_mut() {
+                Some(p) => {
+                    let mut ctx = Ctx {
+                        now: self.clock,
+                        self_id: id,
+                        rng: &mut self.rng,
+                        timers,
+                        actions: &mut actions,
+                        new_timers: &mut new_timers,
+                    };
+                    f(p, &mut ctx);
+                    true
+                }
+                None => false,
+            }
+        };
+        for (handle, at) in new_timers.drain(..) {
+            self.push(at, Event::Timer(handle));
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.perform_send(id, to, msg),
+            }
+        }
+        self.scratch_actions = actions;
+        self.scratch_timers = new_timers;
+        ran
+    }
+
+    fn perform_send(&mut self, from: ProcId, to: ProcId, msg: P::Msg) {
+        let size = msg.size_bytes();
+        let verdict = self.medium.unicast(self.clock, &mut self.rng, from, to, size);
+        self.trace.on_send(self.clock, from, to, &msg, size, &verdict);
+        match verdict {
+            Verdict::Deliver { at } => {
+                debug_assert!(at >= self.clock);
+                self.push(at, Event::Deliver { from, to, msg });
+            }
+            Verdict::Break { sender_notice } => {
+                self.push(
+                    sender_notice,
+                    Event::LinkBroken {
+                        proc: from,
+                        peer: to,
+                    },
+                );
+            }
+            Verdict::Drop => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::PerfectMedium;
+    use crate::process::Payload;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl Payload for Msg {
+        fn size_bytes(&self) -> usize {
+            9
+        }
+
+        fn class(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "ping",
+                Msg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tag {
+        Tick,
+        Once,
+    }
+
+    struct Node {
+        peer: ProcId,
+        initiator: bool,
+        pings_seen: u64,
+        pongs_seen: u64,
+        ticks: u64,
+        broken_links: Vec<ProcId>,
+        cancel_me: Option<TimerHandle>,
+    }
+
+    impl Node {
+        fn new(peer: ProcId, initiator: bool) -> Self {
+            Node {
+                peer,
+                initiator,
+                pings_seen: 0,
+                pongs_seen: 0,
+                ticks: 0,
+                broken_links: Vec::new(),
+                cancel_me: None,
+            }
+        }
+    }
+
+    impl Process for Node {
+        type Msg = Msg;
+        type Timer = Tag;
+
+        fn on_boot(&mut self, ctx: &mut Ctx<'_, Msg, Tag>) {
+            if self.initiator {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(SimDuration::from_secs(1), Tag::Tick);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, Tag>, from: ProcId, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Msg::Pong(n));
+                }
+                Msg::Pong(_) => self.pongs_seen += 1,
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, Tag>, tag: Tag) {
+            match tag {
+                Tag::Tick => {
+                    self.ticks += 1;
+                    if self.ticks < 3 {
+                        ctx.set_timer(SimDuration::from_secs(1), Tag::Tick);
+                    }
+                }
+                Tag::Once => panic!("cancelled timer fired"),
+            }
+        }
+
+        fn on_link_broken(&mut self, _ctx: &mut Ctx<'_, Msg, Tag>, peer: ProcId) {
+            self.broken_links.push(peer);
+        }
+    }
+
+    fn two_nodes(seed: u64) -> Sim<Node, PerfectMedium> {
+        let mut sim = Sim::new(seed, PerfectMedium::new(SimDuration::from_millis(50)));
+        sim.add_process(Node::new(1, true));
+        sim.add_process(Node::new(0, false));
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = two_nodes(1);
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 1);
+        assert_eq!(sim.proc(0).unwrap().pongs_seen, 1);
+        assert_eq!(sim.proc(0).unwrap().ticks, 3);
+    }
+
+    #[test]
+    fn clock_advances_to_run_until_target() {
+        let mut sim = two_nodes(1);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn crash_drops_in_flight_and_breaks_future_sends() {
+        let mut sim = two_nodes(2);
+        sim.crash(1);
+        sim.run_for(SimDuration::from_secs(60));
+        // The initial ping was in flight at crash time; dropped on arrival.
+        assert_eq!(sim.proc(0).unwrap().pongs_seen, 0);
+        assert!(!sim.is_up(1));
+        // Sending again to the dead node breaks the link.
+        sim.with_proc(0, |_n, ctx| ctx.send(1, Msg::Ping(9)));
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(sim.proc(0).unwrap().broken_links, vec![1]);
+    }
+
+    #[test]
+    fn restart_reboots_with_fresh_state() {
+        let mut sim = two_nodes(3);
+        sim.run_for(SimDuration::from_secs(5));
+        sim.crash(0);
+        sim.restart(0, Node::new(1, true));
+        sim.run_for(SimDuration::from_secs(5));
+        // Rebooted initiator pings again.
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 2);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut sim = two_nodes(4);
+        sim.with_proc(0, |n, ctx| {
+            let h = ctx.set_timer(SimDuration::from_secs(2), Tag::Once);
+            n.cancel_me = Some(h);
+        });
+        sim.with_proc(0, |n, ctx| {
+            let h = n.cancel_me.take().unwrap();
+            ctx.cancel_timer(h);
+        });
+        // Would panic in on_timer if the cancel failed.
+        sim.run_for(SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn crash_clears_timers() {
+        let mut sim = two_nodes(5);
+        sim.with_proc(1, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_secs(1), Tag::Once);
+        });
+        sim.crash(1);
+        // Timer cleared by crash; a restarted node must not receive it.
+        sim.restart(1, Node::new(0, false));
+        sim.run_for(SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn equal_time_events_fifo() {
+        // Two messages sent in one handler with identical latency must be
+        // delivered in send order.
+        struct Seq {
+            seen: Vec<u64>,
+        }
+        #[derive(Clone)]
+        struct N(u64);
+        impl Payload for N {
+            fn size_bytes(&self) -> usize {
+                8
+            }
+        }
+        impl Process for Seq {
+            type Msg = N;
+            type Timer = ();
+            fn on_boot(&mut self, ctx: &mut Ctx<'_, N, ()>) {
+                if ctx.self_id == 0 {
+                    for i in 0..16 {
+                        ctx.send(1, N(i));
+                    }
+                }
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, N, ()>, _f: ProcId, m: N) {
+                self.seen.push(m.0);
+            }
+            fn on_timer(&mut self, _c: &mut Ctx<'_, N, ()>, _t: ()) {}
+        }
+        let mut sim: Sim<Seq, PerfectMedium> =
+            Sim::new(7, PerfectMedium::new(SimDuration::from_millis(5)));
+        sim.add_process(Seq { seen: vec![] });
+        sim.add_process(Seq { seen: vec![] });
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.proc(1).unwrap().seen, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduled_calls_run_at_their_time() {
+        let mut sim = two_nodes(6);
+        sim.schedule_call(SimTime::ZERO + SimDuration::from_secs(2), |s| {
+            s.with_proc(0, |_n, ctx| ctx.send(1, Msg::Ping(99)));
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 1);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 2);
+    }
+
+    #[test]
+    fn deterministic_event_counts_across_runs() {
+        let mut a = two_nodes(42);
+        let mut b = two_nodes(42);
+        a.run_for(SimDuration::from_secs(100));
+        b.run_for(SimDuration::from_secs(100));
+        assert_eq!(a.events_executed(), b.events_executed());
+        assert_eq!(a.proc(0).unwrap().ticks, b.proc(0).unwrap().ticks);
+    }
+
+    #[test]
+    fn with_proc_on_dead_process_returns_none() {
+        let mut sim = two_nodes(8);
+        sim.crash(1);
+        assert!(sim.with_proc(1, |_n, _c| 42).is_none());
+        assert_eq!(sim.with_proc(0, |_n, _c| 42), Some(42));
+    }
+}

@@ -1,0 +1,102 @@
+//! The messaging layer: what happens to a message once sent.
+//!
+//! Implementations decide latency, loss and connection breakage. The kernel
+//! consults the medium once per send; everything else (event ordering,
+//! delivery, crash filtering) is kernel business.
+
+use rand::rngs::StdRng;
+
+use crate::process::ProcId;
+use crate::time::{SimDuration, SimTime};
+
+/// Fate of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Delivered at the given instant.
+    Deliver {
+        /// Delivery instant (>= send time).
+        at: SimTime,
+    },
+    /// Not delivered; the sender's transport notices a broken connection at
+    /// `sender_notice` (TCP retransmission budget exhausted).
+    Break {
+        /// When the sender learns of the break.
+        sender_notice: SimTime,
+    },
+    /// Silently lost (no transport-level signal to the sender).
+    Drop,
+}
+
+/// The base messaging layer (the only part the paper swaps between its
+/// simulator and its ModelNet cluster).
+pub trait Medium {
+    /// Decides the fate of one `size`-byte message from `from` to `to`.
+    fn unicast(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        from: ProcId,
+        to: ProcId,
+        size: usize,
+    ) -> Verdict;
+
+    /// Informs the medium a process came up (join/restart).
+    fn node_up(&mut self, id: ProcId) {
+        let _ = id;
+    }
+
+    /// Informs the medium a process went down (crash).
+    fn node_down(&mut self, id: ProcId) {
+        let _ = id;
+    }
+}
+
+/// Loss-free medium with constant one-way latency; for unit tests.
+#[derive(Debug, Clone)]
+pub struct PerfectMedium {
+    /// One-way latency applied to every message.
+    pub latency: SimDuration,
+    down: std::collections::BTreeSet<ProcId>,
+    /// How long after sending to a dead peer the sender notices the break.
+    pub dead_peer_notice: SimDuration,
+}
+
+impl PerfectMedium {
+    /// Creates a perfect medium with the given one-way latency.
+    pub fn new(latency: SimDuration) -> Self {
+        PerfectMedium {
+            latency,
+            down: std::collections::BTreeSet::new(),
+            dead_peer_notice: SimDuration::from_secs(20),
+        }
+    }
+}
+
+impl Medium for PerfectMedium {
+    fn unicast(
+        &mut self,
+        now: SimTime,
+        _rng: &mut StdRng,
+        _from: ProcId,
+        to: ProcId,
+        _size: usize,
+    ) -> Verdict {
+        if self.down.contains(&to) {
+            Verdict::Break {
+                sender_notice: now + self.dead_peer_notice,
+            }
+        } else {
+            Verdict::Deliver {
+                at: now + self.latency,
+            }
+        }
+    }
+
+    fn node_up(&mut self, id: ProcId) {
+        self.down.remove(&id);
+    }
+
+    fn node_down(&mut self, id: ProcId) {
+        self.down.insert(id);
+    }
+}

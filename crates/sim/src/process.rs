@@ -1,0 +1,96 @@
+//! The process abstraction: protocol code as event handlers.
+
+use rand::rngs::StdRng;
+
+use crate::time::{SimDuration, SimTime};
+use crate::timer::{TimerHandle, TimerTable};
+
+/// Index of a simulated process (a "virtual node" in the paper's terms).
+pub type ProcId = u32;
+
+/// Message payload carried between processes.
+///
+/// `size_bytes` is the on-wire size used by the network model and the byte
+/// accounting; `class` is a short label used by message-rate metrics
+/// (Figure 10 distinguishes overlay maintenance from FUSE repair traffic).
+pub trait Payload: Clone {
+    /// On-wire size in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Metrics class label.
+    fn class(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A simulated process: boots, receives messages, and handles timers.
+///
+/// Handlers interact with the world exclusively through [`Ctx`]; this is what
+/// makes runs replayable and lets the same protocol code run over any
+/// [`crate::Medium`].
+pub trait Process: Sized {
+    /// Message payload type exchanged between processes of this kind.
+    type Msg: Payload;
+    /// Timer tag type (what a timer means to the protocol).
+    type Timer: Clone;
+
+    /// Called once when the process is added or restarted.
+    fn on_boot(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>);
+
+    /// Called when a message is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: ProcId, msg: Self::Msg);
+
+    /// Called when a live timer fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, tag: Self::Timer);
+
+    /// Called when the transport discovers a broken connection to `peer`
+    /// (e.g. TCP gave up retransmitting). Default: ignored.
+    fn on_link_broken(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, peer: ProcId) {
+        let _ = (ctx, peer);
+    }
+}
+
+/// Deferred effects produced by a handler, applied by the kernel afterwards.
+pub(crate) enum Action<M> {
+    Send { to: ProcId, msg: M },
+}
+
+/// Handler-side view of the world.
+///
+/// Sends are queued and performed by the kernel when the handler returns (in
+/// order); timers are armed immediately so the returned [`TimerHandle`] is
+/// usable right away.
+pub struct Ctx<'a, M, T> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The process this handler runs on.
+    pub self_id: ProcId,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) timers: &'a mut TimerTable<T>,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
+    pub(crate) new_timers: &'a mut Vec<(TimerHandle, SimTime)>,
+}
+
+impl<'a, M, T> Ctx<'a, M, T> {
+    /// Queues a message to `to`.
+    pub fn send(&mut self, to: ProcId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arms a timer firing `after` from now, carrying `tag`.
+    pub fn set_timer(&mut self, after: SimDuration, tag: T) -> TimerHandle {
+        let h = self.timers.arm(self.self_id, tag);
+        self.new_timers.push((h, self.now + after));
+        h
+    }
+
+    /// Cancels a previously armed timer; harmless if already fired.
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        self.timers.cancel(h);
+    }
+
+    /// Deterministic randomness for jitter and sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-process timer tables with O(1) arm/cancel and lazy heap removal.
+//!
+//! The kernel's event heap never deletes entries; a fired heap entry is
+//! checked against the table's generation counter, so cancelled or
+//! superseded timers are ignored when they surface. This is the standard
+//! timer-wheel trade: tiny constant cost at fire time instead of heap
+//! surgery at cancel time.
+
+use crate::process::ProcId;
+
+/// Handle identifying one armed timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle {
+    pub(crate) proc: ProcId,
+    pub(crate) slot: u32,
+    pub(crate) gen: u64,
+}
+
+impl TimerHandle {
+    /// Fabricates a handle outside any kernel — for test doubles of
+    /// timer-returning interfaces. A synthetic handle never matches a real
+    /// kernel timer.
+    pub fn synthetic(proc: ProcId, slot: u32, gen: u64) -> Self {
+        TimerHandle { proc, slot, gen }
+    }
+}
+
+struct Slot<T> {
+    gen: u64,
+    tag: Option<T>,
+}
+
+/// Timer storage for one process.
+pub struct TimerTable<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for TimerTable<T> {
+    fn default() -> Self {
+        TimerTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> TimerTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TimerTable::default()
+    }
+
+    /// Number of currently armed timers.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Arms a timer, returning its handle.
+    pub(crate) fn arm(&mut self, proc: ProcId, tag: T) -> TimerHandle {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.gen += 1;
+            s.tag = Some(tag);
+            TimerHandle {
+                proc,
+                slot,
+                gen: s.gen,
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot { gen: 1, tag: Some(tag) });
+            TimerHandle { proc, slot, gen: 1 }
+        }
+    }
+
+    /// Cancels `h` if still armed.
+    pub(crate) fn cancel(&mut self, h: TimerHandle) {
+        if let Some(s) = self.slots.get_mut(h.slot as usize) {
+            if s.gen == h.gen && s.tag.is_some() {
+                s.tag = None;
+                self.free.push(h.slot);
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Consumes the timer if `h` is still current, returning its tag.
+    pub(crate) fn fire(&mut self, h: TimerHandle) -> Option<T> {
+        let s = self.slots.get_mut(h.slot as usize)?;
+        if s.gen != h.gen {
+            return None;
+        }
+        let tag = s.tag.take();
+        if tag.is_some() {
+            self.free.push(h.slot);
+            self.live -= 1;
+        }
+        tag
+    }
+
+    /// Drops every armed timer (process crash).
+    pub(crate) fn clear(&mut self) {
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.tag.take().is_some() {
+                self.free.push(i as u32);
+            }
+            // Bump the generation so stale heap entries can never match.
+            s.gen += 1;
+        }
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_fire_consumes() {
+        let mut t: TimerTable<&str> = TimerTable::new();
+        let h = t.arm(0, "a");
+        assert_eq!(t.live(), 1);
+        assert_eq!(t.fire(h), Some("a"));
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.fire(h), None, "second fire is stale");
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut t: TimerTable<u32> = TimerTable::new();
+        let h = t.arm(0, 7);
+        t.cancel(h);
+        assert_eq!(t.fire(h), None);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_old_handles() {
+        let mut t: TimerTable<u32> = TimerTable::new();
+        let h1 = t.arm(0, 1);
+        t.cancel(h1);
+        let h2 = t.arm(0, 2);
+        assert_eq!(h1.slot, h2.slot, "slot should be reused");
+        assert_eq!(t.fire(h1), None, "old generation must not fire");
+        assert_eq!(t.fire(h2), Some(2));
+    }
+
+    #[test]
+    fn clear_drops_everything_and_invalidates() {
+        let mut t: TimerTable<u32> = TimerTable::new();
+        let hs: Vec<_> = (0..10).map(|i| t.arm(0, i)).collect();
+        t.clear();
+        assert_eq!(t.live(), 0);
+        for h in hs {
+            assert_eq!(t.fire(h), None);
+        }
+    }
+
+    #[test]
+    fn double_cancel_is_harmless() {
+        let mut t: TimerTable<u32> = TimerTable::new();
+        let h = t.arm(0, 1);
+        t.cancel(h);
+        t.cancel(h);
+        assert_eq!(t.live(), 0);
+        // Free list must not contain the slot twice.
+        let h2 = t.arm(0, 2);
+        let h3 = t.arm(0, 3);
+        assert_ne!(h2.slot, h3.slot);
+    }
+}

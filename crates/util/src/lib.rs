@@ -1,0 +1,21 @@
+//! Deterministic building blocks shared by every crate in the FUSE
+//! reproduction.
+//!
+//! The whole system is driven by a single seeded random number generator, so
+//! any source of nondeterminism (in particular the randomized hasher used by
+//! [`std::collections::HashMap`]) would break trace-level reproducibility.
+//! This crate provides:
+//!
+//! * [`det`] — hash maps and sets with a fixed (FNV-1a) hasher,
+//! * [`backoff`] — the capped exponential backoff used by FUSE group repair,
+//! * [`stats`] — percentile/CDF summaries used by tests and experiments,
+//! * [`idgen`] — deterministic unique-identifier generation.
+
+pub mod backoff;
+pub mod det;
+pub mod idgen;
+pub mod stats;
+
+pub use backoff::Backoff;
+pub use det::{DetHashMap, DetHashSet};
+pub use stats::{Cdf, Summary};

@@ -1,0 +1,269 @@
+//! Statistics helpers for experiments and tests.
+//!
+//! The paper reports 25th/50th/75th percentiles (Figures 7–8), CDFs
+//! (Figures 6, 9, 11) and simple rates (Figure 10). [`Summary`] and [`Cdf`]
+//! regenerate exactly those shapes.
+
+/// Streaming collection of samples with percentile extraction.
+///
+/// Samples are kept in full (experiments collect at most a few hundred
+/// thousand points) and sorted lazily on first query.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `q`-quantile (0.0 ..= 1.0) using nearest-rank
+    /// interpolation, or `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Smallest sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Consumes the summary, producing a full CDF.
+    pub fn into_cdf(mut self) -> Cdf {
+        self.ensure_sorted();
+        Cdf {
+            sorted: self.samples,
+        }
+    }
+}
+
+/// An empirical cumulative distribution function over collected samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Cdf { sorted: samples }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` (nearest rank).
+    pub fn value_at(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q));
+        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Renders the CDF as `(value, fraction)` points, downsampled to at most
+    /// `max_points` evenly spaced ranks — the series a plot would show.
+    pub fn series(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n.max(max_points) / max_points).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((*self.sorted.last().expect("non-empty"), 1.0));
+        }
+        out
+    }
+}
+
+/// Counts events per named class; renders rates over a time window.
+///
+/// Used for the Figure 10 "messages per second" accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ClassCounter {
+    counts: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl ClassCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        ClassCounter::default()
+    }
+
+    /// Adds one event of class `name`.
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Adds `n` events of class `name`.
+    pub fn bump_by(&mut self, name: &'static str, n: u64) {
+        *self.counts.entry(name).or_insert(0) += n;
+    }
+
+    /// Total events across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Count for one class.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(class, count)` in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Resets all counts to zero, keeping the class keys.
+    pub fn clear(&mut self) {
+        for v in self.counts.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut s = Summary::new();
+        for i in 1..=100 {
+            s.add(i as f64);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        let med = s.median().unwrap();
+        assert!((med - 50.5).abs() < 1e-9, "median {med}");
+        assert!((s.quantile(0.25).unwrap() - 25.75).abs() < 1e-9);
+        assert_eq!(s.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_summary_yields_none() {
+        let mut s = Summary::new();
+        assert_eq!(s.median(), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cdf_fraction_and_value_agree() {
+        let c = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(c.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(c.value_at(0.0), Some(1.0));
+        assert_eq!(c.value_at(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn cdf_series_is_monotone_and_ends_at_one() {
+        let c = Cdf::from_samples((0..1000).map(|i| i as f64).collect());
+        let pts = c.series(32);
+        assert!(pts.len() <= 34);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn class_counter_accumulates() {
+        let mut c = ClassCounter::new();
+        c.bump("ping");
+        c.bump("ping");
+        c.bump_by("ack", 3);
+        assert_eq!(c.get("ping"), 2);
+        assert_eq!(c.get("ack"), 3);
+        assert_eq!(c.total(), 5);
+        c.clear();
+        assert_eq!(c.total(), 0);
+    }
+}

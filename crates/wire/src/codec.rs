@@ -1,0 +1,456 @@
+//! Compact deterministic binary codec.
+//!
+//! Protocol messages implement [`Encode`]/[`Decode`] by hand (the codebase
+//! avoids proc-macro dependencies). Integers use LEB128 varints, so small
+//! values — the common case for counters and indices — cost one byte;
+//! fixed-width forms are available where the paper specifies exact sizes
+//! (the 20-byte SHA-1 digest travels as raw bytes).
+//!
+//! Every message's on-wire size is obtained by encoding into a counting
+//! writer; experiment byte accounting therefore reflects the real encoding.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::sha1::Digest;
+
+/// Encoding sink. Implemented for a growing buffer and for a pure counter.
+pub trait Writer {
+    /// Appends raw bytes.
+    fn put(&mut self, bytes: &[u8]);
+}
+
+/// Buffer-backed writer producing [`Bytes`].
+#[derive(Default)]
+pub struct BufWriter {
+    buf: BytesMut,
+}
+
+impl BufWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BufWriter::default()
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+impl Writer for BufWriter {
+    fn put(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+}
+
+/// Size-only writer: counts bytes without storing them.
+#[derive(Default)]
+pub struct CountWriter {
+    count: usize,
+}
+
+impl CountWriter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        CountWriter::default()
+    }
+
+    /// Bytes "written" so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl Writer for CountWriter {
+    fn put(&mut self, bytes: &[u8]) {
+        self.count += bytes.len();
+    }
+}
+
+/// Decoding error: truncated input or invalid representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A length prefix or discriminant was out of range.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decoding cursor over a byte slice.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Fails unless the whole input was consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Invalid("trailing bytes"))
+        }
+    }
+}
+
+/// Value that can be written to the wire.
+pub trait Encode {
+    /// Encodes `self` into `w`.
+    fn encode(&self, w: &mut dyn Writer);
+
+    /// On-wire size in bytes (by counting a real encode).
+    fn wire_size(&self) -> usize {
+        let mut c = CountWriter::new();
+        self.encode(&mut c);
+        c.count()
+    }
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut w = BufWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Value that can be read back from the wire.
+pub trait Decode: Sized {
+    /// Decodes one value, advancing the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a complete buffer, rejecting trailing bytes.
+    fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(data);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Writes a LEB128 varint.
+pub fn put_varint(w: &mut dyn Writer, mut v: u64) {
+    loop {
+        let mut byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v != 0 {
+            byte |= 0x80;
+        }
+        w.put(&[byte]);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn get_varint(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = r.take(1)?[0];
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::Invalid("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::Invalid("varint too long"));
+        }
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, *self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        get_varint(r)
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, u64::from(*self));
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = get_varint(r)?;
+        u32::try_from(v).map_err(|_| DecodeError::Invalid("u32 overflow"))
+    }
+}
+
+impl Encode for u16 {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, u64::from(*self));
+    }
+}
+
+impl Decode for u16 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = get_varint(r)?;
+        u16::try_from(v).map_err(|_| DecodeError::Invalid("u16 overflow"))
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, w: &mut dyn Writer) {
+        w.put(&[*self]);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut dyn Writer) {
+        w.put(&[u8::from(*self)]);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool")),
+        }
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, *self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = get_varint(r)?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid("usize overflow"))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, self.len() as u64);
+        w.put(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = get_varint(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid("utf-8"))
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = get_varint(r)? as usize;
+        // Guard against absurd length prefixes on truncated input.
+        if len > r.remaining().saturating_mul(8).saturating_add(16) {
+            return Err(DecodeError::Invalid("length prefix too large"));
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut dyn Writer) {
+        match self {
+            None => w.put(&[0]),
+            Some(v) => {
+                w.put(&[1]);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::Invalid("option tag")),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut dyn Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, w: &mut dyn Writer) {
+        put_varint(w, self.len() as u64);
+        w.put(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = get_varint(r)? as usize;
+        let raw = r.take(len)?;
+        Ok(Bytes::copy_from_slice(raw))
+    }
+}
+
+impl Encode for Digest {
+    fn encode(&self, w: &mut dyn Writer) {
+        // Fixed 20 bytes, exactly as the paper's piggyback hash.
+        w.put(&self.0);
+    }
+}
+
+impl Decode for Digest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let raw = r.take(20)?;
+        let mut d = [0u8; 20];
+        d.copy_from_slice(raw);
+        Ok(Digest(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.wire_size());
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        assert_eq!(5u64.wire_size(), 1);
+        assert_eq!(127u64.wire_size(), 1);
+        assert_eq!(128u64.wire_size(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_fails() {
+        let mut r = Reader::new(&[0x80]);
+        assert_eq!(get_varint(&mut r), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn overlong_varint_fails() {
+        let bytes = [0xff; 11];
+        let mut r = Reader::new(&bytes);
+        assert!(get_varint(&mut r).is_err());
+    }
+
+    #[test]
+    fn strings_and_vecs_roundtrip() {
+        roundtrip(String::from("fuse-group-1"));
+        roundtrip(String::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(42u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((7u64, String::from("x")));
+    }
+
+    #[test]
+    fn digest_is_exactly_20_wire_bytes() {
+        let d = crate::sha1::sha1(b"group list");
+        assert_eq!(d.wire_size(), 20);
+        roundtrip(d);
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_fail() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        assert!(u8::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // Vec claims 2^40 elements with 1 byte of payload.
+        let mut w = BufWriter::new();
+        put_varint(&mut w, 1 << 40);
+        let mut b = w.into_bytes().to_vec();
+        b.push(0);
+        assert!(Vec::<u64>::from_bytes(&b).is_err());
+    }
+}

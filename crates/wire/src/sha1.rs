@@ -1,0 +1,207 @@
+//! SHA-1 (FIPS 180-1), implemented from scratch.
+//!
+//! The allowed dependency set contains no cryptographic hash, and the paper's
+//! FUSE implementation piggybacks a 20-byte SHA-1 digest on overlay pings, so
+//! we implement the function here. SHA-1 is cryptographically broken for
+//! collision resistance, but the protocol only needs what the paper needed in
+//! 2004: a compact fingerprint whose accidental collision probability is
+//! negligible.
+
+/// A 20-byte SHA-1 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Digest of the empty message; used as the "no groups on this link"
+    /// sentinel by the piggyback layer.
+    pub fn of_empty() -> Self {
+        sha1(&[])
+    }
+
+    /// Hex rendering, mostly for debugging and test assertions.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            use std::fmt::Write as _;
+            write!(s, "{b:02x}").expect("write to String cannot fail");
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sha1:{}", &self.to_hex()[..12])
+    }
+}
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len_bytes: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len_bytes: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len_bytes = self.len_bytes.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finalizes and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len_bytes.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // Manual final block write: appending the length must not re-count it.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_180_1_vectors() {
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_at_every_split() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        let expect = sha1(&data);
+        for split in 0..data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn digest_is_20_bytes_as_the_paper_states() {
+        assert_eq!(std::mem::size_of::<Digest>(), 20);
+    }
+}

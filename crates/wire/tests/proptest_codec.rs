@@ -1,0 +1,66 @@
+//! Property tests for the wire codec: round-trip fidelity and decoder
+//! robustness against arbitrary (hostile) inputs.
+
+use bytes::Bytes;
+use fuse_wire::{sha1, Decode, Encode};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let b = v.to_bytes();
+        prop_assert_eq!(u64::from_bytes(&b).unwrap(), v);
+        prop_assert_eq!(b.len(), v.wire_size());
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,64}") {
+        let owned = s.to_string();
+        let b = owned.to_bytes();
+        prop_assert_eq!(String::from_bytes(&b).unwrap(), owned);
+    }
+
+    #[test]
+    fn vec_of_pairs_roundtrip(v in prop::collection::vec((any::<u64>(), any::<u32>()), 0..32)) {
+        let b = v.to_bytes();
+        prop_assert_eq!(Vec::<(u64, u32)>::from_bytes(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn option_bytes_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..128), some in any::<bool>()) {
+        let v = if some { Some(Bytes::from(payload)) } else { None };
+        let b = v.to_bytes();
+        prop_assert_eq!(Option::<Bytes>::from_bytes(&b).unwrap(), v);
+    }
+
+    /// The decoder must never panic on arbitrary input — only return
+    /// errors. (This is the property that makes hostile peers survivable.)
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = u64::from_bytes(&data);
+        let _ = String::from_bytes(&data);
+        let _ = Vec::<u64>::from_bytes(&data);
+        let _ = Option::<Bytes>::from_bytes(&data);
+        let _ = fuse_wire::Digest::from_bytes(&data);
+    }
+
+    /// Truncating a valid encoding must produce an error, never a panic or
+    /// a silent success (except the degenerate zero-truncation).
+    #[test]
+    fn truncation_is_detected(v in prop::collection::vec(any::<u64>(), 1..16), cut in 1usize..8) {
+        let b = v.to_bytes();
+        let cut = cut.min(b.len());
+        let truncated = &b[..b.len() - cut];
+        prop_assert!(Vec::<u64>::from_bytes(truncated).is_err());
+    }
+
+    /// Incremental SHA-1 equals one-shot on arbitrary splits.
+    #[test]
+    fn sha1_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+        let k = split.index(data.len() + 1);
+        let mut h = fuse_wire::Sha1::new();
+        h.update(&data[..k]);
+        h.update(&data[k..]);
+        prop_assert_eq!(h.finalize(), sha1(&data));
+    }
+}

@@ -1,0 +1,25 @@
+//! FUSE reproduction — umbrella crate.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`core`] — the FUSE failure notification groups (the paper's
+//!   contribution),
+//! * [`overlay`] — the SkipNet-style overlay FUSE piggybacks on,
+//! * [`net`] — the wide-area network substrate (topology, TCP model,
+//!   failure injection),
+//! * [`sim`] — the deterministic discrete-event kernel,
+//! * [`svtree`] — the Subscriber/Volunteer multicast-tree application,
+//! * [`harness`] — experiments regenerating every figure/table,
+//! * [`wire`], [`util`] — codec/SHA-1 and deterministic building blocks.
+//!
+//! Start with `examples/quickstart.rs`, then DESIGN.md for the map.
+
+pub use fuse_core as core;
+pub use fuse_harness as harness;
+pub use fuse_net as net;
+pub use fuse_overlay as overlay;
+pub use fuse_sim as sim;
+pub use fuse_svtree as svtree;
+pub use fuse_util as util;
+pub use fuse_wire as wire;

@@ -1,0 +1,88 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack};
+use fuse_net::{NetConfig, Network, TopologyConfig};
+use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
+use fuse_sim::{ProcId, Sim, SimDuration, SimTime};
+
+/// Minimal recording application.
+#[derive(Default)]
+pub struct Rec {
+    /// All FUSE events with timestamps.
+    pub events: Vec<(SimTime, FuseUpcall)>,
+}
+
+impl FuseApp for Rec {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+        self.events.push((api.now(), ev));
+    }
+}
+
+pub type World = Sim<NodeStack<Rec>, Network>;
+
+/// Builds an `n`-node world over the wide-area network model with
+/// converged overlay tables.
+pub fn world(n: usize, seed: u64) -> (World, Vec<NodeInfo>) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xabc);
+    let mut topo = TopologyConfig::default();
+    topo.n_as = 24; // Smaller topology for test speed; same structure.
+    let net = Network::generate(&topo, n, NetConfig::simulator(), &mut rng);
+    let infos: Vec<NodeInfo> = (0..n)
+        .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
+        .collect();
+    let ov = OverlayConfig::default();
+    let tables = build_oracle_tables(&infos, &ov);
+    let mut sim = Sim::new(seed, net);
+    for (info, (cw, ccw, rt)) in infos.iter().zip(tables) {
+        let mut stack = NodeStack::new(
+            info.clone(),
+            None,
+            ov.clone(),
+            FuseConfig::default(),
+            Rec::default(),
+        );
+        stack.overlay.preload_tables(cw, ccw, rt);
+        sim.add_process(stack);
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    (sim, infos)
+}
+
+/// Creates a group and runs until the `Created` event lands.
+pub fn create(sim: &mut World, infos: &[NodeInfo], root: ProcId, members: &[ProcId]) -> FuseId {
+    let others: Vec<NodeInfo> = members.iter().map(|&m| infos[m as usize].clone()).collect();
+    let id = sim
+        .with_proc(root, |stack, ctx| {
+            stack.with_api(ctx, |api, _| api.create_group(others, 1))
+        })
+        .expect("root alive");
+    sim.run_for(SimDuration::from_secs(10));
+    let ok = sim.proc(root).unwrap().app.events.iter().any(
+        |(_, ev)| matches!(ev, FuseUpcall::Created { result: Ok(g), .. } if *g == id),
+    );
+    assert!(ok, "creation must complete");
+    id
+}
+
+/// Failure notification timestamps for `id` at `node`.
+pub fn failures(sim: &World, node: ProcId, id: FuseId) -> Vec<SimTime> {
+    sim.proc(node)
+        .map(|s| {
+            s.app
+                .events
+                .iter()
+                .filter(|(_, ev)| matches!(ev, FuseUpcall::Failure { id: g } if *g == id))
+                .map(|&(t, _)| t)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Asserts no node holds any state for `id`.
+pub fn assert_no_orphans(sim: &World, id: FuseId) {
+    for p in 0..sim.process_count() as ProcId {
+        if let Some(s) = sim.proc(p) {
+            assert!(!s.fuse.knows_group(id), "node {p} still holds {id}");
+        }
+    }
+}

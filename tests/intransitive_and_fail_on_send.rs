@@ -1,0 +1,117 @@
+//! §3.4's fail-on-send scenarios: failures FUSE cannot see on its own
+//! monitored paths, which the *application* converts into notifications.
+
+mod common;
+
+use bytes::Bytes;
+use common::{assert_no_orphans, create, failures, world};
+use fuse_sim::SimDuration;
+
+/// Intransitive connectivity: A cannot reach C, but both answer FUSE's
+/// liveness checks through other paths. Only when A *tries to send* to C
+/// does the application notice and signal — and FUSE still guarantees
+/// delivery of the notification to all members.
+#[test]
+fn intransitive_failure_converts_to_group_notification() {
+    let (mut sim, infos) = world(24, 21);
+    let (a, c) = (3u32, 9u32);
+    let id = create(&mut sim, &infos, 0, &[a, c]);
+    // The blackhole affects only the a->c direction.
+    sim.medium_mut().fault_mut().add_blackhole(a, c);
+    // Liveness checking does not traverse a->c directly; the group
+    // survives a long quiet period.
+    sim.run_for(SimDuration::from_secs(400));
+    for m in [0, a, c] {
+        assert!(
+            failures(&sim, m, id).is_empty(),
+            "FUSE alone must not notice the intransitive hole (node {m})"
+        );
+    }
+    // The application on A attempts an RPC to C; the transport reports the
+    // broken connection; A implements fail-on-send by signalling the group.
+    sim.with_proc(a, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.send_app(c, Bytes::from_static(b"data")))
+    });
+    // The TCP model gives up after its retry budget (~63 s), then A's
+    // application signals.
+    sim.run_for(SimDuration::from_secs(90));
+    sim.with_proc(a, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.run_for(SimDuration::from_secs(60));
+    for m in [0, a, c] {
+        assert_eq!(
+            failures(&sim, m, id).len(),
+            1,
+            "node {m} must hear the explicitly signalled failure"
+        );
+    }
+    assert_no_orphans(&sim, id);
+}
+
+/// Groups sharing a node but not the failed path keep working (§2's
+/// membership-service contrast: failure is per-group, not per-node).
+#[test]
+fn per_group_failure_does_not_condemn_the_node() {
+    let (mut sim, infos) = world(24, 22);
+    let shared = 7u32;
+    let id_bad = create(&mut sim, &infos, 0, &[shared, 14]);
+    let id_good = create(&mut sim, &infos, 1, &[shared, 20]);
+    sim.run_for(SimDuration::from_secs(20));
+    // The application declares only the first group failed.
+    sim.with_proc(shared, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id_bad))
+    });
+    sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(failures(&sim, shared, id_bad).len(), 1);
+    assert!(
+        failures(&sim, shared, id_good).is_empty(),
+        "the shared node's other group must keep working"
+    );
+    // And it keeps working for a long time after.
+    sim.run_for(SimDuration::from_secs(600));
+    for m in [1u32, shared, 20] {
+        assert!(failures(&sim, m, id_good).is_empty(), "node {m}");
+    }
+}
+
+/// Signalling an already-failed group is a harmless no-op (the fuse only
+/// burns once).
+#[test]
+fn double_signal_is_idempotent() {
+    let (mut sim, infos) = world(16, 23);
+    let id = create(&mut sim, &infos, 0, &[4, 8]);
+    sim.run_for(SimDuration::from_secs(5));
+    sim.with_proc(4, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.run_for(SimDuration::from_secs(30));
+    sim.with_proc(8, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.with_proc(4, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.run_for(SimDuration::from_secs(60));
+    for m in [0u32, 4, 8] {
+        assert_eq!(failures(&sim, m, id).len(), 1, "node {m}");
+    }
+}
+
+/// Late registration after the group already failed: immediate callback
+/// (§3.1/§3.2 — "FUSE state is never orphaned by failures").
+#[test]
+fn late_registration_fires_immediately() {
+    let (mut sim, infos) = world(16, 24);
+    let id = create(&mut sim, &infos, 0, &[4]);
+    sim.with_proc(0, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id))
+    });
+    sim.run_for(SimDuration::from_secs(30));
+    // A third party that learned the ID out of band registers afterwards.
+    sim.with_proc(9, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.register_handler(id))
+    });
+    sim.run_for(SimDuration::from_millis(100));
+    assert_eq!(failures(&sim, 9, id).len(), 1, "immediate callback expected");
+}

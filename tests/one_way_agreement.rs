@@ -1,0 +1,157 @@
+//! The paper's core guarantee, tested as a property: **distributed one-way
+//! agreement**. For arbitrary fault scripts — crashes, disconnects,
+//! partitions, explicit signals — once the group is declared failed, every
+//! live member hears exactly one notification within a bounded time, and no
+//! node is left with orphaned group state.
+
+mod common;
+
+use common::{assert_no_orphans, create, failures, world};
+use fuse_sim::{ProcId, SimDuration};
+use proptest::prelude::*;
+
+/// One scripted fault against one group member or its network.
+#[derive(Debug, Clone)]
+enum Fault {
+    Crash(usize),
+    Disconnect(usize),
+    Signal(usize),
+    PartitionOff(usize),
+}
+
+fn fault_strategy(members: usize) -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0..members).prop_map(Fault::Crash),
+        (0..members).prop_map(Fault::Disconnect),
+        (0..members).prop_map(Fault::Signal),
+        (0..members).prop_map(Fault::PartitionOff),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // Each case simulates ~10 minutes of a 24-node system.
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_live_member_notified_exactly_once(
+        seed in 0u64..1000,
+        size in 2usize..6,
+        fault in fault_strategy(5),
+        delay_s in 1u64..120,
+    ) {
+        let n = 24;
+        let (mut sim, infos) = world(n, seed);
+        // Group: root 0 plus `size` members spread over the ring.
+        let members: Vec<ProcId> = (1..=size as ProcId).map(|k| (k * 5) % n as ProcId).collect();
+        let id = create(&mut sim, &infos, 0, &members);
+        sim.run_for(SimDuration::from_secs(delay_s));
+
+        let all: Vec<ProcId> = std::iter::once(0).chain(members.iter().copied()).collect();
+        let victim = all[fault.index() % all.len()];
+        let mut victim_is_live = true;
+        match fault {
+            Fault::Crash(_) => {
+                sim.crash(victim);
+                victim_is_live = false;
+            }
+            Fault::Disconnect(_) => {
+                sim.medium_mut().fault_mut().disconnect(victim);
+            }
+            Fault::Signal(_) => {
+                sim.with_proc(victim, |stack, ctx| {
+                    stack.with_api(ctx, |api, _| api.signal_failure(id))
+                });
+            }
+            Fault::PartitionOff(_) => {
+                sim.medium_mut().fault_mut().set_partition(victim, 1);
+            }
+        }
+
+        // Bound: ping period (60) + ping timeout (20) + root repair (120)
+        // plus propagation margin.
+        sim.run_for(SimDuration::from_secs(300));
+
+        for &m in &all {
+            let hits = failures(&sim, m, id).len();
+            if m == victim && !victim_is_live {
+                continue; // Crashed nodes hear nothing.
+            }
+            prop_assert_eq!(
+                hits, 1,
+                "node {} heard {} notifications (fault {:?} on {})",
+                m, hits, fault, victim
+            );
+        }
+        assert_no_orphans(&sim, id);
+    }
+}
+
+impl Fault {
+    fn index(&self) -> usize {
+        match self {
+            Fault::Crash(i) | Fault::Disconnect(i) | Fault::Signal(i) | Fault::PartitionOff(i) => {
+                *i
+            }
+        }
+    }
+}
+
+/// Double faults: two members fail near-simultaneously; survivors still
+/// agree (exactly one notification each).
+#[test]
+fn double_crash_still_converges() {
+    for seed in [1u64, 2, 3] {
+        let (mut sim, infos) = world(24, seed);
+        let members = [5u32, 10, 15, 20];
+        let id = create(&mut sim, &infos, 0, &members);
+        sim.run_for(SimDuration::from_secs(30));
+        sim.crash(5);
+        sim.run_for(SimDuration::from_secs(3));
+        sim.crash(15);
+        sim.run_for(SimDuration::from_secs(400));
+        for m in [0u32, 10, 20] {
+            assert_eq!(failures(&sim, m, id).len(), 1, "seed {seed} node {m}");
+        }
+        assert_no_orphans(&sim, id);
+    }
+}
+
+/// A full partition: both sides must independently conclude failure.
+#[test]
+fn partition_notifies_both_sides() {
+    let (mut sim, infos) = world(24, 9);
+    let members = [6u32, 12, 18];
+    let id = create(&mut sim, &infos, 0, &members);
+    sim.run_for(SimDuration::from_secs(30));
+    // Nodes 12 and 18 end up on the minority side.
+    for p in 12..24u32 {
+        sim.medium_mut().fault_mut().set_partition(p, 1);
+    }
+    sim.run_for(SimDuration::from_secs(400));
+    for m in [0u32, 6, 12, 18] {
+        assert_eq!(
+            failures(&sim, m, id).len(),
+            1,
+            "node {m} must hear on its side of the partition"
+        );
+    }
+    assert_no_orphans(&sim, id);
+}
+
+/// Healing the partition after notification must not resurrect anything.
+#[test]
+fn healed_partition_leaves_no_ghosts() {
+    let (mut sim, infos) = world(16, 11);
+    let id = create(&mut sim, &infos, 0, &[4, 8]);
+    sim.run_for(SimDuration::from_secs(10));
+    sim.medium_mut().fault_mut().set_partition(4, 1);
+    sim.run_for(SimDuration::from_secs(400));
+    sim.medium_mut().fault_mut().heal_partitions();
+    sim.run_for(SimDuration::from_secs(300));
+    for m in [0u32, 4, 8] {
+        assert_eq!(failures(&sim, m, id).len(), 1, "node {m}");
+    }
+    assert_no_orphans(&sim, id);
+}
