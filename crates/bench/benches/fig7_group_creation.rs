@@ -16,7 +16,11 @@ fn main() {
 
     p.net = NetConfig::simulator();
     let mut r = run(&p);
-    println!("simulator profile, n={} (paper: ~half the cluster latency):\n{}", p.n, render(&mut r));
+    println!(
+        "simulator profile, n={} (paper: ~half the cluster latency):\n{}",
+        p.n,
+        render(&mut r)
+    );
 
     if scale() == Scale::Paper {
         p.n = 16_000;

@@ -14,7 +14,9 @@ fn bench_sha1(c: &mut Criterion) {
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xabu8; size];
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| b.iter(|| sha1(std::hint::black_box(&data))));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha1(std::hint::black_box(&data)))
+        });
     }
     g.finish();
 }
@@ -105,5 +107,31 @@ fn bench_kernel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha1, bench_codec, bench_routing, bench_kernel);
+/// The acceptance-criteria bench: 1k processes × periodic liveness-ping
+/// timers, timing-wheel kernel vs the preserved single-heap baseline.
+/// `bench_runner` runs the same workload with an allocation counter and
+/// writes `BENCH_PR1.json`.
+fn bench_sim_event_throughput(c: &mut Criterion) {
+    use fuse_bench::kernel_bench::{run_baseline, run_wheel, KernelBenchConfig};
+    let cfg = KernelBenchConfig::paper();
+    let events = run_wheel(&cfg);
+    let mut g = c.benchmark_group("sim_event_throughput");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("wheel_1k_procs", |b| {
+        b.iter(|| std::hint::black_box(run_wheel(&cfg)))
+    });
+    g.bench_function("heap_baseline_1k_procs", |b| {
+        b.iter(|| std::hint::black_box(run_baseline(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_codec,
+    bench_routing,
+    bench_kernel,
+    bench_sim_event_throughput
+);
 criterion_main!(benches);

@@ -17,9 +17,15 @@ fn main() {
     }
     p.volunteer_fraction = 0.25;
     let r = run(&p);
-    println!("with 25% volunteers (paper's 2.9-member mean sits in this regime):\n{}", render(&r));
+    println!(
+        "with 25% volunteers (paper's 2.9-member mean sits in this regime):\n{}",
+        render(&r)
+    );
     p.volunteer_fraction = 0.0;
     let r = run(&p);
-    println!("without volunteers (bypass sets grow to full route prefixes):\n{}", render(&r));
+    println!(
+        "without volunteers (bypass sets grow to full route prefixes):\n{}",
+        render(&r)
+    );
     footer(t);
 }

@@ -1,0 +1,51 @@
+//! Allocation counting for benchmarks.
+//!
+//! A thin wrapper over the system allocator that counts allocation calls.
+//! Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: fuse_bench::alloc_count::CountingAlloc =
+//!     fuse_bench::alloc_count::CountingAlloc;
+//! ```
+//!
+//! and then read deltas via [`snapshot`]. When the allocator is not
+//! installed, [`installed`] stays `false` and readings are meaningless —
+//! the bench runner reports `null` for allocs/event in that case.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// System allocator wrapper counting `alloc`/`realloc` calls.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        INSTALLED.store(true, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Whether the counting allocator has served at least one allocation (i.e.
+/// it is installed as the global allocator).
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Current allocation-call count; subtract two snapshots for a delta.
+pub fn snapshot() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,74 @@
+//! Bench runner: measures kernel event throughput (timing-wheel kernel vs
+//! the preserved single-heap baseline) and emits the machine-readable
+//! trajectory file `BENCH_PR1.json`.
+//!
+//! ```text
+//! cargo run --release -p fuse_bench --bin bench_runner            # paper scale
+//! FUSE_BENCH_SCALE=quick cargo run -p fuse_bench --bin bench_runner  # CI smoke
+//! BENCH_OUT=path.json      # output path (default BENCH_PR1.json)
+//! BENCH_REPS=5             # wall-clock repetitions (best is reported)
+//! ```
+
+use fuse_bench::kernel_bench::{self, KernelBenchConfig};
+use fuse_bench::{banner, footer, scale, Scale};
+
+#[global_allocator]
+static ALLOC: fuse_bench::alloc_count::CountingAlloc = fuse_bench::alloc_count::CountingAlloc;
+
+fn main() {
+    let start = banner("sim_event_throughput (wheel kernel vs heap baseline)");
+    let cfg = match scale() {
+        Scale::Paper => KernelBenchConfig::paper(),
+        Scale::Quick => KernelBenchConfig::quick(),
+    };
+    let reps: u32 = std::env::var("BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+
+    println!(
+        "config: {} processes, {} ping period, {} sim time, seed {}, {} reps",
+        cfg.processes, cfg.ping_period, cfg.sim_time, cfg.seed, reps
+    );
+
+    let wheel = kernel_bench::measure(reps, || kernel_bench::run_wheel(&cfg));
+    println!(
+        "wheel:    {:>10} events  {:>8.3} Mev/s  {:>7.1} ns/event  allocs/event: {}",
+        wheel.events,
+        wheel.events_per_sec / 1e6,
+        wheel.ns_per_event,
+        wheel
+            .allocs_per_event
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    let baseline = kernel_bench::measure(reps, || kernel_bench::run_baseline(&cfg));
+    println!(
+        "baseline: {:>10} events  {:>8.3} Mev/s  {:>7.1} ns/event  allocs/event: {}",
+        baseline.events,
+        baseline.events_per_sec / 1e6,
+        baseline.ns_per_event,
+        baseline
+            .allocs_per_event
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    assert_eq!(
+        wheel.events, baseline.events,
+        "kernels disagreed on executed events — not comparable"
+    );
+    println!(
+        "speedup (ns/event): {:.2}x",
+        baseline.ns_per_event / wheel.ns_per_event
+    );
+
+    let doc = kernel_bench::render_json(&cfg, reps, &wheel, &baseline);
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("error: cannot write bench JSON to {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    footer(start);
+}

@@ -1,0 +1,382 @@
+//! Kernel event-throughput benchmark: the paper's dominant simulation
+//! workload (a fleet of processes arming periodic liveness-ping timers and
+//! exchanging the resulting pings), runnable against both the timing-wheel
+//! kernel ([`fuse_sim::Sim`]) and the preserved single-heap kernel
+//! ([`fuse_sim::BaselineSim`]).
+//!
+//! Used two ways:
+//!
+//! * `benches/micro.rs` wraps [`run_wheel`]/[`run_baseline`] in criterion's
+//!   sampler (`sim_event_throughput/*`);
+//! * `src/bin/bench_runner.rs` measures both with wall clocks and an
+//!   allocation counter and emits the `BENCH_PR1.json` trajectory stake.
+
+use fuse_sim::process::{Ctx, Payload, ProcId, Process};
+use fuse_sim::{BaselineSim, PerfectMedium, Sim, SimDuration};
+use rand::Rng;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelBenchConfig {
+    /// Simulated processes (paper scale: thousands).
+    pub processes: u32,
+    /// FUSE groups each process belongs to (one ping+timeout per group per
+    /// period).
+    pub groups: u8,
+    /// Liveness-ping period.
+    pub ping_period: SimDuration,
+    /// Ping timeout (cancelled by the pong; the paper uses 20 s against a
+    /// 60 s period — the same 1:3 shape scaled down here).
+    pub ping_timeout: SimDuration,
+    /// One-way message latency of the perfect medium.
+    pub latency: SimDuration,
+    /// Simulated time to run after boot.
+    pub sim_time: SimDuration,
+    /// Kernel RNG seed.
+    pub seed: u64,
+}
+
+impl KernelBenchConfig {
+    /// The acceptance-criteria configuration: 1k processes × periodic
+    /// timers.
+    pub fn paper() -> Self {
+        KernelBenchConfig {
+            processes: 1_000,
+            groups: 8,
+            ping_period: SimDuration::from_secs(1),
+            ping_timeout: SimDuration::from_secs(5),
+            latency: SimDuration::from_millis(50),
+            sim_time: SimDuration::from_secs(30),
+            seed: 42,
+        }
+    }
+
+    /// Reduced size for CI smoke runs.
+    pub fn quick() -> Self {
+        KernelBenchConfig {
+            processes: 200,
+            sim_time: SimDuration::from_secs(5),
+            ..KernelBenchConfig::paper()
+        }
+    }
+}
+
+/// Liveness probe, shaped like FUSE's: group id, sequence number, and the
+/// 20-byte SHA-1 digest of the group's membership list the paper piggybacks
+/// on every ping (§5). The payload travels inline through the kernel, so
+/// its size is what the pre-rewrite heap moved on every sift.
+#[derive(Clone)]
+pub struct Probe {
+    /// Group this probe checks.
+    pub group: u32,
+    /// Monotone per-edge sequence number.
+    pub seq: u64,
+    /// Membership-list digest (constant here; content is irrelevant to the
+    /// scheduler, size is not).
+    pub digest: [u8; 20],
+    /// `false` = ping, `true` = pong.
+    pub is_pong: bool,
+}
+
+impl Payload for Probe {
+    fn size_bytes(&self) -> usize {
+        // varint group + varint seq + digest + flag, roughly.
+        34
+    }
+
+    fn class(&self) -> &'static str {
+        "ping"
+    }
+}
+
+/// Timer tags of the liveness pattern.
+#[derive(Clone)]
+pub enum Tag {
+    /// The per-period ping timer.
+    PingAll,
+    /// Ping-timeout for the group at this slot; cancelled when the pong
+    /// arrives (lazily — the queue entry stays until its deadline, exactly
+    /// the population a real FUSE steady state parks in the scheduler).
+    Timeout(u8),
+}
+
+/// A node in `groups` FUSE groups: every period it pings one peer per
+/// group (digest piggybacked), arms a timeout per ping, and cancels the
+/// timeout when the pong returns — the paper's steady-state liveness
+/// checking (§5, §7.5), with boot-time jitter spreading arms across the
+/// period.
+pub struct Pinger {
+    n: u32,
+    groups: u8,
+    period: SimDuration,
+    timeout: SimDuration,
+    seq: u64,
+    sent: u64,
+    got: u64,
+    suspicions: u64,
+    pending: Vec<Option<TimerHandle>>,
+}
+
+use fuse_sim::TimerHandle;
+
+impl Pinger {
+    fn new(cfg: &KernelBenchConfig) -> Self {
+        Pinger {
+            n: cfg.processes,
+            groups: cfg.groups,
+            period: cfg.ping_period,
+            timeout: cfg.ping_timeout,
+            seq: 0,
+            sent: 0,
+            got: 0,
+            suspicions: 0,
+            pending: vec![None; cfg.groups as usize],
+        }
+    }
+
+    fn peer(&self, me: ProcId, g: u8) -> ProcId {
+        // One distinct peer per group, spread over the ring.
+        (me + u32::from(g) * 7 + 1) % self.n
+    }
+}
+
+impl Process for Pinger {
+    type Msg = Probe;
+    type Timer = Tag;
+
+    fn on_boot(&mut self, ctx: &mut Ctx<'_, Probe, Tag>) {
+        let jitter = SimDuration(ctx.rng().gen_range(0..=self.period.nanos()));
+        ctx.set_timer(jitter, Tag::PingAll);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Probe, Tag>, from: ProcId, msg: Probe) {
+        self.got += 1;
+        if msg.is_pong {
+            // Pong: the peer is alive; cancel that group's timeout.
+            let slot = msg.group as usize % self.pending.len();
+            if let Some(h) = self.pending[slot].take() {
+                ctx.cancel_timer(h);
+            }
+        } else {
+            ctx.send(
+                from,
+                Probe {
+                    is_pong: true,
+                    ..msg
+                },
+            );
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Probe, Tag>, tag: Tag) {
+        match tag {
+            Tag::PingAll => {
+                for g in 0..self.groups {
+                    let to = self.peer(ctx.self_id, g);
+                    self.seq += 1;
+                    self.sent += 1;
+                    ctx.send(
+                        to,
+                        Probe {
+                            group: u32::from(g),
+                            seq: self.seq,
+                            digest: [0xfu8; 20],
+                            is_pong: false,
+                        },
+                    );
+                    // Supersedes any still-armed timeout for this slot.
+                    if let Some(h) = self.pending[g as usize].take() {
+                        ctx.cancel_timer(h);
+                    }
+                    self.pending[g as usize] = Some(ctx.set_timer(self.timeout, Tag::Timeout(g)));
+                }
+                ctx.set_timer(self.period, Tag::PingAll);
+            }
+            Tag::Timeout(g) => {
+                // Would trigger group failure notification in the protocol.
+                self.suspicions += 1;
+                self.pending[g as usize] = None;
+            }
+        }
+    }
+}
+
+/// Builds and runs the workload on the timing-wheel kernel; returns
+/// executed events.
+pub fn run_wheel(cfg: &KernelBenchConfig) -> u64 {
+    let mut sim = Sim::new(cfg.seed, PerfectMedium::new(cfg.latency));
+    for _ in 0..cfg.processes {
+        sim.add_process(Pinger::new(cfg));
+    }
+    sim.run_for(cfg.sim_time);
+    sim.events_executed()
+}
+
+/// Same workload on the single-heap baseline kernel.
+pub fn run_baseline(cfg: &KernelBenchConfig) -> u64 {
+    let mut sim = BaselineSim::new(cfg.seed, PerfectMedium::new(cfg.latency));
+    for _ in 0..cfg.processes {
+        sim.add_process(Pinger::new(cfg));
+    }
+    sim.run_for(cfg.sim_time);
+    sim.events_executed()
+}
+
+/// One kernel's measurement.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// Executed events per run.
+    pub events: u64,
+    /// Best wall-clock seconds over the repetitions.
+    pub wall_s: f64,
+    /// events / wall_s.
+    pub events_per_sec: f64,
+    /// wall_s / events, in nanoseconds.
+    pub ns_per_event: f64,
+    /// Allocator calls per event (`None` when the counting allocator is
+    /// not installed).
+    pub allocs_per_event: Option<f64>,
+}
+
+/// Measures `run` (best-of-`reps` wall clock, allocation delta from the
+/// median run).
+pub fn measure(reps: u32, run: impl Fn() -> u64) -> KernelMeasurement {
+    assert!(reps > 0);
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut allocs_per_event = None;
+    for _ in 0..reps {
+        let allocs_before = crate::alloc_count::snapshot();
+        let t0 = std::time::Instant::now();
+        events = run();
+        let wall = t0.elapsed().as_secs_f64();
+        let allocs = crate::alloc_count::snapshot() - allocs_before;
+        if wall < best_wall {
+            best_wall = wall;
+            if crate::alloc_count::installed() {
+                allocs_per_event = Some(allocs as f64 / events as f64);
+            }
+        }
+    }
+    KernelMeasurement {
+        events,
+        wall_s: best_wall,
+        events_per_sec: events as f64 / best_wall,
+        ns_per_event: best_wall * 1e9 / events as f64,
+        allocs_per_event,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the `BENCH_PR1.json` document (hand-rolled: the workspace has no
+/// serde).
+pub fn render_json(
+    cfg: &KernelBenchConfig,
+    reps: u32,
+    wheel: &KernelMeasurement,
+    baseline: &KernelMeasurement,
+) -> String {
+    let speedup = baseline.ns_per_event / wheel.ns_per_event;
+    let kernel = |m: &KernelMeasurement| {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"events\": {},\n",
+                "      \"wall_s\": {},\n",
+                "      \"events_per_sec\": {},\n",
+                "      \"ns_per_event\": {},\n",
+                "      \"allocs_per_event\": {}\n",
+                "    }}"
+            ),
+            m.events,
+            json_f64(m.wall_s),
+            json_f64(m.events_per_sec),
+            json_f64(m.ns_per_event),
+            m.allocs_per_event
+                .map(json_f64)
+                .unwrap_or_else(|| "null".to_string()),
+        )
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sim_event_throughput\",\n",
+            "  \"pr\": 1,\n",
+            "  \"description\": \"Discrete-event kernel throughput on the paper's dominant workload: ",
+            "N processes arming periodic liveness-ping timers (timing-wheel kernel vs the pre-rewrite ",
+            "single-heap kernel)\",\n",
+            "  \"config\": {{\n",
+            "    \"processes\": {},\n",
+            "    \"groups_per_process\": {},\n",
+            "    \"ping_period_s\": {},\n",
+            "    \"ping_timeout_s\": {},\n",
+            "    \"latency_ms\": {},\n",
+            "    \"sim_time_s\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"repetitions\": {},\n",
+            "    \"measurement\": \"best wall clock over repetitions, release profile\"\n",
+            "  }},\n",
+            "  \"kernels\": {{\n",
+            "    \"wheel\": {},\n",
+            "    \"heap_baseline\": {}\n",
+            "  }},\n",
+            "  \"speedup_ns_per_event\": {}\n",
+            "}}\n"
+        ),
+        cfg.processes,
+        cfg.groups,
+        json_f64(cfg.ping_period.as_secs_f64()),
+        json_f64(cfg.ping_timeout.as_secs_f64()),
+        json_f64(cfg.latency.as_millis_f64()),
+        json_f64(cfg.sim_time.as_secs_f64()),
+        cfg.seed,
+        reps,
+        kernel(wheel),
+        kernel(baseline),
+        json_f64(speedup),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kernels_execute_identical_event_counts() {
+        let cfg = KernelBenchConfig {
+            processes: 50,
+            sim_time: SimDuration::from_secs(3),
+            ..KernelBenchConfig::paper()
+        };
+        assert_eq!(run_wheel(&cfg), run_baseline(&cfg));
+    }
+
+    #[test]
+    fn json_has_required_fields() {
+        let cfg = KernelBenchConfig::quick();
+        let m = KernelMeasurement {
+            events: 1000,
+            wall_s: 0.5,
+            events_per_sec: 2000.0,
+            ns_per_event: 500_000.0,
+            allocs_per_event: None,
+        };
+        let doc = render_json(&cfg, 3, &m, &m);
+        for key in [
+            "\"events_per_sec\"",
+            "\"ns_per_event\"",
+            "\"allocs_per_event\"",
+            "\"seed\"",
+            "\"speedup_ns_per_event\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+}

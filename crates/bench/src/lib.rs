@@ -6,6 +6,9 @@
 //! full evaluation. Scale is controlled by the `FUSE_BENCH_SCALE`
 //! environment variable: `paper` (default) or `quick`.
 
+pub mod alloc_count;
+pub mod kernel_bench;
+
 /// Benchmark scale selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

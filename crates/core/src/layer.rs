@@ -13,8 +13,6 @@
 //! converts into `SoftNotification`s and repair attempts, and any repair
 //! that cannot complete converts into `HardNotification`s.
 
-use bytes::Bytes;
-
 use fuse_overlay::node::RouteStart;
 use fuse_overlay::{NodeInfo, OverlayIo, OverlayNode, OverlayUpcall};
 use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
@@ -294,7 +292,12 @@ impl FuseLayer {
                 self.on_hard(io, ov, from, id, seq);
             }
             FuseMsg::NeedRepair { id, .. } => {
-                if self.groups.get(&id).map(|g| matches!(g.role, Role::Root(_))) == Some(true) {
+                if self
+                    .groups
+                    .get(&id)
+                    .map(|g| matches!(g.role, Role::Root(_)))
+                    == Some(true)
+                {
                     self.request_repair(io, id);
                 } else if !self.groups.contains_key(&id) && !self.creating.contains_key(&id) {
                     // The group already failed here; burn the fuse back.
@@ -372,7 +375,7 @@ impl FuseLayer {
             member: self.me.clone(),
             root: root.clone(),
         };
-        let payload = Bytes::from(ic.to_bytes());
+        let payload = ic.to_bytes();
         match ov.route_client(io, &root.name, payload) {
             RouteStart::Sent { next } => {
                 self.add_link(io, ov, id, next);
@@ -407,8 +410,7 @@ impl FuseLayer {
         // Blocking create complete: every member answered.
         let attempt = self.creating.remove(&id).expect("attempt present");
         io.cancel_timer(attempt.timer);
-        let install_missing: DetHashSet<ProcId> =
-            attempt.members.iter().map(|m| m.proc).collect();
+        let install_missing: DetHashSet<ProcId> = attempt.members.iter().map(|m| m.proc).collect();
         let install_timer =
             Some(io.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
         self.groups.insert(
@@ -525,14 +527,7 @@ impl FuseLayer {
                 // "If a repair message ever encounters a member that no
                 // longer has knowledge of the group, it fails and signals a
                 // HardNotification" (§6.5). Crash recovery lands here.
-                io.send_fuse(
-                    from,
-                    FuseMsg::GroupRepairReply {
-                        id,
-                        seq,
-                        ok: false,
-                    },
-                );
+                io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
             }
             Some(g) => {
                 if seq <= g.seq {
@@ -545,14 +540,7 @@ impl FuseLayer {
                     // A delegate that happens to also be addressed as a
                     // member (stale root view); treat conservatively as
                     // unknown membership.
-                    io.send_fuse(
-                        from,
-                        FuseMsg::GroupRepairReply {
-                            id,
-                            seq,
-                            ok: false,
-                        },
-                    );
+                    io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
                     return;
                 }
                 if let Role::Member(ms) = &mut g.role {
@@ -647,7 +635,10 @@ impl FuseLayer {
                 }
             }
             OverlayUpcall::Forwarded {
-                prev, next, payload, ..
+                prev,
+                next,
+                payload,
+                ..
             } => {
                 if let Ok(ic) = InstallChecking::from_bytes(&payload) {
                     self.install_forwarded(io, ov, ic, prev, next);
@@ -684,7 +675,13 @@ impl FuseLayer {
         if !self.groups.contains_key(&ic.id) {
             // Group already failed: burn the fuse back toward the member.
             self.stats.hard_sent += 1;
-            io.send_fuse(src, FuseMsg::HardNotification { id: ic.id, seq: ic.seq });
+            io.send_fuse(
+                src,
+                FuseMsg::HardNotification {
+                    id: ic.id,
+                    seq: ic.seq,
+                },
+            );
             return;
         }
         self.install_arrived_at_root(io, ov, ic.id, ic.seq, src, prev);
@@ -1200,10 +1197,7 @@ impl FuseLayer {
     }
 
     fn push_hash(&mut self, ov: &mut OverlayNode, peer: ProcId) {
-        let hash = match self.by_peer.get(&peer) {
-            None => None,
-            Some(_) => Some(self.hash_for(peer)),
-        };
+        let hash = self.by_peer.get(&peer).map(|_| self.hash_for(peer));
         ov.set_link_hash(peer, hash);
     }
 

@@ -266,7 +266,8 @@ impl<A: FuseApp> NodeStack<A> {
                         ov_up: &mut ov_up,
                         app_up: &mut app_up,
                     };
-                    self.fuse.on_overlay_upcall(&mut shim, &mut self.overlay, up);
+                    self.fuse
+                        .on_overlay_upcall(&mut shim, &mut self.overlay, up);
                 }
             }
             // FUSE upcalls feed the application (which may call back in).
@@ -310,12 +311,7 @@ impl<A: FuseApp> Process for NodeStack<A> {
         self.with_api(ctx, |api, app| app.on_boot(api));
     }
 
-    fn on_message(
-        &mut self,
-        ctx: &mut Ctx<'_, StackMsg, StackTimer>,
-        from: ProcId,
-        msg: StackMsg,
-    ) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>, from: ProcId, msg: StackMsg) {
         let mut ov_up = Vec::new();
         let mut app_up = Vec::new();
         match msg {

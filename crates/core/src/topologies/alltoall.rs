@@ -185,8 +185,10 @@ impl AllToAllNode {
         );
         for peer in peers {
             // Phase jitter spreads the n² ping load across the period.
-            let jitter =
-                SimDuration(rand::Rng::gen_range(ctx.rng(), 0..=self.cfg.ping_period.nanos()));
+            let jitter = SimDuration(rand::Rng::gen_range(
+                ctx.rng(),
+                0..=self.cfg.ping_period.nanos(),
+            ));
             ctx.set_timer(jitter, A2aTimer::PingDue { id, peer });
         }
     }

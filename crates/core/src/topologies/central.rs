@@ -175,8 +175,10 @@ impl Process for CentralNode {
         if self.is_server() {
             ctx.set_timer(self.cfg.sweep_period, CentralTimer::Sweep);
         } else {
-            let jitter =
-                SimDuration(rand::Rng::gen_range(ctx.rng(), 0..=self.cfg.ping_period.nanos()));
+            let jitter = SimDuration(rand::Rng::gen_range(
+                ctx.rng(),
+                0..=self.cfg.ping_period.nanos(),
+            ));
             ctx.set_timer(jitter, CentralTimer::HeartbeatDue);
         }
     }

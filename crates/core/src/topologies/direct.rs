@@ -180,8 +180,10 @@ impl DirectNode {
     fn watch_edge(&mut self, ctx: &mut Ctx<'_, DirectMsg, DirectTimer>, id: FuseId, peer: ProcId) {
         self.edges.entry(peer).or_default().insert(id);
         if self.ping_armed.insert(peer) {
-            let jitter =
-                SimDuration(rand::Rng::gen_range(ctx.rng(), 0..=self.cfg.ping_period.nanos()));
+            let jitter = SimDuration(rand::Rng::gen_range(
+                ctx.rng(),
+                0..=self.cfg.ping_period.nanos(),
+            ));
             ctx.set_timer(jitter, DirectTimer::PingDue { peer });
         }
     }
@@ -247,7 +249,12 @@ impl Process for DirectNode {
 
     fn on_boot(&mut self, _ctx: &mut Ctx<'_, DirectMsg, DirectTimer>) {}
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, DirectMsg, DirectTimer>, from: ProcId, msg: DirectMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, DirectMsg, DirectTimer>,
+        from: ProcId,
+        msg: DirectMsg,
+    ) {
         match msg {
             DirectMsg::Create { id, root, members } => {
                 if self.groups.contains_key(&id) {
@@ -308,7 +315,10 @@ impl Process for DirectNode {
                 self.waiting.insert(peer, nonce);
                 self.pings_sent += 1;
                 ctx.send(peer, DirectMsg::Ping { nonce });
-                ctx.set_timer(self.cfg.ping_timeout, DirectTimer::AckTimeout { peer, nonce });
+                ctx.set_timer(
+                    self.cfg.ping_timeout,
+                    DirectTimer::AckTimeout { peer, nonce },
+                );
                 ctx.set_timer(self.cfg.ping_period, DirectTimer::PingDue { peer });
             }
             DirectTimer::AckTimeout { peer, nonce } => {

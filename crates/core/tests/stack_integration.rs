@@ -7,9 +7,7 @@
 
 use bytes::Bytes;
 
-use fuse_core::{
-    CreateError, FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack,
-};
+use fuse_core::{CreateError, FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration, SimTime};
 
@@ -212,7 +210,10 @@ fn create_with_dead_member_fails() {
     let (mut sim, infos) = world(16, 13);
     sim.run_for(SimDuration::from_secs(2));
     sim.crash(7);
-    let others: Vec<NodeInfo> = [3u32, 7].iter().map(|&m| infos[m as usize].clone()).collect();
+    let others: Vec<NodeInfo> = [3u32, 7]
+        .iter()
+        .map(|&m| infos[m as usize].clone())
+        .collect();
     let id = sim
         .with_proc(0, |stack, ctx| {
             stack.with_api(ctx, |api, _| api.create_group(others, 42))
@@ -229,7 +230,10 @@ fn create_with_dead_member_fails() {
             }
         )
     });
-    assert!(failed, "creation against a dead member must fail: {events:?}");
+    assert!(
+        failed,
+        "creation against a dead member must fail: {events:?}"
+    );
     // The contacted live member must not be left with orphaned state.
     sim.run_for(SimDuration::from_secs(300));
     assert!(!sim.proc(3).unwrap().fuse.knows_group(id));

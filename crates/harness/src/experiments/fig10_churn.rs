@@ -108,7 +108,12 @@ fn exp_sample(rng: &mut rand::rngs::StdRng, mean: SimDuration) -> SimDuration {
 }
 
 /// Schedules the kill half of one churn cycle for `proc`.
-fn schedule_kill(sim: &mut ChurnSim, proc: ProcId, cfg: ChurnCfg, infos: Vec<fuse_overlay::NodeInfo>) {
+fn schedule_kill(
+    sim: &mut ChurnSim,
+    proc: ProcId,
+    cfg: ChurnCfg,
+    infos: Vec<fuse_overlay::NodeInfo>,
+) {
     let dt = exp_sample(sim.rng_mut(), cfg.mean_phase);
     sim.schedule_in(dt, move |s| {
         if s.is_up(proc) {
@@ -172,7 +177,12 @@ pub fn run(p: &Params) -> Fig10Result {
         fuse: FuseConfig::default(),
     };
     for c in p.stable..total {
-        schedule_kill(&mut world.sim, c as ProcId, cfg.clone(), world.infos.clone());
+        schedule_kill(
+            &mut world.sim,
+            c as ProcId,
+            cfg.clone(),
+            world.infos.clone(),
+        );
     }
     // Let churn reach its steady population.
     world.run(p.mean_phase);
@@ -226,7 +236,9 @@ fn fuse_class_total(world: &World) -> u64 {
 /// Renders the figure.
 pub fn render(r: &Fig10Result) -> String {
     let mut out = String::from("Figure 10 — costs of overlay churn (messages per second)\n");
-    out.push_str("paper: 238 (stable 300) -> 270 (+13% churn) -> 523 (+94% churn with 100x10 FUSE groups)\n");
+    out.push_str(
+        "paper: 238 (stable 300) -> 270 (+13% churn) -> 523 (+94% churn with 100x10 FUSE groups)\n",
+    );
     out.push_str(&format!(
         "  stable overlay       : {:>8.1} msg/s\n",
         r.no_churn.msgs_per_sec

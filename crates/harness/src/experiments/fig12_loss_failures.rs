@@ -150,7 +150,10 @@ mod tests {
         // Low loss (5.8% route median): zero or nearly zero failures.
         let (_, row_low) = &r.rows[1];
         let low_total: usize = row_low.iter().map(|(_, f, _)| f).sum();
-        assert!(low_total <= 1, "low loss should be masked by TCP: {low_total}");
+        assert!(
+            low_total <= 1,
+            "low loss should be masked by TCP: {low_total}"
+        );
         // Heavy loss: strictly more failures than low loss.
         let (_, row_heavy) = &r.rows[r.rows.len() - 1];
         let heavy_total: usize = row_heavy.iter().map(|(_, f, _)| f).sum();

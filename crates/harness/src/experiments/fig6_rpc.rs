@@ -57,7 +57,12 @@ pub struct Fig6Result {
     pub simulator: Cdf,
 }
 
-fn measure(world: &mut World, wrng: &mut StdRng, pairs: usize, double: bool) -> (Vec<f64>, Vec<f64>) {
+fn measure(
+    world: &mut World,
+    wrng: &mut StdRng,
+    pairs: usize,
+    double: bool,
+) -> (Vec<f64>, Vec<f64>) {
     let n = world.infos.len();
     let mut first = Vec::new();
     let mut second = Vec::new();

@@ -183,7 +183,10 @@ impl World {
                 return (res, at.since(t0));
             }
             if self.sim.now() >= deadline {
-                return (Err(CreateError::MemberUnreachable), self.sim.now().since(t0));
+                return (
+                    Err(CreateError::MemberUnreachable),
+                    self.sim.now().since(t0),
+                );
             }
             self.sim.run_for(SimDuration::from_millis(10));
         }
@@ -238,12 +241,7 @@ impl World {
 /// members, RPC pairs) from a *dedicated* RNG so both profiles see the
 /// identical workload — the simulation's own RNG advances differently per
 /// profile (jitter draws) and would unpair the comparison.
-pub fn pick_nodes(
-    rng: &mut StdRng,
-    n: usize,
-    k: usize,
-    exclude: &[ProcId],
-) -> Vec<ProcId> {
+pub fn pick_nodes(rng: &mut StdRng, n: usize, k: usize, exclude: &[ProcId]) -> Vec<ProcId> {
     use rand::seq::SliceRandom;
     let mut all: Vec<ProcId> = (0..n as ProcId).filter(|p| !exclude.contains(p)).collect();
     all.shuffle(rng);

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use fuse_sim::{Medium, ProcId, SimDuration, SimTime, Verdict};
-use fuse_util::DetHashSet;
+use fuse_util::{DetHashMap, DetHashSet};
 
 use crate::fault::FaultPlane;
 use crate::routes::{RouteInfo, RouteTable};
@@ -103,6 +103,20 @@ impl NetConfig {
     }
 }
 
+/// Per-pair data [`Network::unicast`] needs on every send, cached so the
+/// steady-state hot path (the same group edges pinged every period) does not
+/// recompute route lookups and the `(1-p)^hops` power each time.
+#[derive(Debug, Clone, Copy)]
+struct CachedRoute {
+    latency: SimDuration,
+    rtt: SimDuration,
+    /// Round-trip delivery probability (data + ACK) at the loss rate of
+    /// `epoch`.
+    p_success: f64,
+    /// Loss-rate epoch this entry was computed under.
+    epoch: u32,
+}
+
 /// The wide-area messaging layer (a [`Medium`] implementation).
 pub struct Network {
     topo: Topology,
@@ -117,6 +131,10 @@ pub struct Network {
     conns: DetHashSet<(ProcId, ProcId)>,
     /// Messages that broke a connection (for metrics/tests).
     breaks: u64,
+    /// Lazy per-ordered-pair cache keyed `(from << 32) | to`; invalidated
+    /// wholesale by bumping `loss_epoch` (see [`Network::set_per_link_loss`]).
+    route_cache: DetHashMap<u64, CachedRoute>,
+    loss_epoch: u32,
 }
 
 impl Network {
@@ -135,6 +153,8 @@ impl Network {
             down: DetHashSet::default(),
             conns: DetHashSet::default(),
             breaks: 0,
+            route_cache: DetHashMap::default(),
+            loss_epoch: 0,
         }
     }
 
@@ -182,10 +202,36 @@ impl Network {
     }
 
     /// Changes the uniform per-link loss rate mid-run (Figure 12 enables
-    /// loss after group creation).
+    /// loss after group creation). Invalidates the per-pair cache by epoch
+    /// bump — O(1), entries refresh lazily on next use.
     pub fn set_per_link_loss(&mut self, p: f64) {
         assert!((0.0..1.0).contains(&p), "loss rate must be in [0,1)");
         self.cfg.per_link_loss = p;
+        self.loss_epoch = self.loss_epoch.wrapping_add(1);
+    }
+
+    /// Cached latency/RTT/success-probability for `from -> to`, refreshed
+    /// if the loss-rate epoch moved.
+    fn cached_route(&mut self, from: ProcId, to: ProcId) -> CachedRoute {
+        let key = (u64::from(from) << 32) | u64::from(to);
+        let epoch = self.loss_epoch;
+        if let Some(c) = self.route_cache.get(&key) {
+            if c.epoch == epoch {
+                return *c;
+            }
+        }
+        let info = self
+            .routes
+            .route(self.attach[from as usize], self.attach[to as usize]);
+        let p_one_way = info.delivery_prob(self.cfg.per_link_loss);
+        let c = CachedRoute {
+            latency: info.latency,
+            rtt: info.latency.saturating_mul(2),
+            p_success: p_one_way * p_one_way,
+            epoch,
+        };
+        self.route_cache.insert(key, c);
+        c
     }
 
     /// Current per-link loss rate.
@@ -233,8 +279,11 @@ impl Medium for Network {
             (from as usize) < self.attach.len() && (to as usize) < self.attach.len(),
             "process not attached to the network"
         );
-        let info = self.route_info(from, to);
-        let rtt = info.latency.saturating_mul(2);
+        // Per-attempt success (cached per pair): data over the forward
+        // route and the ACK over the reverse route (symmetric latencies,
+        // identical hop count).
+        let route = self.cached_route(from, to);
+        let rtt = route.rtt;
 
         // Administrative blocks and dead peers: TCP retransmits into the
         // void, then the sender sees a broken connection.
@@ -246,14 +295,9 @@ impl Medium for Network {
             };
         }
 
-        // Per-attempt success: data over the forward route and the ACK over
-        // the reverse route (symmetric latencies, identical hop count).
-        let p_one_way = info.delivery_prob(self.cfg.per_link_loss);
-        let p_success = p_one_way * p_one_way;
-
-        match self.tcp.attempt(rng, rtt, p_success) {
+        match self.tcp.attempt(rng, rtt, route.p_success) {
             TcpOutcome::Delivered { extra_delay } => {
-                let mut latency = info.latency + extra_delay;
+                let mut latency = route.latency + extra_delay;
                 latency = latency + self.cfg.profile.per_message_overhead();
                 if self.cfg.profile.models_connection_setup()
                     && !self.conns.contains(&normalize(from, to))
@@ -416,6 +460,37 @@ mod tests {
             ));
         }
         assert_eq!(net.break_count(), 0);
+    }
+
+    #[test]
+    fn route_cache_tracks_loss_rate_changes() {
+        // The per-pair cache must be invalidated when the loss rate moves:
+        // prime it at zero loss, crank loss to near-certain failure, then
+        // drop back to zero — each regime must show its own behavior.
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        for _ in 0..50 {
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+                Verdict::Deliver { .. }
+            ));
+        }
+        net.set_per_link_loss(0.9);
+        let broken = (0..50)
+            .filter(|_| {
+                matches!(
+                    net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+                    Verdict::Break { .. }
+                )
+            })
+            .count();
+        assert!(broken > 0, "stale cache: extreme loss produced no breaks");
+        net.set_per_link_loss(0.0);
+        for _ in 0..50 {
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+                Verdict::Deliver { .. }
+            ));
+        }
     }
 
     #[test]

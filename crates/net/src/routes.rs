@@ -52,9 +52,7 @@ impl RouteTable {
     pub fn build(topo: &Topology, sources: &[RouterId]) -> Self {
         let mut tables = DetHashMap::default();
         for &s in sources {
-            tables
-                .entry(s)
-                .or_insert_with(|| Self::dijkstra(topo, s));
+            tables.entry(s).or_insert_with(|| Self::dijkstra(topo, s));
         }
         RouteTable { tables }
     }

@@ -96,12 +96,7 @@ impl TcpModel {
 
     /// Samples the fate of one message whose single-attempt success
     /// probability (data out and ACK back) is `success_prob`.
-    pub fn attempt(
-        &self,
-        rng: &mut StdRng,
-        rtt: SimDuration,
-        success_prob: f64,
-    ) -> TcpOutcome {
+    pub fn attempt(&self, rng: &mut StdRng, rtt: SimDuration, success_prob: f64) -> TcpOutcome {
         debug_assert!((0.0..=1.0).contains(&success_prob));
         if success_prob <= 0.0 {
             return TcpOutcome::Broken {
@@ -164,7 +159,10 @@ mod tests {
                 give_up_after: SimDuration::from_secs(63)
             }
         );
-        assert_eq!(m.give_up_after(SimDuration::from_millis(100)), SimDuration::from_secs(63));
+        assert_eq!(
+            m.give_up_after(SimDuration::from_millis(100)),
+            SimDuration::from_secs(63)
+        );
     }
 
     #[test]

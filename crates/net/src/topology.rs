@@ -160,8 +160,9 @@ impl Topology {
         let mut inter_links: Vec<LinkId> = Vec::new();
         let mut order: Vec<usize> = (0..cfg.n_as).collect();
         order.shuffle(rng);
-        let pick =
-            |rng: &mut StdRng, core: &Vec<RouterId>| -> RouterId { core[rng.gen_range(0..core.len())] };
+        let pick = |rng: &mut StdRng, core: &Vec<RouterId>| -> RouterId {
+            core[rng.gen_range(0..core.len())]
+        };
         for w in 0..cfg.n_as {
             let x = order[w];
             let y = order[(w + 1) % cfg.n_as];
@@ -277,7 +278,10 @@ impl Topology {
     /// several overlay nodes on one access router is the analogue of the
     /// paper's ten virtual nodes per physical machine).
     pub fn sample_attachments(&self, n: usize, rng: &mut StdRng) -> Vec<RouterId> {
-        assert!(!self.attachable.is_empty(), "topology has no access routers");
+        assert!(
+            !self.attachable.is_empty(),
+            "topology has no access routers"
+        );
         let mut all = self.attachable.clone();
         all.shuffle(rng);
         if n <= all.len() {
@@ -360,7 +364,10 @@ mod tests {
         assert!(max_hops <= 60.0, "max hops {max_hops} unreasonable");
         // Heavy tail: 99th percentile RTT far above the median (T3 paths).
         let p99 = rtt_ms.quantile(0.99).unwrap();
-        assert!(p99 > 3.0 * med_rtt, "no heavy tail: p99 {p99} med {med_rtt}");
+        assert!(
+            p99 > 3.0 * med_rtt,
+            "no heavy tail: p99 {p99} med {med_rtt}"
+        );
     }
 
     #[test]

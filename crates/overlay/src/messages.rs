@@ -275,9 +275,7 @@ mod tests {
             info: info.clone(),
             want_reply: true,
         });
-        roundtrip(OverlayMsg::AnnounceAck {
-            candidates: vec![],
-        });
+        roundtrip(OverlayMsg::AnnounceAck { candidates: vec![] });
         roundtrip(OverlayMsg::ProbeReply {
             path: vec![info.clone()],
         });

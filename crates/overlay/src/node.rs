@@ -133,7 +133,8 @@ impl OverlayNode {
         self.leaves_ccw = leaves_ccw;
         let levels = self.rtable.len();
         self.rtable = rtable;
-        self.rtable.resize(levels.max(self.rtable.len()), [None, None]);
+        self.rtable
+            .resize(levels.max(self.rtable.len()), [None, None]);
         self.ready = true;
     }
 
@@ -147,13 +148,16 @@ impl OverlayNode {
             self.send_join(io);
         }
         let jitter = SimDuration(io.rng().gen_range(0..=self.cfg.maintenance_period.nanos()));
-        io.set_timer(self.cfg.maintenance_period + jitter, OverlayTimer::Maintenance);
+        io.set_timer(
+            self.cfg.maintenance_period + jitter,
+            OverlayTimer::Maintenance,
+        );
     }
 
     fn send_join(&mut self, io: &mut impl OverlayIo) {
         let Some(bs) = self.bootstrap else { return };
         self.join_attempts += 1;
-        let payload = Bytes::from(self.me.to_bytes());
+        let payload = self.me.to_bytes();
         io.send(
             bs,
             OverlayMsg::Routed {
@@ -406,7 +410,7 @@ impl OverlayNode {
     }
 
     fn neighbor_dead(&mut self, io: &mut impl OverlayIo, peer: ProcId) {
-        if !self.is_neighbor(peer) && self.known.get(&peer).is_none() {
+        if !self.is_neighbor(peer) && !self.known.contains_key(&peer) {
             return;
         }
         self.stats.neighbors_died += 1;
@@ -952,10 +956,13 @@ mod tests {
         let nonce = n.ack_waits.get(&20).unwrap().0;
         n.on_timer(&mut io, OverlayTimer::AckTimeout { peer: 20, nonce });
         assert!(!n.is_neighbor(20));
-        assert!(io
-            .upcalls
-            .iter()
-            .any(|u| matches!(u, OverlayUpcall::LinkDown { peer: 20, died: true })));
+        assert!(io.upcalls.iter().any(|u| matches!(
+            u,
+            OverlayUpcall::LinkDown {
+                peer: 20,
+                died: true
+            }
+        )));
         assert_eq!(n.stats.neighbors_died, 1);
         // 30 survives.
         assert!(n.is_neighbor(30));
@@ -995,11 +1002,7 @@ mod tests {
             io.sent.last(),
             Some((30, OverlayMsg::Routed { .. }))
         ));
-        let r2 = n.route_client(
-            &mut io,
-            &NodeName::numbered(10),
-            Bytes::from_static(b"x"),
-        );
+        let r2 = n.route_client(&mut io, &NodeName::numbered(10), Bytes::from_static(b"x"));
         assert_eq!(r2, RouteStart::SelfIsTarget);
     }
 
@@ -1080,7 +1083,10 @@ mod tests {
         let mut io = TestIo::new();
         n.boot(&mut io);
         assert!(!n.is_ready());
-        assert!(matches!(io.sent.last(), Some((0, OverlayMsg::Routed { .. }))));
+        assert!(matches!(
+            io.sent.last(),
+            Some((0, OverlayMsg::Routed { .. }))
+        ));
         n.on_message(
             &mut io,
             0,

@@ -17,11 +17,7 @@ use crate::config::OverlayConfig;
 use crate::id::{NodeInfo, NumericId};
 
 /// Per-node tables: `(leaves_cw, leaves_ccw, rtable)`.
-pub type OracleTables = (
-    Vec<NodeInfo>,
-    Vec<NodeInfo>,
-    Vec<[Option<NodeInfo>; 2]>,
-);
+pub type OracleTables = (Vec<NodeInfo>, Vec<NodeInfo>, Vec<[Option<NodeInfo>; 2]>);
 
 /// Builds converged tables for every node in `members`.
 ///

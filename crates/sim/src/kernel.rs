@@ -1,5 +1,27 @@
-//! The event loop: a time-ordered heap of deliveries, timers and scripted
-//! calls, executed deterministically.
+//! The event loop: deliveries, timers and scripted calls, executed
+//! deterministically in `(time, sequence)` order.
+//!
+//! # Scheduler structure (the hot path)
+//!
+//! Events are split by class, each in the structure that is cheapest for it:
+//!
+//! * **Timers and deliveries** — the two dominant classes (every node
+//!   re-arms periodic liveness pings; every ping is a delivery) — live in a
+//!   hierarchical [`TimingWheel`]: amortized O(1) arm and expiry, O(1) lazy
+//!   cancel, no allocation in steady state. A delivery carries only a
+//!   compact `(time, seq, slab index)` token; the potentially large
+//!   `P::Msg` payload is parked in a generation-checked slab, so the
+//!   scheduler moves a fixed 40-byte entry regardless of message size and
+//!   payloads are neither cloned nor reallocated between send and delivery.
+//! * **Scripted calls and link-break notices** are rare; they keep a
+//!   residual binary heap.
+//!
+//! Both structures order by the global `(time, seq)` pair and the kernel
+//! merges their fronts, so the observable semantics are identical to a
+//! single queue: earliest first, FIFO among equal timestamps, bit-for-bit
+//! deterministic for a fixed seed. `baseline::BaselineSim` preserves the
+//! original single-heap scheduler; differential tests in
+//! `tests/kernel_equivalence.rs` hold the two to identical traces.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -12,25 +34,27 @@ use crate::process::{Action, Ctx, Payload, ProcId, Process};
 use crate::time::{SimDuration, SimTime};
 use crate::timer::{TimerHandle, TimerTable};
 use crate::trace::{NullTrace, TraceSink};
+use crate::wheel::{TimingWheel, WheelEntry};
 
-enum Event<P: Process, Md, S> {
-    Deliver {
-        from: ProcId,
-        to: ProcId,
-        msg: P::Msg,
-    },
+/// Time-keyed work carried by the wheel: timer expiries and message
+/// deliveries (the deliver payload itself lives in [`MsgSlab`]; the wheel
+/// entry stays a fixed 40 bytes regardless of message size).
+enum Pending {
     Timer(TimerHandle),
-    LinkBroken {
-        proc: ProcId,
-        peer: ProcId,
-    },
+    Deliver { idx: u32, gen: u32 },
+}
+
+/// Rare events kept in the residual heap: link-break notices and boxed
+/// scripted calls.
+enum EventRef<P: Process, Md, S> {
+    LinkBroken { proc: ProcId, peer: ProcId },
     Call(Box<dyn FnOnce(&mut Sim<P, Md, S>)>),
 }
 
 struct HeapEntry<P: Process, Md, S> {
     at: SimTime,
     seq: u64,
-    ev: Event<P, Md, S>,
+    ev: EventRef<P, Md, S>,
 }
 
 impl<P: Process, Md, S> PartialEq for HeapEntry<P, Md, S> {
@@ -52,6 +76,45 @@ impl<P: Process, Md, S> Ord for HeapEntry<P, Md, S> {
         // Reversed: BinaryHeap is a max-heap, we want earliest first, and
         // FIFO (smallest sequence number) among equal timestamps.
         (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// In-flight message storage: payloads stay put between send and delivery,
+/// heap entries refer to them by index. Generations catch (programming)
+/// errors where a stale index would resurrect a consumed slot.
+struct MsgSlab<M> {
+    slots: Vec<(u32, Option<(ProcId, ProcId, M)>)>,
+    free: Vec<u32>,
+}
+
+impl<M> MsgSlab<M> {
+    fn new() -> Self {
+        MsgSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, from: ProcId, to: ProcId, msg: M) -> (u32, u32) {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.0 = slot.0.wrapping_add(1);
+            debug_assert!(slot.1.is_none(), "free-list slot still occupied");
+            slot.1 = Some((from, to, msg));
+            (idx, slot.0)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight messages");
+            self.slots.push((0, Some((from, to, msg))));
+            (idx, 0)
+        }
+    }
+
+    fn take(&mut self, idx: u32, gen: u32) -> (ProcId, ProcId, M) {
+        let slot = &mut self.slots[idx as usize];
+        assert_eq!(slot.0, gen, "stale message slab reference");
+        let payload = slot.1.take().expect("message slab slot consumed twice");
+        self.free.push(idx);
+        payload
     }
 }
 
@@ -97,6 +160,8 @@ pub struct Sim<P: Process, Md, S = NullTrace> {
     clock: SimTime,
     seq: u64,
     heap: BinaryHeap<HeapEntry<P, Md, S>>,
+    wheel: TimingWheel<Pending>,
+    msgs: MsgSlab<P::Msg>,
     procs: Vec<ProcSlot<P>>,
     rng: StdRng,
     medium: Md,
@@ -120,6 +185,8 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
             clock: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(),
+            msgs: MsgSlab::new(),
             procs: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             medium,
@@ -143,6 +210,12 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
     /// Total events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.events_executed
+    }
+
+    /// Events still queued (including lazily-cancelled timers, which are
+    /// discarded when they surface).
+    pub fn pending_events(&self) -> usize {
+        self.heap.len() + self.wheel.len()
     }
 
     /// Whether process `id` is currently alive.
@@ -244,55 +317,99 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
     /// Schedules `f(&mut Sim)` to run at absolute time `at`.
     pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut Self) + 'static) {
         assert!(at >= self.clock, "cannot schedule in the past");
-        self.push(at, Event::Call(Box::new(f)));
+        self.push(at, EventRef::Call(Box::new(f)));
     }
 
     /// Schedules `f(&mut Sim)` to run `after` from now.
     pub fn schedule_in(&mut self, after: SimDuration, f: impl FnOnce(&mut Self) + 'static) {
-        self.push(self.clock + after, Event::Call(Box::new(f)));
+        self.push(self.clock + after, EventRef::Call(Box::new(f)));
+    }
+
+    /// `(time, seq)` of the next event across both queues, and whether it
+    /// comes from the timer wheel.
+    fn next_front(&mut self) -> Option<(SimTime, u64, bool)> {
+        let heap_front = self.heap.peek().map(|e| (e.at, e.seq));
+        let wheel_front = self.wheel.peek();
+        match (heap_front, wheel_front) {
+            (None, None) => None,
+            (Some((at, seq)), None) => Some((at, seq, false)),
+            (None, Some((at, seq))) => Some((at, seq, true)),
+            (Some((ha, hs)), Some((wa, ws))) => {
+                if (ha, hs) < (wa, ws) {
+                    Some((ha, hs, false))
+                } else {
+                    Some((wa, ws, true))
+                }
+            }
+        }
     }
 
     /// Executes a single event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(entry) = self.heap.pop() else {
+        self.step_through(SimTime(u64::MAX))
+    }
+
+    /// Executes the next event if it is due at or before `t`; the single
+    /// front decision shared by [`step`] and the run loops (peeking and
+    /// popping in one pass keeps the per-event cost down).
+    ///
+    /// [`step`]: Sim::step
+    fn step_through(&mut self, t: SimTime) -> bool {
+        let Some((at, _seq, from_wheel)) = self.next_front() else {
             return false;
         };
-        debug_assert!(entry.at >= self.clock, "time went backwards");
-        self.clock = entry.at;
+        if at > t {
+            return false;
+        }
+        debug_assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
         self.events_executed += 1;
+        if from_wheel {
+            let WheelEntry { token, .. } = self.wheel.pop().expect("peeked wheel entry exists");
+            match token {
+                Pending::Timer(h) => {
+                    let slot = &mut self.procs[h.proc as usize];
+                    if slot.proc.is_none() {
+                        return true;
+                    }
+                    if let Some(tag) = slot.timers.fire(h) {
+                        self.dispatch(h.proc, |p, ctx| p.on_timer(ctx, tag));
+                    }
+                }
+                Pending::Deliver { idx, gen } => {
+                    let (from, to, msg) = self.msgs.take(idx, gen);
+                    if self.is_up(to) {
+                        self.trace.on_deliver(self.clock, from, to, &msg);
+                        self.dispatch(to, |p, ctx| p.on_message(ctx, from, msg));
+                    }
+                }
+            }
+            return true;
+        }
+        let entry = self.heap.pop().expect("peeked heap entry exists");
         match entry.ev {
-            Event::Deliver { from, to, msg } => {
-                if self.is_up(to) {
-                    self.trace.on_deliver(self.clock, from, to, &msg);
-                    self.dispatch(to, |p, ctx| p.on_message(ctx, from, msg));
-                }
-            }
-            Event::Timer(h) => {
-                let slot = &mut self.procs[h.proc as usize];
-                if slot.proc.is_none() {
-                    return true;
-                }
-                if let Some(tag) = slot.timers.fire(h) {
-                    self.dispatch(h.proc, |p, ctx| p.on_timer(ctx, tag));
-                }
-            }
-            Event::LinkBroken { proc, peer } => {
+            EventRef::LinkBroken { proc, peer } => {
                 self.dispatch(proc, |p, ctx| p.on_link_broken(ctx, peer));
             }
-            Event::Call(f) => f(self),
+            EventRef::Call(f) => f(self),
         }
         true
+    }
+
+    /// Executes events through time `t` (inclusive) without touching the
+    /// clock afterwards; shared drain loop of [`run_until`] and
+    /// [`run_until_idle`].
+    ///
+    /// [`run_until`]: Sim::run_until
+    /// [`run_until_idle`]: Sim::run_until_idle
+    fn run_events_through(&mut self, t: SimTime) {
+        while self.step_through(t) {}
     }
 
     /// Runs all events up to and including time `t`, then sets the clock to
     /// `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(entry) = self.heap.peek() {
-            if entry.at > t {
-                break;
-            }
-            self.step();
-        }
+        self.run_events_through(t);
         if t > self.clock {
             self.clock = t;
         }
@@ -304,17 +421,30 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
         self.run_until(t);
     }
 
-    /// Runs until the event queue drains or the clock passes `limit`.
-    pub fn run_until_idle(&mut self, limit: SimTime) {
-        while let Some(entry) = self.heap.peek() {
-            if entry.at > limit {
-                break;
-            }
-            self.step();
+    /// Drains the event queue, with `limit` as a safety bound, and reports
+    /// whether the simulation went idle.
+    ///
+    /// * Queue drained at some `t <= limit`: returns `true`, clock left at
+    ///   the last executed event (*not* advanced to `limit` — the caller
+    ///   learns when the system quiesced).
+    /// * Events remain beyond `limit`: returns `false`, clock set to
+    ///   `limit` exactly like [`run_until`].
+    ///
+    /// Lazily-cancelled timers still count as queued events (they surface
+    /// and are discarded), so an "idle" verdict may require sweeping past
+    /// their deadlines.
+    ///
+    /// [`run_until`]: Sim::run_until
+    pub fn run_until_idle(&mut self, limit: SimTime) -> bool {
+        self.run_events_through(limit);
+        let idle = self.pending_events() == 0;
+        if !idle && limit > self.clock {
+            self.clock = limit;
         }
+        idle
     }
 
-    fn push(&mut self, at: SimTime, ev: Event<P, Md, S>) {
+    fn push(&mut self, at: SimTime, ev: EventRef<P, Md, S>) {
         self.seq += 1;
         self.heap.push(HeapEntry {
             at,
@@ -359,8 +489,16 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
                 None => false,
             }
         };
+        // Timers before sends: sequence numbers must be allocated in the
+        // same order as the single-heap kernel, or same-instant tie-breaks
+        // would diverge from the baseline.
         for (handle, at) in new_timers.drain(..) {
-            self.push(at, Event::Timer(handle));
+            self.seq += 1;
+            self.wheel.insert(WheelEntry {
+                at,
+                seq: self.seq,
+                token: Pending::Timer(handle),
+            });
         }
         for action in actions.drain(..) {
             match action {
@@ -374,17 +512,26 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
 
     fn perform_send(&mut self, from: ProcId, to: ProcId, msg: P::Msg) {
         let size = msg.size_bytes();
-        let verdict = self.medium.unicast(self.clock, &mut self.rng, from, to, size);
-        self.trace.on_send(self.clock, from, to, &msg, size, &verdict);
+        let verdict = self
+            .medium
+            .unicast(self.clock, &mut self.rng, from, to, size);
+        self.trace
+            .on_send(self.clock, from, to, &msg, size, &verdict);
         match verdict {
             Verdict::Deliver { at } => {
                 debug_assert!(at >= self.clock);
-                self.push(at, Event::Deliver { from, to, msg });
+                let (idx, gen) = self.msgs.insert(from, to, msg);
+                self.seq += 1;
+                self.wheel.insert(WheelEntry {
+                    at,
+                    seq: self.seq,
+                    token: Pending::Deliver { idx, gen },
+                });
             }
             Verdict::Break { sender_notice } => {
                 self.push(
                     sender_notice,
-                    Event::LinkBroken {
+                    EventRef::LinkBroken {
                         proc: from,
                         peer: to,
                     },
@@ -601,6 +748,48 @@ mod tests {
     }
 
     #[test]
+    fn timer_and_message_at_same_instant_interleave_by_seq() {
+        // A timer armed before a send, both landing at the same instant,
+        // must fire before the delivery (smaller sequence number), even
+        // though they now live in different scheduler structures.
+        struct Race {
+            order: Vec<&'static str>,
+        }
+        #[derive(Clone)]
+        struct M;
+        impl Payload for M {
+            fn size_bytes(&self) -> usize {
+                1
+            }
+        }
+        impl Process for Race {
+            type Msg = M;
+            type Timer = ();
+            fn on_boot(&mut self, ctx: &mut Ctx<'_, M, ()>) {
+                if ctx.self_id == 1 {
+                    // Timer first (seq k), send second (seq k+1); the
+                    // medium latency makes the delivery land exactly when
+                    // the timer fires.
+                    ctx.set_timer(SimDuration::from_millis(5), ());
+                    ctx.send(1, M);
+                }
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, M, ()>, _f: ProcId, _m: M) {
+                self.order.push("msg");
+            }
+            fn on_timer(&mut self, _c: &mut Ctx<'_, M, ()>, _t: ()) {
+                self.order.push("timer");
+            }
+        }
+        let mut sim: Sim<Race, PerfectMedium> =
+            Sim::new(7, PerfectMedium::new(SimDuration::from_millis(5)));
+        sim.add_process(Race { order: vec![] });
+        sim.add_process(Race { order: vec![] });
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.proc(1).unwrap().order, vec!["timer", "msg"]);
+    }
+
+    #[test]
     fn scheduled_calls_run_at_their_time() {
         let mut sim = two_nodes(6);
         sim.schedule_call(SimTime::ZERO + SimDuration::from_secs(2), |s| {
@@ -628,5 +817,45 @@ mod tests {
         sim.crash(1);
         assert!(sim.with_proc(1, |_n, _c| 42).is_none());
         assert_eq!(sim.with_proc(0, |_n, _c| 42), Some(42));
+    }
+
+    #[test]
+    fn run_until_idle_drains_and_reports() {
+        // The ping-pong plus three ticks quiesces after ~3 s; the drain
+        // must stop there, leave the clock at the last event, and report
+        // idle.
+        let mut sim = two_nodes(9);
+        let limit = SimTime::ZERO + SimDuration::from_secs(60);
+        assert!(sim.run_until_idle(limit));
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(3));
+        let ticks = sim.proc(0).unwrap().ticks;
+        assert_eq!(ticks, 3, "all periodic work must have run");
+
+        // With a limit before quiescence, events remain and the clock
+        // advances exactly to the limit.
+        let mut sim2 = two_nodes(9);
+        let early = SimTime::ZERO + SimDuration::from_millis(1500);
+        assert!(!sim2.run_until_idle(early));
+        assert!(sim2.pending_events() > 0);
+        assert_eq!(sim2.now(), early);
+    }
+
+    #[test]
+    fn run_until_idle_counts_cancelled_timers_as_pending() {
+        let mut sim = two_nodes(10);
+        sim.run_until_idle(SimTime::ZERO + SimDuration::from_secs(60));
+        sim.with_proc(0, |n, ctx| {
+            let h = ctx.set_timer(SimDuration::from_secs(5), Tag::Once);
+            n.cancel_me = Some(h);
+        });
+        sim.with_proc(0, |n, ctx| {
+            let h = n.cancel_me.take().unwrap();
+            ctx.cancel_timer(h);
+        });
+        // The cancelled timer still occupies a queue slot until swept.
+        assert_eq!(sim.pending_events(), 1);
+        assert!(sim.run_until_idle(SimTime::ZERO + SimDuration::from_secs(60)));
+        assert_eq!(sim.pending_events(), 0);
     }
 }

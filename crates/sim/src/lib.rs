@@ -12,13 +12,16 @@
 //! RNG; the event queue breaks time ties by insertion sequence; protocol
 //! crates use `fuse-util`'s deterministic collections.
 
+pub mod baseline;
 pub mod kernel;
 pub mod medium;
 pub mod process;
 pub mod time;
 pub mod timer;
 pub mod trace;
+pub mod wheel;
 
+pub use baseline::BaselineSim;
 pub use kernel::Sim;
 pub use medium::{Medium, PerfectMedium, Verdict};
 pub use process::{Payload, ProcId, Process};

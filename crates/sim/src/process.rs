@@ -38,7 +38,12 @@ pub trait Process: Sized {
     fn on_boot(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>);
 
     /// Called when a message is delivered.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: ProcId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        from: ProcId,
+        msg: Self::Msg,
+    );
 
     /// Called when a live timer fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, tag: Self::Timer);

@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn conversions() {
         assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
         assert_eq!(SimDuration::from_micros(2500).as_millis_f64(), 2.5);
         assert_eq!(SimDuration::from_millis_f64(2.5).nanos(), 2_500_000);
     }

@@ -72,7 +72,10 @@ impl<T> TimerTable<T> {
             }
         } else {
             let slot = self.slots.len() as u32;
-            self.slots.push(Slot { gen: 1, tag: Some(tag) });
+            self.slots.push(Slot {
+                gen: 1,
+                tag: Some(tag),
+            });
             TimerHandle { proc, slot, gen: 1 }
         }
     }

@@ -11,7 +11,15 @@ use crate::time::SimTime;
 /// Observer of kernel-level message events.
 pub trait TraceSink<M> {
     /// A message was submitted to the medium with the given verdict.
-    fn on_send(&mut self, now: SimTime, from: ProcId, to: ProcId, msg: &M, size: usize, verdict: &Verdict) {
+    fn on_send(
+        &mut self,
+        now: SimTime,
+        from: ProcId,
+        to: ProcId,
+        msg: &M,
+        size: usize,
+        verdict: &Verdict,
+    ) {
         let _ = (now, from, to, msg, size, verdict);
     }
 

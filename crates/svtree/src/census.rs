@@ -122,7 +122,10 @@ mod tests {
             seed: 5,
         });
         assert!(r.linked_fraction > 0.95, "linked {}", r.linked_fraction);
-        assert!(r.groups >= 24, "every subscriber creates at least one group");
+        assert!(
+            r.groups >= 24,
+            "every subscriber creates at least one group"
+        );
         assert!(
             (2.0..=6.0).contains(&r.mean_size),
             "mean group size {} out of band",

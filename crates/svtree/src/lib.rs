@@ -307,7 +307,7 @@ impl SvApp {
                     version: self.version,
                     path: Vec::new(),
                 };
-                api.send_app(next, Bytes::from(msg.to_bytes()));
+                api.send_app(next, msg.to_bytes());
                 // Watchdog: joins can vanish into stale routes while the
                 // overlay is still repairing; retry until linked.
                 api.set_app_timer(self.cfg.join_retry, TIMER_REJOIN);
@@ -335,7 +335,7 @@ impl SvApp {
             self.deliveries.push((api.now(), event));
         }
         let msg = SvMsg::Publish { event };
-        let payload = Bytes::from(msg.to_bytes());
+        let payload = msg.to_bytes();
         for c in &self.children {
             api.send_app(c.info.proc, payload.clone());
         }
@@ -360,7 +360,7 @@ impl SvApp {
                 version,
                 path,
             };
-            api.send_app(subscriber.proc, Bytes::from(msg.to_bytes()));
+            api.send_app(subscriber.proc, msg.to_bytes());
             return;
         }
         if self.cfg.volunteer {
@@ -370,7 +370,7 @@ impl SvApp {
                 version,
                 path,
             };
-            api.send_app(subscriber.proc, Bytes::from(msg.to_bytes()));
+            api.send_app(subscriber.proc, msg.to_bytes());
             self.grafting = true;
             self.start_join(api);
             return;
@@ -384,7 +384,7 @@ impl SvApp {
                     version,
                     path,
                 };
-                api.send_app(next, Bytes::from(msg.to_bytes()));
+                api.send_app(next, msg.to_bytes());
             }
             None => unreachable!("ownership checked above"),
         }
@@ -449,7 +449,7 @@ impl SvApp {
                     version: pending.version,
                     id,
                 };
-                api.send_app(pending.parent.proc, Bytes::from(msg.to_bytes()));
+                api.send_app(pending.parent.proc, msg.to_bytes());
                 self.uplink = Some(Uplink {
                     parent: pending.parent,
                     group: id,

@@ -38,7 +38,13 @@ struct CdnApp {
 
 impl CdnApp {
     /// Origin API: push `doc` at `version` to `replicas`, guarded by FUSE.
-    fn publish(&mut self, api: &mut FuseApi<'_, '_, '_>, doc: u64, version: u64, replicas: Vec<NodeInfo>) {
+    fn publish(
+        &mut self,
+        api: &mut FuseApi<'_, '_, '_>,
+        doc: u64,
+        version: u64,
+        replicas: Vec<NodeInfo>,
+    ) {
         self.next_token += 1;
         self.pending
             .insert(self.next_token, (doc, version, replicas.clone()));
@@ -74,7 +80,10 @@ impl FuseApp for CdnApp {
                         self.published.insert(doc, (replicas, id, version));
                     }
                     Err(e) => {
-                        println!("[{}] origin: publish of doc {doc} failed: {e:?}; retrying", api.now());
+                        println!(
+                            "[{}] origin: publish of doc {doc} failed: {e:?}; retrying",
+                            api.now()
+                        );
                         self.publish(api, doc, version, replicas);
                     }
                 }
@@ -135,7 +144,12 @@ impl FuseApp for CdnApp {
 fn main() {
     let n = 24;
     let mut rng = StdRng::seed_from_u64(3);
-    let net = Network::generate(&TopologyConfig::default(), n, NetConfig::simulator(), &mut rng);
+    let net = Network::generate(
+        &TopologyConfig::default(),
+        n,
+        NetConfig::simulator(),
+        &mut rng,
+    );
     let infos: Vec<NodeInfo> = (0..n)
         .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
         .collect();

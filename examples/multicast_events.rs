@@ -20,7 +20,12 @@ fn main() {
     let n = 64;
     let topic = NodeName(String::from("scores/football/final"));
     let mut rng = StdRng::seed_from_u64(5);
-    let net = Network::generate(&TopologyConfig::default(), n, NetConfig::simulator(), &mut rng);
+    let net = Network::generate(
+        &TopologyConfig::default(),
+        n,
+        NetConfig::simulator(),
+        &mut rng,
+    );
     let infos: Vec<NodeInfo> = (0..n)
         .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
         .collect();

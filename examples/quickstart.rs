@@ -38,7 +38,12 @@ fn main() {
     // A 32-node overlay on a synthetic wide-area topology.
     let n = 32;
     let mut rng = StdRng::seed_from_u64(1);
-    let net = Network::generate(&TopologyConfig::default(), n, NetConfig::simulator(), &mut rng);
+    let net = Network::generate(
+        &TopologyConfig::default(),
+        n,
+        NetConfig::simulator(),
+        &mut rng,
+    );
     let infos: Vec<NodeInfo> = (0..n)
         .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
         .collect();

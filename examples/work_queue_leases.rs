@@ -140,13 +140,14 @@ impl FuseApp for QueueApp {
                 // "Work" takes 30 simulated seconds.
                 api.set_app_timer(SimDuration::from_secs(30), item);
             }
-            DONE => {
-                if self.assigned.remove(&group.0).is_some() {
-                    println!("[{}] coordinator: item {item} completed by {from}", api.now());
-                    self.completed.push(item);
-                    // The lease served its purpose; tear it down explicitly.
-                    api.signal_failure(group);
-                }
+            DONE if self.assigned.remove(&group.0).is_some() => {
+                println!(
+                    "[{}] coordinator: item {item} completed by {from}",
+                    api.now()
+                );
+                self.completed.push(item);
+                // The lease served its purpose; tear it down explicitly.
+                api.signal_failure(group);
             }
             _ => {}
         }
@@ -162,7 +163,12 @@ impl FuseApp for QueueApp {
 fn main() {
     let n = 16;
     let mut rng = StdRng::seed_from_u64(8);
-    let net = Network::generate(&TopologyConfig::default(), n, NetConfig::simulator(), &mut rng);
+    let net = Network::generate(
+        &TopologyConfig::default(),
+        n,
+        NetConfig::simulator(),
+        &mut rng,
+    );
     let infos: Vec<NodeInfo> = (0..n)
         .map(|i| NodeInfo::new(i as ProcId, NodeName::numbered(i)))
         .collect();

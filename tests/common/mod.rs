@@ -57,9 +57,13 @@ pub fn create(sim: &mut World, infos: &[NodeInfo], root: ProcId, members: &[Proc
         })
         .expect("root alive");
     sim.run_for(SimDuration::from_secs(10));
-    let ok = sim.proc(root).unwrap().app.events.iter().any(
-        |(_, ev)| matches!(ev, FuseUpcall::Created { result: Ok(g), .. } if *g == id),
-    );
+    let ok = sim
+        .proc(root)
+        .unwrap()
+        .app
+        .events
+        .iter()
+        .any(|(_, ev)| matches!(ev, FuseUpcall::Created { result: Ok(g), .. } if *g == id));
     assert!(ok, "creation must complete");
     id
 }

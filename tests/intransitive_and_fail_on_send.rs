@@ -113,5 +113,9 @@ fn late_registration_fires_immediately() {
         stack.with_api(ctx, |api, _| api.register_handler(id))
     });
     sim.run_for(SimDuration::from_millis(100));
-    assert_eq!(failures(&sim, 9, id).len(), 1, "immediate callback expected");
+    assert_eq!(
+        failures(&sim, 9, id).len(),
+        1,
+        "immediate callback expected"
+    );
 }

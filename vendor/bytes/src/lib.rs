@@ -1,0 +1,217 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the FUSE reproduction uses: [`Bytes`] (cheaply
+//! clonable immutable byte buffer), [`BytesMut`] with [`BufMut::put_slice`]
+//! and [`BytesMut::freeze`]. Cheap cloning is real (an `Arc<[u8]>` under the
+//! hood), because message payloads are cloned on every simulated hop.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Buffer borrowing from static data (copied here; upstream borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Buffer owning a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data[..].hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Writing into growable buffers (used subset).
+pub trait BufMut {
+    /// Appends `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_equality() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"hello ");
+        m.put_slice(b"world");
+        let b = m.freeze();
+        assert_eq!(&b[..], b"hello world");
+        assert_eq!(b.len(), 11);
+        assert_eq!(b, Bytes::copy_from_slice(b"hello world"));
+        assert_ne!(b, Bytes::from_static(b"other"));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_shared() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(c.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_escapes_binary() {
+        let b = Bytes::from_static(&[0x00, b'a', 0xff]);
+        assert_eq!(format!("{b:?}"), "b\"\\x00a\\xff\"");
+    }
+
+    #[test]
+    fn empty_buffers() {
+        assert!(Bytes::new().is_empty());
+        assert!(BytesMut::with_capacity(16).is_empty());
+        assert_eq!(Bytes::new(), BytesMut::new().freeze());
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the measuring subset the bench targets use — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BatchSize`, `criterion_group!`/`criterion_main!` — with a
+//! plain wall-clock sampler instead of upstream's statistical machinery:
+//! warm-up, auto-calibrated iteration counts, and a median over fixed-size
+//! samples. Good enough to compare kernel implementations on one machine,
+//! which is all this workspace needs from it.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_MEASURE_MS` — target measurement time per benchmark,
+//!   default 300 ms (`1` makes CI smoke runs fast).
+//! * `CRITERION_SAMPLES` — samples per benchmark, default 11.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the sampler treats all
+/// variants identically (one setup per measured call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup per call is cheap.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Units processed per iteration, reported alongside timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// One benchmark's summarized measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+}
+
+fn measure_ms() -> u64 {
+    std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn sample_count() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11)
+        .max(3)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs closures under the sampler; handed to bench functions.
+pub struct Bencher {
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples_ns_per_iter: Vec::new(),
+        }
+    }
+
+    /// Measures `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many calls fill ~1/8 of the measurement budget?
+        let budget = Duration::from_millis(measure_ms().max(1));
+        let mut n: u64 = 1;
+        let per_iter_est;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= budget / 8 || n >= 1 << 30 {
+                per_iter_est = dt.as_secs_f64() / n as f64;
+                break;
+            }
+            n *= 2;
+        }
+        let samples = sample_count();
+        let per_sample =
+            ((budget.as_secs_f64() / samples as f64) / per_iter_est.max(1e-9)).ceil() as u64;
+        let per_sample = per_sample.clamp(1, 1 << 30);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns_per_iter
+                .push(dt.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Measures `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = Duration::from_millis(measure_ms().max(1));
+        // One warm-up call, also the calibration probe.
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let per_iter_est = t0.elapsed().as_secs_f64().max(1e-9);
+        let samples = sample_count();
+        let per_sample = ((budget.as_secs_f64() / samples as f64) / per_iter_est).ceil() as u64;
+        let per_sample = per_sample.clamp(1, 1 << 20);
+        for _ in 0..samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                total += t0.elapsed();
+            }
+            self.samples_ns_per_iter
+                .push(total.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    fn summarize(self, id: &str) -> Measurement {
+        let mut s = self.samples_ns_per_iter;
+        assert!(!s.is_empty(), "bench {id} recorded no samples");
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Measurement {
+            id: id.to_string(),
+            median_ns: s[s.len() / 2],
+            min_ns: s[0],
+            max_ns: *s.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        let m = b.summarize(&id);
+        println!(
+            "{:<40} time: [{} {} {}]",
+            m.id,
+            fmt_ns(m.min_ns),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.max_ns)
+        );
+        self.results.push(m);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far (stub extension; used by the
+    /// workspace's JSON bench runner).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the units processed per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new();
+        f(&mut b);
+        let m = b.summarize(&id);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / m.median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                format!("  thrpt: {gib:.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / m.median_ns * 1e9 / 1e6;
+                format!("  thrpt: {meps:.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} time: [{} {} {}]{rate}",
+            m.id,
+            fmt_ns(m.min_ns),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.max_ns)
+        );
+        self.parent.results.push(m);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a runnable group, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_positive_times() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        let m = &c.measurements()[0];
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.measurements().len(), 1);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_report_throughput() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Bytes(64));
+            g.bench_function("x", |b| b.iter(|| std::hint::black_box(1)));
+            g.finish();
+        }
+        assert_eq!(c.measurements()[0].id, "grp/x");
+    }
+}

@@ -1,0 +1,652 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the subset of proptest's API its tests use: the [`proptest!`] macro with
+//! optional `#![proptest_config(..)]`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, [`any`], integer-range and regex-literal strategies,
+//! [`Strategy::prop_map`], [`prop_oneof!`], `prop::collection::vec` and
+//! `prop::sample::Index`.
+//!
+//! Differences from upstream, deliberate for this repo:
+//!
+//! * **No shrinking.** On failure the exact input (plus the run seed) is
+//!   printed; cases are small enough here to debug directly.
+//! * **Deterministic by default.** The case stream is seeded from the test
+//!   name, so CI failures reproduce locally. Set `PROPTEST_SEED` to explore
+//!   other streams, `PROPTEST_CASES` to override the case count.
+//! * The regex strategy implements only what the tests use: `.`, literal
+//!   runs, one character class, each optionally followed by `{m,n}`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (field-compatible construction with upstream:
+/// `ProptestConfig { cases: 12, ..ProptestConfig::default() }`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the input; try another.
+    Reject(String),
+    /// `prop_assert!`-family failure.
+    Fail(String),
+}
+
+/// A generator of test values.
+///
+/// Unlike upstream there is no shrinking tree; `generate` returns the value
+/// directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`] arms of
+    /// different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the [`prop_oneof!`] backend).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds from at least one arm.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let k = rng.gen_range(0..self.0.len());
+        self.0[k].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Whole-domain strategy for `T` (`any::<u64>()` etc.).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident/$idx:tt),+ $(,)?);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A/0,);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies (the `"[a-z]{1,6}"` form).
+
+enum Atom {
+    /// `.` — any printable character (ASCII plus a few multibyte samples).
+    Any,
+    /// `[a-z0-9_]`-style class, stored as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the tiny regex subset used by the test suite. Panics (with the
+/// pattern) on anything it does not understand, so an unsupported pattern
+/// fails loudly instead of silently generating the wrong language.
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let mut chars = pat.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pat:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in regex {pat:?}"));
+                        assert!(lo <= hi, "inverted range in regex {pat:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex {pat:?}");
+                Atom::Class(ranges)
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '\\' => {
+                panic!("unsupported regex syntax {c:?} in {pat:?} (vendored proptest subset)")
+            }
+            lit => Atom::Lit(lit),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (lo, hi),
+                None => (spec.as_str(), spec.as_str()),
+            };
+            let lo: usize = lo
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+            let hi: usize = hi
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+            assert!(lo <= hi, "inverted repeat in regex {pat:?}");
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+const ANY_EXTRA: &[char] = &['é', 'ß', '中', '☃', '𝕏'];
+
+fn gen_char(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Any => {
+            // Mostly printable ASCII; occasionally multibyte, to exercise
+            // UTF-8 handling in the codec round-trip tests.
+            if rng.gen_bool(0.9) {
+                rng.gen_range(0x20u32..0x7f) as u8 as char
+            } else {
+                ANY_EXTRA[rng.gen_range(0..ANY_EXTRA.len())]
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(l, h)| h as u32 - l as u32 + 1).sum();
+            let mut k = rng.gen_range(0..total);
+            for &(l, h) in ranges {
+                let span = h as u32 - l as u32 + 1;
+                if k < span {
+                    return char::from_u32(l as u32 + k)
+                        .expect("class range stays in scalar values");
+                }
+                k -= span;
+            }
+            unreachable!("class sampling out of bounds")
+        }
+        Atom::Lit(c) => *c,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = rng.gen_range(p.min..=p.max);
+            for _ in 0..n {
+                out.push(gen_char(&p.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `prop::` namespace.
+
+/// Namespaced strategy constructors, mirroring upstream's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with element strategy `elem` and a length
+        /// drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { elem, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{Arbitrary, StdRng};
+        use rand::Rng;
+
+        /// An index into a collection whose length is unknown at
+        /// generation time; resolved with [`Index::index`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Maps this sample onto `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                Index(rng.gen())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+
+fn runner_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    // FNV-1a over the test name: deterministic per test, different between
+    // tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn effective_cases(cfg: &ProptestConfig) -> u32 {
+    if let Ok(s) = std::env::var("PROPTEST_CASES") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    cfg.cases
+}
+
+/// Drives one property test: generates inputs, runs the body, reports the
+/// failing input and seed on error. Used by the [`proptest!`] expansion; not
+/// part of the public upstream API.
+pub fn run_proptest<S, F>(cfg: &ProptestConfig, name: &str, strat: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = runner_seed(name);
+    let cases = effective_cases(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < cases {
+        let value = strat.generate(&mut rng);
+        let shown = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| body(value))) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > cfg.max_global_rejects {
+                    panic!(
+                        "proptest {name}: gave up after {rejected} rejected cases \
+                         ({accepted}/{cases} accepted; seed {seed})"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest {name} failed: {msg}\n    input: {shown}\n    seed: {seed}");
+            }
+            Err(payload) => {
+                eprintln!("proptest {name} panicked\n    input: {shown}\n    seed: {seed}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Defines property tests. Supports the upstream surface this repo uses:
+/// an optional leading `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            $crate::run_proptest(&cfg, stringify!($name), &strat, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategy arms (all producing the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, w in 3usize..=5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((3..=5).contains(&w));
+        }
+
+        #[test]
+        fn regex_class_matches(s in "[a-z]{1,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()), "got {:?}", s);
+        }
+
+        #[test]
+        fn dot_pattern_generates_printable(s in ".{0,8}") {
+            prop_assert!(s.chars().count() <= 8);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((any::<u8>(), any::<bool>()), 0..9)) {
+            prop_assert!(v.len() < 9);
+        }
+
+        #[test]
+        fn assume_rejects_and_map_applies(x in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assume!(x != 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn index_resolves(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_cases_is_respected(_x in 0u8..=255) {
+            // Runs exactly 5 cases; nothing to assert beyond not failing.
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_covers_all_arms(v in prop_oneof![0u32..10, 100u32..110, 200u32..210]) {
+            prop_assert!(v < 10 || (100..110).contains(&v) || (200..210).contains(&v));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_input() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_proptest(
+                &ProptestConfig::default(),
+                "always_fails",
+                &(0u8..10),
+                |_v| -> Result<(), TestCaseError> { Err(TestCaseError::Fail("nope".into())) },
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("nope") && msg.contains("input"), "{msg}");
+    }
+}
