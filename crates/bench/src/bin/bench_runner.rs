@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p fuse_bench --bin bench_runner            # paper scale
 //! FUSE_BENCH_SCALE=quick cargo run -p fuse_bench --bin bench_runner  # CI smoke
-//! BENCH_OUT=path.json      # output path (default BENCH_PR1.json)
+//! BENCH_OUT=path.json      # output path (default BENCH_PR2.json)
 //! BENCH_REPS=5             # wall-clock repetitions (best is reported)
 //! ```
 
@@ -64,7 +64,7 @@ fn main() {
     );
 
     let doc = kernel_bench::render_json(&cfg, reps, &wheel, &baseline);
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
     if let Err(e) = std::fs::write(&out, &doc) {
         eprintln!("error: cannot write bench JSON to {out}: {e}");
         std::process::exit(1);

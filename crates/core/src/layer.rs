@@ -12,6 +12,11 @@
 //! along the liveness tree ("the fuse"): any link that stops refreshing
 //! converts into `SoftNotification`s and repair attempts, and any repair
 //! that cannot complete converts into `HardNotification`s.
+//!
+//! Every notification carries the *cause* that burned the fuse
+//! ([`NotifyReason`]): the local evidence where failure was first declared,
+//! propagated on the wire inside `HardNotification` so members observe the
+//! same classified cause the declaring node saw.
 
 use fuse_overlay::node::RouteStart;
 use fuse_overlay::{NodeInfo, OverlayIo, OverlayNode, OverlayUpcall};
@@ -22,7 +27,10 @@ use fuse_util::{DetHashMap, DetHashSet};
 use fuse_wire::{Decode, Digest, Encode, Sha1};
 
 use crate::messages::{FuseMsg, InstallChecking};
-use crate::types::{CreateError, FuseConfig, FuseId, FuseTimer, FuseUpcall};
+use crate::types::{
+    CreateError, CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer, GroupHandle, Notification,
+    NotifyReason, Role,
+};
 
 /// Host services for the FUSE layer (implemented by the node stack).
 ///
@@ -37,7 +45,7 @@ pub trait FuseIo: OverlayIo {
     fn set_fuse_timer(&mut self, after: SimDuration, tag: FuseTimer) -> TimerHandle;
 
     /// Delivers an event to the application (buffered by the stack).
-    fn app(&mut self, ev: FuseUpcall);
+    fn app(&mut self, ev: FuseEvent);
 }
 
 /// Counters exposed for tests and experiments.
@@ -61,6 +69,8 @@ pub struct FuseStats {
     pub links_expired: u64,
     /// Reconciliations triggered by hash mismatches.
     pub reconciles: u64,
+    /// Piggyback digests recomputed (cache misses: `by_peer` changed).
+    pub hashes_computed: u64,
 }
 
 struct Link {
@@ -88,7 +98,7 @@ struct MemberState {
     repair_wait: Option<TimerHandle>,
 }
 
-enum Role {
+enum RoleState {
     Root(RootState),
     Member(MemberState),
     Delegate,
@@ -97,13 +107,12 @@ enum Role {
 struct Group {
     seq: u64,
     root: NodeInfo,
-    role: Role,
+    role: RoleState,
     created_at: SimTime,
     links: DetHashMap<ProcId, Link>,
 }
 
 struct CreateAttempt {
-    token: u64,
     members: Vec<NodeInfo>,
     awaiting: DetHashSet<ProcId>,
     timer: TimerHandle,
@@ -120,6 +129,16 @@ pub struct FuseLayer {
     creating: DetHashMap<FuseId, CreateAttempt>,
     /// Index: which groups monitor each link (drives the piggyback hash).
     by_peer: DetHashMap<ProcId, DetHashSet<FuseId>>,
+    /// Cached per-peer piggyback digest: recomputed only when
+    /// `by_peer[peer]` changes, *not* on every `PingHash` arrival.
+    hash_cache: DetHashMap<ProcId, Digest>,
+    /// Application context registered per group via `register_handler`;
+    /// returned inside the failure [`Notification`].
+    handlers: DetHashMap<FuseId, u64>,
+    /// Group-scoped fail-on-send bindings (§3.4): peers this node performed
+    /// a `group_send` to, per group. A broken connection to a bound peer
+    /// declares the group failed.
+    send_bound: DetHashMap<FuseId, DetHashSet<ProcId>>,
     /// Exposed counters.
     pub stats: FuseStats,
 }
@@ -135,6 +154,9 @@ impl FuseLayer {
             groups: DetHashMap::default(),
             creating: DetHashMap::default(),
             by_peer: DetHashMap::default(),
+            hash_cache: DetHashMap::default(),
+            handlers: DetHashMap::default(),
+            send_bound: DetHashMap::default(),
             stats: FuseStats::default(),
         }
     }
@@ -153,8 +175,23 @@ impl FuseLayer {
     pub fn is_participant(&self, id: FuseId) -> bool {
         matches!(
             self.groups.get(&id).map(|g| &g.role),
-            Some(Role::Root(_)) | Some(Role::Member(_))
+            Some(RoleState::Root(_)) | Some(RoleState::Member(_))
         )
+    }
+
+    /// This node's handle for a live group it participates in.
+    pub fn handle(&self, id: FuseId) -> Option<GroupHandle> {
+        let g = self.groups.get(&id)?;
+        let role = match g.role {
+            RoleState::Root(_) => Role::Root,
+            RoleState::Member(_) => Role::Member,
+            RoleState::Delegate => return None,
+        };
+        Some(GroupHandle {
+            id,
+            role,
+            created_at: g.created_at,
+        })
     }
 
     /// Liveness-tree neighbors currently monitored for `id` (visibility for
@@ -174,25 +211,22 @@ impl FuseLayer {
     /// `CreateGroup`: blocking creation of a group over `others` (the other
     /// participants; the caller is the root and an implicit participant).
     ///
-    /// Returns the new group's ID immediately; the outcome arrives as a
-    /// [`FuseUpcall::Created`] carrying `token` once every member has been
+    /// Returns a [`CreateTicket`] immediately; the outcome arrives as a
+    /// [`FuseEvent::Created`] echoing the ticket once every member has been
     /// contacted (the paper's blocking-create semantics: success implies all
     /// members were alive and reachable).
-    pub fn create_group(
-        &mut self,
-        io: &mut impl FuseIo,
-        others: Vec<NodeInfo>,
-        token: u64,
-    ) -> FuseId {
+    pub fn create_group(&mut self, io: &mut impl FuseIo, others: Vec<NodeInfo>) -> CreateTicket {
         let id = FuseId(self.idgen.next_id());
+        let ticket = CreateTicket::new(id);
         if others.is_empty() {
             // Singleton group: alive until explicitly signalled.
+            let now = io.now();
             self.groups.insert(
                 id,
                 Group {
                     seq: 0,
                     root: self.me.clone(),
-                    role: Role::Root(RootState {
+                    role: RoleState::Root(RootState {
                         members: Vec::new(),
                         install_missing: DetHashSet::default(),
                         install_timer: None,
@@ -201,16 +235,20 @@ impl FuseLayer {
                         dirty: false,
                         backoff: self.new_backoff(),
                     }),
-                    created_at: io.now(),
+                    created_at: now,
                     links: DetHashMap::default(),
                 },
             );
             self.stats.groups_created += 1;
-            io.app(FuseUpcall::Created {
-                token,
-                result: Ok(id),
+            io.app(FuseEvent::Created {
+                ticket,
+                result: Ok(GroupHandle {
+                    id,
+                    role: Role::Root,
+                    created_at: now,
+                }),
             });
-            return id;
+            return ticket;
         }
         let awaiting: DetHashSet<ProcId> = others.iter().map(|m| m.proc).collect();
         for m in &others {
@@ -227,41 +265,75 @@ impl FuseLayer {
         self.creating.insert(
             id,
             CreateAttempt {
-                token,
                 members: others,
                 awaiting,
                 timer,
                 early_ics: Vec::new(),
             },
         );
-        id
+        ticket
     }
 
-    /// `RegisterFailureHandler`: if the group is unknown on this node
-    /// (never existed here, or already failed), the failure callback fires
-    /// immediately, exactly as §3.1 specifies.
-    pub fn register_handler(&mut self, io: &mut impl FuseIo, id: FuseId) {
-        if !self.is_participant(id) {
-            io.app(FuseUpcall::Failure { id });
+    /// `RegisterFailureHandler`: attaches `ctx` to the group's local failure
+    /// handler; it is returned inside the [`Notification`]. If the group is
+    /// unknown on this node (never existed here, or already failed), the
+    /// callback fires immediately with [`NotifyReason::UnknownGroup`],
+    /// exactly as §3.1 specifies.
+    pub fn register_handler(&mut self, io: &mut impl FuseIo, id: FuseId, ctx: u64) {
+        if self.is_participant(id) {
+            self.handlers.insert(id, ctx);
+        } else {
+            io.app(FuseEvent::Notified(Notification {
+                id,
+                reason: NotifyReason::UnknownGroup,
+                role: Role::Observer,
+                seq: 0,
+                created_at: io.now(),
+                ctx: Some(ctx),
+            }));
         }
     }
 
-    /// `SignalFailure`: explicit, application-triggered group failure
-    /// (including fail-on-send, §3.4).
+    /// `SignalFailure`: explicit, application-triggered group failure.
     pub fn signal_failure(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
+        self.declare_failed(io, ov, id, NotifyReason::ExplicitSignal);
+    }
+
+    /// Records a §3.4 fail-on-send binding: this node is about to send
+    /// group-correlated data to `to`, and a broken delivery must burn the
+    /// group. Returns `false` (and binds nothing) when this node does not
+    /// hold live participant state for `id` — the caller should drop the
+    /// payload, since the group has already failed here.
+    pub fn bind_fail_on_send(&mut self, id: FuseId, to: ProcId) -> bool {
+        if !self.is_participant(id) {
+            return false;
+        }
+        self.send_bound.entry(id).or_default().insert(to);
+        true
+    }
+
+    /// Declares `id` failed with the given evidence: the member/root halves
+    /// of `SignalFailure`, shared by the explicit API and fail-on-send.
+    fn declare_failed(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        reason: NotifyReason,
+    ) {
         let Some(g) = self.groups.get(&id) else {
             return; // Already failed; handler already ran.
         };
         match &g.role {
-            Role::Root(_) => self.group_failed_at_root(io, ov, id, None),
-            Role::Member(_) => {
+            RoleState::Root(_) => self.group_failed_at_root(io, ov, id, None, reason),
+            RoleState::Member(_) => {
                 let root = g.root.proc;
                 let seq = g.seq;
                 self.stats.hard_sent += 1;
-                io.send_fuse(root, FuseMsg::HardNotification { id, seq });
-                self.fail_locally(io, ov, id);
+                io.send_fuse(root, FuseMsg::HardNotification { id, seq, reason });
+                self.fail_locally(io, ov, id, reason);
             }
-            Role::Delegate => {
+            RoleState::Delegate => {
                 // Only participants may signal; a delegate-only node has no
                 // registered application handler for the group.
             }
@@ -288,20 +360,27 @@ impl FuseLayer {
             FuseMsg::SoftNotification { id, seq } => {
                 self.on_soft(io, ov, from, id, seq);
             }
-            FuseMsg::HardNotification { id, seq } => {
-                self.on_hard(io, ov, from, id, seq);
+            FuseMsg::HardNotification { id, seq, reason } => {
+                self.on_hard(io, ov, from, id, seq, reason);
             }
             FuseMsg::NeedRepair { id, .. } => {
                 if self
                     .groups
                     .get(&id)
-                    .map(|g| matches!(g.role, Role::Root(_)))
+                    .map(|g| matches!(g.role, RoleState::Root(_)))
                     == Some(true)
                 {
                     self.request_repair(io, id);
                 } else if !self.groups.contains_key(&id) && !self.creating.contains_key(&id) {
                     // The group already failed here; burn the fuse back.
-                    io.send_fuse(from, FuseMsg::HardNotification { id, seq: u64::MAX });
+                    io.send_fuse(
+                        from,
+                        FuseMsg::HardNotification {
+                            id,
+                            seq: u64::MAX,
+                            reason: NotifyReason::UnknownGroup,
+                        },
+                    );
                 }
             }
             FuseMsg::GroupRepairRequest { id, seq, root } => {
@@ -335,8 +414,8 @@ impl FuseLayer {
             Some(g) => {
                 // A delegate branch for this group was installed before our
                 // own create request arrived; upgrade to member.
-                if matches!(g.role, Role::Delegate) {
-                    g.role = Role::Member(MemberState { repair_wait: None });
+                if matches!(g.role, RoleState::Delegate) {
+                    g.role = RoleState::Member(MemberState { repair_wait: None });
                     g.root = root.clone();
                     g.created_at = now;
                 }
@@ -347,7 +426,7 @@ impl FuseLayer {
                     Group {
                         seq: 0,
                         root: root.clone(),
-                        role: Role::Member(MemberState { repair_wait: None }),
+                        role: RoleState::Member(MemberState { repair_wait: None }),
                         created_at: now,
                         links: DetHashMap::default(),
                     },
@@ -413,12 +492,13 @@ impl FuseLayer {
         let install_missing: DetHashSet<ProcId> = attempt.members.iter().map(|m| m.proc).collect();
         let install_timer =
             Some(io.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
+        let now = io.now();
         self.groups.insert(
             id,
             Group {
                 seq: 0,
                 root: self.me.clone(),
-                role: Role::Root(RootState {
+                role: RoleState::Root(RootState {
                     members: attempt.members,
                     install_missing,
                     install_timer,
@@ -427,14 +507,18 @@ impl FuseLayer {
                     dirty: false,
                     backoff: self.new_backoff(),
                 }),
-                created_at: io.now(),
+                created_at: now,
                 links: DetHashMap::default(),
             },
         );
         self.stats.groups_created += 1;
-        io.app(FuseUpcall::Created {
-            token: attempt.token,
-            result: Ok(id),
+        io.app(FuseEvent::Created {
+            ticket: CreateTicket::new(id),
+            result: Ok(GroupHandle {
+                id,
+                role: Role::Root,
+                created_at: now,
+            }),
         });
         // Process InstallChecking arrivals that raced ahead.
         for (member, prev) in attempt.early_ics {
@@ -451,10 +535,17 @@ impl FuseLayer {
         // Best effort: tear down any member state already installed.
         for m in &attempt.members {
             self.stats.hard_sent += 1;
-            io.send_fuse(m.proc, FuseMsg::HardNotification { id, seq: 0 });
+            io.send_fuse(
+                m.proc,
+                FuseMsg::HardNotification {
+                    id,
+                    seq: 0,
+                    reason: NotifyReason::CreateFailed,
+                },
+            );
         }
-        io.app(FuseUpcall::Created {
-            token: attempt.token,
+        io.app(FuseEvent::Created {
+            ticket: CreateTicket::new(id),
             result: Err(err),
         });
     }
@@ -482,11 +573,11 @@ impl FuseLayer {
         }
         self.clear_links(io, ov, id);
         match &self.groups.get(&id).expect("group present").role {
-            Role::Delegate => {
+            RoleState::Delegate => {
                 self.groups.remove(&id);
             }
-            Role::Member(_) => self.initiate_member_repair(io, id),
-            Role::Root(_) => self.request_repair(io, id),
+            RoleState::Member(_) => self.initiate_member_repair(io, id),
+            RoleState::Root(_) => self.request_repair(io, id),
         }
     }
 
@@ -497,6 +588,7 @@ impl FuseLayer {
         from: ProcId,
         id: FuseId,
         _seq: u64,
+        reason: NotifyReason,
     ) {
         if self.creating.contains_key(&id) {
             // A member installed state and failed before creation finished.
@@ -506,10 +598,10 @@ impl FuseLayer {
         let Some(g) = self.groups.get(&id) else {
             return; // Already failed here; handler already ran.
         };
-        if matches!(g.role, Role::Root(_)) {
-            self.group_failed_at_root(io, ov, id, Some(from));
+        if matches!(g.role, RoleState::Root(_)) {
+            self.group_failed_at_root(io, ov, id, Some(from), reason);
         } else {
-            self.fail_locally(io, ov, id);
+            self.fail_locally(io, ov, id, reason);
         }
     }
 
@@ -536,14 +628,14 @@ impl FuseLayer {
                     return;
                 }
                 g.seq = seq;
-                if matches!(g.role, Role::Delegate) {
+                if matches!(g.role, RoleState::Delegate) {
                     // A delegate that happens to also be addressed as a
                     // member (stale root view); treat conservatively as
                     // unknown membership.
                     io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
                     return;
                 }
-                if let Role::Member(ms) = &mut g.role {
+                if let RoleState::Member(ms) = &mut g.role {
                     if let Some(h) = ms.repair_wait.take() {
                         io.cancel_timer(h);
                     }
@@ -567,7 +659,7 @@ impl FuseLayer {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
-        let Role::Root(rs) = &mut g.role else {
+        let RoleState::Root(rs) = &mut g.role else {
             return;
         };
         let Some(round) = &mut rs.repair else {
@@ -577,7 +669,7 @@ impl FuseLayer {
             return;
         }
         if !ok {
-            self.group_failed_at_root(io, ov, id, None);
+            self.group_failed_at_root(io, ov, id, None, NotifyReason::RepairFailed);
             return;
         }
         round.awaiting.remove(&from);
@@ -680,6 +772,7 @@ impl FuseLayer {
                 FuseMsg::HardNotification {
                     id: ic.id,
                     seq: ic.seq,
+                    reason: NotifyReason::UnknownGroup,
                 },
             );
             return;
@@ -702,7 +795,7 @@ impl FuseLayer {
         if seq < g.seq {
             return; // Stale branch from before a repair.
         }
-        if let Role::Root(rs) = &mut g.role {
+        if let RoleState::Root(rs) = &mut g.role {
             rs.install_missing.remove(&member);
             if rs.install_missing.is_empty() {
                 if let Some(h) = rs.install_timer.take() {
@@ -737,7 +830,7 @@ impl FuseLayer {
                     Group {
                         seq: ic.seq,
                         root: ic.root.clone(),
-                        role: Role::Delegate,
+                        role: RoleState::Delegate,
                         created_at: now,
                         links: DetHashMap::default(),
                     },
@@ -830,7 +923,7 @@ impl FuseLayer {
             FuseTimer::InstallWait { id } => {
                 let needs = match self.groups.get_mut(&id) {
                     Some(Group {
-                        role: Role::Root(rs),
+                        role: RoleState::Root(rs),
                         ..
                     }) => {
                         rs.install_timer = None;
@@ -845,7 +938,7 @@ impl FuseLayer {
             FuseTimer::MemberRepairWait { id } => {
                 let give_up = match self.groups.get_mut(&id) {
                     Some(Group {
-                        role: Role::Member(ms),
+                        role: RoleState::Member(ms),
                         ..
                     }) => {
                         ms.repair_wait = None;
@@ -863,15 +956,22 @@ impl FuseLayer {
                         (g.root.proc, g.seq)
                     };
                     self.stats.hard_sent += 1;
-                    io.send_fuse(root, FuseMsg::HardNotification { id, seq });
-                    self.fail_locally(io, ov, id);
+                    io.send_fuse(
+                        root,
+                        FuseMsg::HardNotification {
+                            id,
+                            seq,
+                            reason: NotifyReason::LivenessExpired,
+                        },
+                    );
+                    self.fail_locally(io, ov, id, NotifyReason::LivenessExpired);
                 }
             }
             FuseTimer::RepairRound { id, seq } => {
                 let failed = matches!(
                     self.groups.get(&id),
                     Some(Group {
-                        role: Role::Root(RootState {
+                        role: RoleState::Root(RootState {
                             repair: Some(r),
                             ..
                         }),
@@ -879,7 +979,7 @@ impl FuseLayer {
                     }) if r.seq == seq && !r.awaiting.is_empty()
                 );
                 if failed {
-                    self.group_failed_at_root(io, ov, id, None);
+                    self.group_failed_at_root(io, ov, id, None, NotifyReason::RepairFailed);
                 }
             }
             FuseTimer::RepairKick { id } => {
@@ -905,7 +1005,7 @@ impl FuseLayer {
             .groups
             .iter()
             .filter(|(_, g)| match &g.role {
-                Role::Root(RootState {
+                RoleState::Root(RootState {
                     repair: Some(r), ..
                 }) => r.awaiting.contains(&peer),
                 _ => false,
@@ -913,7 +1013,19 @@ impl FuseLayer {
             .map(|(&id, _)| id)
             .collect();
         for id in failed_repairs {
-            self.group_failed_at_root(io, ov, id, None);
+            self.group_failed_at_root(io, ov, id, None, NotifyReason::ConnectionBroken);
+        }
+        // §3.4 fail-on-send: groups whose data path to this peer just broke
+        // are declared failed, exactly as if the sender had signalled.
+        let mut bound: Vec<FuseId> = self
+            .send_bound
+            .iter()
+            .filter(|(_, peers)| peers.contains(&peer))
+            .map(|(&id, _)| id)
+            .collect();
+        bound.sort_unstable();
+        for id in bound {
+            self.declare_failed(io, ov, id, NotifyReason::ConnectionBroken);
         }
         // Liveness-tree links to this peer are gone.
         let ids: Vec<FuseId> = self
@@ -954,13 +1066,13 @@ impl FuseLayer {
             io.send_fuse(p, FuseMsg::SoftNotification { id, seq });
         }
         match &self.groups.get(&id).expect("group present").role {
-            Role::Delegate => {
+            RoleState::Delegate => {
                 if self.groups.get(&id).expect("present").links.is_empty() {
                     self.groups.remove(&id);
                 }
             }
-            Role::Member(_) => self.initiate_member_repair(io, id),
-            Role::Root(_) => self.request_repair(io, id),
+            RoleState::Member(_) => self.initiate_member_repair(io, id),
+            RoleState::Root(_) => self.request_repair(io, id),
         }
     }
 
@@ -970,7 +1082,7 @@ impl FuseLayer {
         };
         let root = g.root.proc;
         let seq = g.seq;
-        let Role::Member(ms) = &mut g.role else {
+        let RoleState::Member(ms) = &mut g.role else {
             return;
         };
         if ms.repair_wait.is_some() {
@@ -987,7 +1099,7 @@ impl FuseLayer {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
-        let Role::Root(rs) = &mut g.role else {
+        let RoleState::Root(rs) = &mut g.role else {
             return;
         };
         if rs.repair.is_some() {
@@ -1005,7 +1117,7 @@ impl FuseLayer {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
-        let Role::Root(rs) = &mut g.role else {
+        let RoleState::Root(rs) = &mut g.role else {
             return;
         };
         rs.kick = None;
@@ -1037,7 +1149,7 @@ impl FuseLayer {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
-        let Role::Root(rs) = &mut g.role else {
+        let RoleState::Root(rs) = &mut g.role else {
             return;
         };
         rs.repair = Some(RepairRound {
@@ -1053,33 +1165,47 @@ impl FuseLayer {
         ov: &mut OverlayNode,
         id: FuseId,
         except: Option<ProcId>,
+        reason: NotifyReason,
     ) {
         self.stats.repairs_failed += 1;
         if let Some(Group {
-            role: Role::Root(rs),
+            role: RoleState::Root(rs),
             ..
         }) = self.groups.get(&id)
         {
             let seq = self.groups.get(&id).expect("present").seq;
+            let mut sent = 0u64;
             for m in &rs.members {
                 if Some(m.proc) != except {
-                    io.send_fuse(m.proc, FuseMsg::HardNotification { id, seq });
+                    io.send_fuse(m.proc, FuseMsg::HardNotification { id, seq, reason });
+                    sent += 1;
                 }
             }
-            self.stats.hard_sent += rs.members.len() as u64;
+            self.stats.hard_sent += sent;
         }
-        self.fail_locally(io, ov, id);
+        self.fail_locally(io, ov, id, reason);
     }
 
     /// Tears down all local state for `id` and invokes the application
     /// handler when this node is a participant. Exactly-once: state presence
     /// gates the upcall.
-    fn fail_locally(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
+    fn fail_locally(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        reason: NotifyReason,
+    ) {
         let Some(g) = self.groups.get(&id) else {
             return;
         };
         let seq = g.seq;
-        let participant = matches!(g.role, Role::Root(_) | Role::Member(_));
+        let created_at = g.created_at;
+        let role = match g.role {
+            RoleState::Root(_) => Some(Role::Root),
+            RoleState::Member(_) => Some(Role::Member),
+            RoleState::Delegate => None,
+        };
         // Clean the liveness tree below us.
         let peers: Vec<ProcId> = g.links.keys().copied().collect();
         for p in &peers {
@@ -1089,7 +1215,7 @@ impl FuseLayer {
         self.clear_links(io, ov, id);
         let g = self.groups.remove(&id).expect("group present");
         match g.role {
-            Role::Root(rs) => {
+            RoleState::Root(rs) => {
                 if let Some(h) = rs.install_timer {
                     io.cancel_timer(h);
                 }
@@ -1100,16 +1226,25 @@ impl FuseLayer {
                     io.cancel_timer(r.timer);
                 }
             }
-            Role::Member(ms) => {
+            RoleState::Member(ms) => {
                 if let Some(h) = ms.repair_wait {
                     io.cancel_timer(h);
                 }
             }
-            Role::Delegate => {}
+            RoleState::Delegate => {}
         }
-        if participant {
+        let ctx = self.handlers.remove(&id);
+        self.send_bound.remove(&id);
+        if let Some(role) = role {
             self.stats.notifications += 1;
-            io.app(FuseUpcall::Failure { id });
+            io.app(FuseEvent::Notified(Notification {
+                id,
+                reason,
+                role,
+                seq,
+                created_at,
+                ctx,
+            }));
         }
     }
 
@@ -1178,10 +1313,23 @@ impl FuseLayer {
         }
     }
 
-    /// The piggyback digest for one link: SHA-1 over the sorted FUSE IDs
-    /// jointly monitored on it (paper §6.1: a 20-byte hash encoding "all the
-    /// FUSE groups that use this overlay link").
+    /// The piggyback digest for one link, from the cache. The digest covers
+    /// the sorted FUSE IDs jointly monitored on the link (paper §6.1: a
+    /// 20-byte hash encoding "all the FUSE groups that use this overlay
+    /// link"); [`push_hash`] refreshes the cache whenever the monitored set
+    /// changes, so every `PingHash` arrival is a pure lookup.
+    ///
+    /// [`push_hash`]: FuseLayer::push_hash
     fn hash_for(&self, peer: ProcId) -> Digest {
+        self.hash_cache
+            .get(&peer)
+            .copied()
+            .unwrap_or_else(Digest::of_empty)
+    }
+
+    /// Recomputes the digest from scratch (cache fill and the consistency
+    /// check in tests).
+    fn recompute_hash(&self, peer: ProcId) -> Digest {
         match self.by_peer.get(&peer) {
             None => Digest::of_empty(),
             Some(set) => {
@@ -1196,8 +1344,26 @@ impl FuseLayer {
         }
     }
 
+    /// Whether every cached digest equals a fresh recomputation and no
+    /// stale entries linger — the invariant behind taking SHA-1 off the
+    /// per-ping path (test hook).
+    pub fn hash_cache_consistent(&self) -> bool {
+        self.by_peer
+            .keys()
+            .all(|&p| self.hash_cache.get(&p) == Some(&self.recompute_hash(p)))
+            && self.hash_cache.keys().all(|p| self.by_peer.contains_key(p))
+    }
+
     fn push_hash(&mut self, ov: &mut OverlayNode, peer: ProcId) {
-        let hash = self.by_peer.get(&peer).map(|_| self.hash_for(peer));
+        let hash = if self.by_peer.contains_key(&peer) {
+            self.stats.hashes_computed += 1;
+            let d = self.recompute_hash(peer);
+            self.hash_cache.insert(peer, d);
+            Some(d)
+        } else {
+            self.hash_cache.remove(&peer);
+            None
+        };
         ov.set_link_hash(peer, hash);
     }
 

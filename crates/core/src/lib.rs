@@ -40,4 +40,7 @@ pub mod types;
 pub use layer::{FuseIo, FuseLayer};
 pub use messages::FuseMsg;
 pub use stack::{FuseApi, FuseApp, NodeStack, StackMsg, StackTimer};
-pub use types::{CreateError, FuseConfig, FuseId, FuseTimer, FuseUpcall};
+pub use types::{
+    CreateError, CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer, GroupHandle, Notification,
+    NotifyReason, Role,
+};

@@ -10,7 +10,7 @@ use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
 
 use fuse_overlay::NodeInfo;
 
-use crate::types::FuseId;
+use crate::types::{FuseId, NotifyReason};
 
 /// FUSE protocol messages exchanged directly between processes.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +47,10 @@ pub enum FuseMsg {
         id: FuseId,
         /// Sequence number (informational; hard notifications always fire).
         seq: u64,
+        /// The failure cause observed by the node that burned the fuse;
+        /// receivers surface it in their [`NotifyReason`]-carrying
+        /// notification.
+        reason: NotifyReason,
     },
     /// Member → root: my liveness checking broke, please repair (§6.5).
     NeedRepair {
@@ -151,10 +155,11 @@ impl Encode for FuseMsg {
                 id.encode(w);
                 seq.encode(w);
             }
-            FuseMsg::HardNotification { id, seq } => {
+            FuseMsg::HardNotification { id, seq, reason } => {
                 TAG_HARD.encode(w);
                 id.encode(w);
                 seq.encode(w);
+                reason.encode(w);
             }
             FuseMsg::NeedRepair { id, seq } => {
                 TAG_NEED_REPAIR.encode(w);
@@ -204,6 +209,7 @@ impl Decode for FuseMsg {
             TAG_HARD => Ok(FuseMsg::HardNotification {
                 id: FuseId::decode(r)?,
                 seq: u64::decode(r)?,
+                reason: NotifyReason::decode(r)?,
             }),
             TAG_NEED_REPAIR => Ok(FuseMsg::NeedRepair {
                 id: FuseId::decode(r)?,
@@ -270,7 +276,9 @@ mod tests {
         });
         roundtrip(FuseMsg::GroupCreateReply { id, ok: true });
         roundtrip(FuseMsg::SoftNotification { id, seq: 3 });
-        roundtrip(FuseMsg::HardNotification { id, seq: 3 });
+        for reason in NotifyReason::ALL {
+            roundtrip(FuseMsg::HardNotification { id, seq: 3, reason });
+        }
         roundtrip(FuseMsg::NeedRepair { id, seq: 1 });
         roundtrip(FuseMsg::GroupRepairRequest {
             id,

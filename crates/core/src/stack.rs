@@ -3,9 +3,9 @@
 //!
 //! The stack is the "base messaging layer" glue the paper swaps between its
 //! simulator and its cluster: protocol layers never touch the kernel
-//! directly — a [`Shim`] implementing [`OverlayIo`] and [`FuseIo`] adapts
-//! the kernel's handler context, buffers inter-layer upcalls, and replays
-//! them in order (overlay → FUSE → application).
+//! directly — a private `Shim` implementing [`OverlayIo`] and [`FuseIo`]
+//! adapts the kernel's handler context, buffers inter-layer upcalls, and
+//! replays them in order (overlay → FUSE → application).
 
 use bytes::Bytes;
 
@@ -18,7 +18,7 @@ use fuse_wire::Encode;
 
 use crate::layer::{FuseIo, FuseLayer};
 use crate::messages::FuseMsg;
-use crate::types::{FuseConfig, FuseId, FuseTimer, FuseUpcall};
+use crate::types::{CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer};
 
 /// Union message type carried between node stacks.
 #[derive(Debug, Clone)]
@@ -65,7 +65,7 @@ pub enum StackTimer {
 struct Shim<'a, 'b> {
     ctx: &'a mut Ctx<'b, StackMsg, StackTimer>,
     ov_up: &'a mut Vec<OverlayUpcall>,
-    app_up: &'a mut Vec<FuseUpcall>,
+    app_up: &'a mut Vec<FuseEvent>,
 }
 
 impl OverlayIo for Shim<'_, '_> {
@@ -103,7 +103,7 @@ impl FuseIo for Shim<'_, '_> {
         self.ctx.set_timer(after, StackTimer::Fuse(tag))
     }
 
-    fn app(&mut self, ev: FuseUpcall) {
+    fn app(&mut self, ev: FuseEvent) {
         self.app_up.push(ev);
     }
 }
@@ -128,15 +128,19 @@ impl FuseApi<'_, '_, '_> {
         self.overlay.info().clone()
     }
 
-    /// `CreateGroup` (Figure 1): asynchronous-blocking creation; completion
-    /// arrives as [`FuseUpcall::Created`] with `token`.
-    pub fn create_group(&mut self, others: Vec<NodeInfo>, token: u64) -> FuseId {
-        self.fuse.create_group(&mut self.io, others, token)
+    /// `CreateGroup` (Figure 1): asynchronous-blocking creation. The
+    /// returned [`CreateTicket`] is echoed by the completion event,
+    /// [`FuseEvent::Created`].
+    pub fn create_group(&mut self, others: Vec<NodeInfo>) -> CreateTicket {
+        self.fuse.create_group(&mut self.io, others)
     }
 
-    /// `RegisterFailureHandler` (Figure 1).
-    pub fn register_handler(&mut self, id: FuseId) {
-        self.fuse.register_handler(&mut self.io, id);
+    /// `RegisterFailureHandler` (Figure 1): attaches `ctx` to the group's
+    /// failure handler; it comes back inside the
+    /// [`Notification`](crate::types::Notification). Unknown groups fire
+    /// immediately (§3.1).
+    pub fn register_handler(&mut self, id: FuseId, ctx: u64) {
+        self.fuse.register_handler(&mut self.io, id, ctx);
     }
 
     /// `SignalFailure` (Figure 1).
@@ -144,7 +148,23 @@ impl FuseApi<'_, '_, '_> {
         self.fuse.signal_failure(&mut self.io, self.overlay, id);
     }
 
-    /// Sends an opaque application payload to a peer.
+    /// Sends `payload` to `to` under group `id`'s fate-sharing contract —
+    /// the §3.4 fail-on-send idiom as a first-class API. If the transport
+    /// later reports the connection to `to` broken, the group is declared
+    /// failed (reason `ConnectionBroken`) without any application-level
+    /// plumbing. Returns `false` and drops the payload when this node no
+    /// longer holds live participant state for `id` (the group already
+    /// failed here; the handler has already run).
+    pub fn group_send(&mut self, id: FuseId, to: ProcId, payload: Bytes) -> bool {
+        if !self.fuse.bind_fail_on_send(id, to) {
+            return false;
+        }
+        self.io.ctx.send(to, StackMsg::App(payload));
+        true
+    }
+
+    /// Sends an opaque application payload to a peer (no fate sharing; see
+    /// [`group_send`](FuseApi::group_send) for the fail-on-send variant).
     pub fn send_app(&mut self, to: ProcId, payload: Bytes) {
         self.io.ctx.send(to, StackMsg::App(payload));
     }
@@ -183,7 +203,7 @@ pub trait FuseApp: Sized {
     }
 
     /// A FUSE event (creation completed, or a failure notification).
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall);
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent);
 
     /// An application payload from a peer.
     fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
@@ -254,7 +274,7 @@ impl<A: FuseApp> NodeStack<A> {
         &mut self,
         ctx: &mut Ctx<'_, StackMsg, StackTimer>,
         mut ov_up: Vec<OverlayUpcall>,
-        mut app_up: Vec<FuseUpcall>,
+        mut app_up: Vec<FuseEvent>,
     ) {
         loop {
             // Overlay upcalls feed the FUSE layer.

@@ -1,6 +1,8 @@
-//! Core FUSE types: identifiers, configuration, timers and upcalls.
+//! Core FUSE types: identifiers, configuration, timers and the typed
+//! client-facing event model (`CreateTicket` / `GroupHandle` /
+//! [`FuseEvent`]).
 
-use fuse_sim::{ProcId, SimDuration};
+use fuse_sim::{ProcId, SimDuration, SimTime};
 use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
 
 /// A FUSE group identifier.
@@ -83,6 +85,191 @@ pub enum CreateError {
     Refused,
 }
 
+/// Why a group was declared failed — the evidence class behind a
+/// [`Notification`].
+///
+/// The layer threads the *real* local cause into every notification, and
+/// `HardNotification` carries the originator's reason on the wire, so the
+/// cause a member observes is the cause the declaring node actually saw
+/// (per-cause latency breakdowns, Figures 8/9/12, depend on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NotifyReason {
+    /// A participant called `SignalFailure` — including the §3.4
+    /// fail-on-send idiom (`group_send` on a broken connection).
+    ExplicitSignal,
+    /// Group creation did not complete; state already installed on members
+    /// is burned back.
+    CreateFailed,
+    /// Liveness checking expired and no repair arrived in time (member-side
+    /// give-up, §6.5).
+    LivenessExpired,
+    /// A root-driven repair round failed: a member lost its state, or the
+    /// round timed out (§6.5).
+    RepairFailed,
+    /// A transport connection underneath the group broke (TCP gave up).
+    ConnectionBroken,
+    /// The group is unknown on this node — it already failed here, or never
+    /// existed (immediate callback on `RegisterFailureHandler`, §3.1).
+    UnknownGroup,
+}
+
+impl NotifyReason {
+    /// Every variant, in a fixed order (per-reason tallies index by this).
+    pub const ALL: [NotifyReason; 6] = [
+        NotifyReason::ExplicitSignal,
+        NotifyReason::CreateFailed,
+        NotifyReason::LivenessExpired,
+        NotifyReason::RepairFailed,
+        NotifyReason::ConnectionBroken,
+        NotifyReason::UnknownGroup,
+    ];
+
+    /// Short label for renders and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            NotifyReason::ExplicitSignal => "explicit-signal",
+            NotifyReason::CreateFailed => "create-failed",
+            NotifyReason::LivenessExpired => "liveness-expired",
+            NotifyReason::RepairFailed => "repair-failed",
+            NotifyReason::ConnectionBroken => "connection-broken",
+            NotifyReason::UnknownGroup => "unknown-group",
+        }
+    }
+}
+
+impl std::fmt::Display for NotifyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+const REASON_SIGNAL: u8 = 1;
+const REASON_CREATE: u8 = 2;
+const REASON_LIVENESS: u8 = 3;
+const REASON_REPAIR: u8 = 4;
+const REASON_CONN: u8 = 5;
+const REASON_UNKNOWN: u8 = 6;
+
+impl Encode for NotifyReason {
+    fn encode(&self, w: &mut dyn Writer) {
+        let tag = match self {
+            NotifyReason::ExplicitSignal => REASON_SIGNAL,
+            NotifyReason::CreateFailed => REASON_CREATE,
+            NotifyReason::LivenessExpired => REASON_LIVENESS,
+            NotifyReason::RepairFailed => REASON_REPAIR,
+            NotifyReason::ConnectionBroken => REASON_CONN,
+            NotifyReason::UnknownGroup => REASON_UNKNOWN,
+        };
+        tag.encode(w);
+    }
+}
+
+impl Decode for NotifyReason {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            REASON_SIGNAL => Ok(NotifyReason::ExplicitSignal),
+            REASON_CREATE => Ok(NotifyReason::CreateFailed),
+            REASON_LIVENESS => Ok(NotifyReason::LivenessExpired),
+            REASON_REPAIR => Ok(NotifyReason::RepairFailed),
+            REASON_CONN => Ok(NotifyReason::ConnectionBroken),
+            REASON_UNKNOWN => Ok(NotifyReason::UnknownGroup),
+            _ => Err(DecodeError::Invalid("notify reason tag")),
+        }
+    }
+}
+
+/// A node's relationship to a group at notification time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The creator and repair coordinator.
+    Root,
+    /// A participant that is not the root.
+    Member,
+    /// Not a participant: the node only registered a handler (the immediate
+    /// unknown-group callback fires with this role).
+    Observer,
+}
+
+/// Ticket identifying one `create_group` call.
+///
+/// Returned synchronously by `create_group` and echoed in the matching
+/// [`FuseEvent::Created`]; replaces the old caller-supplied `token: u64`.
+/// The ticket *is* the provisionally assigned group id — ids are unique per
+/// creation attempt, so no separate correlation counter exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CreateTicket(FuseId);
+
+impl CreateTicket {
+    /// Wraps the provisional id of a creation attempt (layer-internal;
+    /// applications receive tickets, they never forge them).
+    pub(crate) fn new(id: FuseId) -> Self {
+        CreateTicket(id)
+    }
+
+    /// The group id this ticket resolves to if creation succeeds.
+    pub fn id(self) -> FuseId {
+        self.0
+    }
+}
+
+/// A successfully created group, as seen by the local node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupHandle {
+    /// The group's identity (what travels on the wire and in app state).
+    pub id: FuseId,
+    /// This node's role in the group.
+    pub role: Role,
+    /// Local time the group state was installed here.
+    pub created_at: SimTime,
+}
+
+/// One failure notification: the payload of [`FuseEvent::Notified`].
+///
+/// Fires exactly once per participant per group; `reason` is the evidence
+/// that burned the fuse, `role`/`seq`/`created_at` are the local group
+/// facts at that instant, and `ctx` returns whatever the application
+/// registered through `register_handler`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// The failed group.
+    pub id: FuseId,
+    /// Why the group failed, as observed here (or carried by the
+    /// notification that reached us).
+    pub reason: NotifyReason,
+    /// This node's role at notification time.
+    pub role: Role,
+    /// The group's repair sequence number when it failed.
+    pub seq: u64,
+    /// When this node installed the group (`io.now()` for unknown groups).
+    pub created_at: SimTime,
+    /// Application context registered via `register_handler`, if any.
+    pub ctx: Option<u64>,
+}
+
+/// Events FUSE delivers to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseEvent {
+    /// A blocking `create_group` call completed.
+    Created {
+        /// The ticket returned by the `create_group` call.
+        ticket: CreateTicket,
+        /// The new group's handle, or why creation failed.
+        result: Result<GroupHandle, CreateError>,
+    },
+    /// The failure handler fired (exactly once per node per group).
+    Notified(Notification),
+}
+
+impl FuseEvent {
+    /// The notification payload, when this is a `Notified` event.
+    pub fn notification(&self) -> Option<&Notification> {
+        match self {
+            FuseEvent::Notified(n) => Some(n),
+            FuseEvent::Created { .. } => None,
+        }
+    }
+}
+
 /// FUSE timer tags.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FuseTimer {
@@ -122,23 +309,6 @@ pub enum FuseTimer {
     },
 }
 
-/// Events FUSE delivers to the application.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FuseUpcall {
-    /// A blocking `create_group` call completed.
-    Created {
-        /// The caller-supplied token identifying the request.
-        token: u64,
-        /// The new group's ID, or why creation failed.
-        result: Result<FuseId, CreateError>,
-    },
-    /// The failure handler for `id` fired (exactly once per node per group).
-    Failure {
-        /// The failed group.
-        id: FuseId,
-    },
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +319,23 @@ mod tests {
         let id = FuseId(0xdead_beef_1234_5678);
         let b = id.to_bytes();
         assert_eq!(FuseId::from_bytes(&b).unwrap(), id);
+    }
+
+    #[test]
+    fn notify_reason_roundtrips() {
+        for r in NotifyReason::ALL {
+            let b = r.to_bytes();
+            assert_eq!(NotifyReason::from_bytes(&b).unwrap(), r);
+        }
+        assert!(NotifyReason::from_bytes(&[99]).is_err());
+    }
+
+    #[test]
+    fn reason_labels_are_distinct() {
+        let mut labels: Vec<&str> = NotifyReason::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NotifyReason::ALL.len());
     }
 
     #[test]

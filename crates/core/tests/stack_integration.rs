@@ -7,19 +7,21 @@
 
 use bytes::Bytes;
 
-use fuse_core::{CreateError, FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack};
+use fuse_core::{
+    CreateError, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack, NotifyReason, Role,
+};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration, SimTime};
 
 /// Records every FUSE event with its arrival time.
 #[derive(Default)]
 struct Recorder {
-    events: Vec<(SimTime, FuseUpcall)>,
+    events: Vec<(SimTime, FuseEvent)>,
     app_msgs: Vec<(ProcId, Bytes)>,
 }
 
 impl FuseApp for Recorder {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 
@@ -56,22 +58,19 @@ fn world(n: usize, seed: u64) -> (World, Vec<NodeInfo>) {
 
 fn create_group(sim: &mut World, infos: &[NodeInfo], root: ProcId, members: &[ProcId]) -> FuseId {
     let others: Vec<NodeInfo> = members.iter().map(|&m| infos[m as usize].clone()).collect();
-    let id = sim
+    let ticket = sim
         .with_proc(root, |stack, ctx| {
-            stack.with_api(ctx, |api, _app| api.create_group(others, 1))
+            stack.with_api(ctx, |api, _app| api.create_group(others))
         })
         .expect("root alive");
     // Let creation complete.
     sim.run_for(SimDuration::from_secs(2));
-    let created = sim
-        .proc(root)
-        .unwrap()
-        .app
-        .events
-        .iter()
-        .any(|(_, ev)| matches!(ev, FuseUpcall::Created { result: Ok(g), .. } if *g == id));
+    let created = sim.proc(root).unwrap().app.events.iter().any(|(_, ev)| {
+        matches!(ev, FuseEvent::Created { ticket: t, result: Ok(h) }
+            if *t == ticket && h.id == ticket.id() && h.role == Role::Root)
+    });
     assert!(created, "creation must complete");
-    id
+    ticket.id()
 }
 
 fn failures_of(sim: &World, node: ProcId, id: FuseId) -> Vec<SimTime> {
@@ -80,7 +79,7 @@ fn failures_of(sim: &World, node: ProcId, id: FuseId) -> Vec<SimTime> {
             s.app
                 .events
                 .iter()
-                .filter(|(_, ev)| matches!(ev, FuseUpcall::Failure { id: g } if *g == id))
+                .filter(|(_, ev)| matches!(ev.notification(), Some(n) if n.id == id))
                 .map(|&(t, _)| t)
                 .collect()
         })
@@ -199,10 +198,17 @@ fn register_handler_on_unknown_group_fires_immediately() {
     sim.run_for(SimDuration::from_secs(2));
     let ghost = FuseId(0xdeadbeef);
     sim.with_proc(3, |stack, ctx| {
-        stack.with_api(ctx, |api, _| api.register_handler(ghost))
+        stack.with_api(ctx, |api, _| api.register_handler(ghost, 9))
     });
     sim.run_for(SimDuration::from_millis(10));
-    assert_eq!(failures_of(&sim, 3, ghost).len(), 1);
+    let events = &sim.proc(3).unwrap().app.events;
+    let note = events
+        .iter()
+        .find_map(|(_, ev)| ev.notification().filter(|n| n.id == ghost))
+        .expect("immediate callback");
+    assert_eq!(note.reason, NotifyReason::UnknownGroup);
+    assert_eq!(note.role, Role::Observer);
+    assert_eq!(note.ctx, Some(9));
 }
 
 #[test]
@@ -214,9 +220,9 @@ fn create_with_dead_member_fails() {
         .iter()
         .map(|&m| infos[m as usize].clone())
         .collect();
-    let id = sim
+    let ticket = sim
         .with_proc(0, |stack, ctx| {
-            stack.with_api(ctx, |api, _| api.create_group(others, 42))
+            stack.with_api(ctx, |api, _| api.create_group(others))
         })
         .unwrap();
     sim.run_for(SimDuration::from_secs(60));
@@ -224,19 +230,27 @@ fn create_with_dead_member_fails() {
     let failed = events.iter().any(|(_, ev)| {
         matches!(
             ev,
-            FuseUpcall::Created {
-                token: 42,
+            FuseEvent::Created {
+                ticket: t,
                 result: Err(CreateError::MemberUnreachable | CreateError::ConnectionBroken)
-            }
+            } if *t == ticket
         )
     });
     assert!(
         failed,
         "creation against a dead member must fail: {events:?}"
     );
-    // The contacted live member must not be left with orphaned state.
+    // The contacted live member must not be left with orphaned state, and
+    // the state it briefly installed burns with the create-failed cause.
     sim.run_for(SimDuration::from_secs(300));
-    assert!(!sim.proc(3).unwrap().fuse.knows_group(id));
+    assert!(!sim.proc(3).unwrap().fuse.knows_group(ticket.id()));
+    let member_events = &sim.proc(3).unwrap().app.events;
+    let burned = member_events
+        .iter()
+        .find_map(|(_, ev)| ev.notification().filter(|n| n.id == ticket.id()));
+    if let Some(n) = burned {
+        assert_eq!(n.reason, NotifyReason::CreateFailed);
+    }
 }
 
 #[test]
@@ -309,6 +323,44 @@ fn deterministic_replay() {
     };
     assert_eq!(run(99), run(99));
     assert_ne!(run(99).1, Vec::<u64>::new());
+}
+
+/// The cached per-peer piggyback digest must equal a fresh SHA-1
+/// recomputation at every point in a group's life: after creation (links
+/// added), during steady state (ping refreshes must NOT touch the cache),
+/// and after failures (links removed, cache entries dropped).
+#[test]
+fn piggyback_digest_cache_matches_recomputation() {
+    let (mut sim, infos) = world(24, 17);
+    sim.run_for(SimDuration::from_secs(5));
+    let check_all = |sim: &World, when: &str| {
+        for p in 0..sim.process_count() as ProcId {
+            if let Some(s) = sim.proc(p) {
+                assert!(
+                    s.fuse.hash_cache_consistent(),
+                    "node {p} digest cache diverged {when}"
+                );
+            }
+        }
+    };
+    let id_a = create_group(&mut sim, &infos, 0, &[4, 9, 14]);
+    let id_b = create_group(&mut sim, &infos, 2, &[9, 19]);
+    check_all(&sim, "after creation");
+    // Several ping periods: hash agreement refreshes must be pure lookups
+    // that leave the cache exactly consistent.
+    sim.run_for(SimDuration::from_secs(200));
+    check_all(&sim, "at steady state");
+    sim.with_proc(9, |stack, ctx| {
+        stack.with_api(ctx, |api, _| api.signal_failure(id_a))
+    });
+    sim.run_for(SimDuration::from_secs(30));
+    check_all(&sim, "after a signalled failure");
+    sim.crash(19);
+    sim.run_for(SimDuration::from_secs(300));
+    check_all(&sim, "after a crash-driven failure");
+    for node in [2u32, 9] {
+        assert_eq!(failures_of(&sim, node, id_b).len(), 1, "node {node}");
+    }
 }
 
 #[test]

@@ -6,7 +6,8 @@
 
 use bytes::Bytes;
 
-use fuse_core::{FuseApi, FuseApp, FuseId, FuseUpcall};
+use fuse_core::{CreateError, CreateTicket, FuseApi, FuseApp, FuseEvent, FuseId, GroupHandle};
+use fuse_core::{Notification, NotifyReason};
 use fuse_sim::{ProcId, SimDuration, SimTime};
 use fuse_util::DetHashMap;
 use fuse_wire::{Decode, Encode};
@@ -18,7 +19,7 @@ const RPC_REPLY: u8 = 2;
 #[derive(Default)]
 pub struct RecorderApp {
     /// Every FUSE event, timestamped.
-    pub events: Vec<(SimTime, FuseUpcall)>,
+    pub events: Vec<(SimTime, FuseEvent)>,
     /// Outstanding RPCs by nonce.
     outstanding: DetHashMap<u64, SimTime>,
     /// Completed RPC round-trip times.
@@ -42,32 +43,54 @@ impl RecorderApp {
 
     /// Failure timestamps recorded for `id`.
     pub fn failures(&self, id: FuseId) -> Vec<SimTime> {
+        self.notifications(id).into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Reason-carrying failure notifications recorded for `id`.
+    pub fn notifications(&self, id: FuseId) -> Vec<(SimTime, Notification)> {
         self.events
             .iter()
-            .filter(|(_, ev)| matches!(ev, FuseUpcall::Failure { id: g } if *g == id))
-            .map(|&(t, _)| t)
+            .filter_map(|&(t, ev)| match ev {
+                FuseEvent::Notified(n) if n.id == id => Some((t, n)),
+                _ => None,
+            })
             .collect()
     }
 
-    /// The `Created` result for `token`, if it arrived.
-    pub fn created_result(&self, token: u64) -> Option<Result<FuseId, fuse_core::CreateError>> {
+    /// Tally of every notification this node observed, by reason.
+    pub fn reason_counts(&self) -> Vec<(NotifyReason, usize)> {
+        NotifyReason::ALL
+            .iter()
+            .map(|&r| {
+                let n = self
+                    .events
+                    .iter()
+                    .filter(|(_, ev)| matches!(ev.notification(), Some(n) if n.reason == r))
+                    .count();
+                (r, n)
+            })
+            .collect()
+    }
+
+    /// The `Created` result for `ticket`, if it arrived.
+    pub fn created_result(&self, ticket: CreateTicket) -> Option<Result<GroupHandle, CreateError>> {
         self.events.iter().find_map(|(_, ev)| match ev {
-            FuseUpcall::Created { token: t, result } if *t == token => Some(*result),
+            FuseEvent::Created { ticket: t, result } if *t == ticket => Some(*result),
             _ => None,
         })
     }
 
-    /// Time at which `Created` for `token` arrived.
-    pub fn created_at(&self, token: u64) -> Option<SimTime> {
+    /// Time at which `Created` for `ticket` arrived.
+    pub fn created_at(&self, ticket: CreateTicket) -> Option<SimTime> {
         self.events.iter().find_map(|(t, ev)| match ev {
-            FuseUpcall::Created { token: tk, .. } if *tk == token => Some(*t),
+            FuseEvent::Created { ticket: tk, .. } if *tk == ticket => Some(*t),
             _ => None,
         })
     }
 }
 
 impl FuseApp for RecorderApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 

@@ -78,10 +78,10 @@ pub fn run(p: &Params) -> Fig12Result {
                 let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
                 let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);
                 let (res, _) = world.create_group_blocking(root, &members);
-                if let Ok(id) = res {
+                if let Ok(handle) = res {
                     let mut all = members;
                     all.push(root);
-                    groups.push((size, id, all));
+                    groups.push((size, handle.id, all));
                 }
             }
         }

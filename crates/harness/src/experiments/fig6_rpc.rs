@@ -76,12 +76,22 @@ fn measure(
         for round in 0..(if double { 2 } else { 1 }) {
             nonce += 1;
             let this = nonce;
+            let done = world
+                .sim
+                .proc(a)
+                .map(|s| s.app.rpc_rtts.len() + 1)
+                .unwrap_or(usize::MAX);
             world.sim.with_proc(a, move |stack, ctx| {
                 stack.with_api(ctx, |api, app| app.start_rpc(api, b, this))
             });
-            // Let the round trip finish before the next one (back-to-back
-            // RPCs, as in the paper).
-            world.run(SimDuration::from_secs(30));
+            // Event-driven: run exactly until the round trip lands (30 s
+            // cap), back-to-back RPCs as in the paper.
+            let deadline = world.now() + SimDuration::from_secs(30);
+            world.run_until(deadline, |sim| {
+                sim.proc(a)
+                    .map(|s| s.app.rpc_rtts.len() >= done)
+                    .unwrap_or(true)
+            });
             let rtt = world
                 .sim
                 .proc(a)
@@ -90,6 +100,7 @@ fn measure(
                         .rpc_rtts
                         .iter()
                         .last()
+                        .filter(|_| s.app.rpc_rtts.len() >= done)
                         .map(|&(_, d)| d.as_millis_f64())
                 })
                 .unwrap_or(f64::NAN);

@@ -75,7 +75,8 @@ pub fn run(p: &Params) -> Fig8Result {
             let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
             let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);
             let (res, _) = world.create_group_blocking(root, &members);
-            let Ok(id) = res else { continue };
+            let Ok(handle) = res else { continue };
+            let id = handle.id;
             // Random member (possibly the root) signals.
             let mut all: Vec<ProcId> = members.clone();
             all.push(root);
@@ -85,7 +86,9 @@ pub fn run(p: &Params) -> Fig8Result {
             };
             let t0 = world.now();
             world.signal(signaler, id);
-            world.run(SimDuration::from_secs(10));
+            // Event-driven: stop as soon as every member heard (10 s cap).
+            let heard: Vec<ProcId> = all.iter().copied().filter(|&m| m != signaler).collect();
+            world.wait_all_notified(&heard, id, SimDuration::from_secs(10));
             for &m in &all {
                 if m == signaler {
                     continue;

@@ -8,6 +8,7 @@
 //! min / 1 min) run before the `HardNotification`s fan out — everything
 //! lands within ≈4 minutes (paper: 42 affected groups, 163 notifications).
 
+use fuse_core::NotifyReason;
 use fuse_net::NetConfig;
 use fuse_sim::{ProcId, SimDuration};
 use fuse_util::Cdf;
@@ -64,6 +65,10 @@ pub struct Fig9Result {
     pub latencies_min: Cdf,
     /// Expected notification count (surviving members of affected groups).
     pub expected: usize,
+    /// Notifications on surviving members of affected groups, tallied by
+    /// the [`NotifyReason`] each observer saw (the cause classification the
+    /// typed API threads end to end).
+    pub by_reason: Vec<(NotifyReason, usize)>,
 }
 
 /// Runs the experiment.
@@ -78,10 +83,10 @@ pub fn run(p: &Params) -> Fig9Result {
         let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
         let members = pick_nodes(&mut wrng, p.n, p.group_size - 1, &[root]);
         let (res, _) = world.create_group_blocking(root, &members);
-        if let Ok(id) = res {
+        if let Ok(handle) = res {
             let mut all = members;
             all.push(root);
-            groups.push((id, all));
+            groups.push((handle.id, all));
         }
     }
     // Let InstallChecking trees settle and liveness reach steady state.
@@ -97,6 +102,7 @@ pub fn run(p: &Params) -> Fig9Result {
     let mut affected = 0;
     let mut expected = 0;
     let mut lats = Vec::new();
+    let mut tally = [0usize; NotifyReason::ALL.len()];
     for (id, members) in &groups {
         let has_dead = members.iter().any(|m| dead.contains(m));
         if !has_dead {
@@ -108,9 +114,14 @@ pub fn run(p: &Params) -> Fig9Result {
                 continue;
             }
             expected += 1;
-            for t in world.failures(m, *id) {
+            for (t, n) in world.notifications(m, *id) {
                 if t >= t0 {
                     lats.push(t.since(t0).as_secs_f64() / 60.0);
+                    let idx = NotifyReason::ALL
+                        .iter()
+                        .position(|&r| r == n.reason)
+                        .expect("known reason");
+                    tally[idx] += 1;
                 }
             }
         }
@@ -119,6 +130,7 @@ pub fn run(p: &Params) -> Fig9Result {
         affected_groups: affected,
         latencies_min: Cdf::from_samples(lats),
         expected,
+        by_reason: NotifyReason::ALL.iter().copied().zip(tally).collect(),
     }
 }
 
@@ -134,6 +146,13 @@ pub fn render(r: &Fig9Result) -> String {
         r.latencies_min.len(),
         r.expected
     ));
+    out.push_str("  by reason:");
+    for (reason, n) in &r.by_reason {
+        if *n > 0 {
+            out.push_str(&format!("  {reason}: {n}"));
+        }
+    }
+    out.push('\n');
     out.push_str(&super::render_cdf(
         "  CDF of notification latency:",
         &r.latencies_min.series(12),
@@ -160,5 +179,22 @@ mod tests {
         // Detection cannot beat the ping process: nothing before ~15 s.
         let min = r.latencies_min.value_at(0.0).unwrap();
         assert!(min >= 0.2, "fastest notification {min} min is implausible");
+        // Every notification carries a classified cause, and an unplugged
+        // machine can only surface as liveness/repair/connection evidence —
+        // never as an explicit signal or unknown group.
+        let total: usize = r.by_reason.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, r.latencies_min.len(), "every notification tallied");
+        for (reason, n) in &r.by_reason {
+            let plausible = matches!(
+                reason,
+                NotifyReason::LivenessExpired
+                    | NotifyReason::RepairFailed
+                    | NotifyReason::ConnectionBroken
+            );
+            assert!(
+                plausible || *n == 0,
+                "implausible crash-notification reason {reason}: {n}"
+            );
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! World construction: n FUSE node stacks over the wide-area network model.
 
-use fuse_core::{CreateError, FuseConfig, FuseId, NodeStack};
+use fuse_core::Notification;
+use fuse_core::{CreateError, CreateTicket, FuseConfig, FuseId, GroupHandle, NodeStack};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration, SimTime};
@@ -9,6 +10,9 @@ use rand::SeedableRng;
 
 use crate::app::RecorderApp;
 use crate::metrics::MsgTrace;
+
+/// The concrete simulation type a [`World`] drives.
+pub type WorldSim = Sim<NodeStack<RecorderApp>, Network, MsgTrace>;
 
 /// How overlay tables come to exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,12 +70,11 @@ impl WorldParams {
 /// A built world: the simulation plus node directory.
 pub struct World {
     /// The simulation.
-    pub sim: Sim<NodeStack<RecorderApp>, Network, MsgTrace>,
+    pub sim: WorldSim,
     /// Identity of every node (index = process id).
     pub infos: Vec<NodeInfo>,
     /// Nodes per emulated machine.
     pub nodes_per_machine: usize,
-    next_token: u64,
 }
 
 impl World {
@@ -127,7 +130,6 @@ impl World {
             sim,
             infos,
             nodes_per_machine: p.nodes_per_machine,
-            next_token: 0,
         }
     }
 
@@ -141,55 +143,94 @@ impl World {
         self.sim.now()
     }
 
-    /// Starts a group creation; returns `(id, token)` without waiting.
-    pub fn start_create(&mut self, root: ProcId, members: &[ProcId]) -> (FuseId, u64) {
-        self.next_token += 1;
-        let token = self.next_token;
+    /// Event-driven wait: executes events one at a time, evaluating `pred`
+    /// after each, until it holds or the deadline passes. No fixed-interval
+    /// polling — the predicate is checked exactly when the world state can
+    /// have changed, and the clock stops on the satisfying event (or is
+    /// advanced to `deadline` on timeout). Returns whether `pred` held.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut pred: F) -> bool
+    where
+        F: FnMut(&WorldSim) -> bool,
+    {
+        loop {
+            if pred(&self.sim) {
+                return true;
+            }
+            if !self.sim.step_until(deadline) {
+                // Nothing left before the deadline; the state cannot change.
+                self.sim.run_until(deadline);
+                return false;
+            }
+        }
+    }
+
+    /// Starts a group creation without waiting; the ticket correlates the
+    /// eventual `Created` event.
+    pub fn start_create(&mut self, root: ProcId, members: &[ProcId]) -> CreateTicket {
         let others: Vec<NodeInfo> = members
             .iter()
             .map(|&m| self.infos[m as usize].clone())
             .collect();
-        let id = self
-            .sim
+        self.sim
             .with_proc(root, |stack, ctx| {
-                stack.with_api(ctx, |api, _| api.create_group(others, token))
+                stack.with_api(ctx, |api, _| api.create_group(others))
             })
-            .expect("root alive");
-        (id, token)
+            .expect("root alive")
     }
 
-    /// Blocking creation: runs the sim until the outcome arrives.
+    /// Blocking creation: runs the sim (event-driven) until the outcome
+    /// arrives.
     ///
-    /// Returns the group and the creation latency.
+    /// Returns the group handle and the creation latency.
     pub fn create_group_blocking(
         &mut self,
         root: ProcId,
         members: &[ProcId],
-    ) -> (Result<FuseId, CreateError>, SimDuration) {
+    ) -> (Result<GroupHandle, CreateError>, SimDuration) {
         let t0 = self.sim.now();
-        let (_id, token) = self.start_create(root, members);
+        let ticket = self.start_create(root, members);
         let deadline = t0 + SimDuration::from_secs(60);
-        loop {
-            if let Some(res) = self
-                .sim
-                .proc(root)
-                .and_then(|s| s.app.created_result(token))
-            {
-                let at = self
-                    .sim
-                    .proc(root)
-                    .and_then(|s| s.app.created_at(token))
-                    .expect("created_at");
-                return (res, at.since(t0));
-            }
-            if self.sim.now() >= deadline {
-                return (
-                    Err(CreateError::MemberUnreachable),
-                    self.sim.now().since(t0),
-                );
-            }
-            self.sim.run_for(SimDuration::from_millis(10));
+        let done = self.run_until(deadline, |sim| {
+            sim.proc(root)
+                .map(|s| s.app.created_result(ticket).is_some())
+                .unwrap_or(false)
+        });
+        if !done {
+            return (
+                Err(CreateError::MemberUnreachable),
+                self.sim.now().since(t0),
+            );
         }
+        let res = self
+            .sim
+            .proc(root)
+            .and_then(|s| s.app.created_result(ticket))
+            .expect("predicate held");
+        let at = self
+            .sim
+            .proc(root)
+            .and_then(|s| s.app.created_at(ticket))
+            .expect("created_at");
+        (res, at.since(t0))
+    }
+
+    /// Event-driven failure wait: runs until every node in `nodes` has
+    /// recorded at least one notification for `id`, or `timeout` elapses.
+    /// Returns whether all were notified.
+    pub fn wait_all_notified(
+        &mut self,
+        nodes: &[ProcId],
+        id: FuseId,
+        timeout: SimDuration,
+    ) -> bool {
+        let deadline = self.sim.now() + timeout;
+        self.run_until(deadline, |sim| {
+            nodes.iter().all(|&m| {
+                sim.proc(m)
+                    .map(|s| !s.app.failures(id).is_empty())
+                    .unwrap_or(true) // Crashed nodes cannot hear; don't wait on them.
+            })
+        })
     }
 
     /// Explicitly signals failure of `id` from `node`.
@@ -204,6 +245,14 @@ impl World {
         self.sim
             .proc(node)
             .map(|s| s.app.failures(id))
+            .unwrap_or_default()
+    }
+
+    /// Reason-carrying notifications observed at `node` for `id`.
+    pub fn notifications(&self, node: ProcId, id: FuseId) -> Vec<(SimTime, Notification)> {
+        self.sim
+            .proc(node)
+            .map(|s| s.app.notifications(id))
             .unwrap_or_default()
     }
 

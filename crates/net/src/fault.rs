@@ -1,7 +1,7 @@
 //! Scriptable network failures.
 //!
 //! The paper's failure model is "any pattern of packet loss, duplication or
-//! re-ordering ... includ[ing] simultaneous network partitions and even an
+//! re-ordering ... includ\[ing\] simultaneous network partitions and even an
 //! adversary dropping packets based on their content" (§3.5), and its
 //! experiments disconnect machines (Figure 9) and inject per-link loss
 //! (Figures 11–12). The fault plane implements the *control* part:

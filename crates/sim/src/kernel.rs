@@ -349,6 +349,15 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
         self.step_through(SimTime(u64::MAX))
     }
 
+    /// Executes the next event if it is due at or before `t`; returns
+    /// whether an event ran. The clock is not advanced past the last
+    /// executed event — the building block for event-driven waits
+    /// (evaluate a predicate after every event instead of polling on a
+    /// fixed interval).
+    pub fn step_until(&mut self, t: SimTime) -> bool {
+        self.step_through(t)
+    }
+
     /// Executes the next event if it is due at or before `t`; the single
     /// front decision shared by [`step`] and the run loops (peeking and
     /// popping in one pass keeps the per-event cost down).

@@ -23,7 +23,7 @@ pub mod wheel;
 
 pub use baseline::BaselineSim;
 pub use kernel::Sim;
-pub use medium::{Medium, PerfectMedium, Verdict};
+pub use medium::{Medium, PerfectMedium, ProcBitSet, Verdict};
 pub use process::{Payload, ProcId, Process};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerTable};

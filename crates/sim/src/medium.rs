@@ -51,12 +51,45 @@ pub trait Medium {
     }
 }
 
+/// Dense `ProcId`-indexed bitset: branchless, cache-resident membership for
+/// the per-send liveness check (process ids are small consecutive integers,
+/// so one cache line covers 512 of them).
+#[derive(Debug, Clone, Default)]
+pub struct ProcBitSet {
+    words: Vec<u64>,
+}
+
+impl ProcBitSet {
+    /// Marks `id` present.
+    pub fn insert(&mut self, id: ProcId) {
+        let w = id as usize / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (id as usize % 64);
+    }
+
+    /// Marks `id` absent.
+    pub fn remove(&mut self, id: ProcId) {
+        if let Some(w) = self.words.get_mut(id as usize / 64) {
+            *w &= !(1u64 << (id as usize % 64));
+        }
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: ProcId) -> bool {
+        self.words
+            .get(id as usize / 64)
+            .is_some_and(|w| w >> (id as usize % 64) & 1 == 1)
+    }
+}
+
 /// Loss-free medium with constant one-way latency; for unit tests.
 #[derive(Debug, Clone)]
 pub struct PerfectMedium {
     /// One-way latency applied to every message.
     pub latency: SimDuration,
-    down: std::collections::BTreeSet<ProcId>,
+    down: ProcBitSet,
     /// How long after sending to a dead peer the sender notices the break.
     pub dead_peer_notice: SimDuration,
 }
@@ -66,7 +99,7 @@ impl PerfectMedium {
     pub fn new(latency: SimDuration) -> Self {
         PerfectMedium {
             latency,
-            down: std::collections::BTreeSet::new(),
+            down: ProcBitSet::default(),
             dead_peer_notice: SimDuration::from_secs(20),
         }
     }
@@ -81,7 +114,7 @@ impl Medium for PerfectMedium {
         to: ProcId,
         _size: usize,
     ) -> Verdict {
-        if self.down.contains(&to) {
+        if self.down.contains(to) {
             Verdict::Break {
                 sender_notice: now + self.dead_peer_notice,
             }
@@ -93,10 +126,59 @@ impl Medium for PerfectMedium {
     }
 
     fn node_up(&mut self, id: ProcId) {
-        self.down.remove(&id);
+        self.down.remove(id);
     }
 
     fn node_down(&mut self, id: ProcId) {
         self.down.insert(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_insert_remove_contains() {
+        let mut s = ProcBitSet::default();
+        assert!(!s.contains(0));
+        for id in [0u32, 1, 63, 64, 65, 1000] {
+            s.insert(id);
+            assert!(s.contains(id), "{id} after insert");
+        }
+        assert!(!s.contains(2));
+        assert!(!s.contains(999));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert!(s.contains(63) && s.contains(65), "neighbors untouched");
+        // Removing beyond the allocated words is a no-op, not a panic.
+        s.remove(1_000_000);
+        // Re-insert after remove.
+        s.insert(64);
+        assert!(s.contains(64));
+    }
+
+    #[test]
+    fn perfect_medium_breaks_sends_to_down_nodes() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = PerfectMedium::new(SimDuration::from_millis(10));
+        let now = SimTime::ZERO;
+        assert!(matches!(
+            m.unicast(now, &mut rng, 0, 1, 8),
+            Verdict::Deliver { .. }
+        ));
+        m.node_down(1);
+        assert_eq!(
+            m.unicast(now, &mut rng, 0, 1, 8),
+            Verdict::Break {
+                sender_notice: now + m.dead_peer_notice
+            }
+        );
+        m.node_up(1);
+        assert!(matches!(
+            m.unicast(now, &mut rng, 0, 1, 8),
+            Verdict::Deliver { .. }
+        ));
     }
 }

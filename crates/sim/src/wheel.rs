@@ -9,7 +9,7 @@
 //!
 //! # Structure
 //!
-//! Time is bucketed into *ticks* of 2^[`TICK_SHIFT`] ns (≈1 ms). Eleven
+//! Time is bucketed into *ticks* of 2^`TICK_SHIFT` ns (≈1 ms). Eleven
 //! levels of 64 slots each cover the entire 64-bit tick space (66 bits of
 //! span), so there is no overflow path to reason about. An entry's level is
 //! the highest 6-bit digit in which its tick differs from the wheel cursor —

@@ -21,7 +21,7 @@ pub mod census;
 
 use bytes::Bytes;
 
-use fuse_core::{FuseApi, FuseApp, FuseId, FuseUpcall};
+use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseEvent, FuseId, Notification};
 use fuse_overlay::{NodeInfo, NodeName};
 use fuse_sim::{ProcId, SimDuration, SimTime};
 use fuse_util::DetHashSet;
@@ -186,7 +186,7 @@ struct Uplink {
 struct PendingJoin {
     parent: NodeInfo,
     version: u64,
-    group: FuseId,
+    ticket: CreateTicket,
 }
 
 struct Child {
@@ -337,7 +337,10 @@ impl SvApp {
         let msg = SvMsg::Publish { event };
         let payload = msg.to_bytes();
         for c in &self.children {
-            api.send_app(c.info.proc, payload.clone());
+            // Content flows under the link group's fate-sharing contract
+            // (§3.4 fail-on-send): a broken delivery burns the group and
+            // garbage-collects the link on every party.
+            api.group_send(c.group, c.info.proc, payload.clone());
         }
     }
 
@@ -405,11 +408,11 @@ impl SvApp {
         let mut others: Vec<NodeInfo> = vec![parent.clone()];
         others.extend(path.into_iter().filter(|p| p.proc != parent.proc));
         self.link_group_sizes.push(others.len() + 1);
-        let group = api.create_group(others, version);
+        let ticket = api.create_group(others);
         self.pending = Some(PendingJoin {
             parent,
             version,
-            group,
+            ticket,
         });
     }
 
@@ -417,10 +420,10 @@ impl SvApp {
         &mut self,
         api: &mut FuseApi<'_, '_, '_>,
         subscriber: NodeInfo,
-        _version: u64,
+        version: u64,
         id: FuseId,
     ) {
-        api.register_handler(id);
+        api.register_handler(id, version);
         self.children.push(Child {
             info: subscriber,
             group: id,
@@ -430,20 +433,21 @@ impl SvApp {
     fn on_created(
         &mut self,
         api: &mut FuseApi<'_, '_, '_>,
-        token: u64,
-        result: Result<FuseId, fuse_core::CreateError>,
+        ticket: CreateTicket,
+        result: Result<fuse_core::GroupHandle, fuse_core::CreateError>,
     ) {
         let Some(p) = &self.pending else {
             return;
         };
-        if p.version != token {
+        if p.ticket != ticket {
             return;
         }
         let pending = self.pending.take().expect("pending present");
         match result {
-            Ok(id) => {
-                debug_assert_eq!(id, pending.group);
-                api.register_handler(id);
+            Ok(handle) => {
+                let id = handle.id;
+                debug_assert_eq!(id, pending.ticket.id());
+                api.register_handler(id, pending.version);
                 let msg = SvMsg::LinkConfirm {
                     subscriber: api.me(),
                     version: pending.version,
@@ -463,7 +467,8 @@ impl SvApp {
         }
     }
 
-    fn on_failure(&mut self, api: &mut FuseApi<'_, '_, '_>, id: FuseId) {
+    fn on_failure(&mut self, api: &mut FuseApi<'_, '_, '_>, n: Notification) {
+        let id = n.id;
         // Uplink gone: garbage-collect and rejoin (we are the link creator).
         if self.uplink.as_ref().map(|u| u.group) == Some(id) {
             self.uplink = None;
@@ -473,7 +478,7 @@ impl SvApp {
         // A child link gone: the child re-creates it if still alive.
         self.children.retain(|c| c.group != id);
         // Pending join invalidated before creation completed.
-        if self.pending.as_ref().map(|p| p.group) == Some(id) {
+        if self.pending.as_ref().map(|p| p.ticket.id()) == Some(id) {
             self.pending = None;
             self.schedule_rejoin(api);
         }
@@ -491,10 +496,10 @@ impl FuseApp for SvApp {
         }
     }
 
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         match ev {
-            FuseUpcall::Created { token, result } => self.on_created(api, token, result),
-            FuseUpcall::Failure { id } => self.on_failure(api, id),
+            FuseEvent::Created { ticket, result } => self.on_created(api, ticket, result),
+            FuseEvent::Notified(n) => self.on_failure(api, n),
         }
     }
 

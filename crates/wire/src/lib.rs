@@ -7,7 +7,7 @@
 //!   simulated message is sized by actually encoding it, so byte accounting
 //!   in the experiments (e.g. the 20-byte piggyback hash of paper §7.5) is
 //!   measured rather than asserted.
-//! * [`sha1`] — SHA-1, implemented from scratch and validated against the
+//! * [`sha1`](mod@sha1) — SHA-1, implemented from scratch and validated against the
 //!   FIPS 180-1 test vectors. The paper piggybacks "a SHA1 hash (20 bytes)"
 //!   of the jointly-monitored FUSE ID list on overlay ping requests (§6.1).
 

@@ -12,7 +12,7 @@
 
 use bytes::Bytes;
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack};
+use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
@@ -28,10 +28,9 @@ struct CdnApp {
     /// Origin: document -> (replica set, guarding group, version).
     published: DetHashMap<u64, (Vec<NodeInfo>, FuseId, u64)>,
     /// Replica: group -> (document, version) served from this site.
-    serving: DetHashMap<u64, (u64, u64)>,
-    /// Pending (doc, version, replicas) keyed by creation token.
-    pending: DetHashMap<u64, (u64, u64, Vec<NodeInfo>)>,
-    next_token: u64,
+    serving: DetHashMap<FuseId, (u64, u64)>,
+    /// Pending (doc, version, replicas) keyed by the creation ticket.
+    pending: DetHashMap<CreateTicket, (u64, u64, Vec<NodeInfo>)>,
     /// Count of re-replications performed (origin).
     rebuilds: u32,
 }
@@ -45,13 +44,12 @@ impl CdnApp {
         version: u64,
         replicas: Vec<NodeInfo>,
     ) {
-        self.next_token += 1;
-        self.pending
-            .insert(self.next_token, (doc, version, replicas.clone()));
-        let id = api.create_group(replicas, self.next_token);
+        let ticket = api.create_group(replicas.clone());
+        self.pending.insert(ticket, (doc, version, replicas));
         println!(
-            "[{}] origin: publishing doc {doc} v{version} under {id}",
-            api.now()
+            "[{}] origin: publishing doc {doc} v{version} under {}",
+            api.now(),
+            ticket.id()
         );
     }
 }
@@ -65,19 +63,21 @@ fn encode_update(doc: u64, version: u64, group: FuseId) -> Bytes {
 }
 
 impl FuseApp for CdnApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         match ev {
-            FuseUpcall::Created { token, result } => {
-                let Some((doc, version, replicas)) = self.pending.remove(&token) else {
+            FuseEvent::Created { ticket, result } => {
+                let Some((doc, version, replicas)) = self.pending.remove(&ticket) else {
                     return;
                 };
                 match result {
-                    Ok(id) => {
-                        api.register_handler(id);
+                    Ok(handle) => {
+                        // The document id rides along as handler context and
+                        // comes back inside the failure notification.
+                        api.register_handler(handle.id, doc);
                         for r in &replicas {
-                            api.send_app(r.proc, encode_update(doc, version, id));
+                            api.send_app(r.proc, encode_update(doc, version, handle.id));
                         }
-                        self.published.insert(doc, (replicas, id, version));
+                        self.published.insert(doc, (replicas, handle.id, version));
                     }
                     Err(e) => {
                         println!(
@@ -88,33 +88,33 @@ impl FuseApp for CdnApp {
                     }
                 }
             }
-            FuseUpcall::Failure { id } => {
+            FuseEvent::Notified(n) => {
                 if api.me().proc == ORIGIN {
-                    // Which document was fate-shared with this group?
-                    let doc = self
-                        .published
-                        .iter()
-                        .find(|(_, (_, g, _))| *g == id)
-                        .map(|(&d, _)| d);
-                    if let Some(doc) = doc {
-                        let (replicas, _, version) = self.published.remove(&doc).expect("present");
-                        self.rebuilds += 1;
-                        println!(
-                            "[{}] origin: replica set of doc {doc} failed ({id}); re-replicating at v{}",
-                            api.now(),
-                            version + 1
-                        );
-                        // Re-publish to the replicas that are still useful;
-                        // in a real CDN we would re-select sites here.
-                        self.publish(api, doc, version + 1, replicas);
+                    // The registered context *is* the document id.
+                    if let Some(doc) = n.ctx {
+                        if let Some((replicas, _, version)) = self.published.remove(&doc) {
+                            self.rebuilds += 1;
+                            println!(
+                                "[{}] origin: replica set of doc {doc} failed ({}, cause {}); re-replicating at v{}",
+                                api.now(),
+                                n.id,
+                                n.reason,
+                                version + 1
+                            );
+                            // Re-publish to the replicas that are still
+                            // useful; a real CDN would re-select sites here.
+                            self.publish(api, doc, version + 1, replicas);
+                        }
                     }
                 } else {
                     // Replica: drop the possibly-stale copy (fate sharing).
-                    if let Some((doc, version)) = self.serving.remove(&id.0) {
+                    if let Some((doc, version)) = self.serving.remove(&n.id) {
                         println!(
-                            "[{}] replica {}: invalidating doc {doc} v{version} (group {id})",
+                            "[{}] replica {}: invalidating doc {doc} v{version} (group {}, cause {})",
                             api.now(),
-                            api.me().proc
+                            api.me().proc,
+                            n.id,
+                            n.reason
                         );
                     }
                 }
@@ -131,8 +131,8 @@ impl FuseApp for CdnApp {
         ) else {
             return;
         };
-        api.register_handler(group);
-        self.serving.insert(group.0, (doc, version));
+        api.register_handler(group, doc);
+        self.serving.insert(group, (doc, version));
         println!(
             "[{}] replica {}: serving doc {doc} v{version}",
             api.now(),

@@ -1,9 +1,9 @@
-//! Quickstart: create a FUSE group, signal a failure, watch every member
-//! hear about it exactly once.
+//! Quickstart: create a FUSE group through the typed handle API, signal a
+//! failure, watch every member hear about it exactly once — with the cause.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseUpcall, NodeStack};
+use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, NodeStack};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
@@ -14,20 +14,31 @@ use rand::SeedableRng;
 struct PrintApp;
 
 impl FuseApp for PrintApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         match ev {
-            FuseUpcall::Created { result, .. } => {
-                println!(
-                    "[{}] node {}: group creation finished: {result:?}",
+            FuseEvent::Created { ticket, result } => match result {
+                Ok(handle) => println!(
+                    "[{}] node {}: group {} created (role {:?})",
                     api.now(),
-                    api.me().proc
-                );
-            }
-            FuseUpcall::Failure { id } => {
-                println!(
-                    "[{}] node {}: FAILURE notification for {id} — garbage-collect now",
+                    api.me().proc,
+                    handle.id,
+                    handle.role
+                ),
+                Err(e) => println!(
+                    "[{}] node {}: creation of {} failed: {e:?}",
                     api.now(),
-                    api.me().proc
+                    api.me().proc,
+                    ticket.id()
+                ),
+            },
+            FuseEvent::Notified(n) => {
+                println!(
+                    "[{}] node {}: FAILURE of {} (cause {}, role {:?}) — garbage-collect now",
+                    api.now(),
+                    api.me().proc,
+                    n.id,
+                    n.reason,
+                    n.role
                 );
             }
         }
@@ -65,19 +76,21 @@ fn main() {
     sim.run_for(SimDuration::from_secs(2));
 
     // Node 0 creates a group over nodes 7, 13 and 21 (the paper's
-    // CreateGroup). Creation blocks until every member answered.
+    // CreateGroup). The call returns a typed ticket immediately; the
+    // Created event echoing it arrives once every member answered.
     let others: Vec<NodeInfo> = [7usize, 13, 21].iter().map(|&i| infos[i].clone()).collect();
-    let id = sim
+    let ticket = sim
         .with_proc(0, |stack, ctx| {
-            stack.with_api(ctx, |api, _| api.create_group(others, 1))
+            stack.with_api(ctx, |api, _| api.create_group(others))
         })
         .expect("node 0 is alive");
+    let id = ticket.id();
     println!("node 0 asked for group {id}");
     sim.run_for(SimDuration::from_secs(5));
 
     // Any member may associate distributed state with the group and
     // explicitly signal failure when *its* definition of failure is met
-    // (the paper's SignalFailure / fail-on-send).
+    // (the paper's SignalFailure; `group_send` covers fail-on-send).
     println!("--- node 13 signals failure ---");
     sim.with_proc(13, |stack, ctx| {
         stack.with_api(ctx, |api, _| api.signal_failure(id))

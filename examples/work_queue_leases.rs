@@ -12,7 +12,7 @@
 
 use bytes::Bytes;
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack};
+use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
@@ -27,10 +27,9 @@ const COORDINATOR: ProcId = 0;
 struct QueueApp {
     // Coordinator state.
     backlog: Vec<u64>,
-    assigned: DetHashMap<u64, (u64, ProcId)>, // group -> (item, worker)
-    pending: DetHashMap<u64, (u64, ProcId)>,  // token -> (item, worker)
+    assigned: DetHashMap<FuseId, (u64, ProcId)>, // group -> (item, worker)
+    pending: DetHashMap<CreateTicket, (u64, ProcId)>, // ticket -> (item, worker)
     completed: Vec<u64>,
-    next_token: u64,
     workers: Vec<NodeInfo>,
     rr: usize,
     // Worker state: item -> guarding lease.
@@ -46,13 +45,13 @@ impl QueueApp {
             }
             let w = self.workers[self.rr % self.workers.len()].clone();
             self.rr += 1;
-            self.next_token += 1;
-            self.pending.insert(self.next_token, (item, w.proc));
-            let id = api.create_group(vec![w.clone()], self.next_token);
+            let ticket = api.create_group(vec![w.clone()]);
+            self.pending.insert(ticket, (item, w.proc));
             println!(
-                "[{}] coordinator: leasing item {item} to worker {} under {id}",
+                "[{}] coordinator: leasing item {item} to worker {} under {}",
                 api.now(),
-                w.proc
+                w.proc,
+                ticket.id()
             );
         }
     }
@@ -70,17 +69,17 @@ const ASSIGN: u8 = 1;
 const DONE: u8 = 2;
 
 impl FuseApp for QueueApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         match ev {
-            FuseUpcall::Created { token, result } => {
-                let Some((item, worker)) = self.pending.remove(&token) else {
+            FuseEvent::Created { ticket, result } => {
+                let Some((item, worker)) = self.pending.remove(&ticket) else {
                     return;
                 };
                 match result {
-                    Ok(id) => {
-                        api.register_handler(id);
-                        self.assigned.insert(id.0, (item, worker));
-                        api.send_app(worker, msg(ASSIGN, item, id));
+                    Ok(handle) => {
+                        api.register_handler(handle.id, item);
+                        self.assigned.insert(handle.id, (item, worker));
+                        api.send_app(worker, msg(ASSIGN, item, handle.id));
                     }
                     Err(e) => {
                         println!(
@@ -93,12 +92,14 @@ impl FuseApp for QueueApp {
                     }
                 }
             }
-            FuseUpcall::Failure { id } => {
+            FuseEvent::Notified(n) => {
                 if api.me().proc == COORDINATOR {
-                    if let Some((item, worker)) = self.assigned.remove(&id.0) {
+                    if let Some((item, worker)) = self.assigned.remove(&n.id) {
                         println!(
-                            "[{}] coordinator: lease {id} (item {item} on worker {worker}) failed; re-queueing",
-                            api.now()
+                            "[{}] coordinator: lease {} (item {item} on worker {worker}) failed ({}); re-queueing",
+                            api.now(),
+                            n.id,
+                            n.reason
                         );
                         self.workers.retain(|w| w.proc != worker);
                         self.backlog.push(item);
@@ -108,15 +109,17 @@ impl FuseApp for QueueApp {
                     let abandoned: Vec<u64> = self
                         .working_on
                         .iter()
-                        .filter(|(_, &g)| g == id)
+                        .filter(|(_, &g)| g == n.id)
                         .map(|(&item, _)| item)
                         .collect();
                     for item in abandoned {
                         self.working_on.remove(&item);
                         println!(
-                            "[{}] worker {}: lease {id} burned; abandoning item {item}",
+                            "[{}] worker {}: lease {} burned ({}); abandoning item {item}",
                             api.now(),
-                            api.me().proc
+                            api.me().proc,
+                            n.id,
+                            n.reason
                         );
                     }
                 }
@@ -135,12 +138,12 @@ impl FuseApp for QueueApp {
         };
         match kind {
             ASSIGN => {
-                api.register_handler(group);
+                api.register_handler(group, item);
                 self.working_on.insert(item, group);
                 // "Work" takes 30 simulated seconds.
                 api.set_app_timer(SimDuration::from_secs(30), item);
             }
-            DONE if self.assigned.remove(&group.0).is_some() => {
+            DONE if self.assigned.remove(&group).is_some() => {
                 println!(
                     "[{}] coordinator: item {item} completed by {from}",
                     api.now()
@@ -155,7 +158,10 @@ impl FuseApp for QueueApp {
 
     fn on_app_timer(&mut self, api: &mut FuseApi<'_, '_, '_>, item: u64) {
         if let Some(group) = self.working_on.remove(&item) {
-            api.send_app(COORDINATOR, msg(DONE, item, group));
+            // Report completion under the lease's fate-sharing contract
+            // (§3.4): if the path to the coordinator is broken, the lease
+            // burns instead of the result silently vanishing.
+            api.group_send(group, COORDINATOR, msg(DONE, item, group));
         }
     }
 }

@@ -1,6 +1,10 @@
 //! Shared helpers for the cross-crate integration tests.
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseId, FuseUpcall, NodeStack};
+// Each integration-test binary compiles this module separately and uses a
+// subset of the helpers.
+#![allow(dead_code)]
+
+use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack, Notification};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration, SimTime};
@@ -9,11 +13,11 @@ use fuse_sim::{ProcId, Sim, SimDuration, SimTime};
 #[derive(Default)]
 pub struct Rec {
     /// All FUSE events with timestamps.
-    pub events: Vec<(SimTime, FuseUpcall)>,
+    pub events: Vec<(SimTime, FuseEvent)>,
 }
 
 impl FuseApp for Rec {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseUpcall) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 }
@@ -51,35 +55,41 @@ pub fn world(n: usize, seed: u64) -> (World, Vec<NodeInfo>) {
 /// Creates a group and runs until the `Created` event lands.
 pub fn create(sim: &mut World, infos: &[NodeInfo], root: ProcId, members: &[ProcId]) -> FuseId {
     let others: Vec<NodeInfo> = members.iter().map(|&m| infos[m as usize].clone()).collect();
-    let id = sim
+    let ticket = sim
         .with_proc(root, |stack, ctx| {
-            stack.with_api(ctx, |api, _| api.create_group(others, 1))
+            stack.with_api(ctx, |api, _| api.create_group(others))
         })
         .expect("root alive");
     sim.run_for(SimDuration::from_secs(10));
-    let ok = sim
-        .proc(root)
-        .unwrap()
-        .app
-        .events
-        .iter()
-        .any(|(_, ev)| matches!(ev, FuseUpcall::Created { result: Ok(g), .. } if *g == id));
+    let ok = sim.proc(root).unwrap().app.events.iter().any(
+        |(_, ev)| matches!(ev, FuseEvent::Created { ticket: t, result: Ok(_) } if *t == ticket),
+    );
     assert!(ok, "creation must complete");
-    id
+    ticket.id()
 }
 
-/// Failure notification timestamps for `id` at `node`.
-pub fn failures(sim: &World, node: ProcId, id: FuseId) -> Vec<SimTime> {
+/// Failure notifications for `id` observed at `node`.
+pub fn notifications(sim: &World, node: ProcId, id: FuseId) -> Vec<(SimTime, Notification)> {
     sim.proc(node)
         .map(|s| {
             s.app
                 .events
                 .iter()
-                .filter(|(_, ev)| matches!(ev, FuseUpcall::Failure { id: g } if *g == id))
-                .map(|&(t, _)| t)
+                .filter_map(|&(t, ev)| match ev {
+                    FuseEvent::Notified(n) if n.id == id => Some((t, n)),
+                    _ => None,
+                })
                 .collect()
         })
         .unwrap_or_default()
+}
+
+/// Failure notification timestamps for `id` at `node`.
+pub fn failures(sim: &World, node: ProcId, id: FuseId) -> Vec<SimTime> {
+    notifications(sim, node, id)
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect()
 }
 
 /// Asserts no node holds any state for `id`.

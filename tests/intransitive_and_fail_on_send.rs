@@ -1,16 +1,20 @@
 //! §3.4's fail-on-send scenarios: failures FUSE cannot see on its own
-//! monitored paths, which the *application* converts into notifications.
+//! monitored paths, which `FuseApi::group_send` converts into notifications
+//! without any application-level plumbing.
 
 mod common;
 
 use bytes::Bytes;
-use common::{assert_no_orphans, create, failures, world};
+use common::{assert_no_orphans, create, failures, notifications, world};
+use fuse_core::NotifyReason;
 use fuse_sim::SimDuration;
 
 /// Intransitive connectivity: A cannot reach C, but both answer FUSE's
 /// liveness checks through other paths. Only when A *tries to send* to C
-/// does the application notice and signal — and FUSE still guarantees
-/// delivery of the notification to all members.
+/// does the failure surface — and because the send went through
+/// `group_send`, the broken delivery itself burns the group (§3.4, now a
+/// core API rather than application code). FUSE still guarantees delivery
+/// of the notification to all members, with the `ConnectionBroken` cause.
 #[test]
 fn intransitive_failure_converts_to_group_notification() {
     let (mut sim, infos) = world(24, 21);
@@ -27,23 +31,29 @@ fn intransitive_failure_converts_to_group_notification() {
             "FUSE alone must not notice the intransitive hole (node {m})"
         );
     }
-    // The application on A attempts an RPC to C; the transport reports the
-    // broken connection; A implements fail-on-send by signalling the group.
+    // The application on A sends data to C under the group's fate-sharing
+    // contract. The TCP model gives up after its retry budget (~63 s); the
+    // broken delivery signals the group — no application handler needed.
     sim.with_proc(a, |stack, ctx| {
-        stack.with_api(ctx, |api, _| api.send_app(c, Bytes::from_static(b"data")))
+        stack.with_api(ctx, |api, _| {
+            assert!(
+                api.group_send(id, c, Bytes::from_static(b"data")),
+                "group is live; the send must be attempted"
+            );
+        })
     });
-    // The TCP model gives up after its retry budget (~63 s), then A's
-    // application signals.
-    sim.run_for(SimDuration::from_secs(90));
-    sim.with_proc(a, |stack, ctx| {
-        stack.with_api(ctx, |api, _| api.signal_failure(id))
-    });
-    sim.run_for(SimDuration::from_secs(60));
+    sim.run_for(SimDuration::from_secs(150));
     for m in [0, a, c] {
+        let notes = notifications(&sim, m, id);
         assert_eq!(
-            failures(&sim, m, id).len(),
+            notes.len(),
             1,
-            "node {m} must hear the explicitly signalled failure"
+            "node {m} must hear the fail-on-send failure"
+        );
+        assert_eq!(
+            notes[0].1.reason,
+            NotifyReason::ConnectionBroken,
+            "node {m} must observe the broken-connection cause"
         );
     }
     assert_no_orphans(&sim, id);
@@ -76,7 +86,7 @@ fn per_group_failure_does_not_condemn_the_node() {
 }
 
 /// Signalling an already-failed group is a harmless no-op (the fuse only
-/// burns once).
+/// burns once), and a `group_send` on it is refused.
 #[test]
 fn double_signal_is_idempotent() {
     let (mut sim, infos) = world(16, 23);
@@ -90,7 +100,13 @@ fn double_signal_is_idempotent() {
         stack.with_api(ctx, |api, _| api.signal_failure(id))
     });
     sim.with_proc(4, |stack, ctx| {
-        stack.with_api(ctx, |api, _| api.signal_failure(id))
+        stack.with_api(ctx, |api, _| {
+            api.signal_failure(id);
+            assert!(
+                !api.group_send(id, 8, Bytes::from_static(b"late")),
+                "sends on a burned group must be refused"
+            );
+        })
     });
     sim.run_for(SimDuration::from_secs(60));
     for m in [0u32, 4, 8] {
@@ -99,7 +115,8 @@ fn double_signal_is_idempotent() {
 }
 
 /// Late registration after the group already failed: immediate callback
-/// (§3.1/§3.2 — "FUSE state is never orphaned by failures").
+/// (§3.1/§3.2 — "FUSE state is never orphaned by failures"), carrying the
+/// registered application context back.
 #[test]
 fn late_registration_fires_immediately() {
     let (mut sim, infos) = world(16, 24);
@@ -110,12 +127,11 @@ fn late_registration_fires_immediately() {
     sim.run_for(SimDuration::from_secs(30));
     // A third party that learned the ID out of band registers afterwards.
     sim.with_proc(9, |stack, ctx| {
-        stack.with_api(ctx, |api, _| api.register_handler(id))
+        stack.with_api(ctx, |api, _| api.register_handler(id, 777))
     });
     sim.run_for(SimDuration::from_millis(100));
-    assert_eq!(
-        failures(&sim, 9, id).len(),
-        1,
-        "immediate callback expected"
-    );
+    let notes = notifications(&sim, 9, id);
+    assert_eq!(notes.len(), 1, "immediate callback expected");
+    assert_eq!(notes[0].1.reason, NotifyReason::UnknownGroup);
+    assert_eq!(notes[0].1.ctx, Some(777), "registered context echoed back");
 }

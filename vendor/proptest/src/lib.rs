@@ -361,7 +361,7 @@ pub mod prop {
             VecStrategy { elem, size }
         }
 
-        /// See [`vec`].
+        /// See [`vec`](fn@vec).
         pub struct VecStrategy<S> {
             elem: S,
             size: core::ops::Range<usize>,
