@@ -17,6 +17,12 @@ fn bench_sha1(c: &mut Criterion) {
         g.bench_function(format!("{size}B"), |b| {
             b.iter(|| sha1(std::hint::black_box(&data)))
         });
+        g.bench_function(format!("portable/{size}B"), |b| {
+            b.iter(|| fuse_wire::sha1::sha1_portable(std::hint::black_box(&data)))
+        });
+        g.bench_function(format!("reference/{size}B"), |b| {
+            b.iter(|| fuse_wire::sha1::reference::sha1(std::hint::black_box(&data)))
+        });
     }
     g.finish();
 }
@@ -34,7 +40,23 @@ fn bench_codec(c: &mut Criterion) {
     let bytes = msg.to_bytes();
     let mut g = c.benchmark_group("codec");
     g.bench_function("encode_routed", |b| {
+        // Hot path: single pass into the reusable buffer, zero allocations.
+        let mut buf = fuse_wire::EncodeBuf::new();
+        b.iter(|| {
+            std::hint::black_box(buf.encode(std::hint::black_box(&msg)));
+        })
+    });
+    g.bench_function("encode_routed_to_bytes", |b| {
         b.iter(|| std::hint::black_box(&msg).to_bytes())
+    });
+    g.bench_function("encode_routed_twopass", |b| {
+        // The pre-PR-3 reference: counting pass + fresh growing buffer.
+        b.iter(|| {
+            let m = std::hint::black_box(&msg);
+            let n = fuse_wire::codec::twopass::counted_size(m);
+            std::hint::black_box(n);
+            fuse_wire::codec::twopass::to_bytes(m)
+        })
     });
     g.bench_function("decode_routed", |b| {
         b.iter(|| OverlayMsg::from_bytes(std::hint::black_box(&bytes)).unwrap())

@@ -1,0 +1,76 @@
+//! The bench gate: compares a fresh `bench_runner` emit against a committed
+//! trajectory stake and fails (exit 1) on regressions beyond the tolerance
+//! band. Runs in CI after the bench smoke, and locally:
+//!
+//! ```text
+//! cargo run --release -p fuse_bench --bin bench_check -- BENCH_CI.json BENCH_PR3.json
+//! cargo run --release -p fuse_bench --bin bench_check -- BENCH_CI.json BENCH_PR3.json 0.25
+//! ```
+//!
+//! The gated metrics (see `fuse_bench::gate::GATED`) are per-unit costs —
+//! ns/event, GiB/s, ns and allocs per encoded message — so a quick-scale CI
+//! run remains comparable to the paper-scale committed stake; totals are
+//! not gated. Allocation metrics carry an absolute slack instead of only a
+//! relative band, so a 0.000-allocs stake still tolerates counting noise
+//! while a real allocation on the ping path (1.0/msg) fails loudly.
+
+use fuse_bench::{gate, json};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_check <current.json> <stake.json> [tolerance]");
+    eprintln!("       tolerance is a fraction (default 0.25 = 25% band)");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        usage();
+    }
+    let tol: f64 = match args.get(2) {
+        None => 0.25,
+        Some(t) => match t.parse() {
+            Ok(v) if (0.0..1.0).contains(&v) => v,
+            _ => usage(),
+        },
+    };
+    let current = load(&args[0]);
+    let stake = load(&args[1]);
+
+    println!(
+        "bench gate: {} vs stake {} (tolerance {:.0}%)",
+        args[0],
+        args[1],
+        tol * 100.0
+    );
+    let verdicts = match gate::compare(&current, &stake, tol) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failures = 0usize;
+    for v in &verdicts {
+        println!("{}", gate::render_verdict(v));
+        if !v.pass {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench gate: {failures} metric(s) regressed beyond the band");
+        std::process::exit(1);
+    }
+    println!("bench gate: all {} metrics within the band", verdicts.len());
+}

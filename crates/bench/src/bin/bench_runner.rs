@@ -1,25 +1,40 @@
-//! Bench runner: measures kernel event throughput (timing-wheel kernel vs
-//! the preserved single-heap baseline) and emits the machine-readable
-//! trajectory file `BENCH_PR1.json`.
+//! Bench runner: measures the repository's staked hot paths and emits one
+//! machine-readable JSON document.
+//!
+//! Sections:
+//!
+//! * `sim_event_throughput` — kernel events/s, timing-wheel vs the
+//!   preserved single-heap baseline;
+//! * `wire_hot_path` — SHA-1 bytes/s (auto/portable/reference at
+//!   64 B / 1 KiB / 16 KiB) and ns + allocs per single-pass encoded
+//!   message (ping, 16-link reconcile, routed envelope);
+//! * `churn` — fig10-style scripted crash/restart load on the wheel kernel
+//!   (stakes the unboxed scripted-call path).
 //!
 //! ```text
 //! cargo run --release -p fuse_bench --bin bench_runner            # paper scale
 //! FUSE_BENCH_SCALE=quick cargo run -p fuse_bench --bin bench_runner  # CI smoke
-//! BENCH_OUT=path.json      # output path (default BENCH_PR2.json)
+//! BENCH_OUT=path.json      # output path (default BENCH_CI.json, gitignored)
 //! BENCH_REPS=5             # wall-clock repetitions (best is reported)
 //! ```
+//!
+//! Committed `BENCH_PR*.json` files are immutable trajectory stakes; the CI
+//! `bench gate` (`bench_check`) compares a fresh emit against the latest
+//! stake with a tolerance band.
 
 use fuse_bench::kernel_bench::{self, KernelBenchConfig};
-use fuse_bench::{banner, footer, scale, Scale};
+use fuse_bench::{banner, footer, scale, wire_bench, Scale};
 
 #[global_allocator]
 static ALLOC: fuse_bench::alloc_count::CountingAlloc = fuse_bench::alloc_count::CountingAlloc;
 
 fn main() {
-    let start = banner("sim_event_throughput (wheel kernel vs heap baseline)");
-    let cfg = match scale() {
-        Scale::Paper => KernelBenchConfig::paper(),
-        Scale::Quick => KernelBenchConfig::quick(),
+    let start = banner("fuse hot paths (kernel, wire codec, SHA-1, churn)");
+    let quick = scale() == Scale::Quick;
+    let cfg = if quick {
+        KernelBenchConfig::quick()
+    } else {
+        KernelBenchConfig::paper()
     };
     let reps: u32 = std::env::var("BENCH_REPS")
         .ok()
@@ -32,28 +47,22 @@ fn main() {
         cfg.processes, cfg.ping_period, cfg.sim_time, cfg.seed, reps
     );
 
+    // --- Kernel throughput -------------------------------------------------
+    let print_kernel = |name: &str, m: &kernel_bench::KernelMeasurement| {
+        println!(
+            "{name:<9} {:>10} events  {:>8.3} Mev/s  {:>7.1} ns/event  allocs/event: {}",
+            m.events,
+            m.events_per_sec / 1e6,
+            m.ns_per_event,
+            m.allocs_per_event
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    };
     let wheel = kernel_bench::measure(reps, || kernel_bench::run_wheel(&cfg));
-    println!(
-        "wheel:    {:>10} events  {:>8.3} Mev/s  {:>7.1} ns/event  allocs/event: {}",
-        wheel.events,
-        wheel.events_per_sec / 1e6,
-        wheel.ns_per_event,
-        wheel
-            .allocs_per_event
-            .map(|a| format!("{a:.3}"))
-            .unwrap_or_else(|| "n/a".into()),
-    );
+    print_kernel("wheel:", &wheel);
     let baseline = kernel_bench::measure(reps, || kernel_bench::run_baseline(&cfg));
-    println!(
-        "baseline: {:>10} events  {:>8.3} Mev/s  {:>7.1} ns/event  allocs/event: {}",
-        baseline.events,
-        baseline.events_per_sec / 1e6,
-        baseline.ns_per_event,
-        baseline
-            .allocs_per_event
-            .map(|a| format!("{a:.3}"))
-            .unwrap_or_else(|| "n/a".into()),
-    );
+    print_kernel("baseline:", &baseline);
     assert_eq!(
         wheel.events, baseline.events,
         "kernels disagreed on executed events — not comparable"
@@ -63,8 +72,64 @@ fn main() {
         baseline.ns_per_event / wheel.ns_per_event
     );
 
-    let doc = kernel_bench::render_json(&cfg, reps, &wheel, &baseline);
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    // --- Wire hot path -----------------------------------------------------
+    let sha1 = wire_bench::sha1_suite(reps, quick);
+    for p in &sha1 {
+        println!(
+            "sha1/{:>6}B  auto {:>7.3} GiB/s  portable {:>7.3} GiB/s  reference {:>7.3} GiB/s  ({:.2}x / {:.2}x)",
+            p.size,
+            p.auto_gib_s,
+            p.portable_gib_s,
+            p.reference_gib_s,
+            p.auto_gib_s / p.reference_gib_s,
+            p.portable_gib_s / p.reference_gib_s,
+        );
+    }
+    let encode = wire_bench::encode_suite(reps, quick);
+    for p in &encode {
+        println!(
+            "encode/{:<12} {:>4} B  {:>7.1} ns/msg  allocs/msg: {}",
+            p.name,
+            p.bytes,
+            p.ns_per_msg,
+            p.allocs_per_msg
+                .map(|a| format!("{a:.4}"))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    }
+
+    // --- Churn (scripted crash/restart) ------------------------------------
+    let churn = kernel_bench::measure(reps, || kernel_bench::run_wheel_churn(&cfg));
+    print_kernel("churn:", &churn);
+
+    // --- Emit --------------------------------------------------------------
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fuse_hot_paths\",\n",
+            "  \"pr\": 3,\n",
+            "  \"description\": \"Staked hot paths: kernel event throughput (wheel vs heap), ",
+            "single-pass wire codec (ns/allocs per encoded message), SHA-1 piggyback digest ",
+            "(GiB/s, three implementations), and fig10-style scripted churn\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"config\": {},\n",
+            "  \"sim_event_throughput\": {},\n",
+            "  \"wire_hot_path\": {},\n",
+            "  \"churn\": {}\n",
+            "}}\n"
+        ),
+        if quick { "quick" } else { "paper" },
+        kernel_bench::render_config(&cfg, reps),
+        kernel_bench::render_throughput_section(&wheel, &baseline),
+        wire_bench::render_json(&sha1, &encode),
+        kernel_bench::render_churn_section(&churn),
+    );
+    // The emit must stay readable by the gate's own parser.
+    if let Err(e) = fuse_bench::json::parse(&doc) {
+        eprintln!("error: emitted JSON does not parse: {e}");
+        std::process::exit(1);
+    }
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_CI.json".to_string());
     if let Err(e) = std::fs::write(&out, &doc) {
         eprintln!("error: cannot write bench JSON to {out}: {e}");
         std::process::exit(1);

@@ -8,8 +8,9 @@
 //!
 //! * `benches/micro.rs` wraps [`run_wheel`]/[`run_baseline`] in criterion's
 //!   sampler (`sim_event_throughput/*`);
-//! * `src/bin/bench_runner.rs` measures both with wall clocks and an
-//!   allocation counter and emits the `BENCH_PR1.json` trajectory stake.
+//! * `src/bin/bench_runner.rs` measures both (plus the scripted-churn
+//!   variant, [`run_wheel_churn`]) with wall clocks and an allocation
+//!   counter for the `BENCH_*.json` trajectory stakes.
 
 use fuse_sim::process::{Ctx, Payload, ProcId, Process};
 use fuse_sim::{BaselineSim, PerfectMedium, Sim, SimDuration};
@@ -222,6 +223,40 @@ pub fn run_baseline(cfg: &KernelBenchConfig) -> u64 {
     sim.events_executed()
 }
 
+/// The liveness workload plus fig10-style churn: a quarter of the fleet
+/// alternates crash/restart phases (exponential lengths, mean
+/// `sim_time / 8`) scheduled up front through the kernel's **unboxed**
+/// script events — thousands of scripted operations with the restart
+/// states parked in the kernel slab, no per-cycle closure boxes. The
+/// reported allocs/event stakes the scripted-call boxing fix.
+pub fn run_wheel_churn(cfg: &KernelBenchConfig) -> u64 {
+    let mut sim = Sim::new(cfg.seed, PerfectMedium::new(cfg.latency));
+    for _ in 0..cfg.processes {
+        sim.add_process(Pinger::new(cfg));
+    }
+    let mean_s = cfg.sim_time.as_secs_f64() / 8.0;
+    let horizon = sim.now() + cfg.sim_time;
+    for p in (0..cfg.processes).step_by(4) {
+        let mut at = sim.now();
+        let mut up = true;
+        loop {
+            let u: f64 = sim.rng_mut().gen_range(1e-9..1.0);
+            at += SimDuration::from_secs_f64(-mean_s * u.ln());
+            if at > horizon {
+                break;
+            }
+            if up {
+                sim.schedule_crash(at, p);
+            } else {
+                sim.schedule_restart(at, p, Pinger::new(cfg));
+            }
+            up = !up;
+        }
+    }
+    sim.run_for(cfg.sim_time);
+    sim.events_executed()
+}
+
 /// One kernel's measurement.
 #[derive(Debug, Clone)]
 pub struct KernelMeasurement {
@@ -267,52 +302,37 @@ pub fn measure(reps: u32, run: impl Fn() -> u64) -> KernelMeasurement {
     }
 }
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
-    }
-}
+use crate::json_f64;
 
-/// Renders the `BENCH_PR1.json` document (hand-rolled: the workspace has no
-/// serde).
-pub fn render_json(
-    cfg: &KernelBenchConfig,
-    reps: u32,
-    wheel: &KernelMeasurement,
-    baseline: &KernelMeasurement,
-) -> String {
-    let speedup = baseline.ns_per_event / wheel.ns_per_event;
-    let kernel = |m: &KernelMeasurement| {
-        format!(
-            concat!(
-                "{{\n",
-                "      \"events\": {},\n",
-                "      \"wall_s\": {},\n",
-                "      \"events_per_sec\": {},\n",
-                "      \"ns_per_event\": {},\n",
-                "      \"allocs_per_event\": {}\n",
-                "    }}"
-            ),
-            m.events,
-            json_f64(m.wall_s),
-            json_f64(m.events_per_sec),
-            json_f64(m.ns_per_event),
-            m.allocs_per_event
-                .map(json_f64)
-                .unwrap_or_else(|| "null".to_string()),
-        )
-    };
+/// Renders one kernel's measurement as a JSON object (indented for nesting
+/// under a section).
+pub fn render_measurement(m: &KernelMeasurement, indent: &str) -> String {
     format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"sim_event_throughput\",\n",
-            "  \"pr\": 1,\n",
-            "  \"description\": \"Discrete-event kernel throughput on the paper's dominant workload: ",
-            "N processes arming periodic liveness-ping timers (timing-wheel kernel vs the pre-rewrite ",
-            "single-heap kernel)\",\n",
-            "  \"config\": {{\n",
+            "{i}  \"events\": {},\n",
+            "{i}  \"wall_s\": {},\n",
+            "{i}  \"events_per_sec\": {},\n",
+            "{i}  \"ns_per_event\": {},\n",
+            "{i}  \"allocs_per_event\": {}\n",
+            "{i}}}"
+        ),
+        m.events,
+        json_f64(m.wall_s),
+        json_f64(m.events_per_sec),
+        json_f64(m.ns_per_event),
+        m.allocs_per_event
+            .map(json_f64)
+            .unwrap_or_else(|| "null".to_string()),
+        i = indent,
+    )
+}
+
+/// Renders the shared `config` JSON object body.
+pub fn render_config(cfg: &KernelBenchConfig, reps: u32) -> String {
+    format!(
+        concat!(
+            "{{\n",
             "    \"processes\": {},\n",
             "    \"groups_per_process\": {},\n",
             "    \"ping_period_s\": {},\n",
@@ -322,13 +342,7 @@ pub fn render_json(
             "    \"seed\": {},\n",
             "    \"repetitions\": {},\n",
             "    \"measurement\": \"best wall clock over repetitions, release profile\"\n",
-            "  }},\n",
-            "  \"kernels\": {{\n",
-            "    \"wheel\": {},\n",
-            "    \"heap_baseline\": {}\n",
-            "  }},\n",
-            "  \"speedup_ns_per_event\": {}\n",
-            "}}\n"
+            "  }}"
         ),
         cfg.processes,
         cfg.groups,
@@ -338,10 +352,32 @@ pub fn render_json(
         json_f64(cfg.sim_time.as_secs_f64()),
         cfg.seed,
         reps,
-        kernel(wheel),
-        kernel(baseline),
-        json_f64(speedup),
     )
+}
+
+/// Renders the `sim_event_throughput` JSON section body.
+pub fn render_throughput_section(
+    wheel: &KernelMeasurement,
+    baseline: &KernelMeasurement,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"wheel\": {},\n",
+            "    \"heap_baseline\": {},\n",
+            "    \"speedup_ns_per_event\": {}\n",
+            "  }}"
+        ),
+        render_measurement(wheel, "    "),
+        render_measurement(baseline, "    "),
+        json_f64(baseline.ns_per_event / wheel.ns_per_event),
+    )
+}
+
+/// Renders the `churn` JSON section body (fig10-style scripted
+/// crash/restart load on the wheel kernel).
+pub fn render_churn_section(churn: &KernelMeasurement) -> String {
+    render_measurement(churn, "  ")
 }
 
 #[cfg(test)]
@@ -359,24 +395,43 @@ mod tests {
     }
 
     #[test]
-    fn json_has_required_fields() {
+    fn churn_workload_executes_and_restarts_processes() {
+        let cfg = KernelBenchConfig {
+            processes: 40,
+            sim_time: SimDuration::from_secs(8),
+            ..KernelBenchConfig::paper()
+        };
+        let with_churn = run_wheel_churn(&cfg);
+        assert!(with_churn > 0);
+        // Determinism: same seed, same count.
+        assert_eq!(with_churn, run_wheel_churn(&cfg));
+    }
+
+    #[test]
+    fn json_sections_parse_and_carry_required_fields() {
         let cfg = KernelBenchConfig::quick();
         let m = KernelMeasurement {
             events: 1000,
             wall_s: 0.5,
             events_per_sec: 2000.0,
             ns_per_event: 500_000.0,
-            allocs_per_event: None,
+            allocs_per_event: Some(0.01),
         };
-        let doc = render_json(&cfg, 3, &m, &m);
-        for key in [
-            "\"events_per_sec\"",
-            "\"ns_per_event\"",
-            "\"allocs_per_event\"",
-            "\"seed\"",
-            "\"speedup_ns_per_event\"",
+        let doc = format!(
+            "{{\n  \"config\": {},\n  \"sim_event_throughput\": {},\n  \"churn\": {}\n}}",
+            render_config(&cfg, 3),
+            render_throughput_section(&m, &m),
+            render_churn_section(&m),
+        );
+        let v = crate::json::parse(&doc).expect("sections must be valid JSON");
+        for path in [
+            "config.seed",
+            "sim_event_throughput.wheel.ns_per_event",
+            "sim_event_throughput.heap_baseline.events_per_sec",
+            "sim_event_throughput.speedup_ns_per_event",
+            "churn.allocs_per_event",
         ] {
-            assert!(doc.contains(key), "missing {key} in {doc}");
+            assert!(v.get(path).is_some(), "missing {path} in {doc}");
         }
     }
 }

@@ -7,7 +7,20 @@
 //! environment variable: `paper` (default) or `quick`.
 
 pub mod alloc_count;
+pub mod gate;
+pub mod json;
 pub mod kernel_bench;
+pub mod wire_bench;
+
+/// Renders a finite float with three decimals, `null` otherwise (the
+/// hand-rolled JSON emitters share this; the workspace has no serde).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// Benchmark scale selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,244 @@
+//! Wire hot-path benchmarks: SHA-1 throughput (all three implementations)
+//! and single-pass message encoding (ns and allocations per encoded
+//! message, through the reusable [`fuse_wire::EncodeBuf`]).
+//!
+//! Used by `bench_runner` to emit the `wire_hot_path` section of the
+//! `BENCH_*.json` stakes; the CI bench gate compares those numbers against
+//! the committed stake.
+
+use bytes::Bytes;
+use fuse_core::{FuseId, FuseMsg};
+use fuse_overlay::{NodeInfo, NodeName, OverlayMsg};
+use fuse_wire::{sha1, Encode, EncodeBuf};
+
+use crate::json_f64;
+
+/// SHA-1 throughput at one input size, best wall clock over repetitions.
+#[derive(Debug, Clone)]
+pub struct Sha1Point {
+    /// Input size in bytes.
+    pub size: usize,
+    /// Dispatching path (SHA-NI when the CPU has it): GiB/s.
+    pub auto_gib_s: f64,
+    /// Unrolled scalar rounds: GiB/s.
+    pub portable_gib_s: f64,
+    /// Pre-PR-3 rolled loop: GiB/s.
+    pub reference_gib_s: f64,
+}
+
+fn best_gib_s(reps: u32, data: &[u8], iters: u64, f: impl Fn(&[u8]) -> fuse_wire::Digest) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0u8;
+        for _ in 0..iters {
+            acc ^= f(std::hint::black_box(data)).0[0];
+        }
+        std::hint::black_box(acc);
+        let dt = t0.elapsed().as_secs_f64();
+        let gib = (iters as f64 * data.len() as f64) / dt / f64::from(1u32 << 30);
+        best = best.max(gib);
+    }
+    best
+}
+
+/// Measures all three SHA-1 implementations at the stake sizes
+/// (64 B / 1 KiB / 16 KiB). `quick` shrinks the hashed volume for CI smoke.
+pub fn sha1_suite(reps: u32, quick: bool) -> Vec<Sha1Point> {
+    let volume: u64 = if quick { 8 << 20 } else { 64 << 20 };
+    [64usize, 1024, 16 * 1024]
+        .iter()
+        .map(|&size| {
+            let data = vec![0xabu8; size];
+            let iters = (volume / size as u64).max(1);
+            Sha1Point {
+                size,
+                auto_gib_s: best_gib_s(reps, &data, iters, sha1),
+                portable_gib_s: best_gib_s(reps, &data, iters, fuse_wire::sha1::sha1_portable),
+                reference_gib_s: best_gib_s(reps, &data, iters, fuse_wire::sha1::reference::sha1),
+            }
+        })
+        .collect()
+}
+
+/// One message's encode cost through the reusable buffer.
+#[derive(Debug, Clone)]
+pub struct EncodePoint {
+    /// Stake label.
+    pub name: &'static str,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+    /// Nanoseconds per encoded message (single pass into the warm buffer).
+    pub ns_per_msg: f64,
+    /// Allocator calls per encoded message (`None` when the counting
+    /// allocator is not installed). 0 is the acceptance bar for the ping.
+    pub allocs_per_msg: Option<f64>,
+}
+
+fn measure_encode<T: Encode>(name: &'static str, reps: u32, iters: u64, msg: &T) -> EncodePoint {
+    let mut buf = EncodeBuf::new();
+    let bytes = buf.encode(msg).len();
+    let mut best_ns = f64::INFINITY;
+    let mut allocs_per_msg = None;
+    for _ in 0..reps {
+        let allocs_before = crate::alloc_count::snapshot();
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(buf.encode(std::hint::black_box(msg)));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let allocs = crate::alloc_count::snapshot() - allocs_before;
+        let ns = dt * 1e9 / iters as f64;
+        if ns < best_ns {
+            best_ns = ns;
+            if crate::alloc_count::installed() {
+                allocs_per_msg = Some(allocs as f64 / iters as f64);
+            }
+        }
+    }
+    EncodePoint {
+        name,
+        bytes,
+        ns_per_msg: best_ns,
+        allocs_per_msg,
+    }
+}
+
+/// The steady-state liveness ping exactly as the overlay sends it: nonce
+/// plus the 20-byte piggyback digest (paper §7.5).
+pub fn ping_msg() -> OverlayMsg {
+    OverlayMsg::Ping {
+        nonce: 0x1234_5678,
+        hash: Some(sha1(b"piggyback")),
+    }
+}
+
+/// A reconcile request with 16 monitored links (the §6.3 hash-mismatch
+/// exchange during repair storms).
+pub fn reconcile_msg() -> FuseMsg {
+    FuseMsg::ReconcileRequest {
+        links: (0..16u64).map(|i| (FuseId(i * 7919), i)).collect(),
+    }
+}
+
+/// A routed client envelope (48-byte payload plus one recorded hop), the
+/// largest common overlay message.
+pub fn routed_msg() -> OverlayMsg {
+    OverlayMsg::Routed {
+        src: NodeInfo::new(7, NodeName::numbered(7)),
+        target: NodeName::numbered(99),
+        ttl: 64,
+        class: 0,
+        payload: Bytes::copy_from_slice(&[0u8; 48]),
+        path: vec![NodeInfo::new(1, NodeName::numbered(1))],
+    }
+}
+
+/// Measures ns/allocs per encoded message for the stake messages.
+pub fn encode_suite(reps: u32, quick: bool) -> Vec<EncodePoint> {
+    let iters: u64 = if quick { 200_000 } else { 2_000_000 };
+    vec![
+        measure_encode("ping", reps, iters, &ping_msg()),
+        measure_encode("reconcile16", reps, iters, &reconcile_msg()),
+        measure_encode("routed", reps, iters, &routed_msg()),
+    ]
+}
+
+/// Renders the `wire_hot_path` JSON object body.
+pub fn render_json(sha1: &[Sha1Point], encode: &[EncodePoint]) -> String {
+    let mut out = String::from("{\n    \"sha1\": {\n");
+    for (i, p) in sha1.iter().enumerate() {
+        let sep = if i + 1 == sha1.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "      \"{}B\": {{\n",
+                "        \"auto_gib_s\": {},\n",
+                "        \"portable_gib_s\": {},\n",
+                "        \"reference_gib_s\": {},\n",
+                "        \"speedup_auto_vs_reference\": {},\n",
+                "        \"speedup_portable_vs_reference\": {}\n",
+                "      }}{}\n"
+            ),
+            p.size,
+            json_f64(p.auto_gib_s),
+            json_f64(p.portable_gib_s),
+            json_f64(p.reference_gib_s),
+            json_f64(p.auto_gib_s / p.reference_gib_s),
+            json_f64(p.portable_gib_s / p.reference_gib_s),
+            sep,
+        ));
+    }
+    out.push_str("    },\n    \"encode\": {\n");
+    for (i, p) in encode.iter().enumerate() {
+        let sep = if i + 1 == encode.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "      \"{}\": {{\n",
+                "        \"bytes\": {},\n",
+                "        \"ns_per_msg\": {},\n",
+                "        \"allocs_per_msg\": {}\n",
+                "      }}{}\n"
+            ),
+            p.name,
+            p.bytes,
+            json_f64(p.ns_per_msg),
+            p.allocs_per_msg
+                .map(json_f64)
+                .unwrap_or_else(|| "null".to_string()),
+            sep,
+        ));
+    }
+    out.push_str("    }\n  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stake_messages_have_expected_shapes() {
+        // Ping: tag(1) + varint nonce + option tag(1) + digest(20).
+        let ping = ping_msg();
+        assert_eq!(ping.wire_size(), 1 + 5 + 1 + 20);
+        let reconcile = reconcile_msg();
+        assert!(reconcile.wire_size() > 16 * 2);
+        let mut buf = EncodeBuf::new();
+        assert_eq!(buf.encode(&ping).len(), ping.wire_size());
+        assert_eq!(buf.encode(&reconcile).len(), reconcile.wire_size());
+        assert_eq!(buf.encode(&routed_msg()).len(), routed_msg().wire_size());
+    }
+
+    #[test]
+    fn render_produces_parseable_json() {
+        let sha1 = vec![Sha1Point {
+            size: 64,
+            auto_gib_s: 1.0,
+            portable_gib_s: 0.5,
+            reference_gib_s: 0.25,
+        }];
+        let encode = vec![EncodePoint {
+            name: "ping",
+            bytes: 27,
+            ns_per_msg: 10.0,
+            allocs_per_msg: Some(0.0),
+        }];
+        let doc = format!(
+            "{{\n  \"wire_hot_path\": {}\n}}",
+            render_json(&sha1, &encode)
+        );
+        let v = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(
+            v.get("wire_hot_path.sha1.64B.speedup_auto_vs_reference")
+                .unwrap()
+                .as_f64(),
+            Some(4.0)
+        );
+        assert_eq!(
+            v.get("wire_hot_path.encode.ping.allocs_per_msg")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+    }
+}

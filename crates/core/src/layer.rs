@@ -24,7 +24,7 @@ use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
 use fuse_util::backoff::Backoff;
 use fuse_util::idgen::IdGen;
 use fuse_util::{DetHashMap, DetHashSet};
-use fuse_wire::{Decode, Digest, Encode, Sha1};
+use fuse_wire::{Decode, Digest, EncodeBuf, Sha1};
 
 use crate::messages::{FuseMsg, InstallChecking};
 use crate::types::{
@@ -139,6 +139,10 @@ pub struct FuseLayer {
     /// a `group_send` to, per group. A broken connection to a bound peer
     /// declares the group failed.
     send_bound: DetHashMap<FuseId, DetHashSet<ProcId>>,
+    /// Reusable single-pass encode scratch for wire payloads this layer
+    /// builds (`InstallChecking` envelopes): encoding reserves the exact
+    /// size hint once and never re-counts or grows per message.
+    ebuf: EncodeBuf,
     /// Exposed counters.
     pub stats: FuseStats,
 }
@@ -157,6 +161,7 @@ impl FuseLayer {
             hash_cache: DetHashMap::default(),
             handlers: DetHashMap::default(),
             send_bound: DetHashMap::default(),
+            ebuf: EncodeBuf::new(),
             stats: FuseStats::default(),
         }
     }
@@ -454,7 +459,7 @@ impl FuseLayer {
             member: self.me.clone(),
             root: root.clone(),
         };
-        let payload = ic.to_bytes();
+        let payload = self.ebuf.encode_to_bytes(&ic);
         match ov.route_client(io, &root.name, payload) {
             RouteStart::Sent { next } => {
                 self.add_link(io, ov, id, next);

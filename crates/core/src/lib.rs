@@ -38,7 +38,7 @@ pub mod topologies;
 pub mod types;
 
 pub use layer::{FuseIo, FuseLayer};
-pub use messages::FuseMsg;
+pub use messages::{FuseMsg, InstallChecking};
 pub use stack::{FuseApi, FuseApp, NodeStack, StackMsg, StackTimer};
 pub use types::{
     CreateError, CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer, GroupHandle, Notification,

@@ -113,6 +113,10 @@ impl Encode for InstallChecking {
         self.member.encode(w);
         self.root.encode(w);
     }
+
+    fn size_hint(&self) -> usize {
+        self.id.size_hint() + self.seq.size_hint() + self.member.size_hint() + self.root.size_hint()
+    }
 }
 
 impl Decode for InstallChecking {
@@ -185,6 +189,30 @@ impl Encode for FuseMsg {
             FuseMsg::ReconcileReply { links } => {
                 TAG_RECONCILE_REPLY.encode(w);
                 links.encode(w);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            FuseMsg::GroupCreateRequest { id, root, members } => {
+                id.size_hint() + root.size_hint() + members.size_hint()
+            }
+            FuseMsg::GroupCreateReply { id, ok } => id.size_hint() + ok.size_hint(),
+            FuseMsg::SoftNotification { id, seq } | FuseMsg::NeedRepair { id, seq } => {
+                id.size_hint() + seq.size_hint()
+            }
+            FuseMsg::HardNotification { id, seq, reason } => {
+                id.size_hint() + seq.size_hint() + reason.size_hint()
+            }
+            FuseMsg::GroupRepairRequest { id, seq, root } => {
+                id.size_hint() + seq.size_hint() + root.size_hint()
+            }
+            FuseMsg::GroupRepairReply { id, seq, ok } => {
+                id.size_hint() + seq.size_hint() + ok.size_hint()
+            }
+            FuseMsg::ReconcileRequest { links } | FuseMsg::ReconcileReply { links } => {
+                links.size_hint()
             }
         }
     }

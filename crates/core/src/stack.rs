@@ -33,7 +33,9 @@ pub enum StackMsg {
 
 impl Payload for StackMsg {
     fn size_bytes(&self) -> usize {
-        // One tag byte plus the real encoded size of the inner message.
+        // One tag byte plus the exact encoded size of the inner message.
+        // `wire_size` is single-pass arithmetic (the codec's exact size
+        // hints), so per-send byte accounting costs no counting encode.
         1 + match self {
             StackMsg::Overlay(m) => m.wire_size(),
             StackMsg::Fuse(m) => m.wire_size(),

@@ -18,6 +18,10 @@ impl Encode for FuseId {
     fn encode(&self, w: &mut dyn Writer) {
         self.0.encode(w);
     }
+
+    fn size_hint(&self) -> usize {
+        self.0.size_hint()
+    }
 }
 
 impl Decode for FuseId {
@@ -161,6 +165,10 @@ impl Encode for NotifyReason {
             NotifyReason::UnknownGroup => REASON_UNKNOWN,
         };
         tag.encode(w);
+    }
+
+    fn size_hint(&self) -> usize {
+        1
     }
 }
 

@@ -35,10 +35,7 @@ impl RecorderApp {
     /// Starts an RPC to `to`; the RTT lands in [`RecorderApp::rpc_rtts`].
     pub fn start_rpc(&mut self, api: &mut FuseApi<'_, '_, '_>, to: ProcId, nonce: u64) {
         self.outstanding.insert(nonce, api.now());
-        let mut w = fuse_wire::codec::BufWriter::new();
-        RPC_REQUEST.encode(&mut w);
-        nonce.encode(&mut w);
-        api.send_app(to, w.into_bytes());
+        api.send_app(to, (RPC_REQUEST, nonce).to_bytes());
     }
 
     /// Failure timestamps recorded for `id`.
@@ -102,10 +99,7 @@ impl FuseApp for RecorderApp {
         };
         match tag {
             RPC_REQUEST => {
-                let mut w = fuse_wire::codec::BufWriter::new();
-                RPC_REPLY.encode(&mut w);
-                nonce.encode(&mut w);
-                api.send_app(from, w.into_bytes());
+                api.send_app(from, (RPC_REPLY, nonce).to_bytes());
             }
             RPC_REPLY => {
                 if let Some(sent) = self.outstanding.remove(&nonce) {

@@ -107,32 +107,29 @@ fn exp_sample(rng: &mut rand::rngs::StdRng, mean: SimDuration) -> SimDuration {
     SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
 }
 
-/// Schedules the kill half of one churn cycle for `proc`.
-fn schedule_kill(
+/// Precomputes one churner's alternating crash/restart cycle out to
+/// `horizon` and queues it through the kernel's unboxed script events
+/// ([`Sim::schedule_crash`]/[`Sim::schedule_restart`]): the exponential
+/// phase lengths are sampled up front from the kernel RNG and the restart
+/// stacks are parked in the kernel's slab, so churn scripting allocates no
+/// per-cycle closure boxes and captures no per-cycle `infos` clones.
+fn schedule_churn(
     sim: &mut ChurnSim,
     proc: ProcId,
-    cfg: ChurnCfg,
-    infos: Vec<fuse_overlay::NodeInfo>,
+    cfg: &ChurnCfg,
+    infos: &[fuse_overlay::NodeInfo],
+    horizon: fuse_sim::SimTime,
 ) {
-    let dt = exp_sample(sim.rng_mut(), cfg.mean_phase);
-    sim.schedule_in(dt, move |s| {
-        if s.is_up(proc) {
-            s.crash(proc);
+    let mut at = sim.now();
+    let mut up = true;
+    loop {
+        at += exp_sample(sim.rng_mut(), cfg.mean_phase);
+        if at > horizon {
+            break;
         }
-        schedule_restart(s, proc, cfg, infos);
-    });
-}
-
-/// Schedules the restart half of one churn cycle for `proc`.
-fn schedule_restart(
-    sim: &mut ChurnSim,
-    proc: ProcId,
-    cfg: ChurnCfg,
-    infos: Vec<fuse_overlay::NodeInfo>,
-) {
-    let dt = exp_sample(sim.rng_mut(), cfg.mean_phase);
-    sim.schedule_in(dt, move |s| {
-        if !s.is_up(proc) {
+        if up {
+            sim.schedule_crash(at, proc);
+        } else {
             let stack = NodeStack::new(
                 infos[proc as usize].clone(),
                 Some(0),
@@ -140,10 +137,10 @@ fn schedule_restart(
                 cfg.fuse.clone(),
                 RecorderApp::new(),
             );
-            s.restart(proc, stack);
+            sim.schedule_restart(at, proc, stack);
         }
-        schedule_kill(s, proc, cfg, infos);
-    });
+        up = !up;
+    }
 }
 
 fn measure_window(world: &mut World, window: SimDuration) -> PhaseRates {
@@ -176,13 +173,21 @@ pub fn run(p: &Params) -> Fig10Result {
         ov: OverlayConfig::default(),
         fuse: FuseConfig::default(),
     };
+    // Churn must outlast everything that still runs after this point:
+    // settle (mean_phase), two measurement windows, the phase-3 group
+    // creation (worst case every attempt runs to its 60 s blocking-create
+    // deadline) and its 120 s warm-up. Undershooting would silently
+    // measure the "churn with FUSE" window against a stable overlay.
+    let create_worst_case = SimDuration::from_secs(60 * (p.groups * 3) as u64);
+    let horizon = world.now()
+        + p.mean_phase
+        + p.window
+        + p.window
+        + SimDuration::from_secs(120)
+        + create_worst_case;
+    let infos = world.infos.clone();
     for c in p.stable..total {
-        schedule_kill(
-            &mut world.sim,
-            c as ProcId,
-            cfg.clone(),
-            world.infos.clone(),
-        );
+        schedule_churn(&mut world.sim, c as ProcId, &cfg, &infos, horizon);
     }
     // Let churn reach its steady population.
     world.run(p.mean_phase);

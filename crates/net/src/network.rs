@@ -132,6 +132,11 @@ pub struct Network {
     conns: DetHashSet<(ProcId, ProcId)>,
     /// Messages that broke a connection (for metrics/tests).
     breaks: u64,
+    /// Wire bytes handed to `unicast` (payload sizes from the codec's exact
+    /// single-pass sizing; delivered or not — this is offered load).
+    bytes_offered: u64,
+    /// Wire bytes the network accepted for delivery (`Verdict::Deliver`).
+    bytes_delivered: u64,
     /// Lazy per-ordered-pair cache keyed `(from << 32) | to`; invalidated
     /// wholesale by bumping `loss_epoch` (see [`Network::set_per_link_loss`]).
     route_cache: DetHashMap<u64, CachedRoute>,
@@ -154,6 +159,8 @@ impl Network {
             down: ProcBitSet::default(),
             conns: DetHashSet::default(),
             breaks: 0,
+            bytes_offered: 0,
+            bytes_delivered: 0,
             route_cache: DetHashMap::default(),
             loss_epoch: 0,
         }
@@ -245,6 +252,22 @@ impl Network {
         self.breaks
     }
 
+    /// Total wire bytes offered to the network (every `unicast`, whatever
+    /// its verdict). Sizes come from the codec's exact single-pass hints,
+    /// so this is real encoded-bytes load, not an estimate.
+    pub fn bytes_offered(&self) -> u64 {
+        self.bytes_offered
+    }
+
+    /// Total wire bytes of messages the network accepted for delivery
+    /// (the verdict was `Deliver`). Counted at send time: like a real
+    /// in-flight packet, a message to a receiver that crashes before the
+    /// arrival instant is still network load, even though the kernel drops
+    /// it on arrival.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
     /// Whether a warm TCP connection exists between `a` and `b`.
     pub fn connection_warm(&self, a: ProcId, b: ProcId) -> bool {
         self.conns.contains(&normalize(a, b))
@@ -274,12 +297,13 @@ impl Medium for Network {
         rng: &mut StdRng,
         from: ProcId,
         to: ProcId,
-        _size: usize,
+        size: usize,
     ) -> Verdict {
         assert!(
             (from as usize) < self.attach.len() && (to as usize) < self.attach.len(),
             "process not attached to the network"
         );
+        self.bytes_offered += size as u64;
         // Per-attempt success (cached per pair): data over the forward
         // route and the ACK over the reverse route (symmetric latencies,
         // identical hop count).
@@ -310,6 +334,7 @@ impl Medium for Network {
                 if self.cfg.max_jitter > SimDuration::ZERO {
                     latency = latency + SimDuration(rng.gen_range(0..=self.cfg.max_jitter.nanos()));
                 }
+                self.bytes_delivered += size as u64;
                 Verdict::Deliver { at: now + latency }
             }
             TcpOutcome::Broken { give_up_after } => {
@@ -449,6 +474,25 @@ mod tests {
         }
         assert!(delayed > 0, "retransmission delays must appear");
         assert!(broken > 0, "connections must break under heavy loss");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_offered_and_delivered() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        assert_eq!(net.bytes_offered(), 0);
+        for _ in 0..10 {
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 33),
+                Verdict::Deliver { .. }
+            ));
+        }
+        assert_eq!(net.bytes_offered(), 330);
+        assert_eq!(net.bytes_delivered(), 330);
+        // A blackholed pair counts as offered but never delivered.
+        net.fault_mut().add_blackhole(0, 1);
+        let _ = net.unicast(SimTime::ZERO, &mut rng, 0, 1, 7);
+        assert_eq!(net.bytes_offered(), 337);
+        assert_eq!(net.bytes_delivered(), 330);
     }
 
     #[test]

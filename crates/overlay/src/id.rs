@@ -50,6 +50,10 @@ impl Encode for NodeName {
     fn encode(&self, w: &mut dyn Writer) {
         self.0.encode(w);
     }
+
+    fn size_hint(&self) -> usize {
+        self.0.size_hint()
+    }
 }
 
 impl Decode for NodeName {
@@ -121,6 +125,10 @@ impl Encode for NodeInfo {
     fn encode(&self, w: &mut dyn Writer) {
         self.proc.encode(w);
         self.name.encode(w);
+    }
+
+    fn size_hint(&self) -> usize {
+        self.proc.size_hint() + self.name.size_hint()
     }
 }
 

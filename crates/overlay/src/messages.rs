@@ -172,6 +172,40 @@ impl Encode for OverlayMsg {
             }
         }
     }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            OverlayMsg::Ping { nonce, hash } | OverlayMsg::PingAck { nonce, hash } => {
+                nonce.size_hint() + hash.size_hint()
+            }
+            OverlayMsg::Routed {
+                src,
+                target,
+                ttl,
+                class,
+                payload,
+                path,
+            } => {
+                src.size_hint()
+                    + target.size_hint()
+                    + ttl.size_hint()
+                    + class.size_hint()
+                    + payload.size_hint()
+                    + path.size_hint()
+            }
+            OverlayMsg::JoinReply { candidates } | OverlayMsg::AnnounceAck { candidates } => {
+                candidates.size_hint()
+            }
+            OverlayMsg::Announce { info, want_reply } => info.size_hint() + want_reply.size_hint(),
+            OverlayMsg::ProbeReply { path } => path.size_hint(),
+            OverlayMsg::RoutedError {
+                target,
+                at,
+                class,
+                payload,
+            } => target.size_hint() + at.size_hint() + class.size_hint() + payload.size_hint(),
+        }
+    }
 }
 
 impl Decode for OverlayMsg {

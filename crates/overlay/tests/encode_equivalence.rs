@@ -1,0 +1,78 @@
+//! Differential encode tests for overlay messages: single-pass output
+//! (exact `size_hint`, `EncodeBuf`) bit-identical to the two-pass reference
+//! for proptest-generated messages of every variant, including the
+//! piggyback ping the steady state lives on.
+
+use bytes::Bytes;
+use fuse_overlay::{NodeInfo, NodeName, OverlayMsg};
+use fuse_wire::codec::twopass;
+use fuse_wire::{sha1, Decode, Encode, EncodeBuf};
+use proptest::prelude::*;
+
+fn arb_info() -> impl Strategy<Value = NodeInfo> {
+    (any::<u32>(), 0usize..100_000)
+        .prop_map(|(proc, name)| NodeInfo::new(proc, NodeName::numbered(name)))
+}
+
+fn arb_hash() -> impl Strategy<Value = Option<fuse_wire::Digest>> {
+    prop::option::of(prop::collection::vec(any::<u8>(), 0..32).prop_map(|v| sha1(&v)))
+}
+
+fn arb_msg() -> impl Strategy<Value = OverlayMsg> {
+    prop_oneof![
+        (any::<u64>(), arb_hash()).prop_map(|(nonce, hash)| OverlayMsg::Ping { nonce, hash }),
+        (any::<u64>(), arb_hash()).prop_map(|(nonce, hash)| OverlayMsg::PingAck { nonce, hash }),
+        (
+            arb_info(),
+            0usize..100_000,
+            any::<u8>(),
+            0u8..3,
+            prop::collection::vec(any::<u8>(), 0..64),
+            prop::collection::vec(arb_info(), 0..6),
+        )
+            .prop_map(
+                |(src, target, ttl, class, payload, path)| OverlayMsg::Routed {
+                    src,
+                    target: NodeName::numbered(target),
+                    ttl,
+                    class,
+                    payload: Bytes::from(payload),
+                    path,
+                }
+            ),
+        prop::collection::vec(arb_info(), 0..8)
+            .prop_map(|candidates| OverlayMsg::JoinReply { candidates }),
+        (arb_info(), any::<bool>())
+            .prop_map(|(info, want_reply)| OverlayMsg::Announce { info, want_reply }),
+        prop::collection::vec(arb_info(), 0..8)
+            .prop_map(|candidates| OverlayMsg::AnnounceAck { candidates }),
+        prop::collection::vec(arb_info(), 0..8).prop_map(|path| OverlayMsg::ProbeReply { path }),
+        (
+            0usize..100_000,
+            arb_info(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(target, at, class, payload)| OverlayMsg::RoutedError {
+                target: NodeName::numbered(target),
+                at,
+                class,
+                payload: Bytes::from(payload),
+            }),
+    ]
+}
+
+proptest! {
+    /// Every OverlayMsg variant: two-pass == single-pass == EncodeBuf,
+    /// hints exact, decode round-trips.
+    #[test]
+    fn overlay_msg_single_pass_equals_two_pass(msg in arb_msg()) {
+        let single = msg.to_bytes();
+        prop_assert_eq!(&single[..], &twopass::to_bytes(&msg)[..]);
+        prop_assert_eq!(single.len(), twopass::counted_size(&msg));
+        prop_assert_eq!(msg.size_hint(), single.len(), "size_hint must be exact");
+        let mut buf = EncodeBuf::new();
+        prop_assert_eq!(buf.encode(&msg), &single[..]);
+        prop_assert_eq!(OverlayMsg::from_bytes(&single).unwrap(), msg);
+    }
+}

@@ -42,6 +42,8 @@ enum Event<P: Process, Md, S> {
         proc: ProcId,
         peer: ProcId,
     },
+    Crash(ProcId),
+    Restart(ProcId, Box<P>),
     Call(Box<dyn FnOnce(&mut BaselineSim<P, Md, S>)>),
 }
 
@@ -216,6 +218,21 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> BaselineSim<P, Md, S> {
         self.push(at, Event::Call(Box::new(f)));
     }
 
+    /// Schedules a crash of `id` at `at` (mirrors [`crate::Sim::schedule_crash`]
+    /// for the differential tests; this kernel still boxes per restart).
+    pub fn schedule_crash(&mut self, at: SimTime, id: ProcId) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        self.push(at, Event::Crash(id));
+    }
+
+    /// Schedules a restart of `id` with `state` at `at`; dropped if the
+    /// process is still up at fire time (mirrors
+    /// [`crate::Sim::schedule_restart`]).
+    pub fn schedule_restart(&mut self, at: SimTime, id: ProcId, state: P) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        self.push(at, Event::Restart(id, Box::new(state)));
+    }
+
     /// Executes a single event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(entry) = self.heap.pop() else {
@@ -242,6 +259,12 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> BaselineSim<P, Md, S> {
             }
             Event::LinkBroken { proc, peer } => {
                 self.dispatch(proc, |p, ctx| p.on_link_broken(ctx, peer));
+            }
+            Event::Crash(id) => self.crash(id),
+            Event::Restart(id, state) => {
+                if !self.is_up(id) {
+                    self.restart(id, *state);
+                }
             }
             Event::Call(f) => f(self),
         }

@@ -13,8 +13,11 @@
 //!   `P::Msg` payload is parked in a generation-checked slab, so the
 //!   scheduler moves a fixed 40-byte entry regardless of message size and
 //!   payloads are neither cloned nor reallocated between send and delivery.
-//! * **Scripted calls and link-break notices** are rare; they keep a
-//!   residual binary heap.
+//! * **Scripted operations and link-break notices** are rare; they keep a
+//!   residual binary heap. Scheduled crashes and restarts — the bulk of
+//!   what churn experiments script — are unboxed enum variants (restart
+//!   state parked in a recycling slab); only the catch-all
+//!   [`Sim::schedule_call`] closure boxes.
 //!
 //! Both structures order by the global `(time, seq)` pair and the kernel
 //! merges their fronts, so the observable semantics are identical to a
@@ -44,10 +47,15 @@ enum Pending {
     Deliver { idx: u32, gen: u32 },
 }
 
-/// Rare events kept in the residual heap: link-break notices and boxed
-/// scripted calls.
+/// Rare events kept in the residual heap: link-break notices and scripted
+/// operations. Crash/restart — the operations churn experiments schedule by
+/// the thousands — are plain enum variants (restart state parked in a slab),
+/// so scripting them allocates nothing per call; only the catch-all
+/// [`Sim::schedule_call`] closure still boxes.
 enum EventRef<P: Process, Md, S> {
     LinkBroken { proc: ProcId, peer: ProcId },
+    Crash(ProcId),
+    Restart { id: ProcId, idx: u32, gen: u32 },
     Call(Box<dyn FnOnce(&mut Sim<P, Md, S>)>),
 }
 
@@ -79,40 +87,43 @@ impl<P: Process, Md, S> Ord for HeapEntry<P, Md, S> {
     }
 }
 
-/// In-flight message storage: payloads stay put between send and delivery,
-/// heap entries refer to them by index. Generations catch (programming)
-/// errors where a stale index would resurrect a consumed slot.
-struct MsgSlab<M> {
-    slots: Vec<(u32, Option<(ProcId, ProcId, M)>)>,
+/// Generation-checked slab: values stay put between schedule and
+/// consumption, queue entries refer to them by index, and slots recycle
+/// through a free list — steady-state insert/take never allocates.
+/// Generations catch (programming) errors where a stale index would
+/// resurrect a consumed slot. Used for in-flight message payloads and for
+/// parked restart states.
+struct Slab<T> {
+    slots: Vec<(u32, Option<T>)>,
     free: Vec<u32>,
 }
 
-impl<M> MsgSlab<M> {
+impl<T> Slab<T> {
     fn new() -> Self {
-        MsgSlab {
+        Slab {
             slots: Vec::new(),
             free: Vec::new(),
         }
     }
 
-    fn insert(&mut self, from: ProcId, to: ProcId, msg: M) -> (u32, u32) {
+    fn insert(&mut self, value: T) -> (u32, u32) {
         if let Some(idx) = self.free.pop() {
             let slot = &mut self.slots[idx as usize];
             slot.0 = slot.0.wrapping_add(1);
             debug_assert!(slot.1.is_none(), "free-list slot still occupied");
-            slot.1 = Some((from, to, msg));
+            slot.1 = Some(value);
             (idx, slot.0)
         } else {
-            let idx = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight messages");
-            self.slots.push((0, Some((from, to, msg))));
+            let idx = u32::try_from(self.slots.len()).expect("more than 2^32 slab entries");
+            self.slots.push((0, Some(value)));
             (idx, 0)
         }
     }
 
-    fn take(&mut self, idx: u32, gen: u32) -> (ProcId, ProcId, M) {
+    fn take(&mut self, idx: u32, gen: u32) -> T {
         let slot = &mut self.slots[idx as usize];
-        assert_eq!(slot.0, gen, "stale message slab reference");
-        let payload = slot.1.take().expect("message slab slot consumed twice");
+        assert_eq!(slot.0, gen, "stale slab reference");
+        let payload = slot.1.take().expect("slab slot consumed twice");
         self.free.push(idx);
         payload
     }
@@ -161,7 +172,9 @@ pub struct Sim<P: Process, Md, S = NullTrace> {
     seq: u64,
     heap: BinaryHeap<HeapEntry<P, Md, S>>,
     wheel: TimingWheel<Pending>,
-    msgs: MsgSlab<P::Msg>,
+    msgs: Slab<(ProcId, ProcId, P::Msg)>,
+    /// Parked states of scheduled restarts (consumed when the event fires).
+    restarts: Slab<P>,
     procs: Vec<ProcSlot<P>>,
     rng: StdRng,
     medium: Md,
@@ -186,7 +199,8 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
             seq: 0,
             heap: BinaryHeap::new(),
             wheel: TimingWheel::new(),
-            msgs: MsgSlab::new(),
+            msgs: Slab::new(),
+            restarts: Slab::new(),
             procs: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             medium,
@@ -315,6 +329,13 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
     }
 
     /// Schedules `f(&mut Sim)` to run at absolute time `at`.
+    ///
+    /// The catch-all scripting hook — it boxes the closure. The two
+    /// operations churn scripts issue by the thousands have unboxed
+    /// first-class forms: [`schedule_crash`] and [`schedule_restart`].
+    ///
+    /// [`schedule_crash`]: Sim::schedule_crash
+    /// [`schedule_restart`]: Sim::schedule_restart
     pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut Self) + 'static) {
         assert!(at >= self.clock, "cannot schedule in the past");
         self.push(at, EventRef::Call(Box::new(f)));
@@ -323,6 +344,28 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
     /// Schedules `f(&mut Sim)` to run `after` from now.
     pub fn schedule_in(&mut self, after: SimDuration, f: impl FnOnce(&mut Self) + 'static) {
         self.push(self.clock + after, EventRef::Call(Box::new(f)));
+    }
+
+    /// Schedules a crash of process `id` at absolute time `at` without
+    /// allocating: the operation is a plain enum variant in the event
+    /// queue. Idempotent at fire time (crashing a dead process is a no-op),
+    /// exactly like calling [`crash`] then.
+    ///
+    /// [`crash`]: Sim::crash
+    pub fn schedule_crash(&mut self, at: SimTime, id: ProcId) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        self.push(at, EventRef::Crash(id));
+    }
+
+    /// Schedules a restart of process `id` with `state` at absolute time
+    /// `at`. The state is parked in a recycling slab until the event fires
+    /// — no per-call box. If the process is still up at fire time the
+    /// restart is dropped (the parked state is discarded), so alternating
+    /// crash/restart schedules compose safely with other failure injection.
+    pub fn schedule_restart(&mut self, at: SimTime, id: ProcId, state: P) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        let (idx, gen) = self.restarts.insert(state);
+        self.push(at, EventRef::Restart { id, idx, gen });
     }
 
     /// `(time, seq)` of the next event across both queues, and whether it
@@ -399,6 +442,13 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
         match entry.ev {
             EventRef::LinkBroken { proc, peer } => {
                 self.dispatch(proc, |p, ctx| p.on_link_broken(ctx, peer));
+            }
+            EventRef::Crash(id) => self.crash(id),
+            EventRef::Restart { id, idx, gen } => {
+                let state = self.restarts.take(idx, gen);
+                if !self.is_up(id) {
+                    self.restart(id, state);
+                }
             }
             EventRef::Call(f) => f(self),
         }
@@ -529,7 +579,7 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
         match verdict {
             Verdict::Deliver { at } => {
                 debug_assert!(at >= self.clock);
-                let (idx, gen) = self.msgs.insert(from, to, msg);
+                let (idx, gen) = self.msgs.insert((from, to, msg));
                 self.seq += 1;
                 self.wheel.insert(WheelEntry {
                     at,
@@ -808,6 +858,42 @@ mod tests {
         assert_eq!(sim.proc(1).unwrap().pings_seen, 1);
         sim.run_for(SimDuration::from_secs(2));
         assert_eq!(sim.proc(1).unwrap().pings_seen, 2);
+    }
+
+    #[test]
+    fn scheduled_crash_and_restart_fire_unboxed() {
+        let mut sim = two_nodes(11);
+        sim.schedule_crash(SimTime::ZERO + SimDuration::from_secs(2), 1);
+        sim.schedule_restart(
+            SimTime::ZERO + SimDuration::from_secs(4),
+            1,
+            Node::new(0, false),
+        );
+        sim.run_for(SimDuration::from_secs(3));
+        assert!(!sim.is_up(1));
+        sim.run_for(SimDuration::from_secs(3));
+        assert!(sim.is_up(1));
+        // Restarted node has fresh state.
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 0);
+    }
+
+    #[test]
+    fn scheduled_restart_of_live_process_is_dropped() {
+        let mut sim = two_nodes(12);
+        sim.schedule_restart(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            0,
+            Node::new(1, true),
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        // Process 0 was never down: the parked state must be discarded, not
+        // rebooted over live state (a reboot would re-ping).
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 1);
+        // Scheduled crash of an already-dead process is a no-op too.
+        sim.crash(0);
+        sim.schedule_crash(sim.now() + SimDuration::from_secs(1), 0);
+        sim.run_for(SimDuration::from_secs(5));
+        assert!(!sim.is_up(0));
     }
 
     #[test]

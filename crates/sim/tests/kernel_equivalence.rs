@@ -155,6 +155,10 @@ enum Op {
     Crash { proc: u8 },
     /// Restart a process if it is down.
     Restart { proc: u8 },
+    /// Schedule a crash through the unboxed script queue.
+    ScheduleCrash { proc: u8, delay_ms: u16 },
+    /// Schedule a restart (state parked until the event fires).
+    ScheduleRestart { proc: u8, delay_ms: u16 },
     /// Let simulated time pass.
     Run { millis: u16 },
 }
@@ -171,6 +175,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         any::<u8>().prop_map(|proc| Op::CancelLast { proc }),
         any::<u8>().prop_map(|proc| Op::Crash { proc }),
         any::<u8>().prop_map(|proc| Op::Restart { proc }),
+        (any::<u8>(), 0u16..400).prop_map(|(proc, delay_ms)| Op::ScheduleCrash { proc, delay_ms }),
+        (any::<u8>(), 0u16..400)
+            .prop_map(|(proc, delay_ms)| Op::ScheduleRestart { proc, delay_ms }),
         (0u16..500).prop_map(|millis| Op::Run { millis }),
     ]
 }
@@ -241,6 +248,14 @@ macro_rules! apply_op {
                 if !$sim.is_up(proc) {
                     $sim.restart(proc, TestProc::new(n));
                 }
+            }
+            Op::ScheduleCrash { proc, delay_ms } => {
+                let at = $sim.now() + SimDuration::from_millis(u64::from(delay_ms));
+                $sim.schedule_crash(at, u32::from(proc) % n);
+            }
+            Op::ScheduleRestart { proc, delay_ms } => {
+                let at = $sim.now() + SimDuration::from_millis(u64::from(delay_ms));
+                $sim.schedule_restart(at, u32::from(proc) % n, TestProc::new(n));
             }
             Op::Run { millis } => {
                 $sim.run_for(SimDuration::from_millis(u64::from(millis)));

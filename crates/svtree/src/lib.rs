@@ -108,6 +108,27 @@ impl Encode for SvMsg {
             }
         }
     }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            SvMsg::Subscribe {
+                subscriber,
+                version,
+                path,
+            } => subscriber.size_hint() + version.size_hint() + path.size_hint(),
+            SvMsg::LinkAccept {
+                parent,
+                version,
+                path,
+            } => parent.size_hint() + version.size_hint() + path.size_hint(),
+            SvMsg::LinkConfirm {
+                subscriber,
+                version,
+                id,
+            } => subscriber.size_hint() + version.size_hint() + id.size_hint(),
+            SvMsg::Publish { event } => event.size_hint(),
+        }
+    }
 }
 
 impl Decode for SvMsg {
@@ -561,6 +582,11 @@ mod tests {
         ] {
             let b = m.to_bytes();
             assert_eq!(SvMsg::from_bytes(&b).unwrap(), m);
+            // Single-pass contract: exact hint, bit-identical to the
+            // two-pass reference (every SvMsg variant is covered above).
+            assert_eq!(m.size_hint(), b.len(), "size_hint must be exact");
+            assert_eq!(&b[..], &fuse_wire::codec::twopass::to_bytes(&m)[..]);
+            assert_eq!(m.wire_size(), fuse_wire::codec::twopass::counted_size(&m));
         }
     }
 

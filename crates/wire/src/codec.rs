@@ -1,4 +1,4 @@
-//! Compact deterministic binary codec.
+//! Compact deterministic binary codec — single-pass on the hot path.
 //!
 //! Protocol messages implement [`Encode`]/[`Decode`] by hand (the codebase
 //! avoids proc-macro dependencies). Integers use LEB128 varints, so small
@@ -6,65 +6,111 @@
 //! fixed-width forms are available where the paper specifies exact sizes
 //! (the 20-byte SHA-1 digest travels as raw bytes).
 //!
-//! Every message's on-wire size is obtained by encoding into a counting
-//! writer; experiment byte accounting therefore reflects the real encoding.
+//! # The size-hint contract
+//!
+//! Every [`Encode`] impl provides [`size_hint`](Encode::size_hint): a cheap
+//! arithmetic bound on the encoded length with the contract
+//!
+//! > `encoded_len <= size_hint()`, and for every type in this workspace the
+//! > bound is **exact** (`encoded_len == size_hint()`).
+//!
+//! Exactness is what makes the encode path single-pass: sizing a message for
+//! byte accounting ([`Encode::wire_size`]) is pure arithmetic — no counting
+//! encode — and encoding reserves once and writes once. A type whose hint is
+//! a loose upper bound must override `wire_size` (none in this workspace
+//! does; the property tests pin hints to encoded lengths for every protocol
+//! message).
+//!
+//! # Steady-state, allocation-free encoding
+//!
+//! [`EncodeBuf`] is a reusable encode scratch owned by long-lived components
+//! (`FuseLayer`, benchmark loops): [`EncodeBuf::encode`] clears, reserves
+//! `size_hint()` and encodes in one pass, returning the borrowed bytes —
+//! zero allocations once the buffer has warmed up to the largest message.
+//! [`EncodeBuf::encode_to_bytes`] does the same pass and pays exactly one
+//! allocation for the owned [`Bytes`].
+//!
+//! The pre-PR-3 two-pass path (count via [`twopass::CountWriter`], then grow
+//! a fresh buffer) is preserved in [`twopass`] as the reference
+//! implementation; differential tests hold the single-pass path bit-identical
+//! to it.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 use crate::sha1::Digest;
 
-/// Encoding sink. Implemented for a growing buffer and for a pure counter.
+/// Encoding sink. Implemented for `Vec<u8>` (the single-pass buffer) and
+/// for the two-pass reference writers in [`twopass`].
 pub trait Writer {
     /// Appends raw bytes.
     fn put(&mut self, bytes: &[u8]);
 }
 
-/// Buffer-backed writer producing [`Bytes`].
-#[derive(Default)]
-pub struct BufWriter {
-    buf: BytesMut,
-}
-
-impl BufWriter {
-    /// Creates an empty writer.
-    pub fn new() -> Self {
-        BufWriter::default()
-    }
-
-    /// Finishes, returning the encoded bytes.
-    pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
-    }
-}
-
-impl Writer for BufWriter {
+impl Writer for Vec<u8> {
     fn put(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.extend_from_slice(bytes);
     }
 }
 
-/// Size-only writer: counts bytes without storing them.
+/// Reusable single-pass encode buffer.
+///
+/// Owned by long-lived components so steady-state encodes neither size-count
+/// nor allocate: the backing `Vec` is cleared (capacity retained) and
+/// reserved to the message's exact [`size_hint`](Encode::size_hint) before
+/// the one encode pass.
 #[derive(Default)]
-pub struct CountWriter {
-    count: usize,
+pub struct EncodeBuf {
+    buf: Vec<u8>,
 }
 
-impl CountWriter {
-    /// Creates a zeroed counter.
+impl EncodeBuf {
+    /// Creates an empty buffer (it warms up on first use).
     pub fn new() -> Self {
-        CountWriter::default()
+        EncodeBuf::default()
     }
 
-    /// Bytes "written" so far.
-    pub fn count(&self) -> usize {
-        self.count
+    /// Creates a buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        EncodeBuf {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Encodes `v` in a single pass and returns the encoded bytes,
+    /// borrowed from the reusable buffer. Allocation-free once the buffer
+    /// capacity covers the message size.
+    pub fn encode<'a, T: Encode + ?Sized>(&'a mut self, v: &T) -> &'a [u8] {
+        self.buf.clear();
+        let hint = v.size_hint();
+        self.buf.reserve(hint);
+        v.encode(&mut self.buf);
+        debug_assert!(
+            self.buf.len() <= hint,
+            "size_hint violated: encoded {} bytes, hint {}",
+            self.buf.len(),
+            hint
+        );
+        &self.buf
+    }
+
+    /// Encodes `v` in a single pass into an owned [`Bytes`]; costs exactly
+    /// the one allocation the owned buffer needs.
+    pub fn encode_to_bytes<T: Encode + ?Sized>(&mut self, v: &T) -> Bytes {
+        Bytes::copy_from_slice(self.encode(v))
+    }
+
+    /// Current capacity of the backing buffer.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 }
 
-impl Writer for CountWriter {
-    fn put(&mut self, bytes: &[u8]) {
-        self.count += bytes.len();
-    }
+/// Number of bytes the LEB128 encoding of `v` occupies (1..=10).
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // ceil(significant_bits / 7), with v == 0 still costing one byte.
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
 }
 
 /// Decoding error: truncated input or invalid representation.
@@ -129,18 +175,33 @@ pub trait Encode {
     /// Encodes `self` into `w`.
     fn encode(&self, w: &mut dyn Writer);
 
-    /// On-wire size in bytes (by counting a real encode).
+    /// Cheap arithmetic bound on the encoded length: `encoded_len <=
+    /// size_hint()`, exact for every type in this workspace (see the module
+    /// docs for the contract).
+    fn size_hint(&self) -> usize;
+
+    /// Exact on-wire size in bytes. Defaults to [`size_hint`], which is
+    /// exact for every impl here; a type with a loose hint must override
+    /// this with a real count (e.g. [`twopass::counted_size`]).
+    ///
+    /// [`size_hint`]: Encode::size_hint
     fn wire_size(&self) -> usize {
-        let mut c = CountWriter::new();
-        self.encode(&mut c);
-        c.count()
+        self.size_hint()
     }
 
-    /// Convenience: encodes into a fresh buffer.
+    /// Convenience: single-pass encode into a fresh owned buffer (the
+    /// buffer is reserved to `size_hint()` up front — no re-count, no
+    /// growth). Hot paths should prefer a reusable [`EncodeBuf`].
     fn to_bytes(&self) -> Bytes {
-        let mut w = BufWriter::new();
-        self.encode(&mut w);
-        w.into_bytes()
+        let hint = self.size_hint();
+        let mut v = Vec::with_capacity(hint);
+        self.encode(&mut v);
+        debug_assert!(
+            v.len() <= hint,
+            "size_hint violated: encoded {} bytes, hint {hint}",
+            v.len()
+        );
+        Bytes::from(v)
     }
 }
 
@@ -158,19 +219,96 @@ pub trait Decode: Sized {
     }
 }
 
-/// Writes a LEB128 varint.
+/// The pre-single-pass reference path: size by a counting encode, build
+/// bytes by growing a buffer. Kept so differential tests can hold the
+/// single-pass codec bit-identical (and size-identical) to the original
+/// two-pass implementation; not used on any hot path.
+pub mod twopass {
+    use super::{Encode, Writer};
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    /// Buffer-backed writer producing [`Bytes`] (reference path).
+    #[derive(Default)]
+    pub struct BufWriter {
+        buf: BytesMut,
+    }
+
+    impl BufWriter {
+        /// Creates an empty writer.
+        pub fn new() -> Self {
+            BufWriter::default()
+        }
+
+        /// Finishes, returning the encoded bytes.
+        pub fn into_bytes(self) -> Bytes {
+            self.buf.freeze()
+        }
+    }
+
+    impl Writer for BufWriter {
+        fn put(&mut self, bytes: &[u8]) {
+            self.buf.put_slice(bytes);
+        }
+    }
+
+    /// Size-only writer: counts bytes without storing them.
+    #[derive(Default)]
+    pub struct CountWriter {
+        count: usize,
+    }
+
+    impl CountWriter {
+        /// Creates a zeroed counter.
+        pub fn new() -> Self {
+            CountWriter::default()
+        }
+
+        /// Bytes "written" so far.
+        pub fn count(&self) -> usize {
+            self.count
+        }
+    }
+
+    impl Writer for CountWriter {
+        fn put(&mut self, bytes: &[u8]) {
+            self.count += bytes.len();
+        }
+    }
+
+    /// On-wire size by running a full counting encode (the original
+    /// `wire_size`).
+    pub fn counted_size<T: Encode + ?Sized>(v: &T) -> usize {
+        let mut c = CountWriter::new();
+        v.encode(&mut c);
+        c.count()
+    }
+
+    /// Encoded bytes by growing a fresh buffer (the original `to_bytes`).
+    pub fn to_bytes<T: Encode + ?Sized>(v: &T) -> Bytes {
+        let mut w = BufWriter::new();
+        v.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Writes a LEB128 varint (staged on the stack: one `Writer::put` virtual
+/// call per varint, not one per byte).
 pub fn put_varint(w: &mut dyn Writer, mut v: u64) {
+    let mut buf = [0u8; 10];
+    let mut n = 0;
     loop {
         let mut byte = (v & 0x7f) as u8;
         v >>= 7;
         if v != 0 {
             byte |= 0x80;
         }
-        w.put(&[byte]);
+        buf[n] = byte;
+        n += 1;
         if v == 0 {
             break;
         }
     }
+    w.put(&buf[..n]);
 }
 
 /// Reads a LEB128 varint.
@@ -197,6 +335,10 @@ impl Encode for u64 {
     fn encode(&self, w: &mut dyn Writer) {
         put_varint(w, *self);
     }
+
+    fn size_hint(&self) -> usize {
+        varint_len(*self)
+    }
 }
 
 impl Decode for u64 {
@@ -208,6 +350,10 @@ impl Decode for u64 {
 impl Encode for u32 {
     fn encode(&self, w: &mut dyn Writer) {
         put_varint(w, u64::from(*self));
+    }
+
+    fn size_hint(&self) -> usize {
+        varint_len(u64::from(*self))
     }
 }
 
@@ -222,6 +368,10 @@ impl Encode for u16 {
     fn encode(&self, w: &mut dyn Writer) {
         put_varint(w, u64::from(*self));
     }
+
+    fn size_hint(&self) -> usize {
+        varint_len(u64::from(*self))
+    }
 }
 
 impl Decode for u16 {
@@ -235,6 +385,10 @@ impl Encode for u8 {
     fn encode(&self, w: &mut dyn Writer) {
         w.put(&[*self]);
     }
+
+    fn size_hint(&self) -> usize {
+        1
+    }
 }
 
 impl Decode for u8 {
@@ -246,6 +400,10 @@ impl Decode for u8 {
 impl Encode for bool {
     fn encode(&self, w: &mut dyn Writer) {
         w.put(&[u8::from(*self)]);
+    }
+
+    fn size_hint(&self) -> usize {
+        1
     }
 }
 
@@ -263,6 +421,10 @@ impl Encode for usize {
     fn encode(&self, w: &mut dyn Writer) {
         put_varint(w, *self as u64);
     }
+
+    fn size_hint(&self) -> usize {
+        varint_len(*self as u64)
+    }
 }
 
 impl Decode for usize {
@@ -276,6 +438,10 @@ impl Encode for String {
     fn encode(&self, w: &mut dyn Writer) {
         put_varint(w, self.len() as u64);
         w.put(self.as_bytes());
+    }
+
+    fn size_hint(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -293,6 +459,10 @@ impl<T: Encode> Encode for Vec<T> {
         for item in self {
             item.encode(w);
         }
+    }
+
+    fn size_hint(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::size_hint).sum::<usize>()
     }
 }
 
@@ -321,6 +491,10 @@ impl<T: Encode> Encode for Option<T> {
             }
         }
     }
+
+    fn size_hint(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::size_hint)
+    }
 }
 
 impl<T: Decode> Decode for Option<T> {
@@ -338,6 +512,10 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
         self.0.encode(w);
         self.1.encode(w);
     }
+
+    fn size_hint(&self) -> usize {
+        self.0.size_hint() + self.1.size_hint()
+    }
 }
 
 impl<A: Decode, B: Decode> Decode for (A, B) {
@@ -350,6 +528,10 @@ impl Encode for Bytes {
     fn encode(&self, w: &mut dyn Writer) {
         put_varint(w, self.len() as u64);
         w.put(self);
+    }
+
+    fn size_hint(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -365,6 +547,10 @@ impl Encode for Digest {
     fn encode(&self, w: &mut dyn Writer) {
         // Fixed 20 bytes, exactly as the paper's piggyback hash.
         w.put(&self.0);
+    }
+
+    fn size_hint(&self) -> usize {
+        20
     }
 }
 
@@ -384,6 +570,17 @@ mod tests {
     fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
         assert_eq!(bytes.len(), v.wire_size());
+        assert_eq!(bytes.len(), v.size_hint(), "hints are exact in-tree");
+        assert_eq!(
+            bytes.len(),
+            twopass::counted_size(&v),
+            "single-pass size disagrees with the counting reference"
+        );
+        assert_eq!(
+            &bytes[..],
+            &twopass::to_bytes(&v)[..],
+            "single-pass bytes disagree with the two-pass reference"
+        );
         let back = T::from_bytes(&bytes).expect("decode");
         assert_eq!(back, v);
     }
@@ -393,6 +590,18 @@ mod tests {
         for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
             roundtrip(v);
         }
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for shift in 0..64 {
+            for delta in [0u64, 1] {
+                let v = (1u64 << shift).wrapping_sub(delta);
+                assert_eq!(varint_len(v), v.to_bytes().len(), "v = {v:#x}");
+            }
+        }
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(u64::MAX), 10);
     }
 
     #[test]
@@ -434,6 +643,21 @@ mod tests {
     }
 
     #[test]
+    fn encode_buf_reuses_capacity_and_matches_to_bytes() {
+        let mut buf = EncodeBuf::new();
+        let msgs: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![u64::MAX; 64], vec![]];
+        // Warm up on the largest message, then ensure later encodes reuse.
+        let _ = buf.encode(&msgs[1]);
+        let cap = buf.capacity();
+        for m in &msgs {
+            assert_eq!(buf.encode(m), &m.to_bytes()[..]);
+        }
+        assert_eq!(buf.capacity(), cap, "warmed buffer must not reallocate");
+        let owned = buf.encode_to_bytes(&msgs[0]);
+        assert_eq!(&owned[..], &msgs[0].to_bytes()[..]);
+    }
+
+    #[test]
     fn invalid_bool_and_option_tags_fail() {
         assert!(bool::from_bytes(&[2]).is_err());
         assert!(Option::<u8>::from_bytes(&[9]).is_err());
@@ -447,9 +671,8 @@ mod tests {
     #[test]
     fn hostile_length_prefix_is_rejected() {
         // Vec claims 2^40 elements with 1 byte of payload.
-        let mut w = BufWriter::new();
-        put_varint(&mut w, 1 << 40);
-        let mut b = w.into_bytes().to_vec();
+        let mut b = Vec::new();
+        put_varint(&mut b, 1 << 40);
         b.push(0);
         assert!(Vec::<u64>::from_bytes(&b).is_err());
     }

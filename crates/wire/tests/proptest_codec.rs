@@ -1,9 +1,27 @@
-//! Property tests for the wire codec: round-trip fidelity and decoder
-//! robustness against arbitrary (hostile) inputs.
+//! Property tests for the wire codec: round-trip fidelity, decoder
+//! robustness against arbitrary (hostile) inputs, and the single-pass
+//! contracts — `size_hint()` exactness and bit-identity between the
+//! single-pass path (plain `to_bytes`, reusable `EncodeBuf`) and the
+//! preserved two-pass reference (`codec::twopass`).
 
 use bytes::Bytes;
-use fuse_wire::{sha1, Decode, Encode};
+use fuse_wire::codec::twopass;
+use fuse_wire::{sha1, varint_len, Decode, Encode, EncodeBuf};
 use proptest::prelude::*;
+
+/// The full single-pass-vs-two-pass equivalence check for one value.
+fn assert_encode_equivalence<T: Encode>(v: &T) -> Result<(), TestCaseError> {
+    let single = v.to_bytes();
+    let two = twopass::to_bytes(v);
+    prop_assert_eq!(&single[..], &two[..], "single-pass != two-pass bytes");
+    prop_assert_eq!(single.len(), twopass::counted_size(v), "wire size drifted");
+    prop_assert_eq!(single.len(), v.wire_size());
+    prop_assert!(v.size_hint() >= single.len(), "size_hint() must bound len");
+    prop_assert_eq!(v.size_hint(), single.len(), "hints are exact in-tree");
+    let mut buf = EncodeBuf::new();
+    prop_assert_eq!(buf.encode(v), &single[..], "EncodeBuf bytes differ");
+    Ok(())
+}
 
 proptest! {
     #[test]
@@ -11,6 +29,53 @@ proptest! {
         let b = v.to_bytes();
         prop_assert_eq!(u64::from_bytes(&b).unwrap(), v);
         prop_assert_eq!(b.len(), v.wire_size());
+        prop_assert_eq!(b.len(), varint_len(v));
+    }
+
+    /// Single-pass == two-pass, and hints are exact, across the primitive
+    /// and composite impls the protocol messages are built from.
+    #[test]
+    fn encode_equivalence_for_primitives_and_composites(
+        a in any::<u64>(),
+        b in any::<u32>(),
+        c in any::<u16>(),
+        d in any::<u8>(),
+        flag in any::<bool>(),
+        s in ".{0,48}",
+        v in prop::collection::vec(any::<u64>(), 0..24),
+        pairs in prop::collection::vec((any::<u64>(), any::<u32>()), 0..16),
+        raw in prop::collection::vec(any::<u8>(), 0..96),
+        some in any::<bool>(),
+    ) {
+        assert_encode_equivalence(&a)?;
+        assert_encode_equivalence(&b)?;
+        assert_encode_equivalence(&c)?;
+        assert_encode_equivalence(&d)?;
+        assert_encode_equivalence(&flag)?;
+        assert_encode_equivalence(&s.to_string())?;
+        assert_encode_equivalence(&v)?;
+        assert_encode_equivalence(&pairs)?;
+        assert_encode_equivalence(&sha1(&raw))?;
+        let bytes = Bytes::from(raw);
+        assert_encode_equivalence(&bytes)?;
+        let opt = if some { Some((a, bytes)) } else { None };
+        assert_encode_equivalence(&opt)?;
+    }
+
+    /// A reused `EncodeBuf` must produce the same bytes regardless of what
+    /// it encoded before (no stale-state bleed between messages).
+    #[test]
+    fn encode_buf_reuse_is_stateless(
+        msgs in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..32), 1..8)
+    ) {
+        let mut buf = EncodeBuf::new();
+        for m in &msgs {
+            prop_assert_eq!(buf.encode(m), &m.to_bytes()[..]);
+        }
+        // And in reverse order, same buffer.
+        for m in msgs.iter().rev() {
+            prop_assert_eq!(buf.encode(m), &m.to_bytes()[..]);
+        }
     }
 
     #[test]
@@ -62,5 +127,24 @@ proptest! {
         h.update(&data[..k]);
         h.update(&data[k..]);
         prop_assert_eq!(h.finalize(), sha1(&data));
+    }
+
+    /// All three SHA-1 implementations (dispatching, unrolled scalar,
+    /// rolled reference) agree over random content and lengths 0..=4096 —
+    /// the differential property behind the unroll and the SHA-NI path.
+    #[test]
+    fn sha1_unrolled_and_hw_match_reference(
+        seed in any::<u64>(),
+        len in 0usize..=4096,
+    ) {
+        let data: Vec<u8> = (0..len)
+            .map(|i| {
+                let k = (i as u64).wrapping_mul(1442695040888963407);
+                (seed.wrapping_mul(6364136223846793005).wrapping_add(k) >> 33) as u8
+            })
+            .collect();
+        let expect = fuse_wire::sha1::reference::sha1(&data);
+        prop_assert_eq!(sha1(&data), expect, "dispatching path diverged");
+        prop_assert_eq!(fuse_wire::sha1::sha1_portable(&data), expect, "scalar unroll diverged");
     }
 }

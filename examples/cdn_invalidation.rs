@@ -55,11 +55,7 @@ impl CdnApp {
 }
 
 fn encode_update(doc: u64, version: u64, group: FuseId) -> Bytes {
-    let mut w = fuse_wire::codec::BufWriter::new();
-    doc.encode(&mut w);
-    version.encode(&mut w);
-    group.encode(&mut w);
-    w.into_bytes()
+    (doc, (version, group)).to_bytes()
 }
 
 impl FuseApp for CdnApp {

@@ -58,11 +58,7 @@ impl QueueApp {
 }
 
 fn msg(kind: u8, item: u64, group: FuseId) -> Bytes {
-    let mut w = fuse_wire::codec::BufWriter::new();
-    kind.encode(&mut w);
-    item.encode(&mut w);
-    group.encode(&mut w);
-    w.into_bytes()
+    (kind, (item, group)).to_bytes()
 }
 
 const ASSIGN: u8 = 1;

@@ -81,6 +81,7 @@ pub trait Strategy {
 }
 
 /// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -160,6 +161,12 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
 /// Whole-domain strategy for `T` (`any::<u64>()` etc.).
 pub struct Any<T>(std::marker::PhantomData<T>);
 
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
 
@@ -210,6 +217,10 @@ impl_strategy_for_tuple! {
     (A/0, B/1, C/2, D/3);
     (A/0, B/1, C/2, D/3, E/4);
     (A/0, B/1, C/2, D/3, E/4, F/5);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9);
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +388,35 @@ pub mod prop {
         }
     }
 
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// Strategy yielding `None` half the time and `Some(inner)`
+        /// otherwise (upstream defaults to a 50% `None` weight too).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen::<bool>() {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Sampling helpers.
     pub mod sample {
         use super::super::{Arbitrary, StdRng};
@@ -402,6 +442,25 @@ pub mod prop {
         impl Arbitrary for Index {
             fn arbitrary(rng: &mut StdRng) -> Self {
                 Index(rng.gen())
+            }
+        }
+
+        /// Uniform choice from a fixed list of values.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select from an empty list");
+            Select { items }
+        }
+
+        /// See [`select`].
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> super::super::Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.items[rng.gen_range(0..self.items.len())].clone()
             }
         }
     }
