@@ -3,8 +3,8 @@
 //! band. Runs in CI after the bench smoke, and locally:
 //!
 //! ```text
-//! cargo run --release -p fuse_bench --bin bench_check -- BENCH_CI.json BENCH_PR3.json
-//! cargo run --release -p fuse_bench --bin bench_check -- BENCH_CI.json BENCH_PR3.json 0.25
+//! cargo run --release -p fuse_bench --bin bench_check -- BENCH_CI.json BENCH_PR4.json
+//! cargo run --release -p fuse_bench --bin bench_check -- BENCH_CI.json BENCH_PR4.json 0.25
 //! ```
 //!
 //! The gated metrics (see `fuse_bench::gate::GATED`) are per-unit costs —

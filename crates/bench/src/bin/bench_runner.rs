@@ -9,7 +9,11 @@
 //!   64 B / 1 KiB / 16 KiB) and ns + allocs per single-pass encoded
 //!   message (ping, 16-link reconcile, routed envelope);
 //! * `churn` — fig10-style scripted crash/restart load on the wheel kernel
-//!   (stakes the unboxed scripted-call path).
+//!   (stakes the unboxed scripted-call path);
+//! * `route_oracle` — the demand-driven route oracle: build time, LRU
+//!   hit/miss latency (MAD-filtered medians) and resident route memory, at
+//!   a fixed default-size topology (gated) and, at paper scale, the
+//!   ~100k-router Mercator preset (reported).
 //!
 //! ```text
 //! cargo run --release -p fuse_bench --bin bench_runner            # paper scale
@@ -23,13 +27,13 @@
 //! stake with a tolerance band.
 
 use fuse_bench::kernel_bench::{self, KernelBenchConfig};
-use fuse_bench::{banner, footer, scale, wire_bench, Scale};
+use fuse_bench::{banner, footer, route_bench, scale, wire_bench, Scale};
 
 #[global_allocator]
 static ALLOC: fuse_bench::alloc_count::CountingAlloc = fuse_bench::alloc_count::CountingAlloc;
 
 fn main() {
-    let start = banner("fuse hot paths (kernel, wire codec, SHA-1, churn)");
+    let start = banner("fuse hot paths (kernel, wire codec, SHA-1, churn, route oracle)");
     let quick = scale() == Scale::Quick;
     let cfg = if quick {
         KernelBenchConfig::quick()
@@ -102,20 +106,37 @@ fn main() {
     let churn = kernel_bench::measure(reps, || kernel_bench::run_wheel_churn(&cfg));
     print_kernel("churn:", &churn);
 
+    // --- Route oracle ------------------------------------------------------
+    let routes = route_bench::suite(reps, quick);
+    for p in &routes {
+        println!(
+            "route/{:<9} {:>7} routers  build {:>9.1} ms  hit {:>7.1} ns  miss {:>11.1} ns  resident {:>6.1} MiB (eager would be {:>8.1} MiB)",
+            p.name,
+            p.routers,
+            p.build_ms,
+            p.hit_ns,
+            p.miss_ns,
+            p.resident_bytes as f64 / (1024.0 * 1024.0),
+            p.eager_equiv_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+
     // --- Emit --------------------------------------------------------------
     let doc = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"fuse_hot_paths\",\n",
-            "  \"pr\": 3,\n",
+            "  \"pr\": 4,\n",
             "  \"description\": \"Staked hot paths: kernel event throughput (wheel vs heap), ",
             "single-pass wire codec (ns/allocs per encoded message), SHA-1 piggyback digest ",
-            "(GiB/s, three implementations), and fig10-style scripted churn\",\n",
+            "(GiB/s, three implementations), fig10-style scripted churn, and the ",
+            "demand-driven route oracle (LRU hit/miss latency, resident route memory)\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"config\": {},\n",
             "  \"sim_event_throughput\": {},\n",
             "  \"wire_hot_path\": {},\n",
-            "  \"churn\": {}\n",
+            "  \"churn\": {},\n",
+            "  \"route_oracle\": {}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "paper" },
@@ -123,6 +144,7 @@ fn main() {
         kernel_bench::render_throughput_section(&wheel, &baseline),
         wire_bench::render_json(&sha1, &encode),
         kernel_bench::render_churn_section(&churn),
+        route_bench::render_json(&routes),
     );
     // The emit must stay readable by the gate's own parser.
     if let Err(e) = fuse_bench::json::parse(&doc) {

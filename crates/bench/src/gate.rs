@@ -1,5 +1,5 @@
 //! The CI perf-regression gate: compares a freshly measured `BENCH_CI.json`
-//! against a committed trajectory stake (`BENCH_PR3.json`) with a relative
+//! against a committed trajectory stake (`BENCH_PR4.json`) with a relative
 //! tolerance band, plus machine-independent absolute floors (allocations
 //! per encoded message, SHA-1 speedup over the in-run rolled reference).
 //!
@@ -102,6 +102,25 @@ pub const GATED: &[Metric] = &[
     // is reported but not gated — at quick scale the fixed setup
     // allocations dominate the much smaller event count.)
     m("churn.ns_per_event", Direction::HigherIsWorse, 40.0),
+    // Route oracle, measured on the *fixed* default-size topology at both
+    // scales (the `mercator` subsection is paper-scale-only and therefore
+    // reported, not gated). Hit is a hash lookup + LRU splice (gated with
+    // a small absolute slack for shared-runner jitter on a ~25 ns metric);
+    // miss is eviction + a full Dijkstra over ~3.4k routers. Both are
+    // MAD-filtered medians, so a lone preempted sample cannot trip the
+    // gate. The zero-allocation hit path gets the same absolute-slack
+    // treatment as the encode metrics.
+    m("route_oracle.fixed.hit_ns", Direction::HigherIsWorse, 30.0),
+    m(
+        "route_oracle.fixed.miss_ns",
+        Direction::HigherIsWorse,
+        50_000.0,
+    ),
+    m(
+        "route_oracle.fixed.hit_allocs",
+        Direction::HigherIsWorse,
+        0.01,
+    ),
 ];
 
 /// One metric's verdict.
@@ -189,7 +208,10 @@ mod tests {
                   "reconcile16": {{"ns_per_msg": 60.0, "allocs_per_msg": 0.0}}
                 }}
               }},
-              "churn": {{"ns_per_event": 100.0, "allocs_per_event": 0.02}}
+              "churn": {{"ns_per_event": 100.0, "allocs_per_event": 0.02}},
+              "route_oracle": {{
+                "fixed": {{"hit_ns": 25.0, "miss_ns": 90000.0, "hit_allocs": {ping_allocs}}}
+              }}
             }}"#
         ))
         .unwrap()

@@ -1,0 +1,303 @@
+//! Route-oracle benchmarks: build time, resident route memory, and
+//! hit/miss query latency of the demand-driven `RouteOracle` that replaced
+//! the eager all-destinations table (PR 4).
+//!
+//! Two measurement sets feed the `route_oracle` section of the
+//! `BENCH_*.json` stakes:
+//!
+//! * `fixed` — the default-size topology at **both** scales, so the CI
+//!   quick run stays comparable to the committed paper-scale stake; these
+//!   are the gated metrics.
+//! * `mercator` — the ~100k-router [`TopologyConfig::mercator_scale`]
+//!   preset, paper scale only (reported, not gated): the headline numbers
+//!   showing bounded route memory where the eager table would hold
+//!   gigabytes.
+//!
+//! Query latencies are medians after the vendored criterion stub's
+//! median-absolute-deviation outlier rejection ([`criterion::mad_filter`])
+//! — a single preempted sample on a shared CI runner must not push a gated
+//! metric across the regression band.
+
+use criterion::mad_filter;
+use fuse_net::{RouteOracle, Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::json_f64;
+
+/// One topology's oracle measurements.
+#[derive(Debug, Clone)]
+pub struct RoutePoint {
+    /// Stake label (`fixed` or `mercator`).
+    pub name: &'static str,
+    /// Routers in the generated topology.
+    pub routers: usize,
+    /// Links in the generated topology.
+    pub links: usize,
+    /// Topology generation + oracle construction, milliseconds (the eager
+    /// design paid one Dijkstra per attachment here; the oracle pays none).
+    pub build_ms: f64,
+    /// MAD-filtered median nanoseconds per LRU-hit query.
+    pub hit_ns: f64,
+    /// Allocator calls per hit query (`None` without the counting
+    /// allocator); 0 is the acceptance bar.
+    pub hit_allocs: Option<f64>,
+    /// MAD-filtered median nanoseconds per miss (eviction + Dijkstra +
+    /// row pack — the worst case the LRU can produce).
+    pub miss_ns: f64,
+    /// Bytes resident in the oracle after the measurement (rows + slots).
+    pub resident_bytes: usize,
+    /// What the eager table would hold for the same source set
+    /// (`sources × routers × 16` bytes).
+    pub eager_equiv_bytes: usize,
+    /// LRU capacity in rows.
+    pub lru_rows: usize,
+    /// Distinct attachment routers queried.
+    pub sources: usize,
+}
+
+/// Queries per hit-latency sample.
+const HITS_PER_SAMPLE: usize = 4 * 1024;
+/// Samples per repetition (the MAD filter needs a population).
+const SAMPLES_PER_REP: usize = 11;
+
+/// Measures one topology/capacity configuration.
+fn measure(
+    name: &'static str,
+    cfg: &TopologyConfig,
+    n_sources: usize,
+    cap: usize,
+    reps: u32,
+    misses_per_sample: usize,
+) -> RoutePoint {
+    let mut rng = StdRng::seed_from_u64(0xF0D0);
+    let t0 = std::time::Instant::now();
+    let topo = Topology::generate(cfg, &mut rng);
+    let oracle = RouteOracle::new(cap);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let attach = topo.sample_attachments(n_sources, &mut rng);
+
+    // --- Hit latency: two resident rows, alternating sources, so every
+    // query is a hit that also pays the LRU splice (head swap).
+    let (s0, s1, dst) = (attach[0], attach[1], attach[2]);
+    oracle.route(&topo, s0, dst);
+    oracle.route(&topo, s1, dst);
+    let mut hit_samples = Vec::with_capacity(SAMPLES_PER_REP * reps as usize);
+    let mut hit_allocs = None;
+    for _ in 0..reps {
+        let allocs_before = crate::alloc_count::snapshot();
+        for _ in 0..SAMPLES_PER_REP {
+            let t0 = std::time::Instant::now();
+            let mut acc = 0u64;
+            for i in 0..HITS_PER_SAMPLE {
+                let src = if i & 1 == 0 { s0 } else { s1 };
+                acc ^= oracle.route(&topo, src, dst).latency.nanos();
+            }
+            std::hint::black_box(acc);
+            hit_samples.push(t0.elapsed().as_nanos() as f64 / HITS_PER_SAMPLE as f64);
+        }
+        let allocs = crate::alloc_count::snapshot() - allocs_before;
+        if crate::alloc_count::installed() {
+            let per = allocs as f64 / (SAMPLES_PER_REP * HITS_PER_SAMPLE) as f64;
+            hit_allocs = Some(hit_allocs.map_or(per, |b: f64| b.min(per)));
+        }
+    }
+    mad_filter(&mut hit_samples);
+    let hit_ns = hit_samples[hit_samples.len() / 2];
+
+    // --- Miss latency: round-robin over cap + 1 distinct sources — the
+    // LRU's adversarial worst case, where the next source is always the
+    // one just evicted, so every query pays eviction + Dijkstra. The
+    // rotation must exclude the destination (a same-router query bypasses
+    // the LRU and would shrink the working set to exactly `cap`, turning
+    // every "miss" into a hit) and the two sources the hit phase left
+    // resident (their first rotation queries would be hits polluting the
+    // timed samples).
+    let miss_dst = attach[cap + 2];
+    let rotation: Vec<_> = attach
+        .iter()
+        .copied()
+        .skip(3)
+        .filter(|&r| r != miss_dst)
+        .take(cap + 1)
+        .collect();
+    assert_eq!(rotation.len(), cap + 1, "not enough sources for cap {cap}");
+    let mut next = 0usize;
+    let mut miss_samples = Vec::with_capacity(SAMPLES_PER_REP * reps as usize);
+    for _ in 0..reps {
+        for _ in 0..SAMPLES_PER_REP {
+            let t0 = std::time::Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..misses_per_sample {
+                let src = rotation[next % rotation.len()];
+                next += 1;
+                acc ^= oracle.route(&topo, src, miss_dst).latency.nanos();
+            }
+            std::hint::black_box(acc);
+            miss_samples.push(t0.elapsed().as_nanos() as f64 / misses_per_sample as f64);
+        }
+    }
+    mad_filter(&mut miss_samples);
+    let miss_ns = miss_samples[miss_samples.len() / 2];
+    // Every rotation query past the initial fill must have evicted.
+    let miss_queries = reps as usize * SAMPLES_PER_REP * misses_per_sample;
+    debug_assert!(
+        oracle.stats().evictions as usize >= miss_queries.saturating_sub(cap + 1),
+        "miss loop did not actually evict: {:?}",
+        oracle.stats()
+    );
+
+    // --- Occupancy: touch every source once so the LRU is saturated, then
+    // read what stayed resident.
+    for &src in &attach {
+        oracle.route(&topo, src, dst);
+    }
+    let stats = oracle.stats();
+    let distinct = {
+        let mut srcs = attach.clone();
+        srcs.sort_unstable();
+        srcs.dedup();
+        srcs.len()
+    };
+
+    RoutePoint {
+        name,
+        routers: topo.n_routers(),
+        links: topo.n_links(),
+        build_ms,
+        hit_ns,
+        hit_allocs,
+        miss_ns,
+        resident_bytes: stats.resident_bytes,
+        eager_equiv_bytes: distinct * topo.n_routers() * 16,
+        lru_rows: cap,
+        sources: distinct,
+    }
+}
+
+/// Runs the suite: the gateable fixed-size point always, the Mercator
+/// point only at paper scale.
+pub fn suite(reps: u32, quick: bool) -> Vec<RoutePoint> {
+    let mut out = vec![measure(
+        "fixed",
+        &TopologyConfig::default(),
+        400,
+        64,
+        reps,
+        8,
+    )];
+    if !quick {
+        out.push(measure(
+            "mercator",
+            &TopologyConfig::mercator_scale(),
+            500,
+            64,
+            reps.min(2),
+            2,
+        ));
+    }
+    out
+}
+
+/// Renders the `route_oracle` JSON object body.
+pub fn render_json(points: &[RoutePoint]) -> String {
+    let mut out = String::from("{\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"routers\": {},\n",
+                "      \"links\": {},\n",
+                "      \"sources\": {},\n",
+                "      \"lru_rows\": {},\n",
+                "      \"build_ms\": {},\n",
+                "      \"hit_ns\": {},\n",
+                "      \"hit_allocs\": {},\n",
+                "      \"miss_ns\": {},\n",
+                "      \"resident_bytes\": {},\n",
+                "      \"eager_equiv_bytes\": {}\n",
+                "    }}{}\n"
+            ),
+            p.name,
+            p.routers,
+            p.links,
+            p.sources,
+            p.lru_rows,
+            json_f64(p.build_ms),
+            json_f64(p.hit_ns),
+            p.hit_allocs
+                .map(json_f64)
+                .unwrap_or_else(|| "null".to_string()),
+            json_f64(p.miss_ns),
+            p.resident_bytes,
+            p.eager_equiv_bytes,
+            sep,
+        ));
+    }
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_measures_and_bounds_memory() {
+        let p = measure(
+            "fixed",
+            &TopologyConfig {
+                n_as: 8,
+                core_per_as: 2,
+                chains_per_as: 1,
+                chain_len: (2, 3),
+                ..TopologyConfig::default()
+            },
+            16,
+            4,
+            1,
+            2,
+        );
+        assert!(p.hit_ns > 0.0 && p.miss_ns > 0.0);
+        assert!(
+            p.miss_ns > 10.0 * p.hit_ns,
+            "a miss runs a full Dijkstra, a hit does not — anything closer \
+             than an order of magnitude means the rotation is not actually \
+             missing: {p:?}"
+        );
+        let row = p.routers * 8;
+        assert!(
+            p.resident_bytes <= 4 * row + 8 * 64,
+            "resident bytes exceed cap: {p:?}"
+        );
+        assert!(p.eager_equiv_bytes >= 16 * p.routers * 16 / 2);
+    }
+
+    #[test]
+    fn render_produces_parseable_json_with_gated_paths() {
+        let p = RoutePoint {
+            name: "fixed",
+            routers: 3000,
+            links: 5000,
+            sources: 400,
+            lru_rows: 64,
+            build_ms: 12.0,
+            hit_ns: 25.0,
+            hit_allocs: Some(0.0),
+            miss_ns: 90_000.0,
+            resident_bytes: 64 * 3000 * 8,
+            eager_equiv_bytes: 400 * 3000 * 16,
+        };
+        let doc = format!("{{\n  \"route_oracle\": {}\n}}", render_json(&[p]));
+        let v = crate::json::parse(&doc).expect("well-formed");
+        for path in [
+            "route_oracle.fixed.hit_ns",
+            "route_oracle.fixed.hit_allocs",
+            "route_oracle.fixed.miss_ns",
+            "route_oracle.fixed.resident_bytes",
+        ] {
+            assert!(v.get(path).is_some(), "missing {path}");
+        }
+    }
+}

@@ -7,18 +7,51 @@
 //! That measured topology is unavailable, so [`topology`] generates a
 //! synthetic hierarchical AS/router graph *tuned to those published
 //! distributions* — every property FUSE can observe (latency, hop count,
-//! loss composition, tail) is matched; see DESIGN.md §2.
+//! loss composition, tail) is matched; see DESIGN.md §5.
 //!
 //! The crate provides:
 //!
 //! * [`topology`] — AS/router graph generation with OC3/T3 link classes,
-//! * [`routes`] — shortest-latency routes with hop and loss accounting,
+//!   including the [`TopologyConfig::mercator_scale`] preset that reaches
+//!   the paper's ~100k routers,
+//! * [`routes`] — lexicographic `(hops, latency)` shortest paths behind the
+//!   demand-driven [`RouteOracle`] (lazy per-source Dijkstra, bounded LRU
+//!   of bit-packed rows) plus the preserved eager [`RouteTable`],
 //! * [`tcp`] — an analytic TCP model (connection cache, retransmission
 //!   backoff, connection breakage under loss),
 //! * [`fault`] — scriptable failures: crashes, disconnects, intransitive
 //!   blackholes, partitions,
 //! * [`network`] — the [`fuse_sim::Medium`] implementation combining them,
 //!   with `Simulator` and `Cluster` (ModelNet-like) emulation profiles.
+//!
+//! # Example: generate a topology, build an oracle, query a route
+//!
+//! ```
+//! use fuse_net::{RouteOracle, Topology, TopologyConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let topo = Topology::generate(&TopologyConfig::default(), &mut rng);
+//!
+//! // 8 resident rows bound route memory to 8 × n_routers × 8 bytes no
+//! // matter how many sources are queried; rows appear on first use.
+//! let oracle = RouteOracle::new(8);
+//! let (a, b) = (topo.attachable[0], topo.attachable[1]);
+//! let route = oracle.route(&topo, a, b);
+//! assert!(route.hops >= 1);
+//! assert!(route.delivery_prob(0.0) == 1.0);
+//!
+//! // The same query again is an LRU hit with an identical answer.
+//! assert_eq!(route, oracle.route(&topo, a, b));
+//! assert_eq!(oracle.stats().hits, 1);
+//! ```
+//!
+//! For full-stack use, [`Network::generate`] wires a topology, random
+//! attachment points and the oracle into a [`fuse_sim::Medium`]; the
+//! harness crate's experiments run the paper's figures on top of it.
+
+#![deny(missing_docs)]
 
 pub mod fault;
 pub mod network;
@@ -28,5 +61,5 @@ pub mod topology;
 
 pub use fault::FaultPlane;
 pub use network::{EmulationProfile, NetConfig, Network};
-pub use routes::{RouteInfo, RouteTable};
-pub use topology::{LinkClass, RouterId, Topology, TopologyConfig};
+pub use routes::{OracleStats, RouteInfo, RouteOracle, RouteTable};
+pub use topology::{LinkClass, RouterId, Topology, TopologyConfig, SAME_ROUTER_LATENCY};

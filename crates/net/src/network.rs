@@ -21,7 +21,7 @@ use fuse_sim::{Medium, ProcBitSet, ProcId, SimDuration, SimTime, Verdict};
 use fuse_util::{DetHashMap, DetHashSet};
 
 use crate::fault::FaultPlane;
-use crate::routes::{RouteInfo, RouteTable};
+use crate::routes::{OracleStats, RouteInfo, RouteOracle};
 use crate::tcp::{TcpConfig, TcpModel, TcpOutcome};
 use crate::topology::{RouterId, Topology};
 
@@ -75,6 +75,12 @@ pub struct NetConfig {
     pub tcp: TcpConfig,
     /// Uniform jitter added to each delivery, for tie spreading.
     pub max_jitter: SimDuration,
+    /// Maximum source rows the demand-driven [`RouteOracle`] keeps
+    /// resident (each row is `n_routers × 8` bytes). 64 rows bound route
+    /// memory to ~51 MB even at the ~100k-router Mercator preset, while
+    /// the per-pair latency/loss cache above keeps steady-state traffic
+    /// off the oracle entirely.
+    pub route_lru_rows: usize,
 }
 
 impl Default for NetConfig {
@@ -84,6 +90,7 @@ impl Default for NetConfig {
             per_link_loss: 0.0,
             tcp: TcpConfig::default(),
             max_jitter: SimDuration::from_micros(500),
+            route_lru_rows: 64,
         }
     }
 }
@@ -120,7 +127,7 @@ struct CachedRoute {
 /// The wide-area messaging layer (a [`Medium`] implementation).
 pub struct Network {
     topo: Topology,
-    routes: RouteTable,
+    routes: RouteOracle,
     attach: Vec<RouterId>,
     cfg: NetConfig,
     tcp: TcpModel,
@@ -145,9 +152,11 @@ pub struct Network {
 
 impl Network {
     /// Builds a network over `topo` with process `i` attached to
-    /// `attach[i]`.
+    /// `attach[i]`. Construction is O(1) in topology size: routes are
+    /// computed on demand by the [`RouteOracle`], not precomputed per
+    /// source.
     pub fn new(topo: Topology, attach: Vec<RouterId>, cfg: NetConfig) -> Self {
-        let routes = RouteTable::build(&topo, &attach);
+        let routes = RouteOracle::new(cfg.route_lru_rows);
         let tcp = TcpModel::new(cfg.tcp.clone());
         Network {
             topo,
@@ -198,10 +207,16 @@ impl Network {
         self.attach.len()
     }
 
-    /// Route summary between two processes.
+    /// Route summary between two processes (computed on demand and cached
+    /// in the oracle's LRU).
     pub fn route_info(&self, a: ProcId, b: ProcId) -> RouteInfo {
         self.routes
-            .route(self.attach[a as usize], self.attach[b as usize])
+            .route(&self.topo, self.attach[a as usize], self.attach[b as usize])
+    }
+
+    /// Hit/miss/eviction counters and occupancy of the route oracle.
+    pub fn route_oracle_stats(&self) -> OracleStats {
+        self.routes.stats()
     }
 
     /// Round-trip time between two processes (propagation only).
@@ -228,9 +243,11 @@ impl Network {
                 return *c;
             }
         }
-        let info = self
-            .routes
-            .route(self.attach[from as usize], self.attach[to as usize]);
+        let info = self.routes.route(
+            &self.topo,
+            self.attach[from as usize],
+            self.attach[to as usize],
+        );
         let p_one_way = info.delivery_prob(self.cfg.per_link_loss);
         let c = CachedRoute {
             latency: info.latency,
@@ -536,6 +553,58 @@ mod tests {
                 Verdict::Deliver { .. }
             ));
         }
+    }
+
+    #[test]
+    fn routes_are_built_on_demand_not_up_front() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        assert_eq!(
+            net.route_oracle_stats().resident_rows,
+            0,
+            "construction must not precompute routes"
+        );
+        let info = net.route_info(0, 1);
+        let s = net.route_oracle_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.resident_rows, 1);
+        // Sends reuse the oracle through the per-pair cache; the same pair
+        // again is a pair-cache hit, not even an oracle query.
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+            Verdict::Deliver { .. }
+        ));
+        let after_first = net.route_oracle_stats();
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+            Verdict::Deliver { .. }
+        ));
+        assert_eq!(net.route_oracle_stats(), after_first);
+        // And the oracle row, once resident, serves other destinations as
+        // hits with identical results on repeat.
+        assert_eq!(info, net.route_info(0, 1));
+    }
+
+    #[test]
+    fn oracle_capacity_bounds_route_memory_under_many_sources() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo_cfg = TopologyConfig {
+            n_as: 16,
+            core_per_as: 4,
+            chains_per_as: 2,
+            chain_len: (2, 4),
+            ..TopologyConfig::default()
+        };
+        let cfg = NetConfig {
+            route_lru_rows: 4,
+            ..NetConfig::simulator()
+        };
+        let net = Network::generate(&topo_cfg, 40, cfg, &mut rng);
+        for a in 0..net.n_procs() as ProcId {
+            net.route_info(a, (a + 1) % net.n_procs() as ProcId);
+        }
+        let s = net.route_oracle_stats();
+        assert!(s.resident_rows <= 4, "LRU cap violated: {s:?}");
+        assert!(s.evictions > 0, "cap 4 over 40 sources must evict");
     }
 
     #[test]

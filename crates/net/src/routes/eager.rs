@@ -1,45 +1,18 @@
-//! Static routes over the router graph.
+//! The preserved eager all-destinations route table.
 //!
-//! Routing in the emulated Internet is static (ModelNet precomputes routes
-//! the same way): one shortest-path computation per *attachment* router,
-//! memoized. Paths minimize **hop count** (ties broken by latency), like the
-//! policy routing of the real Internet — crucially, paths do *not* detour
-//! around slow T3 links, which is what produces the heavy RTT tail of
-//! Figure 6. Each route records total one-way latency and hop count;
-//! per-route loss under a uniform per-link loss rate `p` is
-//! `1 − (1−p)^hops`, exactly the composition behind Figure 11's per-route
-//! loss CDFs.
+//! This is the pre-PR-4 routing structure: one full `(latency, hops)` row
+//! per attachment router, built up front — O(sources × routers) memory,
+//! which is exactly what ruled it out at Mercator scale (§7.1's ~100k
+//! routers). The production path is the demand-driven
+//! [`RouteOracle`](crate::RouteOracle); this table survives as the
+//! reference the oracle is held bit-identical to (equivalence tests in
+//! `tests/route_oracle.rs`) and as the eager baseline in the
+//! `route_oracle` bench section.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use fuse_sim::SimDuration;
 use fuse_util::DetHashMap;
 
-use crate::topology::{RouterId, Topology};
-
-/// Latency/hop summary of one route.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RouteInfo {
-    /// One-way propagation latency.
-    pub latency: SimDuration,
-    /// Number of links traversed.
-    pub hops: u32,
-}
-
-impl RouteInfo {
-    /// Per-route one-way delivery probability given a uniform per-link loss
-    /// rate.
-    pub fn delivery_prob(&self, per_link_loss: f64) -> f64 {
-        debug_assert!((0.0..=1.0).contains(&per_link_loss));
-        (1.0 - per_link_loss).powi(self.hops as i32)
-    }
-
-    /// Per-route one-way loss rate given a uniform per-link loss rate.
-    pub fn loss_rate(&self, per_link_loss: f64) -> f64 {
-        1.0 - self.delivery_prob(per_link_loss)
-    }
-}
+use crate::routes::{dijkstra, RouteInfo};
+use crate::topology::{RouterId, Topology, SAME_ROUTER_LATENCY};
 
 /// All-destination shortest-path tables from each attachment router.
 pub struct RouteTable {
@@ -52,33 +25,9 @@ impl RouteTable {
     pub fn build(topo: &Topology, sources: &[RouterId]) -> Self {
         let mut tables = DetHashMap::default();
         for &s in sources {
-            tables.entry(s).or_insert_with(|| Self::dijkstra(topo, s));
+            tables.entry(s).or_insert_with(|| dijkstra(topo, s));
         }
         RouteTable { tables }
-    }
-
-    fn dijkstra(topo: &Topology, src: RouterId) -> Vec<(u64, u32)> {
-        // Lexicographic Dijkstra on (hops, latency): minimum hop count,
-        // ties broken by total latency. Deterministic for a fixed topology.
-        let n = topo.n_routers();
-        let mut best: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
-        let mut heap = BinaryHeap::new();
-        best[src as usize] = (0, 0);
-        heap.push(Reverse((0u32, 0u64, src)));
-        while let Some(Reverse((hops, lat, r))) = heap.pop() {
-            if (hops, lat) > best[r as usize] {
-                continue;
-            }
-            for &(next, link) in &topo.adj[r as usize] {
-                let w = topo.links[link as usize].latency.nanos();
-                let cand = (hops + 1, lat + w);
-                if cand < best[next as usize] {
-                    best[next as usize] = cand;
-                    heap.push(Reverse((cand.0, cand.1, next)));
-                }
-            }
-        }
-        best.into_iter().map(|(h, l)| (l, h)).collect()
     }
 
     /// Route summary from `src` to `dst`; `src` must be a built source.
@@ -91,7 +40,7 @@ impl RouteTable {
         if src == dst {
             // Same attachment router: a LAN hop, not a wide-area route.
             return RouteInfo {
-                latency: SimDuration::from_micros(100),
+                latency: SAME_ROUTER_LATENCY,
                 hops: 0,
             };
         }
@@ -102,7 +51,7 @@ impl RouteTable {
         let (lat, hops) = t[dst as usize];
         assert_ne!(lat, u64::MAX, "destination unreachable");
         RouteInfo {
-            latency: SimDuration(lat),
+            latency: fuse_sim::SimDuration(lat),
             hops,
         }
     }
@@ -117,6 +66,7 @@ impl RouteTable {
 mod tests {
     use super::*;
     use crate::topology::TopologyConfig;
+    use fuse_sim::SimDuration;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -169,6 +119,7 @@ mod tests {
         let table = RouteTable::build(&topo, &all);
         let r = table.route(7, 7);
         assert_eq!(r.hops, 0);
+        assert_eq!(r.latency, SAME_ROUTER_LATENCY);
         assert!(r.latency < SimDuration::from_millis(1));
     }
 

@@ -1,0 +1,548 @@
+//! Routes over the router graph.
+//!
+//! Routing in the emulated Internet is static (ModelNet precomputes routes
+//! the same way) and **demand-driven**: [`RouteOracle`] runs one
+//! lexicographic shortest-path computation per *attachment* router the
+//! first time a route out of it is asked for, and keeps the resulting row
+//! in a bounded LRU of bit-packed `(latency, hops)` words. The pre-PR-4
+//! eager all-destinations table survives as [`eager::RouteTable`] and is
+//! held bit-identical to the oracle by equivalence tests over random
+//! topologies (`tests/route_oracle.rs`).
+//!
+//! Paths minimize **hop count** (ties broken by latency), like the policy
+//! routing of the real Internet — crucially, paths do *not* detour around
+//! slow T3 links, which is what produces the heavy RTT tail of Figure 6.
+//! Each route records total one-way latency and hop count; per-route loss
+//! under a uniform per-link loss rate `p` is `1 − (1−p)^hops`, exactly the
+//! composition behind Figure 11's per-route loss CDFs.
+
+pub mod eager;
+
+pub use eager::RouteTable;
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fuse_sim::SimDuration;
+use fuse_util::DetHashMap;
+
+use crate::topology::{RouterId, Topology, SAME_ROUTER_LATENCY};
+
+/// Latency/hop summary of one route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Number of links traversed.
+    pub hops: u32,
+}
+
+impl RouteInfo {
+    /// Per-route one-way delivery probability given a uniform per-link loss
+    /// rate.
+    pub fn delivery_prob(&self, per_link_loss: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&per_link_loss));
+        (1.0 - per_link_loss).powi(self.hops as i32)
+    }
+
+    /// Per-route one-way loss rate given a uniform per-link loss rate.
+    pub fn loss_rate(&self, per_link_loss: f64) -> f64 {
+        1.0 - self.delivery_prob(per_link_loss)
+    }
+}
+
+/// Shortest-path row from `src`: `(latency_ns, hops)` for every destination
+/// router, `(u64::MAX, u32::MAX)` when unreachable.
+///
+/// Lexicographic Dijkstra on `(hops, latency)`: minimum hop count, ties
+/// broken by total latency. Deterministic for a fixed topology — both the
+/// eager table and the oracle call this one function, which is what makes
+/// their equivalence structural rather than coincidental.
+pub(crate) fn dijkstra(topo: &Topology, src: RouterId) -> Vec<(u64, u32)> {
+    let n = topo.n_routers();
+    let mut best: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
+    let mut heap = BinaryHeap::new();
+    best[src as usize] = (0, 0);
+    heap.push(Reverse((0u32, 0u64, src)));
+    while let Some(Reverse((hops, lat, r))) = heap.pop() {
+        if (hops, lat) > best[r as usize] {
+            continue;
+        }
+        for &(next, link) in &topo.adj[r as usize] {
+            let w = topo.links[link as usize].latency.nanos();
+            let cand = (hops + 1, lat + w);
+            if cand < best[next as usize] {
+                best[next as usize] = cand;
+                heap.push(Reverse((cand.0, cand.1, next)));
+            }
+        }
+    }
+    best.into_iter().map(|(h, l)| (l, h)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Packed route words.
+
+/// Bits of the packed word holding the hop count (top of the word).
+const HOP_BITS: u32 = 10;
+/// Shift of the hop field: the low 54 bits hold the latency.
+const HOP_SHIFT: u32 = 64 - HOP_BITS;
+/// Mask of the latency field (2^54 ns ≈ 208 simulated days per route —
+/// five orders of magnitude above the topology generator's worst case).
+const LAT_MASK: u64 = (1 << HOP_SHIFT) - 1;
+/// Sentinel for an unreachable destination.
+const UNREACHABLE: u64 = u64::MAX;
+
+/// Packs one Dijkstra entry into a single word: hops in the top 10 bits,
+/// latency nanoseconds in the low 54. Halves a resident row relative to the
+/// eager table's `(u64, u32)` (16 bytes with padding).
+fn pack(lat: u64, hops: u32) -> u64 {
+    if lat == u64::MAX {
+        return UNREACHABLE;
+    }
+    assert!(
+        lat <= LAT_MASK && u64::from(hops) < (1 << HOP_BITS) - 1,
+        "route exceeds packed capacity: {lat} ns, {hops} hops"
+    );
+    (u64::from(hops) << HOP_SHIFT) | lat
+}
+
+/// Inverse of [`pack`] for reachable entries.
+fn unpack(w: u64) -> (u64, u32) {
+    (w & LAT_MASK, (w >> HOP_SHIFT) as u32)
+}
+
+// ---------------------------------------------------------------------------
+// The demand-driven oracle.
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One resident row of the oracle.
+struct Slot {
+    /// Source router this row belongs to.
+    src: RouterId,
+    /// Packed `(latency, hops)` word per destination router.
+    row: Vec<u64>,
+    /// Intrusive LRU list: previous (more recently used) slot.
+    prev: u32,
+    /// Intrusive LRU list: next (less recently used) slot.
+    next: u32,
+}
+
+/// Counters and occupancy of a [`RouteOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Queries served from a resident row.
+    pub hits: u64,
+    /// Queries that had to run Dijkstra (first touch or re-entry after
+    /// eviction).
+    pub misses: u64,
+    /// Rows evicted to stay within the capacity.
+    pub evictions: u64,
+    /// Rows currently resident.
+    pub resident_rows: usize,
+    /// Bytes held by the resident rows and their slot bookkeeping (the
+    /// dominant memory term; excludes the small source-index map).
+    pub resident_bytes: usize,
+}
+
+/// Demand-driven route oracle: per-source shortest paths computed lazily on
+/// first use, held in a bounded LRU of bit-packed rows.
+///
+/// This is what bounds route memory at Mercator scale (§7.1's ~100k
+/// routers): resident memory is `capacity × n_routers × 8` bytes no matter
+/// how many distinct sources are queried, where the eager
+/// [`eager::RouteTable`] stores `sources × n_routers × 16` bytes up front.
+/// A hit is a hash lookup plus an LRU splice — no allocation; a miss runs
+/// one Dijkstra over the router graph (~milliseconds at 100k routers,
+/// microseconds at the default topology).
+///
+/// The oracle does not own the topology: callers pass `&Topology` to
+/// [`route`](RouteOracle::route), so one topology can back the network, the
+/// experiments and ad-hoc queries without reference cycles. Cached rows are
+/// only valid for the topology they were computed from — the oracle
+/// records the first topology's [`Topology::fingerprint`] and panics if a
+/// later query passes a different graph (even one with coincidentally
+/// equal counts), rather than silently serving stale routes. Interior
+/// mutability (a `RefCell`) keeps
+/// the query API `&self`, matching the eager table it replaced; the
+/// simulation is single-threaded by design.
+///
+/// Eviction order depends only on the query order, so for a fixed topology
+/// and query sequence the oracle is fully deterministic — including its
+/// [`stats`](RouteOracle::stats).
+pub struct RouteOracle {
+    inner: RefCell<Inner>,
+}
+
+struct Inner {
+    cap: usize,
+    /// Source router → slot index.
+    map: DetHashMap<RouterId, u32>,
+    slots: Vec<Slot>,
+    /// Most recently used slot.
+    head: u32,
+    /// Least recently used slot (the eviction victim).
+    tail: u32,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    /// `(n_routers, fingerprint)` of the first topology queried; guards
+    /// against reusing cached rows across topologies — the structural
+    /// fingerprint catches even same-sized graphs from different seeds.
+    fp: Option<(usize, u64)>,
+}
+
+impl RouteOracle {
+    /// Creates an oracle holding at most `capacity` source rows (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        RouteOracle {
+            inner: RefCell::new(Inner {
+                cap,
+                map: DetHashMap::default(),
+                slots: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                fp: None,
+            }),
+        }
+    }
+
+    /// Maximum number of resident source rows.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().cap
+    }
+
+    /// Route summary from `src` to `dst`, computing and caching the
+    /// source's row on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is unreachable from `src` (the topology generator
+    /// produces connected graphs), if either id is out of range for
+    /// `topo`, or if `topo` is not the topology this oracle's cached rows
+    /// were computed from (checked via [`Topology::fingerprint`], so even
+    /// a same-sized graph from a different seed is refused rather than
+    /// served stale rows). All three checks apply to same-router queries
+    /// too, even though those never touch the LRU. Unlike the eager table
+    /// there is no "unbuilt source" panic: a missing row — whether never
+    /// queried or evicted from the LRU — is recomputed transparently, at
+    /// the cost of one Dijkstra (whose scratch vectors allocate per miss;
+    /// the compute dominates them by orders of magnitude, and the LRU-hit
+    /// path stays allocation-free).
+    pub fn route(&self, topo: &Topology, src: RouterId, dst: RouterId) -> RouteInfo {
+        assert!(
+            (src as usize) < topo.n_routers() && (dst as usize) < topo.n_routers(),
+            "router id out of range"
+        );
+        let mut inner = self.inner.borrow_mut();
+        let fp = (topo.n_routers(), topo.fingerprint());
+        match inner.fp {
+            None => inner.fp = Some(fp),
+            Some(seen) => assert_eq!(
+                seen, fp,
+                "RouteOracle queried with a different topology than its cached rows"
+            ),
+        }
+        if src == dst {
+            // Same attachment router: a LAN hop, not a wide-area route.
+            return RouteInfo {
+                latency: SAME_ROUTER_LATENCY,
+                hops: 0,
+            };
+        }
+        let slot = match inner.map.get(&src).copied() {
+            Some(i) => {
+                inner.hits += 1;
+                inner.touch(i);
+                i
+            }
+            None => {
+                inner.misses += 1;
+                inner.admit(topo, src)
+            }
+        };
+        let w = inner.slots[slot as usize].row[dst as usize];
+        assert_ne!(w, UNREACHABLE, "destination unreachable");
+        let (lat, hops) = unpack(w);
+        RouteInfo {
+            latency: SimDuration(lat),
+            hops,
+        }
+    }
+
+    /// Whether a row for `src` is currently resident (test hook; does not
+    /// count as a hit or disturb the LRU order).
+    pub fn row_resident(&self, src: RouterId) -> bool {
+        self.inner.borrow().map.contains_key(&src)
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> OracleStats {
+        let inner = self.inner.borrow();
+        let resident_bytes = inner
+            .slots
+            .iter()
+            .map(|s| s.row.capacity() * std::mem::size_of::<u64>())
+            .sum::<usize>()
+            + inner.slots.capacity() * std::mem::size_of::<Slot>();
+        OracleStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_rows: inner.map.len(),
+            resident_bytes,
+        }
+    }
+}
+
+impl Inner {
+    /// Unlinks slot `i` from the LRU list.
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Pushes slot `i` to the front (most recently used).
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Marks slot `i` most recently used.
+    fn touch(&mut self, i: u32) {
+        if self.head == i {
+            return;
+        }
+        self.unlink(i);
+        self.push_front(i);
+    }
+
+    /// Builds the row for `src` into a fresh or recycled slot and makes it
+    /// most recently used; returns the slot index.
+    fn admit(&mut self, topo: &Topology, src: RouterId) -> u32 {
+        let i = if self.slots.len() < self.cap {
+            let i = self.slots.len() as u32;
+            self.slots.push(Slot {
+                src,
+                row: Vec::new(),
+                prev: NIL,
+                next: NIL,
+            });
+            i
+        } else {
+            // Evict the least recently used row, recycling its allocation.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_src = self.slots[victim as usize].src;
+            self.map.remove(&old_src);
+            self.evictions += 1;
+            self.slots[victim as usize].src = src;
+            victim
+        };
+        let row = &mut self.slots[i as usize].row;
+        row.clear();
+        row.extend(dijkstra(topo, src).into_iter().map(|(l, h)| pack(l, h)));
+        self.map.insert(src, i);
+        self.push_front(i);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_topo() -> Topology {
+        let cfg = TopologyConfig {
+            n_as: 8,
+            core_per_as: 4,
+            chains_per_as: 1,
+            chain_len: (2, 4),
+            ..TopologyConfig::default()
+        };
+        Topology::generate(&cfg, &mut StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn pack_roundtrips_and_flags_unreachable() {
+        for &(lat, hops) in &[(0u64, 0u32), (1, 1), (123_456_789_000, 43), (LAT_MASK, 60)] {
+            assert_eq!(unpack(pack(lat, hops)), (lat, hops));
+        }
+        assert_eq!(pack(u64::MAX, u32::MAX), UNREACHABLE);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed capacity")]
+    fn pack_rejects_oversized_latency() {
+        pack(LAT_MASK + 1, 3);
+    }
+
+    #[test]
+    fn same_router_is_lan_latency() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(4);
+        let r = oracle.route(&topo, 7, 7);
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.latency, SAME_ROUTER_LATENCY);
+        // Served without building any row.
+        assert_eq!(oracle.stats().resident_rows, 0);
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_latency() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(8);
+        for a in [0u32, 5, 13, 21] {
+            for b in [3u32, 9, 30] {
+                if a == b {
+                    continue;
+                }
+                let f = oracle.route(&topo, a, b);
+                let r = oracle.route(&topo, b, a);
+                assert_eq!(f.latency, r.latency);
+                assert_eq!(f.hops, r.hops);
+            }
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(4);
+        oracle.route(&topo, 0, 1);
+        oracle.route(&topo, 0, 2);
+        oracle.route(&topo, 1, 2);
+        let s = oracle.stats();
+        assert_eq!(s.misses, 2, "two distinct sources");
+        assert_eq!(s.hits, 1, "second query from source 0");
+        assert_eq!(s.resident_rows, 2);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_rows() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(2);
+        for src in 0..6u32 {
+            oracle.route(&topo, src, (src + 1) % topo.n_routers() as u32);
+        }
+        let s = oracle.stats();
+        assert_eq!(s.resident_rows, 2);
+        assert_eq!(s.evictions, 4);
+        let row_bytes = topo.n_routers() * std::mem::size_of::<u64>();
+        assert!(
+            s.resident_bytes >= 2 * row_bytes,
+            "rows must be accounted: {} < {}",
+            s.resident_bytes,
+            2 * row_bytes
+        );
+        assert!(
+            s.resident_bytes <= 2 * row_bytes + 4 * std::mem::size_of::<Slot>(),
+            "resident bytes unbounded: {}",
+            s.resident_bytes
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_source() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(2);
+        oracle.route(&topo, 0, 5); // rows: [0]
+        oracle.route(&topo, 1, 5); // rows: [1, 0]
+        oracle.route(&topo, 0, 6); // touch 0 -> rows: [0, 1]
+        oracle.route(&topo, 2, 5); // evicts 1 -> rows: [2, 0]
+        assert!(oracle.row_resident(0));
+        assert!(!oracle.row_resident(1));
+        assert!(oracle.row_resident(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn reuse_across_topologies_panics_instead_of_serving_stale_rows() {
+        let topo_a = small_topo();
+        let topo_b = Topology::generate(
+            &TopologyConfig {
+                n_as: 4,
+                core_per_as: 3,
+                chains_per_as: 1,
+                chain_len: (2, 4),
+                ..TopologyConfig::default()
+            },
+            &mut StdRng::seed_from_u64(5),
+        );
+        let oracle = RouteOracle::new(4);
+        oracle.route(&topo_a, 0, 9);
+        oracle.route(&topo_b, 0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn same_config_different_seed_is_still_a_different_topology() {
+        // Same TopologyConfig, different seed: counts can coincide, but
+        // the structural fingerprint must still refuse the cached rows.
+        let cfg = TopologyConfig {
+            n_as: 8,
+            core_per_as: 4,
+            chains_per_as: 1,
+            chain_len: (3, 3), // fixed chain length: identical router count
+            ..TopologyConfig::default()
+        };
+        let topo_a = Topology::generate(&cfg, &mut StdRng::seed_from_u64(1));
+        let topo_b = Topology::generate(&cfg, &mut StdRng::seed_from_u64(2));
+        assert_eq!(topo_a.n_routers(), topo_b.n_routers());
+        let oracle = RouteOracle::new(4);
+        oracle.route(&topo_a, 0, 9);
+        oracle.route(&topo_b, 0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn same_router_query_still_checks_id_range() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(4);
+        oracle.route(&topo, 50_000, 50_000);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let topo = small_topo();
+        let oracle = RouteOracle::new(0);
+        assert_eq!(oracle.capacity(), 1);
+        let r = oracle.route(&topo, 0, 9);
+        assert!(r.hops >= 1);
+    }
+}

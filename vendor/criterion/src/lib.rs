@@ -5,8 +5,10 @@
 //! `Throughput`, `BatchSize`, `criterion_group!`/`criterion_main!` — with a
 //! plain wall-clock sampler instead of upstream's statistical machinery:
 //! warm-up, auto-calibrated iteration counts, and a median over fixed-size
-//! samples. Good enough to compare kernel implementations on one machine,
-//! which is all this workspace needs from it.
+//! samples after median-absolute-deviation outlier rejection (see
+//! [`mad_filter`] — upstream uses a Tukey fence for the same purpose).
+//! Good enough to compare kernel implementations on one machine, which is
+//! all this workspace needs from it.
 //!
 //! Environment knobs:
 //!
@@ -47,12 +49,53 @@ pub enum Throughput {
 pub struct Measurement {
     /// Full benchmark id (`group/function`).
     pub id: String,
-    /// Median nanoseconds per iteration.
+    /// Median nanoseconds per iteration (over the retained samples; the
+    /// median is invariant under symmetric outlier rejection).
     pub median_ns: f64,
-    /// Fastest sample, ns/iter.
+    /// Fastest retained sample, ns/iter.
     pub min_ns: f64,
-    /// Slowest sample, ns/iter.
+    /// Slowest retained sample, ns/iter.
     pub max_ns: f64,
+    /// Samples collected before outlier rejection.
+    pub samples: usize,
+    /// Samples rejected as outliers (see [`mad_filter`]).
+    pub rejected: usize,
+}
+
+/// Rejection threshold in robust standard deviations: samples whose
+/// modified z-score exceeds this are dropped. 3.5 is the conventional
+/// cutoff (Iglewicz & Hoaglin).
+const MAD_CUTOFF: f64 = 3.5;
+
+/// Scale factor making the MAD a consistent estimator of the standard
+/// deviation under normality.
+const MAD_CONSISTENCY: f64 = 1.4826;
+
+/// Median-absolute-deviation outlier rejection: sorts `samples`, drops
+/// every sample further than `3.5 × 1.4826 × MAD` from the median, and
+/// returns how many were dropped. The median itself always survives, so
+/// the result is never empty. With `MAD == 0` (more than half the samples
+/// identical) nothing is rejected — a degenerate spread means there is no
+/// robust scale to reject against.
+///
+/// This is what keeps a single preempted sample on a noisy CI runner from
+/// dragging a gated metric (e.g. the `route_oracle` hit/miss latencies)
+/// across the regression band: one 10× spike among eleven samples moves
+/// the pre-rejection max, not the retained spread.
+pub fn mad_filter(samples: &mut Vec<f64>) -> usize {
+    assert!(!samples.is_empty(), "mad_filter needs at least one sample");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let median = samples[samples.len() / 2];
+    let mut devs: Vec<f64> = samples.iter().map(|x| (x - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mad = devs[devs.len() / 2];
+    if mad <= 0.0 {
+        return 0;
+    }
+    let cut = MAD_CUTOFF * MAD_CONSISTENCY * mad;
+    let before = samples.len();
+    samples.retain(|x| (x - median).abs() <= cut);
+    before - samples.len()
 }
 
 fn measure_ms() -> u64 {
@@ -68,6 +111,14 @@ fn sample_count() -> usize {
         .and_then(|v| v.parse().ok())
         .unwrap_or(11)
         .max(3)
+}
+
+fn fmt_outliers(m: &Measurement) -> String {
+    if m.rejected > 0 {
+        format!("  ({}/{} outliers rejected)", m.rejected, m.samples)
+    } else {
+        String::new()
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -159,12 +210,15 @@ impl Bencher {
     fn summarize(self, id: &str) -> Measurement {
         let mut s = self.samples_ns_per_iter;
         assert!(!s.is_empty(), "bench {id} recorded no samples");
-        s.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let samples = s.len();
+        let rejected = mad_filter(&mut s);
         Measurement {
             id: id.to_string(),
             median_ns: s[s.len() / 2],
             min_ns: s[0],
             max_ns: *s.last().expect("non-empty"),
+            samples,
+            rejected,
         }
     }
 }
@@ -186,11 +240,12 @@ impl Criterion {
         f(&mut b);
         let m = b.summarize(&id);
         println!(
-            "{:<40} time: [{} {} {}]",
+            "{:<40} time: [{} {} {}]{}",
             m.id,
             fmt_ns(m.min_ns),
             fmt_ns(m.median_ns),
-            fmt_ns(m.max_ns)
+            fmt_ns(m.max_ns),
+            fmt_outliers(&m),
         );
         self.results.push(m);
         self
@@ -247,11 +302,12 @@ impl<'a> BenchmarkGroup<'a> {
             None => String::new(),
         };
         println!(
-            "{:<40} time: [{} {} {}]{rate}",
+            "{:<40} time: [{} {} {}]{rate}{}",
             m.id,
             fmt_ns(m.min_ns),
             fmt_ns(m.median_ns),
-            fmt_ns(m.max_ns)
+            fmt_ns(m.max_ns),
+            fmt_outliers(&m),
         );
         self.parent.results.push(m);
         self
@@ -308,6 +364,47 @@ mod tests {
             )
         });
         assert_eq!(c.measurements().len(), 1);
+    }
+
+    #[test]
+    fn mad_filter_drops_a_lone_spike_but_keeps_the_median() {
+        // Ten tight samples plus one 10x spike — the classic preempted-CI
+        // sample. The spike must go; everything else must stay.
+        let mut s = vec![
+            100.0, 101.0, 99.0, 102.0, 98.0, 100.5, 99.5, 101.5, 98.5, 100.0, 1000.0,
+        ];
+        let rejected = mad_filter(&mut s);
+        assert_eq!(rejected, 1);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&x| x < 200.0));
+        // Sorted ascending, median intact.
+        assert_eq!(s[s.len() / 2], 100.0);
+    }
+
+    #[test]
+    fn mad_filter_keeps_everything_when_spread_is_tight() {
+        let mut s = vec![10.0, 10.1, 9.9, 10.05, 9.95];
+        assert_eq!(mad_filter(&mut s), 0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn mad_filter_degenerate_spread_rejects_nothing() {
+        // MAD == 0 (majority identical): no robust scale, so even the
+        // obvious outlier survives rather than dividing by zero.
+        let mut s = vec![5.0, 5.0, 5.0, 5.0, 500.0];
+        assert_eq!(mad_filter(&mut s), 0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn summaries_record_sample_and_rejection_counts() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("counts", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
+        let m = &c.measurements()[0];
+        assert!(m.samples >= 3);
+        assert!(m.rejected < m.samples);
     }
 
     #[test]
