@@ -1,0 +1,168 @@
+//! Chaos explorer CLI.
+//!
+//! ```text
+//! chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--out FILE]
+//! chaos replay <token>
+//! ```
+//!
+//! `explore` generates N scripts from the seed, runs each in a fresh
+//! deterministic world and checks the paper's invariants. On the first
+//! violation it shrinks the script to a minimal repro, prints both replay
+//! tokens, writes the shrunk token to `--out` (default `CHAOS_REPRO.txt`,
+//! gitignored) and exits 1 — so a CI failure line carries everything
+//! needed to reproduce locally.
+//!
+//! `replay` parses a token and re-executes it bit-identically, printing
+//! the report and trace fingerprint.
+
+use std::process::ExitCode;
+
+use fuse_harness::chaos::{explore, parse_token, run_script, ExploreParams, RunReport};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--out FILE]\n  \
+         chaos replay <token>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn print_report(report: &RunReport) {
+    println!(
+        "  burned={} events={} end={:.1}s fingerprint={:016x}",
+        report.burned,
+        report.events_executed,
+        report.end.nanos() as f64 / 1e9,
+        report.fingerprint
+    );
+    println!("  notified: {:?}", report.notified);
+    for v in &report.violations {
+        println!("  VIOLATION {v}");
+    }
+}
+
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let mut scripts = 50usize;
+    let mut seed = 1u64;
+    let mut n = 24usize;
+    let mut group: Option<usize> = None;
+    let mut out = String::from("CHAOS_REPRO.txt");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        match a.as_str() {
+            "--scripts" => match val("--scripts").and_then(|v| v.parse().ok()) {
+                Some(v) => scripts = v,
+                None => return usage(),
+            },
+            "--seed" => match val("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--n" => match val("--n").and_then(|v| v.parse().ok()) {
+                Some(v) => n = v,
+                None => return usage(),
+            },
+            "--group" => match val("--group").and_then(|v| v.parse().ok()) {
+                Some(v) => group = Some(v),
+                None => return usage(),
+            },
+            "--out" => match val("--out") {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let mut params = ExploreParams::new(seed, scripts);
+    params.n = n;
+    params.group_size = group;
+    println!(
+        "chaos explore: {} scripts, base seed {}, {}-node worlds",
+        scripts, seed, n
+    );
+    let mut ran = 0usize;
+    match explore(&params, |i, r| {
+        ran += 1;
+        if (i + 1) % 10 == 0 {
+            println!(
+                "  [{}/{}] clean so far (last: burned={} events={})",
+                i + 1,
+                scripts,
+                r.burned,
+                r.events_executed
+            );
+        }
+    }) {
+        Ok(count) => {
+            println!("chaos explore: {count} scripts, all invariants held");
+            ExitCode::SUCCESS
+        }
+        Err(fail) => {
+            println!(
+                "chaos explore: INVARIANT VIOLATION at script {} (after {} clean)",
+                fail.index, ran
+            );
+            println!("original script token:\n  {}", fail.token);
+            print_report(&fail.report);
+            println!(
+                "shrunk to {} phase(s):\n  {}",
+                fail.shrunk_phases, fail.shrunk_token
+            );
+            print_report(&fail.shrunk_report);
+            println!("replay with:\n  chaos replay '{}'", fail.shrunk_token);
+            if let Err(e) = std::fs::write(&out, format!("{}\n", fail.shrunk_token)) {
+                eprintln!("could not write {out}: {e}");
+            } else {
+                println!("shrunk token written to {out}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(token) = args.first() else {
+        return usage();
+    };
+    let (cfg, script) = match parse_token(token) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bad token: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "chaos replay: seed={} n={} gs={} phases={}",
+        cfg.seed,
+        cfg.n,
+        cfg.group_size,
+        script.phases.len()
+    );
+    let report = run_script(&cfg, &script);
+    print_report(&report);
+    if report.violations.is_empty() {
+        println!("replay: all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        println!("replay: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -6,6 +6,7 @@
 //! — the regeneration targets listed in DESIGN.md §3.
 
 pub mod app;
+pub mod chaos;
 pub mod metrics;
 pub mod world;
 

@@ -272,6 +272,27 @@ impl World {
         }
     }
 
+    /// Restarts crashed node `p` with fresh state, bootstrapped exactly
+    /// like [`Bootstrap::Oracle`] built it (converged tables from global
+    /// membership; the rebooted node rejoins the overlay knowing nothing
+    /// about any FUSE group). No-op if `p` is up.
+    pub fn restart_node(&mut self, p: ProcId, params: &WorldParams) {
+        if self.sim.is_up(p) {
+            return;
+        }
+        let tables = build_oracle_tables(&self.infos, &params.ov);
+        let (cw, ccw, rt) = tables.into_iter().nth(p as usize).expect("node exists");
+        let mut stack = NodeStack::new(
+            self.infos[p as usize].clone(),
+            None,
+            params.ov.clone(),
+            params.fuse.clone(),
+            RecorderApp::new(),
+        );
+        stack.overlay.preload_tables(cw, ccw, rt);
+        self.sim.restart(p, stack);
+    }
+
     /// Picks `k` distinct random nodes (optionally excluding some).
     pub fn sample_nodes(&mut self, k: usize, exclude: &[ProcId]) -> Vec<ProcId> {
         use rand::seq::SliceRandom;

@@ -139,6 +139,8 @@ pub struct Network {
     conns: DetHashSet<(ProcId, ProcId)>,
     /// Messages that broke a connection (for metrics/tests).
     breaks: u64,
+    /// Messages eaten by the content-based adversary (for metrics/tests).
+    content_drops: u64,
     /// Wire bytes handed to `unicast` (payload sizes from the codec's exact
     /// single-pass sizing; delivered or not — this is offered load).
     bytes_offered: u64,
@@ -168,6 +170,7 @@ impl Network {
             down: ProcBitSet::default(),
             conns: DetHashSet::default(),
             breaks: 0,
+            content_drops: 0,
             bytes_offered: 0,
             bytes_delivered: 0,
             route_cache: DetHashMap::default(),
@@ -269,6 +272,11 @@ impl Network {
         self.breaks
     }
 
+    /// Count of messages silently eaten by the §3.5 content adversary.
+    pub fn content_drop_count(&self) -> u64 {
+        self.content_drops
+    }
+
     /// Total wire bytes offered to the network (every `unicast`, whatever
     /// its verdict). Sizes come from the codec's exact single-pass hints,
     /// so this is real encoded-bytes load, not an estimate.
@@ -315,6 +323,7 @@ impl Medium for Network {
         from: ProcId,
         to: ProcId,
         size: usize,
+        class: &'static str,
     ) -> Verdict {
         assert!(
             (from as usize) < self.attach.len() && (to as usize) < self.attach.len(),
@@ -337,7 +346,28 @@ impl Medium for Network {
             };
         }
 
-        match self.tcp.attempt(rng, rtt, route.p_success) {
+        // The §3.5 content-based adversary: a matching message vanishes
+        // *silently* — no retransmission, no broken-connection notice — so
+        // only FUSE's own liveness machinery can notice. (An adversary that
+        // dropped every TCP segment would eventually break the connection;
+        // one that drops the message exactly once per attempt and lets
+        // keepalives through is strictly harder to detect, and that is the
+        // case modeled here.)
+        if self.fault.content_blocked(from, to, class) {
+            self.content_drops += 1;
+            return Verdict::Drop;
+        }
+
+        // Injected per-pair loss (chaos loss ramps) composes with the
+        // route's own loss: data crosses `from -> to`, the ACK crosses
+        // `to -> from`, each surviving its direction's injected rate.
+        let mut p_success = route.p_success;
+        if self.fault.has_link_loss() {
+            p_success *=
+                (1.0 - self.fault.link_loss(from, to)) * (1.0 - self.fault.link_loss(to, from));
+        }
+
+        match self.tcp.attempt(rng, rtt, p_success) {
             TcpOutcome::Delivered { extra_delay } => {
                 let mut latency = route.latency + extra_delay;
                 latency = latency + self.cfg.profile.per_message_overhead();
@@ -397,7 +427,7 @@ mod tests {
     fn simulator_delivery_latency_is_propagation_plus_jitter() {
         let (mut net, mut rng) = small_net(NetConfig::simulator());
         let info = net.route_info(0, 1);
-        match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 100) {
+        match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 100, "msg") {
             Verdict::Deliver { at } => {
                 assert!(at.nanos() >= info.latency.nanos());
                 assert!(at.nanos() <= info.latency.nanos() + 500_000);
@@ -412,7 +442,7 @@ mod tests {
         let info = net.route_info(0, 1);
         let rtt = info.latency.saturating_mul(2);
         let overhead = SimDuration::from_millis_f64(3.9);
-        let first = match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 100) {
+        let first = match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 100, "msg") {
             Verdict::Deliver { at } => at,
             other => panic!("{other:?}"),
         };
@@ -421,7 +451,7 @@ mod tests {
             "first message must include SYN round trip"
         );
         assert!(net.connection_warm(0, 1));
-        let second = match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 100) {
+        let second = match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 100, "msg") {
             Verdict::Deliver { at } => at,
             other => panic!("{other:?}"),
         };
@@ -436,7 +466,7 @@ mod tests {
     fn blocked_pair_breaks_connection() {
         let (mut net, mut rng) = small_net(NetConfig::simulator());
         net.fault_mut().add_blackhole(2, 3);
-        match net.unicast(SimTime::ZERO, &mut rng, 2, 3, 64) {
+        match net.unicast(SimTime::ZERO, &mut rng, 2, 3, 64, "msg") {
             Verdict::Break { sender_notice } => {
                 // Default TCP gives up after 63 s for rtt << min_rto.
                 assert_eq!(sender_notice, SimTime::ZERO + SimDuration::from_secs(63));
@@ -445,7 +475,7 @@ mod tests {
         }
         // Reverse direction unaffected.
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 3, 2, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 3, 2, 64, "msg"),
             Verdict::Deliver { .. }
         ));
         assert_eq!(net.break_count(), 1);
@@ -455,19 +485,19 @@ mod tests {
     fn dead_peer_breaks_and_conn_cache_resets() {
         let (mut net, mut rng) = small_net(NetConfig::cluster());
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64, "msg"),
             Verdict::Deliver { .. }
         ));
         assert!(net.connection_warm(4, 5));
         net.node_down(5);
         assert!(!net.connection_warm(4, 5), "crash drops cached connections");
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64, "msg"),
             Verdict::Break { .. }
         ));
         net.node_up(5);
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64, "msg"),
             Verdict::Deliver { .. }
         ));
     }
@@ -479,7 +509,7 @@ mod tests {
         let mut delayed = 0;
         let mut broken = 0;
         for _ in 0..2000 {
-            match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64) {
+            match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg") {
                 Verdict::Deliver { at } => {
                     if at.nanos() > SimDuration::from_secs(1).nanos() {
                         delayed += 1;
@@ -499,7 +529,7 @@ mod tests {
         assert_eq!(net.bytes_offered(), 0);
         for _ in 0..10 {
             assert!(matches!(
-                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 33),
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 33, "msg"),
                 Verdict::Deliver { .. }
             ));
         }
@@ -507,7 +537,7 @@ mod tests {
         assert_eq!(net.bytes_delivered(), 330);
         // A blackholed pair counts as offered but never delivered.
         net.fault_mut().add_blackhole(0, 1);
-        let _ = net.unicast(SimTime::ZERO, &mut rng, 0, 1, 7);
+        let _ = net.unicast(SimTime::ZERO, &mut rng, 0, 1, 7, "msg");
         assert_eq!(net.bytes_offered(), 337);
         assert_eq!(net.bytes_delivered(), 330);
     }
@@ -517,7 +547,7 @@ mod tests {
         let (mut net, mut rng) = small_net(NetConfig::simulator());
         for _ in 0..500 {
             assert!(matches!(
-                net.unicast(SimTime::ZERO, &mut rng, 6, 7, 64),
+                net.unicast(SimTime::ZERO, &mut rng, 6, 7, 64, "msg"),
                 Verdict::Deliver { .. }
             ));
         }
@@ -532,7 +562,7 @@ mod tests {
         let (mut net, mut rng) = small_net(NetConfig::simulator());
         for _ in 0..50 {
             assert!(matches!(
-                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg"),
                 Verdict::Deliver { .. }
             ));
         }
@@ -540,7 +570,7 @@ mod tests {
         let broken = (0..50)
             .filter(|_| {
                 matches!(
-                    net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+                    net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg"),
                     Verdict::Break { .. }
                 )
             })
@@ -549,7 +579,7 @@ mod tests {
         net.set_per_link_loss(0.0);
         for _ in 0..50 {
             assert!(matches!(
-                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg"),
                 Verdict::Deliver { .. }
             ));
         }
@@ -570,12 +600,12 @@ mod tests {
         // Sends reuse the oracle through the per-pair cache; the same pair
         // again is a pair-cache hit, not even an oracle query.
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg"),
             Verdict::Deliver { .. }
         ));
         let after_first = net.route_oracle_stats();
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg"),
             Verdict::Deliver { .. }
         ));
         assert_eq!(net.route_oracle_stats(), after_first);
@@ -607,21 +637,178 @@ mod tests {
         assert!(s.evictions > 0, "cap 4 over 40 sources must evict");
     }
 
+    /// Heal-path regressions: every fault-plane *clear* operation must
+    /// actually restore end-to-end delivery, not just mutate the rule set
+    /// (the injection paths above assert the block; these assert the heal).
+    #[test]
+    fn reconnect_restores_end_to_end_delivery() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        net.fault_mut().disconnect(4);
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64, "msg"),
+            Verdict::Break { .. }
+        ));
+        net.fault_mut().reconnect(4);
+        for _ in 0..20 {
+            assert!(
+                matches!(
+                    net.unicast(SimTime::ZERO, &mut rng, 4, 5, 64, "msg"),
+                    Verdict::Deliver { .. }
+                ),
+                "delivery must resume after reconnect"
+            );
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 5, 4, 64, "msg"),
+                Verdict::Deliver { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn clear_blackhole_restores_end_to_end_delivery() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        net.fault_mut().add_blackhole(2, 3);
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 2, 3, 64, "msg"),
+            Verdict::Break { .. }
+        ));
+        net.fault_mut().clear_blackhole(2, 3);
+        for _ in 0..20 {
+            assert!(
+                matches!(
+                    net.unicast(SimTime::ZERO, &mut rng, 2, 3, 64, "msg"),
+                    Verdict::Deliver { .. }
+                ),
+                "delivery must resume after clear_blackhole"
+            );
+        }
+    }
+
+    #[test]
+    fn heal_partitions_restores_cross_cell_delivery() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        net.fault_mut().set_partition(1, 1);
+        net.fault_mut().set_partition(2, 2);
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 1, 2, 64, "msg"),
+            Verdict::Break { .. }
+        ));
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 1, 0, 64, "msg"),
+            Verdict::Break { .. }
+        ));
+        net.fault_mut().heal_partitions();
+        for (a, b) in [(1, 2), (2, 1), (1, 0), (0, 2)] {
+            assert!(
+                matches!(
+                    net.unicast(SimTime::ZERO, &mut rng, a, b, 64, "msg"),
+                    Verdict::Deliver { .. }
+                ),
+                "{a}->{b} must deliver after heal_partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_node_returned_to_default_cell_reaches_unpartitioned_nodes() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        net.fault_mut().set_partition(6, 3);
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 6, 7, 64, "msg"),
+            Verdict::Break { .. }
+        ));
+        // Back into the default cell — NOT via heal_partitions — must reach
+        // nodes that were never partitioned, in both directions.
+        net.fault_mut().set_partition(6, 0);
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 6, 7, 64, "msg"),
+            Verdict::Deliver { .. }
+        ));
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 7, 6, 64, "msg"),
+            Verdict::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn content_adversary_eats_matching_class_silently() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        net.fault_mut().drop_class("overlay.ping");
+        for _ in 0..10 {
+            assert!(
+                matches!(
+                    net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "overlay.ping"),
+                    Verdict::Drop
+                ),
+                "matching class must vanish silently (no Break)"
+            );
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "fuse.hard"),
+                Verdict::Deliver { .. }
+            ));
+        }
+        assert_eq!(net.content_drop_count(), 10);
+        assert_eq!(net.break_count(), 0, "content drops are not breaks");
+        // The adversary walking away restores delivery.
+        net.fault_mut().clear_class_drops();
+        assert!(matches!(
+            net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "overlay.ping"),
+            Verdict::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn injected_pair_loss_behaves_like_link_loss() {
+        let (mut net, mut rng) = small_net(NetConfig::simulator());
+        // Near-certain loss on one directed pair: sends there must suffer
+        // (retransmission delays or breaks); an untouched pair must not.
+        net.fault_mut().set_link_loss(0, 1, 0.95);
+        let mut impaired = 0;
+        for _ in 0..200 {
+            match net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg") {
+                Verdict::Deliver { at } => {
+                    if at.nanos() > SimDuration::from_secs(1).nanos() {
+                        impaired += 1;
+                    }
+                }
+                Verdict::Break { .. } => impaired += 1,
+                Verdict::Drop => {}
+            }
+        }
+        assert!(impaired > 0, "95% injected loss must impair the pair");
+        for _ in 0..50 {
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 6, 7, 64, "msg"),
+                Verdict::Deliver { .. }
+            ));
+        }
+        // Clearing the injected loss restores clean delivery.
+        net.fault_mut().clear_link_loss();
+        let breaks_before = net.break_count();
+        for _ in 0..50 {
+            assert!(matches!(
+                net.unicast(SimTime::ZERO, &mut rng, 0, 1, 64, "msg"),
+                Verdict::Deliver { .. }
+            ));
+        }
+        assert_eq!(net.break_count(), breaks_before);
+    }
+
     #[test]
     fn disconnect_isolates_node_both_ways() {
         let (mut net, mut rng) = small_net(NetConfig::simulator());
         net.fault_mut().disconnect(8);
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 8, 9, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 8, 9, 64, "msg"),
             Verdict::Break { .. }
         ));
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 9, 8, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 9, 8, 64, "msg"),
             Verdict::Break { .. }
         ));
         net.fault_mut().reconnect(8);
         assert!(matches!(
-            net.unicast(SimTime::ZERO, &mut rng, 9, 8, 64),
+            net.unicast(SimTime::ZERO, &mut rng, 9, 8, 64, "msg"),
             Verdict::Deliver { .. }
         ));
     }

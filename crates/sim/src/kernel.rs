@@ -571,9 +571,10 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
 
     fn perform_send(&mut self, from: ProcId, to: ProcId, msg: P::Msg) {
         let size = msg.size_bytes();
+        let class = msg.class();
         let verdict = self
             .medium
-            .unicast(self.clock, &mut self.rng, from, to, size);
+            .unicast(self.clock, &mut self.rng, from, to, size, class);
         self.trace
             .on_send(self.clock, from, to, &msg, size, &verdict);
         match verdict {

@@ -31,6 +31,13 @@ pub enum Verdict {
 /// simulator and its ModelNet cluster).
 pub trait Medium {
     /// Decides the fate of one `size`-byte message from `from` to `to`.
+    ///
+    /// `class` is the payload's [`Payload::class`] label — the decoded
+    /// message type. Media that model the paper's §3.5 content-based
+    /// adversary ("an adversary dropping packets based on their content")
+    /// may drop on it; plain media ignore it.
+    ///
+    /// [`Payload::class`]: crate::Payload::class
     fn unicast(
         &mut self,
         now: SimTime,
@@ -38,6 +45,7 @@ pub trait Medium {
         from: ProcId,
         to: ProcId,
         size: usize,
+        class: &'static str,
     ) -> Verdict;
 
     /// Informs the medium a process came up (join/restart).
@@ -113,6 +121,7 @@ impl Medium for PerfectMedium {
         _from: ProcId,
         to: ProcId,
         _size: usize,
+        _class: &'static str,
     ) -> Verdict {
         if self.down.contains(to) {
             Verdict::Break {
@@ -165,19 +174,19 @@ mod tests {
         let mut m = PerfectMedium::new(SimDuration::from_millis(10));
         let now = SimTime::ZERO;
         assert!(matches!(
-            m.unicast(now, &mut rng, 0, 1, 8),
+            m.unicast(now, &mut rng, 0, 1, 8, "msg"),
             Verdict::Deliver { .. }
         ));
         m.node_down(1);
         assert_eq!(
-            m.unicast(now, &mut rng, 0, 1, 8),
+            m.unicast(now, &mut rng, 0, 1, 8, "msg"),
             Verdict::Break {
                 sender_notice: now + m.dead_peer_notice
             }
         );
         m.node_up(1);
         assert!(matches!(
-            m.unicast(now, &mut rng, 0, 1, 8),
+            m.unicast(now, &mut rng, 0, 1, 8, "msg"),
             Verdict::Deliver { .. }
         ));
     }

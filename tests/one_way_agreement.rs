@@ -3,29 +3,61 @@
 //! partitions, explicit signals — once the group is declared failed, every
 //! live member hears exactly one notification within a bounded time, and no
 //! node is left with orphaned group state.
+//!
+//! Ported onto the chaos harness: cases are serializable
+//! [`ChaosScript`]s run by [`chaos::run_script`] and judged by the shared
+//! invariant checkers (`exactly-once-agreement`, `bounded-detection`,
+//! `no-orphan-state`), the same objects the `chaos` explorer bin checks —
+//! failures print a replay token for `chaos replay`. This tier-1 footprint
+//! stays at 12 proptest cases; the deep multi-phase exploration lives in
+//! the chaos bin's smoke tier.
 
-mod common;
-
-use common::{assert_no_orphans, create, failures, world};
-use fuse_sim::{ProcId, SimDuration};
+use fuse_harness::chaos::{self, ChaosConfig, ChaosOp, ChaosScript, Phase};
+use fuse_sim::SimDuration;
 use proptest::prelude::*;
 
-/// One scripted fault against one group member or its network.
+/// One generated single-fault case. The victim is a *group slot*
+/// (0 = root, `k` = k-th member) drawn from the sampled group size via
+/// `prop_flat_map`, so every slot of every size is reachable and no
+/// modulo folding biases small groups toward low-index victims.
 #[derive(Debug, Clone)]
-enum Fault {
-    Crash(usize),
-    Disconnect(usize),
-    Signal(usize),
-    PartitionOff(usize),
+struct Case {
+    seed: u64,
+    /// Members in the group (excluding the root).
+    size: usize,
+    /// Victim slot in `0..=size`.
+    victim: u8,
+    /// Which fault hits the victim.
+    kind: u8,
+    /// Seconds after creation the fault lands.
+    delay_s: u64,
 }
 
-fn fault_strategy(members: usize) -> impl Strategy<Value = Fault> {
-    prop_oneof![
-        (0..members).prop_map(Fault::Crash),
-        (0..members).prop_map(Fault::Disconnect),
-        (0..members).prop_map(Fault::Signal),
-        (0..members).prop_map(Fault::PartitionOff),
-    ]
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..6).prop_flat_map(|size| {
+        (0u64..1000, 0..=size as u8, 0..4u8, 1u64..120).prop_map(
+            move |(seed, victim, kind, delay_s)| Case {
+                seed,
+                size,
+                victim,
+                kind,
+                delay_s,
+            },
+        )
+    })
+}
+
+fn case_script(c: &Case) -> ChaosScript {
+    let op = match c.kind {
+        0 => ChaosOp::Crash { slot: c.victim },
+        1 => ChaosOp::Disconnect { slot: c.victim },
+        2 => ChaosOp::Signal { slot: c.victim },
+        _ => ChaosOp::PartitionOff { slot: c.victim },
+    };
+    ChaosScript::new(vec![Phase {
+        at: SimDuration::from_secs(c.delay_s),
+        op,
+    }])
 }
 
 proptest! {
@@ -35,67 +67,32 @@ proptest! {
     })]
 
     #[test]
-    fn every_live_member_notified_exactly_once(
-        seed in 0u64..1000,
-        size in 2usize..6,
-        fault in fault_strategy(5),
-        delay_s in 1u64..120,
-    ) {
-        let n = 24;
-        let (mut sim, infos) = world(n, seed);
-        // Group: root 0 plus `size` members spread over the ring.
-        let members: Vec<ProcId> = (1..=size as ProcId).map(|k| (k * 5) % n as ProcId).collect();
-        let id = create(&mut sim, &infos, 0, &members);
-        sim.run_for(SimDuration::from_secs(delay_s));
-
-        let all: Vec<ProcId> = std::iter::once(0).chain(members.iter().copied()).collect();
-        let victim = all[fault.index() % all.len()];
-        let mut victim_is_live = true;
-        match fault {
-            Fault::Crash(_) => {
-                sim.crash(victim);
-                victim_is_live = false;
-            }
-            Fault::Disconnect(_) => {
-                sim.medium_mut().fault_mut().disconnect(victim);
-            }
-            Fault::Signal(_) => {
-                sim.with_proc(victim, |stack, ctx| {
-                    stack.with_api(ctx, |api, _| api.signal_failure(id))
-                });
-            }
-            Fault::PartitionOff(_) => {
-                sim.medium_mut().fault_mut().set_partition(victim, 1);
-            }
-        }
-
-        // Bound: ping period (60) + ping timeout (20) + root repair (120)
-        // plus propagation margin.
-        sim.run_for(SimDuration::from_secs(300));
-
-        for &m in &all {
-            let hits = failures(&sim, m, id).len();
-            if m == victim && !victim_is_live {
-                continue; // Crashed nodes hear nothing.
-            }
-            prop_assert_eq!(
-                hits, 1,
-                "node {} heard {} notifications (fault {:?} on {})",
-                m, hits, fault, victim
-            );
-        }
-        assert_no_orphans(&sim, id);
+    fn every_live_member_notified_exactly_once(c in case_strategy()) {
+        let cfg = ChaosConfig::new(c.seed, 24, c.size);
+        let script = case_script(&c);
+        let report = chaos::run_script(&cfg, &script);
+        prop_assert!(
+            report.violations.is_empty(),
+            "case {:?} violated: {:?}\nreplay: chaos replay '{}'",
+            c,
+            report.violations,
+            chaos::format_token(&cfg, &script)
+        );
+        prop_assert!(report.burned, "a terminal single fault must burn the group");
     }
 }
 
-impl Fault {
-    fn index(&self) -> usize {
-        match self {
-            Fault::Crash(i) | Fault::Disconnect(i) | Fault::Signal(i) | Fault::PartitionOff(i) => {
-                *i
-            }
-        }
-    }
+/// Runs a fixed script and asserts every invariant held (and the group
+/// burned), printing the replay token on failure.
+fn assert_clean_burn(cfg: &ChaosConfig, script: &ChaosScript) {
+    let report = chaos::run_script(cfg, script);
+    assert!(
+        report.violations.is_empty(),
+        "violations {:?}\nreplay: chaos replay '{}'",
+        report.violations,
+        chaos::format_token(cfg, script)
+    );
+    assert!(report.burned, "script must burn the group");
 }
 
 /// Double faults: two members fail near-simultaneously; survivors still
@@ -103,55 +100,48 @@ impl Fault {
 #[test]
 fn double_crash_still_converges() {
     for seed in [1u64, 2, 3] {
-        let (mut sim, infos) = world(24, seed);
-        let members = [5u32, 10, 15, 20];
-        let id = create(&mut sim, &infos, 0, &members);
-        sim.run_for(SimDuration::from_secs(30));
-        sim.crash(5);
-        sim.run_for(SimDuration::from_secs(3));
-        sim.crash(15);
-        sim.run_for(SimDuration::from_secs(400));
-        for m in [0u32, 10, 20] {
-            assert_eq!(failures(&sim, m, id).len(), 1, "seed {seed} node {m}");
-        }
-        assert_no_orphans(&sim, id);
+        let cfg = ChaosConfig::new(seed, 24, 4);
+        let script = ChaosScript::new(vec![
+            Phase {
+                at: SimDuration::from_secs(30),
+                op: ChaosOp::Crash { slot: 1 },
+            },
+            Phase {
+                at: SimDuration::from_secs(33),
+                op: ChaosOp::Crash { slot: 3 },
+            },
+        ]);
+        assert_clean_burn(&cfg, &script);
     }
 }
 
-/// A full partition: both sides must independently conclude failure.
+/// A full partition: both sides must independently conclude failure (the
+/// invariant set requires *every* live participant, in either cell, to
+/// hear exactly once).
 #[test]
 fn partition_notifies_both_sides() {
-    let (mut sim, infos) = world(24, 9);
-    let members = [6u32, 12, 18];
-    let id = create(&mut sim, &infos, 0, &members);
-    sim.run_for(SimDuration::from_secs(30));
-    // Nodes 12 and 18 end up on the minority side.
-    for p in 12..24u32 {
-        sim.medium_mut().fault_mut().set_partition(p, 1);
-    }
-    sim.run_for(SimDuration::from_secs(400));
-    for m in [0u32, 6, 12, 18] {
-        assert_eq!(
-            failures(&sim, m, id).len(),
-            1,
-            "node {m} must hear on its side of the partition"
-        );
-    }
-    assert_no_orphans(&sim, id);
+    let cfg = ChaosConfig::new(9, 24, 3);
+    let script = ChaosScript::new(vec![Phase {
+        at: SimDuration::from_secs(30),
+        op: ChaosOp::PartitionHalf { pct: 50 },
+    }]);
+    assert_clean_burn(&cfg, &script);
 }
 
-/// Healing the partition after notification must not resurrect anything.
+/// Healing the partition after notification must not resurrect anything:
+/// the no-orphan checker runs after the heal.
 #[test]
 fn healed_partition_leaves_no_ghosts() {
-    let (mut sim, infos) = world(16, 11);
-    let id = create(&mut sim, &infos, 0, &[4, 8]);
-    sim.run_for(SimDuration::from_secs(10));
-    sim.medium_mut().fault_mut().set_partition(4, 1);
-    sim.run_for(SimDuration::from_secs(400));
-    sim.medium_mut().fault_mut().heal_partitions();
-    sim.run_for(SimDuration::from_secs(300));
-    for m in [0u32, 4, 8] {
-        assert_eq!(failures(&sim, m, id).len(), 1, "node {m}");
-    }
-    assert_no_orphans(&sim, id);
+    let cfg = ChaosConfig::new(11, 16, 2);
+    let script = ChaosScript::new(vec![
+        Phase {
+            at: SimDuration::from_secs(10),
+            op: ChaosOp::PartitionOff { slot: 1 },
+        },
+        Phase {
+            at: SimDuration::from_secs(410),
+            op: ChaosOp::HealPartitions,
+        },
+    ]);
+    assert_clean_burn(&cfg, &script);
 }

@@ -4,8 +4,8 @@
 //! the subset of proptest's API its tests use: the [`proptest!`] macro with
 //! optional `#![proptest_config(..)]`, `prop_assert!`/`prop_assert_eq!`/
 //! `prop_assume!`, [`any`], integer-range and regex-literal strategies,
-//! [`Strategy::prop_map`], [`prop_oneof!`], `prop::collection::vec` and
-//! `prop::sample::Index`.
+//! [`Strategy::prop_map`], [`Strategy::prop_flat_map`], [`prop_oneof!`],
+//! `prop::collection::vec` and `prop::sample::Index`.
 //!
 //! Differences from upstream, deliberate for this repo:
 //!
@@ -70,6 +70,19 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Chains a dependent strategy: draws a value, builds a second strategy
+    /// from it, and draws from that — the upstream way to make one
+    /// dimension's range depend on another (e.g. a victim index bounded by
+    /// a sampled group size, without modulo bias).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy (needed by [`prop_oneof!`] arms of
     /// different concrete types).
     fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -96,6 +109,26 @@ where
 
     fn generate(&self, rng: &mut StdRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
@@ -664,6 +697,15 @@ mod tests {
         #[test]
         fn vec_and_tuple_strategies(v in prop::collection::vec((any::<u8>(), any::<bool>()), 0..9)) {
             prop_assert!(v.len() < 9);
+        }
+
+        #[test]
+        fn flat_map_bounds_follow_the_first_draw(
+            pair in (2usize..6).prop_flat_map(|size| (0..size).prop_map(move |i| (size, i)))
+        ) {
+            let (size, idx) = pair;
+            prop_assert!((2..6).contains(&size));
+            prop_assert!(idx < size, "idx {} out of sampled bound {}", idx, size);
         }
 
         #[test]
