@@ -12,20 +12,44 @@
 //! and then read deltas via [`snapshot`]. When the allocator is not
 //! installed, [`installed`] stays `false` and readings are meaningless —
 //! the bench runner reports `null` for allocs/event in that case.
+//!
+//! # Multi-threaded runs
+//!
+//! Counting is *per-thread* (a const-initialized `thread_local!` cell, so
+//! the counting hook itself never allocates or takes a lock), with the
+//! process-wide aggregate maintained alongside in a relaxed atomic.
+//! [`thread_snapshot`] scopes a 0-alloc gate to the calling thread —
+//! under the sharded kernel's parallel rounds, another shard's allocations
+//! no longer pollute this shard's gate — while [`snapshot`] keeps the old
+//! process-wide view for single-threaded benches.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 
+thread_local! {
+    // `const` init: no lazy-init bookkeeping and no destructor registration,
+    // so the allocator hook cannot recurse into itself.
+    static THREAD_ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
 /// System allocator wrapper counting `alloc`/`realloc` calls.
 pub struct CountingAlloc;
+
+fn count_one() {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    // `try_with`: a thread mid-teardown has dropped its TLS block; the
+    // aggregate still counts those calls.
+    let _ = THREAD_ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         INSTALLED.store(true, Ordering::Relaxed);
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -34,7 +58,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -45,7 +69,39 @@ pub fn installed() -> bool {
     INSTALLED.load(Ordering::Relaxed)
 }
 
-/// Current allocation-call count; subtract two snapshots for a delta.
+/// Current process-wide allocation-call count; subtract two snapshots for a
+/// delta. Spans all threads — use [`thread_snapshot`] to gate a single
+/// thread's work.
 pub fn snapshot() -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Allocation-call count of the *calling thread only*; subtract two
+/// snapshots for a per-thread delta unaffected by concurrent threads.
+pub fn thread_snapshot() -> u64 {
+    THREAD_ALLOC_CALLS.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The counting allocator is not installed in unit-test binaries, so
+    // these exercise the counter plumbing, not live interception.
+    #[test]
+    fn thread_counters_are_independent() {
+        count_one();
+        count_one();
+        let mine = thread_snapshot();
+        assert!(mine >= 2);
+        let other = std::thread::spawn(|| {
+            count_one();
+            thread_snapshot()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1, "fresh thread starts from zero");
+        assert_eq!(thread_snapshot(), mine, "other thread must not bleed in");
+        assert!(snapshot() >= mine + other, "aggregate spans all threads");
+    }
 }

@@ -13,7 +13,12 @@
 //! * `route_oracle` — the demand-driven route oracle: build time, LRU
 //!   hit/miss latency (MAD-filtered medians) and resident route memory, at
 //!   a fixed default-size topology (gated) and, at paper scale, the
-//!   ~100k-router Mercator preset (reported).
+//!   ~100k-router Mercator preset (reported);
+//! * `sharded_kernel` — `ShardedSim` scaling at 1/2/4/8 shards on a
+//!   million-process ping workload (50k at quick scale): measured and
+//!   critical-path-projected events/s, cross-shard send ratio, and the
+//!   gated 4-shard projected speedup (see `fuse_bench::shard_bench` for
+//!   the single-core-host methodology).
 //!
 //! ```text
 //! cargo run --release -p fuse_bench --bin bench_runner            # paper scale
@@ -27,6 +32,7 @@
 //! stake with a tolerance band.
 
 use fuse_bench::kernel_bench::{self, KernelBenchConfig};
+use fuse_bench::shard_bench::{self, ShardBenchConfig};
 use fuse_bench::{banner, footer, route_bench, scale, wire_bench, Scale};
 
 #[global_allocator]
@@ -121,22 +127,50 @@ fn main() {
         );
     }
 
+    // --- Sharded kernel scaling --------------------------------------------
+    let shard_cfg = if quick {
+        ShardBenchConfig::quick()
+    } else {
+        ShardBenchConfig::paper()
+    };
+    // The sweep runs every shard count; one warm-up-free repetition per
+    // count keeps the paper-scale (4 × 1M-process) sweep affordable while
+    // the gated speedup stays a within-run ratio.
+    let shard_points = shard_bench::suite(&shard_cfg, reps.min(2));
+    for p in &shard_points {
+        println!(
+            "shards={}  {:>10} events  measured {:>7.3} Mev/s  projected {:>7.3} Mev/s  cross {:>5.1}%  ({} rounds)",
+            p.shards,
+            p.events,
+            p.measured_events_per_sec / 1e6,
+            p.projected_events_per_sec / 1e6,
+            p.cross_shard_ratio * 100.0,
+            p.rounds,
+        );
+    }
+    if let Some(s4) = shard_bench::projected_speedup(&shard_points, 4) {
+        println!("projected speedup at 4 shards: {s4:.2}x");
+    }
+
     // --- Emit --------------------------------------------------------------
     let doc = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"fuse_hot_paths\",\n",
-            "  \"pr\": 4,\n",
+            "  \"pr\": 6,\n",
             "  \"description\": \"Staked hot paths: kernel event throughput (wheel vs heap), ",
             "single-pass wire codec (ns/allocs per encoded message), SHA-1 piggyback digest ",
-            "(GiB/s, three implementations), fig10-style scripted churn, and the ",
-            "demand-driven route oracle (LRU hit/miss latency, resident route memory)\",\n",
+            "(GiB/s, three implementations), fig10-style scripted churn, the ",
+            "demand-driven route oracle (LRU hit/miss latency, resident route memory), and ",
+            "the sharded kernel's scaling sweep (measured + critical-path-projected ",
+            "events/s at 1/2/4/8 shards)\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"config\": {},\n",
             "  \"sim_event_throughput\": {},\n",
             "  \"wire_hot_path\": {},\n",
             "  \"churn\": {},\n",
-            "  \"route_oracle\": {}\n",
+            "  \"route_oracle\": {},\n",
+            "  \"sharded_kernel\": {}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "paper" },
@@ -145,6 +179,7 @@ fn main() {
         wire_bench::render_json(&sha1, &encode),
         kernel_bench::render_churn_section(&churn),
         route_bench::render_json(&routes),
+        shard_bench::render_json(&shard_points),
     );
     // The emit must stay readable by the gate's own parser.
     if let Err(e) = fuse_bench::json::parse(&doc) {

@@ -32,6 +32,16 @@ pub struct Metric {
     /// near-zero stakes (e.g. 0.01 allocs/event) absorb counting noise
     /// without widening the relative band for everything else.
     pub abs_slack: f64,
+    /// First stake PR whose document carries this metric. When the stake's
+    /// top-level `"pr"` predates it, the metric is skipped instead of
+    /// erroring — new sections can land without rewriting history, while a
+    /// metric missing from a stake that *should* have it still fails.
+    pub since_pr: u64,
+    /// Absolute floor a `LowerIsWorse` metric must clear regardless of the
+    /// stake (`f64::NEG_INFINITY` = none). Encodes hard acceptance bars —
+    /// e.g. the 4-shard projected speedup must stay ≥ 1.6 even if a future
+    /// stake drifts — that the relative band alone cannot express.
+    pub floor: f64,
 }
 
 const fn m(path: &'static str, direction: Direction, abs_slack: f64) -> Metric {
@@ -39,6 +49,20 @@ const fn m(path: &'static str, direction: Direction, abs_slack: f64) -> Metric {
         path,
         direction,
         abs_slack,
+        since_pr: 0,
+        floor: f64::NEG_INFINITY,
+    }
+}
+
+/// A metric introduced by the PR-6 sharded-kernel stake, with an optional
+/// hard floor.
+const fn m6(path: &'static str, direction: Direction, floor: f64) -> Metric {
+    Metric {
+        path,
+        direction,
+        abs_slack: 0.0,
+        since_pr: 6,
+        floor,
     }
 }
 
@@ -121,6 +145,26 @@ pub const GATED: &[Metric] = &[
         Direction::HigherIsWorse,
         0.01,
     ),
+    // Sharded kernel (PR 6). The speedup is a within-run ratio of projected
+    // throughputs, so it is machine-independent — but not *scale*-
+    // independent: the quick CI world (50k processes) projects less
+    // parallelism than the paper-scale stake (1M), so the relative band is
+    // disabled (infinite slack) and only the absolute floor binds — 1.6 is
+    // the acceptance bar for 4 shards at any scale. Single-shard projected
+    // throughput is held to the band so the sharded kernel's serial
+    // overhead (availability fixpoint, merge) cannot silently grow.
+    Metric {
+        path: "sharded_kernel.speedup_4x_projected",
+        direction: Direction::LowerIsWorse,
+        abs_slack: f64::INFINITY,
+        since_pr: 6,
+        floor: 1.6,
+    },
+    m6(
+        "sharded_kernel.shards_1.projected_events_per_sec",
+        Direction::LowerIsWorse,
+        f64::NEG_INFINITY,
+    ),
 ];
 
 /// One metric's verdict.
@@ -141,10 +185,16 @@ pub struct Verdict {
 /// Compares `current` against `stake` over [`GATED`] with relative
 /// tolerance `tol` (0.25 = 25% band). A metric missing from either
 /// document is an error — schema drift must fail loudly, not silently
-/// un-gate.
+/// un-gate — except for metrics whose `since_pr` postdates the stake's
+/// top-level `"pr"` field, which are skipped (a new bench section cannot
+/// be compared against a stake emitted before it existed).
 pub fn compare(current: &Value, stake: &Value, tol: f64) -> Result<Vec<Verdict>, String> {
+    let stake_pr = stake.get("pr").and_then(Value::as_f64).unwrap_or(0.0) as u64;
     let mut out = Vec::with_capacity(GATED.len());
     for metric in GATED {
+        if metric.since_pr > stake_pr {
+            continue;
+        }
         let cur = lookup(current, metric.path, "current")?;
         let stk = lookup(stake, metric.path, "stake")?;
         let (bound, pass) = match metric.direction {
@@ -153,7 +203,7 @@ pub fn compare(current: &Value, stake: &Value, tol: f64) -> Result<Vec<Verdict>,
                 (bound, cur <= bound)
             }
             Direction::LowerIsWorse => {
-                let bound = stk * (1.0 - tol) - metric.abs_slack;
+                let bound = (stk * (1.0 - tol) - metric.abs_slack).max(metric.floor);
                 (bound, cur >= bound)
             }
         };
@@ -269,5 +319,66 @@ mod tests {
         let stake = doc(90.0, 1.3, 0.0);
         let broken = parse(r#"{"sim_event_throughput": {}}"#).unwrap();
         assert!(compare(&broken, &stake, 0.25).is_err());
+    }
+
+    /// `doc(...)` plus the PR-6 `sharded_kernel` section and a `"pr"` tag.
+    fn doc6(speedup: f64, shard1_eps: f64) -> Value {
+        let base = doc(90.0, 1.3, 0.0);
+        let extra = parse(&format!(
+            r#"{{
+              "pr": 6,
+              "sharded_kernel": {{
+                "shards_1": {{"projected_events_per_sec": {shard1_eps}}},
+                "speedup_4x_projected": {speedup}
+              }}
+            }}"#
+        ))
+        .unwrap();
+        // Splice: rebuild one object containing both documents' keys.
+        let (Value::Obj(mut b), Value::Obj(e)) = (base, extra) else {
+            unreachable!()
+        };
+        b.extend(e);
+        Value::Obj(b)
+    }
+
+    #[test]
+    fn pr6_metrics_are_skipped_against_a_pre_pr6_stake() {
+        let stake = doc(90.0, 1.3, 0.0); // no "pr", no sharded_kernel
+        let current = doc6(3.5, 5e6);
+        let verdicts = compare(&current, &stake, 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| !v.path.contains("sharded_kernel")));
+        assert!(verdicts.iter().all(|v| v.pass));
+    }
+
+    #[test]
+    fn pr6_stake_gates_sharded_metrics() {
+        let stake = doc6(3.5, 5e6);
+        let good = compare(&doc6(3.4, 4.9e6), &stake, 0.25).unwrap();
+        assert!(good.iter().any(|v| v.path.contains("speedup_4x")));
+        assert!(good.iter().all(|v| v.pass), "{good:?}");
+        let slow = compare(&doc6(3.5, 2e6), &stake, 0.25).unwrap();
+        assert!(slow
+            .iter()
+            .any(|v| !v.pass && v.path.contains("shards_1.projected_events_per_sec")));
+        // The speedup ratio shrinks with world size, so a quick-scale run
+        // far below the paper-scale stake must still pass while it clears
+        // the absolute floor.
+        let cross_scale = compare(&doc6(1.7, 4.9e6), &stake, 0.25).unwrap();
+        assert!(cross_scale.iter().all(|v| v.pass), "{cross_scale:?}");
+    }
+
+    #[test]
+    fn speedup_floor_holds_even_when_the_stake_drifts_low() {
+        // Stake and current agree at 1.5x — within any relative band, but
+        // below the 1.6 acceptance floor.
+        let stake = doc6(1.5, 5e6);
+        let verdicts = compare(&doc6(1.5, 5e6), &stake, 0.25).unwrap();
+        let v = verdicts
+            .iter()
+            .find(|v| v.path.contains("speedup_4x"))
+            .unwrap();
+        assert!(!v.pass, "floor must bind: {v:?}");
+        assert_eq!(v.bound, 1.6);
     }
 }

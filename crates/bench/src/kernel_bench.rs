@@ -121,7 +121,7 @@ pub struct Pinger {
 use fuse_sim::TimerHandle;
 
 impl Pinger {
-    fn new(cfg: &KernelBenchConfig) -> Self {
+    pub(crate) fn new(cfg: &KernelBenchConfig) -> Self {
         Pinger {
             n: cfg.processes,
             groups: cfg.groups,
@@ -281,11 +281,11 @@ pub fn measure(reps: u32, run: impl Fn() -> u64) -> KernelMeasurement {
     let mut events = 0u64;
     let mut allocs_per_event = None;
     for _ in 0..reps {
-        let allocs_before = crate::alloc_count::snapshot();
+        let allocs_before = crate::alloc_count::thread_snapshot();
         let t0 = std::time::Instant::now();
         events = run();
         let wall = t0.elapsed().as_secs_f64();
-        let allocs = crate::alloc_count::snapshot() - allocs_before;
+        let allocs = crate::alloc_count::thread_snapshot() - allocs_before;
         if wall < best_wall {
             best_wall = wall;
             if crate::alloc_count::installed() {

@@ -11,6 +11,7 @@ pub mod gate;
 pub mod json;
 pub mod kernel_bench;
 pub mod route_bench;
+pub mod shard_bench;
 pub mod wire_bench;
 
 /// Renders a finite float with three decimals, `null` otherwise (the

@@ -85,7 +85,8 @@ fn measure(
     let mut hit_samples = Vec::with_capacity(SAMPLES_PER_REP * reps as usize);
     let mut hit_allocs = None;
     for _ in 0..reps {
-        let allocs_before = crate::alloc_count::snapshot();
+        // Per-thread delta, so concurrent shards cannot pollute the gate.
+        let allocs_before = crate::alloc_count::thread_snapshot();
         for _ in 0..SAMPLES_PER_REP {
             let t0 = std::time::Instant::now();
             let mut acc = 0u64;
@@ -96,7 +97,7 @@ fn measure(
             std::hint::black_box(acc);
             hit_samples.push(t0.elapsed().as_nanos() as f64 / HITS_PER_SAMPLE as f64);
         }
-        let allocs = crate::alloc_count::snapshot() - allocs_before;
+        let allocs = crate::alloc_count::thread_snapshot() - allocs_before;
         if crate::alloc_count::installed() {
             let per = allocs as f64 / (SAMPLES_PER_REP * HITS_PER_SAMPLE) as f64;
             hit_allocs = Some(hit_allocs.map_or(per, |b: f64| b.min(per)));

@@ -1,0 +1,272 @@
+//! Sharded-kernel scaling benchmark: `ShardedSim` throughput at 1/2/4/8
+//! shards on a million-process ping workload (paper scale), staked as the
+//! `sharded_kernel` section of `BENCH_PR6.json`.
+//!
+//! # Methodology: critical-path projection
+//!
+//! CI runners (and this stake's host) may have a single core, where a
+//! wall-clock speedup from sharding is physically impossible. The windowed
+//! rounds are therefore executed serially with per-shard timing
+//! ([`fuse_sim::ShardedSim::run_until_profiled`]), and the stake reports
+//! **both**:
+//!
+//! * `measured_events_per_sec` — events over real wall clock on this host;
+//! * `projected_events_per_sec` — events over the *critical path*: per
+//!   round, only the slowest shard's window time counts (the others would
+//!   overlap on a k-core host), plus all serial coordinator time
+//!   (availability fixpoint, control ops, cross-shard merge).
+//!
+//! The projection is what an ideal k-core host is bounded by; it charges
+//! every serial section in full, so load imbalance and merge overhead show
+//! up honestly. The gated `speedup_4x_projected` compares 4-shard vs
+//! 1-shard projected throughput; `host_cores` records what the numbers
+//! were measured on.
+//!
+//! The workload reuses the kernel bench's [`Pinger`] with `groups = 2` and
+//! round-robin shard placement: the group-0 peer (`me + 1`) is *always* on
+//! another shard for k > 1, the group-1 peer (`me + 8`) is always local for
+//! k ∈ {2, 4, 8} — a fixed ~50% cross-shard send ratio, far above real
+//! topology-aware placements, so the merge path is stressed rather than
+//! flattered.
+
+use fuse_sim::{PerfectMedium, ShardedSim, SimTime};
+
+use crate::json_f64;
+use crate::kernel_bench::{KernelBenchConfig, Pinger};
+
+/// Sharded scaling workload parameters.
+#[derive(Debug, Clone)]
+pub struct ShardBenchConfig {
+    /// Process/ping parameters, reused from the kernel bench.
+    pub base: KernelBenchConfig,
+    /// Shard counts to sweep (must include 1 and 4 for the gated speedup).
+    pub shard_counts: &'static [usize],
+}
+
+impl ShardBenchConfig {
+    /// Paper scale: one million processes, five simulated seconds.
+    pub fn paper() -> Self {
+        ShardBenchConfig {
+            base: KernelBenchConfig {
+                processes: 1_000_000,
+                groups: 2,
+                ..KernelBenchConfig::paper()
+            },
+            shard_counts: &[1, 2, 4, 8],
+        }
+    }
+
+    /// CI smoke scale: 50k processes, two simulated seconds.
+    pub fn quick() -> Self {
+        ShardBenchConfig {
+            base: KernelBenchConfig {
+                processes: 50_000,
+                groups: 2,
+                sim_time: fuse_sim::SimDuration::from_secs(2),
+                ..KernelBenchConfig::paper()
+            },
+            shard_counts: &[1, 2, 4, 8],
+        }
+    }
+}
+
+/// One shard count's measurement.
+#[derive(Debug, Clone)]
+pub struct ShardPoint {
+    /// Shard count.
+    pub shards: usize,
+    /// Executed events (identical across shard counts by construction —
+    /// [`suite`] asserts it).
+    pub events: u64,
+    /// Window rounds of the best-wall repetition.
+    pub rounds: u64,
+    /// Best wall-clock seconds over the repetitions.
+    pub wall_s: f64,
+    /// Best critical-path seconds over the repetitions (see module docs).
+    pub critical_path_s: f64,
+    /// events / wall_s on this host.
+    pub measured_events_per_sec: f64,
+    /// events / critical_path_s — the ideal-k-core bound.
+    pub projected_events_per_sec: f64,
+    /// Cross-shard fraction of delivered sends.
+    pub cross_shard_ratio: f64,
+}
+
+/// Runs the workload once at `shards` and returns the executed-event count
+/// plus the run profile and send split.
+fn run_once(cfg: &KernelBenchConfig, shards: usize) -> (u64, fuse_sim::RunProfile, u64, u64) {
+    let mut sim = ShardedSim::new(cfg.seed, shards, PerfectMedium::new(cfg.latency));
+    for _ in 0..cfg.processes {
+        sim.add_process(Pinger::new(cfg));
+    }
+    let profile = sim.run_until_profiled(SimTime::ZERO + cfg.sim_time);
+    let (local, cross) = sim.send_stats();
+    (sim.events_executed(), profile, local, cross)
+}
+
+/// Measures one shard count, best-of-`reps` on wall clock and critical
+/// path independently (both are minimum-noise estimates of the same
+/// deterministic event sequence).
+pub fn measure(cfg: &KernelBenchConfig, shards: usize, reps: u32) -> ShardPoint {
+    assert!(reps > 0);
+    let mut best_wall = f64::INFINITY;
+    let mut best_critical = f64::INFINITY;
+    let mut rounds = 0u64;
+    let mut events = 0u64;
+    let mut ratio = 0.0f64;
+    for rep in 0..reps {
+        let (ev, profile, local, cross) = run_once(cfg, shards);
+        if rep == 0 {
+            events = ev;
+            rounds = profile.rounds;
+            let total = local + cross;
+            ratio = if total == 0 {
+                0.0
+            } else {
+                cross as f64 / total as f64
+            };
+        } else {
+            assert_eq!(events, ev, "sharded kernel is not deterministic");
+        }
+        best_wall = best_wall.min(profile.wall_s);
+        best_critical = best_critical.min(profile.critical_path_s);
+    }
+    ShardPoint {
+        shards,
+        events,
+        rounds,
+        wall_s: best_wall,
+        critical_path_s: best_critical,
+        measured_events_per_sec: events as f64 / best_wall,
+        projected_events_per_sec: events as f64 / best_critical,
+        cross_shard_ratio: ratio,
+    }
+}
+
+/// Sweeps the configured shard counts and asserts the executed-event count
+/// is shard-count-independent — the determinism claim, checked on every
+/// bench run, not only in tests.
+pub fn suite(cfg: &ShardBenchConfig, reps: u32) -> Vec<ShardPoint> {
+    let points: Vec<ShardPoint> = cfg
+        .shard_counts
+        .iter()
+        .map(|&k| measure(&cfg.base, k, reps))
+        .collect();
+    for p in &points[1..] {
+        assert_eq!(
+            p.events, points[0].events,
+            "shard count changed the executed-event count ({} shards)",
+            p.shards
+        );
+    }
+    points
+}
+
+/// Projected speedup of `k` shards over one shard, `None` if either point
+/// is missing from the sweep.
+pub fn projected_speedup(points: &[ShardPoint], k: usize) -> Option<f64> {
+    let one = points.iter().find(|p| p.shards == 1)?;
+    let at_k = points.iter().find(|p| p.shards == k)?;
+    Some(at_k.projected_events_per_sec / one.projected_events_per_sec)
+}
+
+/// Renders the `sharded_kernel` JSON object body.
+pub fn render_json(points: &[ShardPoint]) -> String {
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut out = format!(
+        concat!(
+            "{{\n",
+            "    \"host_cores\": {},\n",
+            "    \"methodology\": \"serial execution with per-round per-shard timing; ",
+            "projected = events / critical path (per-round max shard time + serial ",
+            "coordinator time)\",\n",
+        ),
+        host_cores,
+    );
+    for p in points {
+        out.push_str(&format!(
+            concat!(
+                "    \"shards_{}\": {{\n",
+                "      \"events\": {},\n",
+                "      \"rounds\": {},\n",
+                "      \"wall_s\": {},\n",
+                "      \"critical_path_s\": {},\n",
+                "      \"measured_events_per_sec\": {},\n",
+                "      \"projected_events_per_sec\": {},\n",
+                "      \"cross_shard_ratio\": {}\n",
+                "    }},\n"
+            ),
+            p.shards,
+            p.events,
+            p.rounds,
+            json_f64(p.wall_s),
+            json_f64(p.critical_path_s),
+            json_f64(p.measured_events_per_sec),
+            json_f64(p.projected_events_per_sec),
+            json_f64(p.cross_shard_ratio),
+        ));
+    }
+    let speedup_4 = projected_speedup(points, 4).unwrap_or(f64::NAN);
+    let speedup_8 = projected_speedup(points, 8).unwrap_or(f64::NAN);
+    out.push_str(&format!(
+        concat!(
+            "    \"speedup_4x_projected\": {},\n",
+            "    \"efficiency_4x\": {},\n",
+            "    \"speedup_8x_projected\": {}\n",
+            "  }}"
+        ),
+        json_f64(speedup_4),
+        json_f64(speedup_4 / 4.0),
+        json_f64(speedup_8),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_sim::SimDuration;
+
+    fn tiny() -> ShardBenchConfig {
+        ShardBenchConfig {
+            base: KernelBenchConfig {
+                processes: 400,
+                groups: 2,
+                sim_time: SimDuration::from_secs(2),
+                ..KernelBenchConfig::paper()
+            },
+            shard_counts: &[1, 2, 4],
+        }
+    }
+
+    #[test]
+    fn sweep_is_shard_count_independent_and_crosses_shards() {
+        let points = suite(&tiny(), 1);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].events > 0);
+        assert_eq!(points[0].cross_shard_ratio, 0.0, "one shard cannot cross");
+        for p in &points[1..] {
+            assert!(
+                p.cross_shard_ratio > 0.3,
+                "round-robin placement with groups=2 should cross ~50%: {p:?}"
+            );
+        }
+        let s4 = projected_speedup(&points, 4).unwrap();
+        assert!(s4.is_finite() && s4 > 0.0);
+    }
+
+    #[test]
+    fn render_produces_parseable_json_with_gated_paths() {
+        let points = suite(&tiny(), 1);
+        let doc = format!("{{\n  \"sharded_kernel\": {}\n}}", render_json(&points));
+        let v = crate::json::parse(&doc).expect("well-formed");
+        for path in [
+            "sharded_kernel.host_cores",
+            "sharded_kernel.shards_1.projected_events_per_sec",
+            "sharded_kernel.shards_4.cross_shard_ratio",
+            "sharded_kernel.speedup_4x_projected",
+        ] {
+            assert!(v.get(path).is_some(), "missing {path}");
+        }
+    }
+}

@@ -81,13 +81,15 @@ fn measure_encode<T: Encode>(name: &'static str, reps: u32, iters: u64, msg: &T)
     let mut best_ns = f64::INFINITY;
     let mut allocs_per_msg = None;
     for _ in 0..reps {
-        let allocs_before = crate::alloc_count::snapshot();
+        // Per-thread delta: concurrent threads (e.g. other shards of the
+        // sharded kernel) must not pollute this thread's 0-alloc gate.
+        let allocs_before = crate::alloc_count::thread_snapshot();
         let t0 = std::time::Instant::now();
         for _ in 0..iters {
             std::hint::black_box(buf.encode(std::hint::black_box(msg)));
         }
         let dt = t0.elapsed().as_secs_f64();
-        let allocs = crate::alloc_count::snapshot() - allocs_before;
+        let allocs = crate::alloc_count::thread_snapshot() - allocs_before;
         let ns = dt * 1e9 / iters as f64;
         if ns < best_ns {
             best_ns = ns;

@@ -1,8 +1,9 @@
 //! Chaos explorer CLI.
 //!
 //! ```text
-//! chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--out FILE]
-//! chaos replay <token>
+//! chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] [--out FILE]
+//! chaos replay <token> [--shards K]
+//! chaos crosscheck [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K]
 //! ```
 //!
 //! `explore` generates N scripts from the seed, runs each in a fresh
@@ -10,20 +11,31 @@
 //! violation it shrinks the script to a minimal repro, prints both replay
 //! tokens, writes the shrunk token to `--out` (default `CHAOS_REPRO.txt`,
 //! gitignored) and exits 1 — so a CI failure line carries everything
-//! needed to reproduce locally.
+//! needed to reproduce locally. `--shards K` runs (and shrinks) every
+//! script on the sharded kernel instead of the single kernel.
 //!
 //! `replay` parses a token and re-executes it bit-identically, printing
-//! the report and trace fingerprint.
+//! the report and trace fingerprint (`--shards K` replays on the sharded
+//! kernel).
+//!
+//! `crosscheck` runs each generated script twice on the sharded kernel —
+//! once with 1 shard, once with `--shards` (default 4) — and asserts the
+//! two [`RunReport`]s, trace fingerprints included, are bit-identical.
+//! This is the CI guard for the sharded kernel's determinism-in-the-
+//! shard-count contract on full protocol stacks.
 
 use std::process::ExitCode;
 
-use fuse_harness::chaos::{explore, parse_token, run_script, ExploreParams, RunReport};
+use fuse_harness::chaos::{
+    explore, parse_token, run_script, run_script_sharded, ExploreParams, RunReport,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--out FILE]\n  \
-         chaos replay <token>"
+         chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] [--out FILE]\n  \
+         chaos replay <token> [--shards K]\n  \
+         chaos crosscheck [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K]"
     );
     ExitCode::from(2)
 }
@@ -33,6 +45,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("explore") => cmd_explore(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("crosscheck") => cmd_crosscheck(&args[1..]),
         _ => usage(),
     }
 }
@@ -56,6 +69,7 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut n = 24usize;
     let mut group: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut out = String::from("CHAOS_REPRO.txt");
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -83,6 +97,10 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                 Some(v) => group = Some(v),
                 None => return usage(),
             },
+            "--shards" => match val("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => shards = Some(v),
+                _ => return usage(),
+            },
             "--out" => match val("--out") {
                 Some(v) => out = v,
                 None => return usage(),
@@ -94,9 +112,16 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut params = ExploreParams::new(seed, scripts);
     params.n = n;
     params.group_size = group;
+    params.shards = shards;
     println!(
-        "chaos explore: {} scripts, base seed {}, {}-node worlds",
-        scripts, seed, n
+        "chaos explore: {} scripts, base seed {}, {}-node worlds{}",
+        scripts,
+        seed,
+        n,
+        match shards {
+            Some(k) => format!(", sharded kernel ({k} shards)"),
+            None => String::new(),
+        }
     );
     let mut ran = 0usize;
     match explore(&params, |i, r| {
@@ -142,6 +167,17 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     let Some(token) = args.first() else {
         return usage();
     };
+    let mut shards: Option<usize> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => shards = Some(v),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
     let (cfg, script) = match parse_token(token) {
         Ok(v) => v,
         Err(e) => {
@@ -150,19 +186,111 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "chaos replay: seed={} n={} gs={} phases={}",
+        "chaos replay: seed={} n={} gs={} phases={}{}",
         cfg.seed,
         cfg.n,
         cfg.group_size,
-        script.phases.len()
+        script.phases.len(),
+        match shards {
+            Some(k) => format!(" shards={k}"),
+            None => String::new(),
+        }
     );
-    let report = run_script(&cfg, &script);
+    let report = match shards {
+        Some(k) => run_script_sharded(&cfg, &script, k),
+        None => run_script(&cfg, &script),
+    };
     print_report(&report);
     if report.violations.is_empty() {
         println!("replay: all invariants held");
         ExitCode::SUCCESS
     } else {
         println!("replay: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_crosscheck(args: &[String]) -> ExitCode {
+    let mut scripts = 12usize;
+    let mut seed = 1u64;
+    let mut n = 24usize;
+    let mut group: Option<usize> = None;
+    let mut shards = 4usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        match a.as_str() {
+            "--scripts" => match val("--scripts").and_then(|v| v.parse().ok()) {
+                Some(v) => scripts = v,
+                None => return usage(),
+            },
+            "--seed" => match val("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--n" => match val("--n").and_then(|v| v.parse().ok()) {
+                Some(v) => n = v,
+                None => return usage(),
+            },
+            "--group" => match val("--group").and_then(|v| v.parse().ok()) {
+                Some(v) => group = Some(v),
+                None => return usage(),
+            },
+            "--shards" => match val("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 2 => shards = v,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let mut params = ExploreParams::new(seed, scripts);
+    params.n = n;
+    params.group_size = group;
+    println!(
+        "chaos crosscheck: {scripts} scripts, base seed {seed}, {n}-node worlds, \
+         sharded kernel at 1 vs {shards} shards"
+    );
+    let mut mismatches = 0usize;
+    for i in 0..scripts {
+        let cfg = params.config_for(i);
+        let script = params.script_for(i);
+        let single = run_script_sharded(&cfg, &script, 1);
+        let multi = run_script_sharded(&cfg, &script, shards);
+        if single == multi {
+            println!(
+                "  [{}/{}] ok  fingerprint={:016x} events={} burned={}",
+                i + 1,
+                scripts,
+                single.fingerprint,
+                single.events_executed,
+                single.burned
+            );
+        } else {
+            mismatches += 1;
+            println!(
+                "  [{}/{}] MISMATCH (1 shard vs {} shards)",
+                i + 1,
+                scripts,
+                shards
+            );
+            println!("  -- 1 shard:");
+            print_report(&single);
+            println!("  -- {shards} shards:");
+            print_report(&multi);
+        }
+    }
+    if mismatches == 0 {
+        println!("chaos crosscheck: {scripts} scripts bit-identical across shard counts");
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos crosscheck: {mismatches} mismatch(es)");
         ExitCode::FAILURE
     }
 }

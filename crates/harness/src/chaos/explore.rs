@@ -3,9 +3,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::chaos::runner::{run_script, ChaosConfig, RunReport};
+use crate::chaos::runner::{run_script, run_script_sharded, ChaosConfig, RunReport};
 use crate::chaos::script::ChaosScript;
-use crate::chaos::shrink::shrink;
+use crate::chaos::shrink::shrink_with;
 use crate::chaos::token::format_token;
 
 /// Exploration parameters.
@@ -21,6 +21,10 @@ pub struct ExploreParams {
     pub group_size: Option<usize>,
     /// Injected-regression knob forwarded into every run's config.
     pub member_repair_timeout_s: Option<u64>,
+    /// Run every script on the sharded kernel with this many shards
+    /// instead of the single kernel. Shrinking uses the same kernel, so a
+    /// sharded failure stays a sharded repro.
+    pub shards: Option<usize>,
 }
 
 impl ExploreParams {
@@ -32,6 +36,7 @@ impl ExploreParams {
             n: 24,
             group_size: None,
             member_repair_timeout_s: None,
+            shards: None,
         }
     }
 
@@ -75,16 +80,22 @@ pub fn explore(
     p: &ExploreParams,
     mut progress: impl FnMut(usize, &RunReport),
 ) -> Result<usize, Box<FailureCase>> {
+    let runner = |cfg: &ChaosConfig, script: &ChaosScript| -> RunReport {
+        match p.shards {
+            Some(k) => run_script_sharded(cfg, script, k),
+            None => run_script(cfg, script),
+        }
+    };
     for i in 0..p.scripts {
         let cfg = p.config_for(i);
         let script = p.script_for(i);
-        let report = run_script(&cfg, &script);
+        let report = runner(&cfg, &script);
         if report.violations.is_empty() {
             progress(i, &report);
             continue;
         }
         let token = format_token(&cfg, &script);
-        let (shrunk, shrunk_report) = shrink(&cfg, &script);
+        let (shrunk, shrunk_report) = shrink_with(&cfg, &script, runner);
         let shrunk_token = format_token(&cfg, &shrunk);
         return Err(Box::new(FailureCase {
             index: i,

@@ -29,7 +29,7 @@ pub mod token;
 
 pub use explore::{explore, ExploreParams, FailureCase};
 pub use invariant::{standard_invariants, Invariant, RunContext, Violation};
-pub use runner::{group_members, run_script, ChaosConfig, RunReport};
+pub use runner::{group_members, run_script, run_script_sharded, ChaosConfig, RunReport};
 pub use script::{ChaosOp, ChaosScript, MsgClass, Phase};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_with};
 pub use token::{format_token, parse_token};

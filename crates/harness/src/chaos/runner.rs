@@ -13,7 +13,9 @@ use fuse_util::DetHashSet;
 
 use crate::chaos::invariant::{standard_invariants, RunContext, Violation};
 use crate::chaos::script::{ChaosOp, ChaosScript};
-use crate::world::{World, WorldParams};
+use crate::world::{
+    create_group_blocking_on, ChaosHost, ChaosObservable, ShardedWorld, World, WorldParams,
+};
 
 /// Parameters of one chaos run. Everything that shapes the trace lives
 /// here, so a replay token can carry it.
@@ -163,8 +165,35 @@ fn desugar(script: &ChaosScript) -> Vec<(SimDuration, RtOp)> {
     ops
 }
 
-/// Runs `script` against a fresh world and checks the standard invariants.
+/// Runs `script` against a fresh single-kernel world and checks the
+/// standard invariants.
 pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
+    let params = cfg.world_params();
+    let world = World::build(&params);
+    run_script_on(cfg, script, world, &params)
+}
+
+/// Runs `script` against a fresh world over the sharded kernel with
+/// `shards` shards. The sharded kernel is deterministic in the shard
+/// count, so this produces a [`RunReport`] bit-identical to
+/// `run_script_sharded(cfg, script, 1)` for any `shards` — the property
+/// the CI cross-check asserts. (It is *not* identical to [`run_script`]:
+/// the single kernel draws jitter from one global RNG, the sharded kernel
+/// from per-process RNGs.)
+pub fn run_script_sharded(cfg: &ChaosConfig, script: &ChaosScript, shards: usize) -> RunReport {
+    let params = cfg.world_params();
+    let world = ShardedWorld::build(&params, shards);
+    run_script_on(cfg, script, world, &params)
+}
+
+/// Runs `script` on any [`ChaosHost`] world and checks the standard
+/// invariants.
+fn run_script_on<W: ChaosHost>(
+    cfg: &ChaosConfig,
+    script: &ChaosScript,
+    mut world: W,
+    params: &WorldParams,
+) -> RunReport {
     // Reject scripts naming slots outside the group up front: silently
     // folding them onto other victims (modulo) would run a different
     // scenario than the script says — the exact bias class the ported
@@ -191,9 +220,8 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
         }
     }
 
-    let params = cfg.world_params();
-    let mut world = World::build(&params);
-    world.run(SimDuration::from_secs(2));
+    let settle = world.now() + SimDuration::from_secs(2);
+    world.run_to(settle);
 
     let members = group_members(cfg.n, cfg.group_size);
     let root: ProcId = 0;
@@ -201,7 +229,7 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
     participants.extend(members.iter().copied());
     let slot_proc = |slot: u8| -> ProcId { participants[slot as usize] };
 
-    let (created, _latency) = world.create_group_blocking(root, &members);
+    let (created, _latency) = create_group_blocking_on(&mut world, root, &members);
     let id: FuseId = match created {
         Ok(h) => h.id,
         Err(e) => {
@@ -214,7 +242,7 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
                 }],
                 fingerprint: 0,
                 burned: false,
-                events_executed: world.sim.events_executed(),
+                events_executed: world.events_executed(),
                 end: world.now(),
                 notified: Vec::new(),
             };
@@ -228,35 +256,34 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
     let mut t_last = t0;
     for &(at, op) in &ops {
         let when = t0 + at;
-        world.sim.run_until(when);
+        world.run_to(when);
         t_last = t_last.max(when);
         match op {
-            RtOp::GlobalLoss(rate) => world.sim.medium_mut().set_per_link_loss(rate),
+            RtOp::GlobalLoss(rate) => world.set_global_loss(rate),
             RtOp::Op(op) => match op {
                 ChaosOp::Crash { slot } => {
                     let p = slot_proc(slot);
-                    if world.sim.is_up(p) {
-                        world.sim.crash(p);
+                    if world.is_up(p) {
+                        world.crash(p);
                         ever_crashed.insert(p);
                     }
                 }
                 ChaosOp::Restart { slot } => {
                     let p = slot_proc(slot);
-                    world.restart_node(p, &params);
+                    world.restart_node(p, params);
                 }
                 ChaosOp::Disconnect { slot } => {
                     let p = slot_proc(slot);
-                    world.sim.medium_mut().fault_mut().disconnect(p);
+                    world.with_fault(|f| f.disconnect(p));
                 }
                 ChaosOp::Reconnect { slot } => {
                     let p = slot_proc(slot);
-                    world.sim.medium_mut().fault_mut().reconnect(p);
+                    world.with_fault(|f| f.reconnect(p));
                 }
                 ChaosOp::Signal { slot } => {
                     let p = slot_proc(slot);
                     let applied = world
-                        .sim
-                        .with_proc(p, |stack, ctx| {
+                        .with_stack(p, |stack, ctx| {
                             stack.with_api(ctx, |api, _| api.signal_failure(id))
                         })
                         .is_some();
@@ -264,42 +291,36 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
                 }
                 ChaosOp::PartitionOff { slot } => {
                     let p = slot_proc(slot);
-                    world.sim.medium_mut().fault_mut().set_partition(p, 1);
+                    world.with_fault(|f| f.set_partition(p, 1));
                 }
                 ChaosOp::PartitionHalf { pct } => {
                     let pivot = cfg.n * usize::from(pct.min(100)) / 100;
-                    for p in pivot..cfg.n {
-                        world
-                            .sim
-                            .medium_mut()
-                            .fault_mut()
-                            .set_partition(p as ProcId, 1);
-                    }
+                    world.with_fault(|f| {
+                        for p in pivot..cfg.n {
+                            f.set_partition(p as ProcId, 1);
+                        }
+                    });
                 }
                 ChaosOp::HealPartitions => {
-                    world.sim.medium_mut().fault_mut().heal_partitions();
+                    world.with_fault(|f| f.heal_partitions());
                 }
                 ChaosOp::Blackhole { from, to } => {
                     let (a, b) = (slot_proc(from), slot_proc(to));
-                    world.sim.medium_mut().fault_mut().add_blackhole(a, b);
+                    world.with_fault(|f| f.add_blackhole(a, b));
                 }
                 ChaosOp::ClearBlackhole { from, to } => {
                     let (a, b) = (slot_proc(from), slot_proc(to));
-                    world.sim.medium_mut().fault_mut().clear_blackhole(a, b);
+                    world.with_fault(|f| f.clear_blackhole(a, b));
                 }
                 ChaosOp::LinkLoss { from, to, pct } => {
                     let (a, b) = (slot_proc(from), slot_proc(to));
-                    world.sim.medium_mut().fault_mut().set_link_loss(
-                        a,
-                        b,
-                        f64::from(pct.min(99)) / 100.0,
-                    );
+                    world.with_fault(|f| f.set_link_loss(a, b, f64::from(pct.min(99)) / 100.0));
                 }
                 ChaosOp::AdversaryDrop { class } => {
-                    world.sim.medium_mut().fault_mut().drop_class(class.label());
+                    world.with_fault(|f| f.drop_class(class.label()));
                 }
                 ChaosOp::AdversaryClear => {
-                    world.sim.medium_mut().fault_mut().clear_class_drops();
+                    world.with_fault(|f| f.clear_class_drops());
                 }
                 ChaosOp::Churn { .. } | ChaosOp::LossRamp { .. } => {
                     unreachable!("desugared before execution")
@@ -313,7 +334,7 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
     // another participant, or an explicit signal. Transient faults (healed
     // blackholes, loss) may or may not burn — for those, observation
     // decides.
-    let fault = world.sim.medium().fault();
+    let fault = world.fault();
     // Root is itself a participant, so any participant in a different cell
     // than the root means some participant pair is split.
     let cross_partitioned = participants
@@ -330,12 +351,10 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
         .filter(|p| !ever_crashed.contains(p))
         .collect();
     let deadline = t_last + cfg.detection_budget;
-    world.run_until(deadline, |sim| {
-        required.iter().all(|&p| {
-            sim.proc(p)
-                .map(|s| !s.app.failures(id).is_empty())
-                .unwrap_or(true)
-        })
+    world.run_until_pred(deadline, |w| {
+        required
+            .iter()
+            .all(|&p| !w.is_up(p) || !w.failures(p, id).is_empty())
     });
     let observed_burn = required.iter().any(|&p| !world.failures(p, id).is_empty());
     let burned = expect_burn || observed_burn;
@@ -343,9 +362,8 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
     if burned {
         // Quiesce: burned-group state must drain from every live node.
         let grace_end = world.now() + cfg.orphan_grace;
-        world.run_until(grace_end, |sim| {
-            (0..sim.process_count() as ProcId)
-                .all(|p| sim.proc(p).map(|s| !s.fuse.knows_group(id)).unwrap_or(true))
+        world.run_until_pred(grace_end, |w| {
+            (0..w.n_nodes() as ProcId).all(|p| !w.knows_group(p, id))
         });
     }
 
@@ -371,7 +389,7 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
         violations,
         fingerprint,
         burned,
-        events_executed: world.sim.events_executed(),
+        events_executed: world.events_executed(),
         end: world.now(),
         notified,
     }
@@ -380,7 +398,7 @@ pub fn run_script(cfg: &ChaosConfig, script: &ChaosScript) -> RunReport {
 /// FNV-1a fold over the run's observable trace: every node's notification
 /// sequence (instant, reason, role, seq), the kernel event count and the
 /// final clock. Two runs of the same token must produce the same value.
-fn fingerprint(world: &World, id: FuseId, burned: bool) -> u64 {
+fn fingerprint(world: &dyn ChaosObservable, id: FuseId, burned: bool) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x1_0000_0000_01b3;
     let mut h = OFFSET;
@@ -390,7 +408,7 @@ fn fingerprint(world: &World, id: FuseId, burned: bool) -> u64 {
             h = h.wrapping_mul(PRIME);
         }
     };
-    for p in 0..world.infos.len() as ProcId {
+    for p in 0..world.n_nodes() as ProcId {
         for (t, n) in world.notifications(p, id) {
             fold(u64::from(p));
             fold(t.nanos());
@@ -401,7 +419,7 @@ fn fingerprint(world: &World, id: FuseId, burned: bool) -> u64 {
             fold(n.seq);
         }
     }
-    fold(world.sim.events_executed());
+    fold(world.events_executed());
     fold(world.now().nanos());
     fold(u64::from(burned));
     h

@@ -93,20 +93,20 @@ impl<P: Process, Md, S> Ord for HeapEntry<P, Md, S> {
 /// Generations catch (programming) errors where a stale index would
 /// resurrect a consumed slot. Used for in-flight message payloads and for
 /// parked restart states.
-struct Slab<T> {
+pub(crate) struct Slab<T> {
     slots: Vec<(u32, Option<T>)>,
     free: Vec<u32>,
 }
 
 impl<T> Slab<T> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Slab {
             slots: Vec::new(),
             free: Vec::new(),
         }
     }
 
-    fn insert(&mut self, value: T) -> (u32, u32) {
+    pub(crate) fn insert(&mut self, value: T) -> (u32, u32) {
         if let Some(idx) = self.free.pop() {
             let slot = &mut self.slots[idx as usize];
             slot.0 = slot.0.wrapping_add(1);
@@ -120,7 +120,7 @@ impl<T> Slab<T> {
         }
     }
 
-    fn take(&mut self, idx: u32, gen: u32) -> T {
+    pub(crate) fn take(&mut self, idx: u32, gen: u32) -> T {
         let slot = &mut self.slots[idx as usize];
         assert_eq!(slot.0, gen, "stale slab reference");
         let payload = slot.1.take().expect("slab slot consumed twice");
@@ -407,7 +407,7 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
     ///
     /// [`step`]: Sim::step
     fn step_through(&mut self, t: SimTime) -> bool {
-        let Some((at, _seq, from_wheel)) = self.next_front() else {
+        let Some((at, seq, from_wheel)) = self.next_front() else {
             return false;
         };
         if at > t {
@@ -416,6 +416,7 @@ impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Sim<P, Md, S> {
         debug_assert!(at >= self.clock, "time went backwards");
         self.clock = at;
         self.events_executed += 1;
+        self.trace.on_event(at, seq);
         if from_wheel {
             let WheelEntry { token, .. } = self.wheel.pop().expect("peeked wheel entry exists");
             match token {

@@ -1,0 +1,1207 @@
+//! The sharded kernel: conservative parallel discrete-event simulation
+//! with a trace that is bit-identical for every shard count.
+//!
+//! Processes are partitioned across shards by [`ShardMap`]; each shard owns
+//! its own [`TimingWheel`], message slab, timer tables and per-process RNGs,
+//! plus a full replica of the medium. Shards execute *windows* bounded by
+//! conservative lookahead horizons (see [`crate::sync`]); cross-shard sends
+//! travel through per-pair outbox queues drained at round barriers.
+//!
+//! # Determinism contract
+//!
+//! For a fixed `(seed, script)`, every shard count produces the same
+//! observable run: identical per-process final states, identical event
+//! counts, and per-shard traces that merge into one identical stream when
+//! sorted by `(time, canonical key)`. Two design choices make this hold:
+//!
+//! * **Per-process RNGs.** The single-kernel [`Sim`](crate::Sim) draws all
+//!   randomness from one global RNG, whose draw order depends on event
+//!   interleaving — meaningless across shards. Here every process owns an
+//!   RNG seeded from `(seed, id)`, and a message's fate is drawn from the
+//!   *sender's* RNG. (This is also why a sharded run is not bit-identical
+//!   to [`Sim`](crate::Sim) — only to itself at other shard counts.)
+//! * **Canonical keys.** Every scheduled event is keyed by
+//!   `(origin, per-origin counter)` ([`crate::sync::canon_key`]); a
+//!   process's handler executions are totally ordered regardless of
+//!   sharding, so keys are shard-count independent.
+//!
+//! Scripted control operations (crash / restart / scheduled calls) live in
+//! a kernel-level queue keyed by [`CTRL_ORIGIN`] and execute only once
+//! every shard has drained past their instant — after all process events
+//! at an equal instant, before anything later.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kernel::Slab;
+use crate::medium::{Medium, Verdict};
+use crate::process::{Action, Ctx, Payload, ProcId, Process};
+use crate::sync::{canon_key, Lookahead, ShardMap, ShardMedium, CTRL_ORIGIN};
+use crate::time::{SimDuration, SimTime};
+use crate::timer::{TimerHandle, TimerTable};
+use crate::trace::{NullTrace, TraceSink};
+use crate::wheel::{TimingWheel, WheelEntry};
+
+const INF: SimTime = SimTime(u64::MAX);
+
+/// Wheel token of one shard: timer expiries, parked-payload deliveries and
+/// link-break notices (all three live in the wheel here — the sharded
+/// kernel has no residual heap; scripted operations are kernel-level).
+enum Token {
+    Timer(TimerHandle),
+    Deliver { idx: u32, gen: u32 },
+    LinkBroken { proc: ProcId, peer: ProcId },
+}
+
+/// A cross-shard delivery queued in the sender's outbox until the round
+/// barrier. Carries its canonical key so the receiving wheel interleaves
+/// it exactly where a single-shard run would.
+struct CrossMsg<M> {
+    at: SimTime,
+    key: u64,
+    from: ProcId,
+    to: ProcId,
+    msg: M,
+}
+
+struct LocalSlot<P: Process> {
+    proc: Option<P>,
+    timers: TimerTable<P::Timer>,
+    /// Per-process RNG: all randomness this process's handlers (and the
+    /// medium, for its sends) consume. Seeded from `(kernel seed, id)`.
+    rng: StdRng,
+    /// Next canonical-key counter for events this process schedules.
+    next_key: u64,
+}
+
+/// One shard: a self-contained event loop over its owned processes.
+struct Shard<P: Process, Md, S> {
+    wheel: TimingWheel<Token>,
+    msgs: Slab<(ProcId, ProcId, P::Msg)>,
+    slots: Vec<LocalSlot<P>>,
+    medium: Md,
+    trace: S,
+    /// Outgoing cross-shard messages, one queue per destination shard
+    /// (single producer — this shard; single consumer — the barrier
+    /// drain). Capacity is recycled across rounds.
+    outbox: Vec<Vec<CrossMsg<P::Msg>>>,
+    events_executed: u64,
+    local_sends: u64,
+    cross_sends: u64,
+    scratch_actions: Vec<Action<P::Msg>>,
+    scratch_timers: Vec<(TimerHandle, SimTime)>,
+}
+
+impl<P: Process, Md: Medium, S: TraceSink<P::Msg>> Shard<P, Md, S> {
+    fn new(shards: usize, medium: Md, trace: S) -> Self {
+        Shard {
+            wheel: TimingWheel::new(),
+            msgs: Slab::new(),
+            slots: Vec::new(),
+            medium,
+            trace,
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            events_executed: 0,
+            local_sends: 0,
+            cross_sends: 0,
+            scratch_actions: Vec::new(),
+            scratch_timers: Vec::new(),
+        }
+    }
+
+    /// Earliest pending event time, or [`INF`] when idle.
+    fn next_time(&mut self) -> SimTime {
+        self.wheel.peek().map(|(at, _)| at).unwrap_or(INF)
+    }
+
+    /// Runs a handler for `id` at `now` and flushes its effects with
+    /// canonical keys. Returns whether the process was alive.
+    fn dispatch(
+        &mut self,
+        map: &ShardMap,
+        me: usize,
+        id: ProcId,
+        now: SimTime,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>),
+    ) -> bool {
+        let local = map.local_of(id);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let mut new_timers = std::mem::take(&mut self.scratch_timers);
+        let ran = {
+            let slot = match self.slots.get_mut(local) {
+                Some(s) => s,
+                None => return false,
+            };
+            let LocalSlot {
+                proc, timers, rng, ..
+            } = slot;
+            match proc.as_mut() {
+                Some(p) => {
+                    let mut ctx = Ctx {
+                        now,
+                        self_id: id,
+                        rng,
+                        timers,
+                        actions: &mut actions,
+                        new_timers: &mut new_timers,
+                    };
+                    f(p, &mut ctx);
+                    true
+                }
+                None => false,
+            }
+        };
+        // Timers before sends: the flush order fixes the canonical key
+        // order, and it must be one fixed order for every shard count.
+        let Shard {
+            wheel,
+            msgs,
+            slots,
+            medium,
+            trace,
+            outbox,
+            local_sends,
+            cross_sends,
+            ..
+        } = self;
+        let slot = &mut slots[local];
+        for (handle, at) in new_timers.drain(..) {
+            let key = canon_key(id, slot.next_key);
+            slot.next_key += 1;
+            wheel.insert(WheelEntry {
+                at,
+                seq: key,
+                token: Token::Timer(handle),
+            });
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => {
+                    let size = msg.size_bytes();
+                    let class = msg.class();
+                    let verdict = medium.unicast(now, &mut slot.rng, id, to, size, class);
+                    trace.on_send(now, id, to, &msg, size, &verdict);
+                    match verdict {
+                        Verdict::Deliver { at } => {
+                            debug_assert!(at >= now);
+                            let key = canon_key(id, slot.next_key);
+                            slot.next_key += 1;
+                            let dest = map.shard_of(to);
+                            if dest == me {
+                                *local_sends += 1;
+                                let (idx, gen) = msgs.insert((id, to, msg));
+                                wheel.insert(WheelEntry {
+                                    at,
+                                    seq: key,
+                                    token: Token::Deliver { idx, gen },
+                                });
+                            } else {
+                                *cross_sends += 1;
+                                outbox[dest].push(CrossMsg {
+                                    at,
+                                    key,
+                                    from: id,
+                                    to,
+                                    msg,
+                                });
+                            }
+                        }
+                        Verdict::Break { sender_notice } => {
+                            let key = canon_key(id, slot.next_key);
+                            slot.next_key += 1;
+                            wheel.insert(WheelEntry {
+                                at: sender_notice,
+                                seq: key,
+                                token: Token::LinkBroken { proc: id, peer: to },
+                            });
+                        }
+                        Verdict::Drop => {}
+                    }
+                }
+            }
+        }
+        self.scratch_actions = actions;
+        self.scratch_timers = new_timers;
+        ran
+    }
+
+    /// Pops and executes the front event (caller has checked it is due).
+    fn pop_execute(&mut self, map: &ShardMap, me: usize) {
+        let WheelEntry { at, seq, token } = self.wheel.pop().expect("caller peeked front");
+        self.events_executed += 1;
+        self.trace.on_event(at, seq);
+        match token {
+            Token::Timer(h) => {
+                let slot = &mut self.slots[map.local_of(h.proc)];
+                if slot.proc.is_none() {
+                    return;
+                }
+                if let Some(tag) = slot.timers.fire(h) {
+                    self.dispatch(map, me, h.proc, at, |p, ctx| p.on_timer(ctx, tag));
+                }
+            }
+            Token::Deliver { idx, gen } => {
+                let (from, to, msg) = self.msgs.take(idx, gen);
+                let alive = self.slots[map.local_of(to)].proc.is_some();
+                if alive {
+                    self.trace.on_deliver(at, from, to, &msg);
+                    self.dispatch(map, me, to, at, |p, ctx| p.on_message(ctx, from, msg));
+                }
+            }
+            Token::LinkBroken { proc, peer } => {
+                self.dispatch(map, me, proc, at, |p, ctx| p.on_link_broken(ctx, peer));
+            }
+        }
+    }
+
+    /// Executes every event due at or before `bound` (inclusive), in
+    /// `(time, key)` order — including events the window itself schedules
+    /// inside the bound.
+    fn run_window(&mut self, map: &ShardMap, me: usize, bound: SimTime) {
+        while matches!(self.wheel.peek(), Some((at, _)) if at <= bound) {
+            self.pop_execute(map, me);
+        }
+    }
+}
+
+/// Kernel-level scripted operation (the sharded analogue of the residual
+/// heap in [`Sim`](crate::Sim)).
+enum CtrlOp<P: Process, Md, S> {
+    Crash(ProcId),
+    Restart { id: ProcId, idx: u32, gen: u32 },
+    Call(Box<dyn FnOnce(&mut ShardedSim<P, Md, S>)>),
+}
+
+struct CtrlEntry<P: Process, Md, S> {
+    at: SimTime,
+    seq: u64,
+    op: CtrlOp<P, Md, S>,
+}
+
+impl<P: Process, Md, S> PartialEq for CtrlEntry<P, Md, S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<P: Process, Md, S> Eq for CtrlEntry<P, Md, S> {}
+
+impl<P: Process, Md, S> PartialOrd for CtrlEntry<P, Md, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: Process, Md, S> Ord for CtrlEntry<P, Md, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for the max-heap: earliest (time, seq) first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Wall-clock profile of one windowed run, for scaling benchmarks.
+///
+/// `critical_path_s` models the run's cost on one core per shard: per
+/// round, the slowest shard's window (the other windows would overlap it),
+/// plus every serially-executed coordinator cost (horizon computation,
+/// outbox drains, control ops) in full. On a single-core host this is the
+/// honest projection of multi-core scaling — the windows really are
+/// independent — while `wall_s` reports what this host actually spent.
+#[derive(Debug, Clone, Default)]
+pub struct RunProfile {
+    /// Window rounds executed.
+    pub rounds: u64,
+    /// Total wall-clock seconds of the run (all shards executed serially).
+    pub wall_s: f64,
+    /// Sum over rounds of the slowest shard's window time, plus all
+    /// coordinator time (`wall_s` minus every shard's window time).
+    pub critical_path_s: f64,
+    /// Per-shard total window execution seconds.
+    pub busy_s: Vec<f64>,
+}
+
+/// The sharded simulation world. Mirrors the scripting surface of
+/// [`Sim`](crate::Sim) (processes, crash/restart, scheduled operations,
+/// run loops) over `k` conservative-lookahead shards.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_sim::{PerfectMedium, Payload, Process, ProcId, ShardedSim, SimDuration};
+///
+/// #[derive(Clone)]
+/// struct Hello;
+/// impl Payload for Hello {
+///     fn size_bytes(&self) -> usize { 5 }
+/// }
+///
+/// struct Greeter { got: u32 }
+/// impl Process for Greeter {
+///     type Msg = Hello;
+///     type Timer = ();
+///     fn on_boot(&mut self, ctx: &mut fuse_sim::process::Ctx<'_, Hello, ()>) {
+///         if ctx.self_id == 0 { ctx.send(1, Hello); }
+///     }
+///     fn on_message(&mut self, _ctx: &mut fuse_sim::process::Ctx<'_, Hello, ()>, _from: ProcId, _m: Hello) {
+///         self.got += 1;
+///     }
+///     fn on_timer(&mut self, _ctx: &mut fuse_sim::process::Ctx<'_, Hello, ()>, _t: ()) {}
+/// }
+///
+/// let medium = PerfectMedium::new(SimDuration::from_millis(10));
+/// let mut sim = ShardedSim::new(42, 2, medium);
+/// sim.add_process(Greeter { got: 0 });
+/// sim.add_process(Greeter { got: 0 });
+/// sim.run_for(SimDuration::from_secs(1));
+/// assert_eq!(sim.proc(1).unwrap().got, 1);
+/// ```
+pub struct ShardedSim<P: Process, Md, S = NullTrace> {
+    clock: SimTime,
+    map: ShardMap,
+    lookahead: Lookahead,
+    shards: Vec<Shard<P, Md, S>>,
+    ctrl: BinaryHeap<CtrlEntry<P, Md, S>>,
+    ctrl_seq: u64,
+    ctrl_executed: u64,
+    restarts: Slab<P>,
+    seed: u64,
+    n_procs: u32,
+    // Scratch for the window loop (per-shard next times and effective
+    // event-availability bounds), recycled across rounds.
+    scratch_next: Vec<SimTime>,
+    scratch_avail: Vec<SimTime>,
+}
+
+impl<P: Process, Md: ShardMedium> ShardedSim<P, Md, NullTrace> {
+    /// Creates a sharded simulation with the default (no-op) trace sinks.
+    pub fn new(seed: u64, shards: usize, medium: Md) -> Self {
+        ShardedSim::with_trace(seed, shards, medium, |_| NullTrace)
+    }
+}
+
+impl<P: Process, Md: ShardMedium, S: TraceSink<P::Msg>> ShardedSim<P, Md, S> {
+    /// Creates a sharded simulation with one trace sink per shard,
+    /// produced by `trace(shard_index)`.
+    pub fn with_trace(
+        seed: u64,
+        shards: usize,
+        medium: Md,
+        mut trace: impl FnMut(usize) -> S,
+    ) -> Self {
+        let map = ShardMap::new(shards);
+        let lookahead = Lookahead::new(shards, medium.shard_lookahead(&map));
+        let replicas = medium.replicate(shards);
+        assert_eq!(
+            replicas.len(),
+            shards,
+            "replicate() must yield one medium per shard"
+        );
+        let shards_vec: Vec<Shard<P, Md, S>> = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Shard::new(shards, m, trace(i)))
+            .collect();
+        ShardedSim {
+            clock: SimTime::ZERO,
+            map,
+            lookahead,
+            shards: shards_vec,
+            ctrl: BinaryHeap::new(),
+            ctrl_seq: 0,
+            ctrl_executed: 0,
+            restarts: Slab::new(),
+            seed,
+            n_procs: 0,
+            scratch_next: vec![INF; shards],
+            scratch_avail: vec![INF; shards],
+        }
+    }
+
+    fn proc_rng(seed: u64, id: ProcId) -> StdRng {
+        // Injective id -> stream mapping; seed_from_u64 runs SplitMix to
+        // decorrelate neighbouring streams.
+        StdRng::seed_from_u64(seed ^ (u64::from(id) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next canonical control key; synchronous script entry points consume
+    /// these too, so every observable operation has a shard-count
+    /// independent key.
+    fn next_ctrl_seq(&mut self) -> u64 {
+        self.ctrl_seq += 1;
+        self.ctrl_seq
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// Number of processes ever added (including crashed ones).
+    pub fn process_count(&self) -> usize {
+        self.n_procs as usize
+    }
+
+    /// Total events executed across all shards, plus fired control
+    /// operations. Identical for every shard count.
+    pub fn events_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_executed).sum::<u64>() + self.ctrl_executed
+    }
+
+    /// Events still queued (including lazily-cancelled timers) plus
+    /// pending control operations.
+    pub fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.wheel.len()).sum::<usize>() + self.ctrl.len()
+    }
+
+    /// `(same-shard, cross-shard)` delivered-send counts — the cross-shard
+    /// traffic ratio of the run so far.
+    pub fn send_stats(&self) -> (u64, u64) {
+        let local = self.shards.iter().map(|s| s.local_sends).sum();
+        let cross = self.shards.iter().map(|s| s.cross_sends).sum();
+        (local, cross)
+    }
+
+    /// Whether process `id` is currently alive.
+    pub fn is_up(&self, id: ProcId) -> bool {
+        self.shards[self.map.shard_of(id)]
+            .slots
+            .get(self.map.local_of(id))
+            .map(|s| s.proc.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Immutable view of a live process's state.
+    pub fn proc(&self, id: ProcId) -> Option<&P> {
+        self.shards[self.map.shard_of(id)]
+            .slots
+            .get(self.map.local_of(id))
+            .and_then(|s| s.proc.as_ref())
+    }
+
+    /// Shard `i`'s medium replica (read-only). The kernel keeps replicas'
+    /// *fault state* identical; per-replica caches and traffic counters
+    /// legitimately differ.
+    pub fn medium(&self, shard: usize) -> &Md {
+        &self.shards[shard].medium
+    }
+
+    /// Applies `f` to every shard's medium replica — the only way scripts
+    /// may mutate the medium. Broadcasting keeps replica fault state
+    /// identical, which the determinism contract depends on. Call it only
+    /// between run windows (every shard at a barrier).
+    pub fn with_mediums(&mut self, mut f: impl FnMut(&mut Md)) {
+        for sh in &mut self.shards {
+            f(&mut sh.medium);
+        }
+    }
+
+    /// Shard `i`'s trace sink.
+    pub fn trace(&self, shard: usize) -> &S {
+        &self.shards[shard].trace
+    }
+
+    /// Every shard's trace sink, in shard order.
+    pub fn traces(&self) -> impl Iterator<Item = &S> {
+        self.shards.iter().map(|s| &s.trace)
+    }
+
+    /// Adds a process (assigned to shard `id % shards`), boots it, and
+    /// returns its id.
+    pub fn add_process(&mut self, p: P) -> ProcId {
+        let id = self.n_procs;
+        assert!(id < CTRL_ORIGIN, "process id space exhausted");
+        self.n_procs += 1;
+        let s = self.map.shard_of(id);
+        debug_assert_eq!(self.shards[s].slots.len(), self.map.local_of(id));
+        let rng = Self::proc_rng(self.seed, id);
+        self.shards[s].slots.push(LocalSlot {
+            proc: Some(p),
+            timers: TimerTable::new(),
+            rng,
+            next_key: 0,
+        });
+        for sh in &mut self.shards {
+            sh.medium.node_up(id);
+        }
+        let seq = self.next_ctrl_seq();
+        let clock = self.clock;
+        self.shards[s]
+            .trace
+            .on_event(clock, canon_key(CTRL_ORIGIN, seq));
+        self.shards[s].trace.on_lifecycle(clock, id, true);
+        self.shards[s].dispatch(&self.map, s, id, clock, |p, ctx| p.on_boot(ctx));
+        self.drain_outboxes();
+        id
+    }
+
+    /// Crashes process `id`: state dropped, timers cleared, every medium
+    /// replica informed. In-flight messages *to* the process are discarded
+    /// on arrival; messages it already sent still propagate.
+    pub fn crash(&mut self, id: ProcId) {
+        let seq = self.next_ctrl_seq();
+        self.crash_inner(id, seq);
+    }
+
+    fn crash_inner(&mut self, id: ProcId, seq: u64) {
+        let s = self.map.shard_of(id);
+        let slot = &mut self.shards[s].slots[self.map.local_of(id)];
+        if slot.proc.take().is_none() {
+            return;
+        }
+        slot.timers.clear();
+        for sh in &mut self.shards {
+            sh.medium.node_down(id);
+        }
+        let clock = self.clock;
+        self.shards[s]
+            .trace
+            .on_event(clock, canon_key(CTRL_ORIGIN, seq));
+        self.shards[s].trace.on_lifecycle(clock, id, false);
+    }
+
+    /// Restarts a crashed process with fresh state `p` (same id).
+    pub fn restart(&mut self, id: ProcId, p: P) {
+        let seq = self.next_ctrl_seq();
+        self.restart_inner(id, p, seq);
+        self.drain_outboxes();
+    }
+
+    fn restart_inner(&mut self, id: ProcId, p: P, seq: u64) {
+        let s = self.map.shard_of(id);
+        let slot = &mut self.shards[s].slots[self.map.local_of(id)];
+        assert!(slot.proc.is_none(), "restart of a live process");
+        slot.proc = Some(p);
+        for sh in &mut self.shards {
+            sh.medium.node_up(id);
+        }
+        let clock = self.clock;
+        self.shards[s]
+            .trace
+            .on_event(clock, canon_key(CTRL_ORIGIN, seq));
+        self.shards[s].trace.on_lifecycle(clock, id, true);
+        self.shards[s].dispatch(&self.map, s, id, clock, |p, ctx| p.on_boot(ctx));
+    }
+
+    /// Runs `f` against live process `id` with a full handler context; the
+    /// entry point for scripted API calls. Returns `None` if the process
+    /// is down.
+    pub fn with_proc<R>(
+        &mut self,
+        id: ProcId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>) -> R,
+    ) -> Option<R> {
+        let seq = self.next_ctrl_seq();
+        let s = self.map.shard_of(id);
+        let clock = self.clock;
+        self.shards[s]
+            .trace
+            .on_event(clock, canon_key(CTRL_ORIGIN, seq));
+        let mut out = None;
+        let ran = self.shards[s].dispatch(&self.map, s, id, clock, |p, ctx| {
+            out = Some(f(p, ctx));
+        });
+        self.drain_outboxes();
+        if ran {
+            out
+        } else {
+            None
+        }
+    }
+
+    /// Schedules a crash of process `id` at absolute time `at`; idempotent
+    /// at fire time, exactly like [`Sim::schedule_crash`](crate::Sim::schedule_crash).
+    pub fn schedule_crash(&mut self, at: SimTime, id: ProcId) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        let seq = self.next_ctrl_seq();
+        self.ctrl.push(CtrlEntry {
+            at,
+            seq,
+            op: CtrlOp::Crash(id),
+        });
+    }
+
+    /// Schedules a restart of process `id` with `state` at absolute time
+    /// `at`; dropped if the process is up at fire time (the parked state is
+    /// discarded), mirroring [`Sim::schedule_restart`](crate::Sim::schedule_restart).
+    pub fn schedule_restart(&mut self, at: SimTime, id: ProcId, state: P) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        let (idx, gen) = self.restarts.insert(state);
+        let seq = self.next_ctrl_seq();
+        self.ctrl.push(CtrlEntry {
+            at,
+            seq,
+            op: CtrlOp::Restart { id, idx, gen },
+        });
+    }
+
+    /// Schedules `f(&mut Self)` at absolute time `at` (the catch-all
+    /// scripting hook; boxes the closure).
+    pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut Self) + 'static) {
+        assert!(at >= self.clock, "cannot schedule in the past");
+        let seq = self.next_ctrl_seq();
+        self.ctrl.push(CtrlEntry {
+            at,
+            seq,
+            op: CtrlOp::Call(Box::new(f)),
+        });
+    }
+
+    fn exec_ctrl(&mut self, e: CtrlEntry<P, Md, S>) {
+        self.ctrl_executed += 1;
+        match e.op {
+            CtrlOp::Crash(id) => self.crash_inner(id, e.seq),
+            CtrlOp::Restart { id, idx, gen } => {
+                let state = self.restarts.take(idx, gen);
+                if !self.is_up(id) {
+                    self.restart_inner(id, state, e.seq);
+                }
+            }
+            CtrlOp::Call(f) => f(self),
+        }
+        self.drain_outboxes();
+    }
+
+    /// Moves queued cross-shard messages into their destination wheels.
+    /// Every arrival instant lies at or past the destination's horizon, so
+    /// draining at barriers never inserts into a window already executed.
+    fn drain_outboxes(&mut self) {
+        let k = self.shards.len();
+        for src in 0..k {
+            for dst in 0..k {
+                if src == dst || self.shards[src].outbox[dst].is_empty() {
+                    continue;
+                }
+                let mut q = std::mem::take(&mut self.shards[src].outbox[dst]);
+                for m in q.drain(..) {
+                    let (idx, gen) = self.shards[dst].msgs.insert((m.from, m.to, m.msg));
+                    self.shards[dst].wheel.insert(WheelEntry {
+                        at: m.at,
+                        seq: m.key,
+                        token: Token::Deliver { idx, gen },
+                    });
+                }
+                self.shards[src].outbox[dst] = q; // Recycle capacity.
+            }
+        }
+    }
+
+    /// Per-shard *event availability* bounds: the CMB fixpoint
+    /// `E_i = min(next_i, min_j (E_j + B(j, i)))` — the earliest instant at
+    /// which shard `i` could still come to execute an event, accounting for
+    /// messages relayed through any chain of shards. Computed by
+    /// Bellman-Ford relaxation (k is small); using raw `next_j` instead
+    /// would require the triangle inequality on the bound matrix, which
+    /// set-to-set latency bounds do not generally satisfy.
+    fn availability(&mut self) {
+        let k = self.shards.len();
+        for i in 0..k {
+            self.scratch_next[i] = self.shards[i].next_time();
+            self.scratch_avail[i] = self.scratch_next[i];
+        }
+        for _ in 1..k {
+            let mut changed = false;
+            for j in 0..k {
+                for i in 0..k {
+                    if i == j || self.scratch_avail[j] == INF {
+                        continue;
+                    }
+                    let via = SimTime(
+                        self.scratch_avail[j]
+                            .0
+                            .saturating_add(self.lookahead.bound(j, i).0),
+                    );
+                    if via < self.scratch_avail[i] {
+                        self.scratch_avail[i] = via;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Runs all events up to and including time `t`, then sets the clock
+    /// to `t`. Windowed execution: shards run maximal conservative windows
+    /// per round; rounds repeat until nothing at or before `t` remains.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.run_windows(t, &mut None);
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.clock + d;
+        self.run_until(t);
+    }
+
+    /// [`run_until`](Self::run_until) with wall-clock profiling, for
+    /// scaling benchmarks. Shards still execute serially (bit-identical to
+    /// the unprofiled run); the profile reports what each shard's windows
+    /// cost and the resulting critical path.
+    pub fn run_until_profiled(&mut self, t: SimTime) -> RunProfile {
+        let mut profile = RunProfile {
+            busy_s: vec![0.0; self.shards.len()],
+            ..RunProfile::default()
+        };
+        let t0 = Instant::now();
+        let mut prof = Some(&mut profile);
+        self.run_windows(t, &mut prof);
+        if t > self.clock {
+            self.clock = t;
+        }
+        profile.wall_s = t0.elapsed().as_secs_f64();
+        // All non-window time is coordinator work, paid serially.
+        let busy: f64 = profile.busy_s.iter().sum();
+        profile.critical_path_s += (profile.wall_s - busy).max(0.0);
+        profile
+    }
+
+    /// The serial window loop shared by [`run_until`](Self::run_until) and
+    /// [`run_until_profiled`](Self::run_until_profiled); `profile`
+    /// accumulates the per-round critical path.
+    fn run_windows(&mut self, t: SimTime, profile: &mut Option<&mut RunProfile>) {
+        let k = self.shards.len();
+        loop {
+            self.availability();
+            let min_next = self.scratch_next.iter().copied().min().unwrap_or(INF);
+            let ctrl_next = self.ctrl.peek().map(|e| e.at).unwrap_or(INF);
+            if min_next > t && ctrl_next > t {
+                return;
+            }
+            // Control fires once every process event at or before its
+            // instant has executed: at an equal instant, process events
+            // sort below CTRL_ORIGIN keys.
+            if ctrl_next <= t && min_next > ctrl_next {
+                let e = self.ctrl.pop().expect("peeked");
+                self.clock = e.at;
+                self.exec_ctrl(e);
+                continue;
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                p.rounds += 1;
+            }
+            let mut round_max = 0.0f64;
+            let bounds: Vec<Option<SimTime>> = (0..k)
+                .map(|i| {
+                    let mut horizon = INF;
+                    for j in 0..k {
+                        if j == i || self.scratch_avail[j] == INF {
+                            continue;
+                        }
+                        let h = SimTime(
+                            self.scratch_avail[j]
+                                .0
+                                .saturating_add(self.lookahead.bound(j, i).0),
+                        );
+                        horizon = horizon.min(h);
+                    }
+                    // Inclusive window bound: strictly below the horizon
+                    // (an arrival can land exactly on it), at most the
+                    // earliest control instant, at most the target.
+                    let mut b = t.min(SimTime(ctrl_next.0));
+                    if horizon != INF {
+                        b = b.min(SimTime(horizon.0 - 1));
+                    }
+                    (self.scratch_next[i] <= b).then_some(b)
+                })
+                .collect();
+            for (i, b) in bounds.iter().enumerate() {
+                let Some(b) = b else { continue };
+                let map = self.map;
+                if let Some(p) = profile.as_deref_mut() {
+                    let w0 = Instant::now();
+                    self.shards[i].run_window(&map, i, *b);
+                    let dt = w0.elapsed().as_secs_f64();
+                    p.busy_s[i] += dt;
+                    round_max = round_max.max(dt);
+                } else {
+                    self.shards[i].run_window(&map, i, *b);
+                }
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                p.critical_path_s += round_max;
+            }
+            self.drain_outboxes();
+        }
+    }
+
+    /// Executes the globally next event (or control operation) if due at
+    /// or before `t`; returns whether one ran. The clock is left on the
+    /// executed event — the building block for event-driven waits.
+    ///
+    /// Sequential canonical stepping: equivalent to a single merged queue
+    /// ordered by `(time, key)`, so interleaving `step_until` with
+    /// [`run_until`](Self::run_until) preserves bit-identical traces at
+    /// every shard count.
+    pub fn step_until(&mut self, t: SimTime) -> bool {
+        let k = self.shards.len();
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for i in 0..k {
+            if let Some((at, key)) = self.shards[i].wheel.peek() {
+                if best.map(|(ba, bk, _)| (at, key) < (ba, bk)).unwrap_or(true) {
+                    best = Some((at, key, i));
+                }
+            }
+        }
+        if let Some(e) = self.ctrl.peek() {
+            let ckey = canon_key(CTRL_ORIGIN, e.seq);
+            if best
+                .map(|(ba, bk, _)| (e.at, ckey) < (ba, bk))
+                .unwrap_or(true)
+            {
+                best = Some((e.at, ckey, k));
+            }
+        }
+        let Some((at, _, who)) = best else {
+            return false;
+        };
+        if at > t {
+            return false;
+        }
+        debug_assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        if who == k {
+            let e = self.ctrl.pop().expect("peeked");
+            self.exec_ctrl(e);
+        } else {
+            let map = self.map;
+            self.shards[who].pop_execute(&map, who);
+            self.drain_outboxes();
+        }
+        true
+    }
+
+    /// Drains the event queue with `limit` as a safety bound; returns
+    /// whether the simulation went idle (semantics of
+    /// [`Sim::run_until_idle`](crate::Sim::run_until_idle)).
+    pub fn run_until_idle(&mut self, limit: SimTime) -> bool {
+        self.run_windows(limit, &mut None);
+        let idle = self.pending_events() == 0;
+        if !idle && limit > self.clock {
+            self.clock = limit;
+        }
+        idle
+    }
+}
+
+impl<P, Md, S> ShardedSim<P, Md, S>
+where
+    P: Process + Send,
+    P::Msg: Send,
+    P::Timer: Send,
+    Md: ShardMedium + Send,
+    S: TraceSink<P::Msg> + Send,
+{
+    /// [`run_until`](Self::run_until) with each round's shard windows on
+    /// scoped OS threads — bit-identical to the serial run (windows touch
+    /// only shard-owned state; the merge is the same barrier drain), just
+    /// faster on multi-core hosts.
+    pub fn run_until_parallel(&mut self, t: SimTime) {
+        self.run_windows_parallel(t);
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    fn run_windows_parallel(&mut self, t: SimTime) {
+        // Mirrors run_windows; kept separate because the scoped-thread
+        // round needs the Send bounds of this impl block.
+        let k = self.shards.len();
+        loop {
+            self.availability();
+            let min_next = self.scratch_next.iter().copied().min().unwrap_or(INF);
+            let ctrl_next = self.ctrl.peek().map(|e| e.at).unwrap_or(INF);
+            if min_next > t && ctrl_next > t {
+                return;
+            }
+            if ctrl_next <= t && min_next > ctrl_next {
+                let e = self.ctrl.pop().expect("peeked");
+                self.clock = e.at;
+                self.exec_ctrl(e);
+                continue;
+            }
+            let mut bounds = vec![None; k];
+            for (i, b) in bounds.iter_mut().enumerate() {
+                let mut horizon = INF;
+                for j in 0..k {
+                    if j == i || self.scratch_avail[j] == INF {
+                        continue;
+                    }
+                    let h = SimTime(
+                        self.scratch_avail[j]
+                            .0
+                            .saturating_add(self.lookahead.bound(j, i).0),
+                    );
+                    horizon = horizon.min(h);
+                }
+                let mut bb = t.min(SimTime(ctrl_next.0));
+                if horizon != INF {
+                    bb = bb.min(SimTime(horizon.0 - 1));
+                }
+                *b = (self.scratch_next[i] <= bb).then_some(bb);
+            }
+            let map = self.map;
+            std::thread::scope(|sc| {
+                for (i, (shard, b)) in self.shards.iter_mut().zip(&bounds).enumerate() {
+                    if let Some(b) = *b {
+                        sc.spawn(move || shard.run_window(&map, i, b));
+                    }
+                }
+            });
+            self.drain_outboxes();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::PerfectMedium;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl Payload for Msg {
+        fn size_bytes(&self) -> usize {
+            9
+        }
+    }
+
+    struct Node {
+        peer: ProcId,
+        initiator: bool,
+        pings_seen: u64,
+        pongs_seen: u64,
+        ticks: u64,
+        broken_links: Vec<ProcId>,
+    }
+
+    impl Node {
+        fn new(peer: ProcId, initiator: bool) -> Self {
+            Node {
+                peer,
+                initiator,
+                pings_seen: 0,
+                pongs_seen: 0,
+                ticks: 0,
+                broken_links: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Node {
+        type Msg = Msg;
+        type Timer = ();
+
+        fn on_boot(&mut self, ctx: &mut Ctx<'_, Msg, ()>) {
+            if self.initiator {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(SimDuration::from_secs(1), ());
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, ()>, from: ProcId, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Msg::Pong(n));
+                }
+                Msg::Pong(_) => self.pongs_seen += 1,
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, ()>, _tag: ()) {
+            self.ticks += 1;
+            if self.ticks < 3 {
+                ctx.set_timer(SimDuration::from_secs(1), ());
+            }
+        }
+
+        fn on_link_broken(&mut self, _ctx: &mut Ctx<'_, Msg, ()>, peer: ProcId) {
+            self.broken_links.push(peer);
+        }
+    }
+
+    fn world(seed: u64, shards: usize, n: u32) -> ShardedSim<Node, PerfectMedium> {
+        let mut sim = ShardedSim::new(
+            seed,
+            shards,
+            PerfectMedium::new(SimDuration::from_millis(50)),
+        );
+        for i in 0..n {
+            sim.add_process(Node::new((i + 1) % n, i % 2 == 0));
+        }
+        sim
+    }
+
+    fn state_fingerprint(sim: &ShardedSim<Node, PerfectMedium>) -> Vec<(u64, u64, u64, bool)> {
+        (0..sim.process_count() as ProcId)
+            .map(|p| {
+                sim.proc(p)
+                    .map(|n| (n.pings_seen, n.pongs_seen, n.ticks, true))
+                    .unwrap_or((0, 0, 0, false))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ping_pong_round_trip_across_shard_counts() {
+        for shards in [1, 2, 3, 8] {
+            let mut sim = world(1, shards, 6);
+            sim.run_for(SimDuration::from_secs(10));
+            assert_eq!(sim.proc(1).unwrap().pings_seen, 1, "shards={shards}");
+            assert_eq!(sim.proc(0).unwrap().ticks, 3, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn final_state_identical_for_every_shard_count() {
+        let mut reference = world(7, 1, 10);
+        reference.run_for(SimDuration::from_secs(20));
+        let want = state_fingerprint(&reference);
+        for shards in [2, 3, 4, 8] {
+            let mut sim = world(7, shards, 10);
+            sim.run_for(SimDuration::from_secs(20));
+            assert_eq!(state_fingerprint(&sim), want, "shards={shards}");
+            assert_eq!(
+                sim.events_executed(),
+                reference.events_executed(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn stepping_matches_windowed_execution() {
+        let mut windowed = world(3, 4, 10);
+        windowed.run_for(SimDuration::from_secs(10));
+        let mut stepped = world(3, 4, 10);
+        let t = SimTime::ZERO + SimDuration::from_secs(10);
+        while stepped.step_until(t) {}
+        // Stepping leaves the clock at the last event; align it.
+        assert_eq!(
+            state_fingerprint(&stepped),
+            state_fingerprint(&windowed),
+            "window vs step divergence"
+        );
+        assert_eq!(stepped.events_executed(), windowed.events_executed());
+    }
+
+    #[test]
+    fn parallel_rounds_match_serial() {
+        let mut serial = world(11, 4, 12);
+        serial.run_for(SimDuration::from_secs(15));
+        let mut parallel = world(11, 4, 12);
+        parallel.run_until_parallel(SimTime::ZERO + SimDuration::from_secs(15));
+        assert_eq!(state_fingerprint(&parallel), state_fingerprint(&serial));
+        assert_eq!(parallel.events_executed(), serial.events_executed());
+    }
+
+    #[test]
+    fn crash_drops_in_flight_and_breaks_future_sends() {
+        for shards in [1, 3] {
+            let mut sim = world(2, shards, 2);
+            sim.crash(1);
+            sim.run_for(SimDuration::from_secs(60));
+            assert_eq!(sim.proc(0).unwrap().pongs_seen, 0, "shards={shards}");
+            assert!(!sim.is_up(1));
+            sim.with_proc(0, |_n, ctx| ctx.send(1, Msg::Ping(9)));
+            sim.run_for(SimDuration::from_secs(60));
+            assert_eq!(
+                sim.proc(0).unwrap().broken_links,
+                vec![1],
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_and_restart_fire_in_order() {
+        for shards in [1, 2, 8] {
+            let mut sim = world(4, shards, 4);
+            sim.schedule_crash(SimTime::ZERO + SimDuration::from_secs(2), 1);
+            sim.schedule_restart(
+                SimTime::ZERO + SimDuration::from_secs(4),
+                1,
+                Node::new(2, false),
+            );
+            sim.run_for(SimDuration::from_secs(3));
+            assert!(!sim.is_up(1), "shards={shards}");
+            sim.run_for(SimDuration::from_secs(3));
+            assert!(sim.is_up(1), "shards={shards}");
+            assert_eq!(sim.proc(1).unwrap().pings_seen, 0, "fresh state");
+        }
+    }
+
+    #[test]
+    fn scheduled_restart_of_live_process_is_dropped() {
+        let mut sim = world(5, 3, 4);
+        sim.schedule_restart(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            0,
+            Node::new(1, true),
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        // A reboot would have re-pinged; proc 1 must have seen exactly one.
+        assert_eq!(sim.proc(1).unwrap().pings_seen, 1);
+    }
+
+    #[test]
+    fn scheduled_call_runs_between_equal_time_events() {
+        for shards in [1, 4] {
+            let mut sim = world(6, shards, 4);
+            sim.schedule_call(SimTime::ZERO + SimDuration::from_secs(2), |s| {
+                s.with_proc(0, |_n, ctx| ctx.send(1, Msg::Ping(99)));
+            });
+            sim.run_for(SimDuration::from_secs(3));
+            assert_eq!(sim.proc(1).unwrap().pings_seen, 2, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn run_until_idle_drains_and_reports() {
+        let mut sim = world(9, 2, 2);
+        assert!(sim.run_until_idle(SimTime::ZERO + SimDuration::from_secs(60)));
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.proc(0).unwrap().ticks, 3);
+    }
+
+    #[test]
+    fn profiled_run_accounts_every_round() {
+        let mut sim = world(10, 4, 8);
+        let p = sim.run_until_profiled(SimTime::ZERO + SimDuration::from_secs(10));
+        assert!(p.rounds > 0);
+        assert!(p.wall_s >= 0.0 && p.critical_path_s >= 0.0);
+        assert!(p.critical_path_s <= p.wall_s + 1e-9);
+        let mut check = world(10, 4, 8);
+        check.run_for(SimDuration::from_secs(10));
+        assert_eq!(sim.events_executed(), check.events_executed());
+    }
+
+    #[test]
+    fn cross_shard_ratio_reported() {
+        let mut sim = world(12, 4, 8);
+        sim.run_for(SimDuration::from_secs(5));
+        let (local, cross) = sim.send_stats();
+        assert!(local + cross > 0);
+        // Ring neighbours under round-robin assignment are always on
+        // another shard when k > 1.
+        assert!(cross > 0);
+    }
+}

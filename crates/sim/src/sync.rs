@@ -1,0 +1,210 @@
+//! Synchronization machinery of the sharded kernel: shard assignment,
+//! conservative lookahead bounds, and the canonical event keys that make a
+//! sharded run's trace independent of the shard count.
+//!
+//! # Canonical keys
+//!
+//! The single-kernel [`Sim`](crate::Sim) orders same-instant events by a
+//! global insertion sequence — cheap, but meaningless across shards: the
+//! insertion interleaving depends on which shard ran first. The sharded
+//! kernel instead keys every event by `(time, origin << 40 | counter)`,
+//! where `origin` is the process that *scheduled* the event and `counter`
+//! a per-origin monotone count. A process's handler executions are totally
+//! ordered regardless of sharding, so its counter values — and therefore
+//! every key — are identical for every shard count. Merging per-shard
+//! streams by `(time, key)` yields one canonical global order; ties cannot
+//! collide because origins are distinct by construction.
+//!
+//! Kernel-level control operations (scripted crashes, restarts, calls) use
+//! the reserved [`CTRL_ORIGIN`], which is larger than any process id: at an
+//! equal instant, control sorts *after* every process event, matching the
+//! "run events through `t`, then mutate" semantics scripts already rely on.
+//!
+//! # Conservative lookahead
+//!
+//! Shard `i` may execute events up to (strictly below) its *horizon*
+//! `min over j≠i of (next_j + B(j, i))`, where `next_j` is shard `j`'s
+//! earliest pending event and `B(j, i)` a lower bound on the latency of any
+//! `j → i` message ([`Lookahead`]). Any message shard `j` has not yet sent
+//! is created at some `τ ≥ next_j` and arrives at `τ + latency ≥ next_j +
+//! B(j, i)` — at or past the horizon — so everything below the horizon is
+//! causally settled. Since `B > 0`, the globally-earliest shard always
+//! clears its own next event and every round makes progress.
+
+use crate::medium::Medium;
+use crate::process::ProcId;
+use crate::time::SimDuration;
+
+/// Largest representable canonical origin (24 bits), reserved for
+/// kernel-level control operations so they sort after every process event
+/// at an equal instant.
+pub const CTRL_ORIGIN: u32 = (1 << 24) - 1;
+
+/// Number of low bits holding the per-origin counter in a canonical key.
+pub const KEY_COUNTER_BITS: u32 = 40;
+
+/// Packs `(origin, counter)` into a canonical event key. Same-instant
+/// events order by origin first, then by per-origin schedule order.
+#[inline]
+pub fn canon_key(origin: ProcId, counter: u64) -> u64 {
+    debug_assert!(origin <= CTRL_ORIGIN, "origin exceeds 24-bit key space");
+    debug_assert!(
+        counter < (1 << KEY_COUNTER_BITS),
+        "per-origin counter overflow"
+    );
+    (u64::from(origin) << KEY_COUNTER_BITS) | counter
+}
+
+/// Round-robin assignment of processes to shards.
+///
+/// `shard_of(p) = p mod k` interleaves consecutive ids across shards:
+/// neighbouring processes (which protocols tend to make talk to each
+/// other) land on *different* shards, making the assignment a worst-case
+/// stress for cross-shard traffic rather than a best case — exactly what a
+/// determinism harness wants to exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (must be ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        ShardMap { shards }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning process `p`.
+    #[inline]
+    pub fn shard_of(&self, p: ProcId) -> usize {
+        p as usize % self.shards
+    }
+
+    /// `p`'s dense index within its owning shard.
+    #[inline]
+    pub fn local_of(&self, p: ProcId) -> usize {
+        p as usize / self.shards
+    }
+
+    /// Inverse of ([`shard_of`](ShardMap::shard_of),
+    /// [`local_of`](ShardMap::local_of)).
+    #[inline]
+    pub fn global_of(&self, shard: usize, local: usize) -> ProcId {
+        (local * self.shards + shard) as ProcId
+    }
+}
+
+/// Dense `k × k` matrix of cross-shard latency lower bounds, row = sending
+/// shard. Diagonal entries are unused (a shard needs no lookahead against
+/// itself).
+#[derive(Debug, Clone)]
+pub struct Lookahead {
+    shards: usize,
+    bounds: Vec<SimDuration>,
+}
+
+impl Lookahead {
+    /// Builds a matrix from row-major `bounds` (`shards × shards`
+    /// entries). Every off-diagonal bound must be positive: a zero bound
+    /// would stall the conservative window protocol.
+    pub fn new(shards: usize, bounds: Vec<SimDuration>) -> Self {
+        assert_eq!(bounds.len(), shards * shards, "bounds matrix shape");
+        for i in 0..shards {
+            for j in 0..shards {
+                if i != j {
+                    assert!(
+                        bounds[i * shards + j] > SimDuration(0),
+                        "cross-shard lookahead {i}->{j} must be positive"
+                    );
+                }
+            }
+        }
+        Lookahead { shards, bounds }
+    }
+
+    /// Uniform bound `b` between every shard pair (e.g. a constant-latency
+    /// medium).
+    pub fn uniform(shards: usize, b: SimDuration) -> Self {
+        Lookahead::new(shards, vec![b; shards * shards])
+    }
+
+    /// Lower bound on the latency of any message from shard `from` to
+    /// shard `to`.
+    #[inline]
+    pub fn bound(&self, from: usize, to: usize) -> SimDuration {
+        self.bounds[from * self.shards + to]
+    }
+}
+
+/// A medium that can be replicated across shards.
+///
+/// Each shard owns a full replica; the kernel keeps the replicas
+/// observably identical by broadcasting every topology-of-liveness
+/// mutation (`node_up` / `node_down`) to all of them, and scripts must
+/// broadcast their own fault-plane mutations the same way (the harness
+/// does this between run windows, when every shard sits at a barrier).
+/// Per-replica *caches* may freely diverge — only verdicts must agree.
+pub trait ShardMedium: Medium + Sized {
+    /// Clones this medium into `shards` equivalent replicas.
+    ///
+    /// Implementations must refuse configurations whose verdicts depend on
+    /// per-replica mutable state that sends themselves warm up (e.g.
+    /// first-contact connection caches): such state diverges across shard
+    /// counts and would break trace equivalence.
+    fn replicate(&self, shards: usize) -> Vec<Self>;
+
+    /// Cross-shard latency lower bounds for the given assignment.
+    ///
+    /// `matrix[i * k + j]` bounds any message sent by a process of shard
+    /// `i` to a process of shard `j` from below; every off-diagonal entry
+    /// must be positive.
+    fn shard_lookahead(&self, map: &ShardMap) -> Vec<SimDuration>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment_round_trips() {
+        let m = ShardMap::new(3);
+        for p in 0..100u32 {
+            let (s, l) = (m.shard_of(p), m.local_of(p));
+            assert!(s < 3);
+            assert_eq!(m.global_of(s, l), p);
+        }
+        // Locals are dense per shard.
+        assert_eq!(m.local_of(0), 0);
+        assert_eq!(m.local_of(3), 1);
+        assert_eq!(m.local_of(6), 2);
+    }
+
+    #[test]
+    fn canon_keys_order_by_origin_then_counter() {
+        assert!(canon_key(0, 5) < canon_key(1, 0));
+        assert!(canon_key(1, 0) < canon_key(1, 1));
+        assert!(canon_key(7, u64::MAX >> 25) < canon_key(CTRL_ORIGIN, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cross_shard_bound_is_rejected() {
+        let _ = Lookahead::new(2, vec![SimDuration(0); 4]);
+    }
+
+    #[test]
+    fn uniform_lookahead_reads_back() {
+        let la = Lookahead::uniform(3, SimDuration::from_millis(5));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(la.bound(i, j), SimDuration::from_millis(5));
+            }
+        }
+    }
+}
