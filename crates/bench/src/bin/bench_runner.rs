@@ -18,7 +18,11 @@
 //!   million-process ping workload (50k at quick scale): measured and
 //!   critical-path-projected events/s, cross-shard send ratio, and the
 //!   gated 4-shard projected speedup (see `fuse_bench::shard_bench` for
-//!   the single-core-host methodology).
+//!   the single-core-host methodology);
+//! * `liveness` — the shared failure-detector plane: subscription-registry
+//!   cost at 1M (peer, group) edges (100k at quick scale), SWIM probe-round
+//!   ns/allocs under a manual-clock host, the measured group-invariance of
+//!   probe traffic, and the per-group-vs-shared rate arithmetic.
 //!
 //! ```text
 //! cargo run --release -p fuse_bench --bin bench_runner            # paper scale
@@ -32,6 +36,7 @@
 //! stake with a tolerance band.
 
 use fuse_bench::kernel_bench::{self, KernelBenchConfig};
+use fuse_bench::liveness_bench::{self, LivenessParams};
 use fuse_bench::shard_bench::{self, ShardBenchConfig};
 use fuse_bench::{banner, footer, route_bench, scale, wire_bench, Scale};
 
@@ -39,7 +44,7 @@ use fuse_bench::{banner, footer, route_bench, scale, wire_bench, Scale};
 static ALLOC: fuse_bench::alloc_count::CountingAlloc = fuse_bench::alloc_count::CountingAlloc;
 
 fn main() {
-    let start = banner("fuse hot paths (kernel, wire codec, SHA-1, churn, route oracle)");
+    let start = banner("fuse hot paths (kernel, wire codec, SHA-1, churn, route oracle, liveness)");
     let quick = scale() == Scale::Quick;
     let cfg = if quick {
         KernelBenchConfig::quick()
@@ -152,25 +157,65 @@ fn main() {
         println!("projected speedup at 4 shards: {s4:.2}x");
     }
 
+    // --- Shared liveness plane ---------------------------------------------
+    let live_params = if quick {
+        LivenessParams::quick()
+    } else {
+        LivenessParams::paper()
+    };
+    let live = liveness_bench::suite(&live_params, reps);
+    println!(
+        "liveness: {} edges / {} peers  subscribe {:>6.1} ns/edge (allocs/edge: {})  fanout {:>5.1} ns/group over {} groups",
+        live.edges,
+        live.peers,
+        live.subscribe_ns_per_edge,
+        live.subscribe_allocs_per_edge
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+        live.fanout_ns_per_group,
+        live.fanout_groups,
+    );
+    println!(
+        "liveness: {} probe rounds  {:>7.1} ns/round  allocs/round: {}  group-scaling ratio {:.3} ({} -> {} probes at 10x groups)",
+        live.rounds,
+        live.round_ns,
+        live.round_allocs
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+        live.group_scaling_ratio,
+        live.probes_at_groups,
+        live.probes_at_10x_groups,
+    );
+    println!(
+        "liveness: per-group {:>9.1} pings/s ({:>12.1} B/s)  shared {:>6.3} probes/s ({:>7.1} B/s)  amortization {:.0}x",
+        live.pergroup_pings_per_sec,
+        live.pergroup_bytes_per_sec,
+        live.shared_probes_per_sec,
+        live.shared_bytes_per_sec,
+        live.amortization_ratio,
+    );
+
     // --- Emit --------------------------------------------------------------
     let doc = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"fuse_hot_paths\",\n",
-            "  \"pr\": 6,\n",
+            "  \"pr\": 7,\n",
             "  \"description\": \"Staked hot paths: kernel event throughput (wheel vs heap), ",
             "single-pass wire codec (ns/allocs per encoded message), SHA-1 piggyback digest ",
             "(GiB/s, three implementations), fig10-style scripted churn, the ",
-            "demand-driven route oracle (LRU hit/miss latency, resident route memory), and ",
+            "demand-driven route oracle (LRU hit/miss latency, resident route memory), ",
             "the sharded kernel's scaling sweep (measured + critical-path-projected ",
-            "events/s at 1/2/4/8 shards)\",\n",
+            "events/s at 1/2/4/8 shards), and the shared liveness plane (registry ",
+            "subscribe/fanout cost, SWIM probe rounds, group-invariant probe traffic)\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"config\": {},\n",
             "  \"sim_event_throughput\": {},\n",
             "  \"wire_hot_path\": {},\n",
             "  \"churn\": {},\n",
             "  \"route_oracle\": {},\n",
-            "  \"sharded_kernel\": {}\n",
+            "  \"sharded_kernel\": {},\n",
+            "  \"liveness\": {}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "paper" },
@@ -180,6 +225,7 @@ fn main() {
         kernel_bench::render_churn_section(&churn),
         route_bench::render_json(&routes),
         shard_bench::render_json(&shard_points),
+        liveness_bench::render_json(&live),
     );
     // The emit must stay readable by the gate's own parser.
     if let Err(e) = fuse_bench::json::parse(&doc) {

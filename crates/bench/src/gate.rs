@@ -66,6 +66,17 @@ const fn m6(path: &'static str, direction: Direction, floor: f64) -> Metric {
     }
 }
 
+/// A metric introduced by the PR-7 shared-liveness stake.
+const fn m7(path: &'static str, direction: Direction, abs_slack: f64) -> Metric {
+    Metric {
+        path,
+        direction,
+        abs_slack,
+        since_pr: 7,
+        floor: f64::NEG_INFINITY,
+    }
+}
+
 /// The gated metric set. Scale-dependent numbers are deliberately absent:
 /// totals (event counts, wall time), the wheel-vs-heap speedup (the heap
 /// baseline is only slow at paper-scale queue depths), and churn
@@ -165,6 +176,49 @@ pub const GATED: &[Metric] = &[
         Direction::LowerIsWorse,
         f64::NEG_INFINITY,
     ),
+    // Shared liveness plane (PR 7). Registry subscribe and Dead-verdict
+    // fanout are per-unit costs with small absolute slack for quick-scale
+    // amortization and hash noise; the probe-round cost includes the bench
+    // harness's own timer queue, so it gets a wider absolute allowance.
+    m7(
+        "liveness.registry.subscribe_ns_per_edge",
+        Direction::HigherIsWorse,
+        100.0,
+    ),
+    m7(
+        "liveness.registry.fanout_ns_per_group",
+        Direction::HigherIsWorse,
+        20.0,
+    ),
+    m7(
+        "liveness.detector.round_ns",
+        Direction::HigherIsWorse,
+        2000.0,
+    ),
+    // Quick-scale runs amortize the detector's setup allocations over a
+    // quarter of the paper-scale rounds; the slack covers that.
+    m7(
+        "liveness.detector.round_allocs",
+        Direction::HigherIsWorse,
+        0.25,
+    ),
+    // The plane's load-bearing claim: probe traffic must not move when the
+    // group count does. Measured within one run, so no absolute slack.
+    m7(
+        "liveness.scaling.group_scaling_ratio",
+        Direction::HigherIsWorse,
+        0.0,
+    ),
+    // groups/peers. Scale-dependent (31250 at paper scale, 3125 quick), so
+    // the relative band is disabled and only the floor binds: the stake
+    // must always show at least three orders of magnitude of amortization.
+    Metric {
+        path: "liveness.rates.amortization_ratio",
+        direction: Direction::LowerIsWorse,
+        abs_slack: f64::INFINITY,
+        since_pr: 7,
+        floor: 1000.0,
+    },
 ];
 
 /// One metric's verdict.
@@ -366,6 +420,74 @@ mod tests {
         // the absolute floor.
         let cross_scale = compare(&doc6(1.7, 4.9e6), &stake, 0.25).unwrap();
         assert!(cross_scale.iter().all(|v| v.pass), "{cross_scale:?}");
+    }
+
+    /// `doc6(...)` plus the PR-7 `liveness` section, with the `"pr"` tag
+    /// bumped to 7.
+    fn doc7(scaling_ratio: f64, amortization: f64, round_allocs: f64) -> Value {
+        let base = doc6(3.5, 5e6);
+        let extra = parse(&format!(
+            r#"{{
+              "pr": 7,
+              "liveness": {{
+                "registry": {{"subscribe_ns_per_edge": 120.0, "fanout_ns_per_group": 15.0}},
+                "detector": {{"round_ns": 900.0, "round_allocs": {round_allocs}}},
+                "scaling": {{"group_scaling_ratio": {scaling_ratio}}},
+                "rates": {{"amortization_ratio": {amortization}}}
+              }}
+            }}"#
+        ))
+        .unwrap();
+        let (Value::Obj(b), Value::Obj(e)) = (base, extra) else {
+            unreachable!()
+        };
+        // Drop doc6's "pr" first — duplicate keys resolve to the earliest
+        // entry, which would pin the document at 6.
+        let mut b: Vec<_> = b.into_iter().filter(|(k, _)| k != "pr").collect();
+        b.extend(e);
+        Value::Obj(b)
+    }
+
+    #[test]
+    fn pr7_metrics_are_skipped_against_a_pre_pr7_stake() {
+        let stake = doc6(3.5, 5e6); // "pr": 6, no liveness section
+        let current = doc7(1.0, 31250.0, 0.05);
+        let verdicts = compare(&current, &stake, 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| !v.path.contains("liveness")));
+        assert!(verdicts.iter().all(|v| v.pass), "{verdicts:?}");
+    }
+
+    #[test]
+    fn pr7_stake_gates_the_liveness_metrics() {
+        let stake = doc7(1.0, 31250.0, 0.05);
+        let good = compare(&doc7(1.0, 3125.0, 0.06), &stake, 0.25).unwrap();
+        assert!(good.iter().any(|v| v.path.contains("liveness")));
+        assert!(good.iter().all(|v| v.pass), "{good:?}");
+        // A detector whose probe traffic grows with the group count is the
+        // regression the plane exists to prevent.
+        let coupled = compare(&doc7(9.8, 31250.0, 0.05), &stake, 0.25).unwrap();
+        assert!(coupled
+            .iter()
+            .any(|v| !v.pass && v.path.contains("group_scaling_ratio")));
+        // New allocations on the probe round trip the alloc gate.
+        let leaky = compare(&doc7(1.0, 31250.0, 2.0), &stake, 0.25).unwrap();
+        assert!(leaky
+            .iter()
+            .any(|v| !v.pass && v.path.contains("round_allocs")));
+    }
+
+    #[test]
+    fn amortization_floor_binds_regardless_of_the_stake() {
+        // Both documents agree at 500x — the relative band is satisfied,
+        // but the 1000x acceptance floor is not.
+        let stake = doc7(1.0, 500.0, 0.05);
+        let verdicts = compare(&doc7(1.0, 500.0, 0.05), &stake, 0.25).unwrap();
+        let v = verdicts
+            .iter()
+            .find(|v| v.path.contains("amortization_ratio"))
+            .unwrap();
+        assert!(!v.pass, "floor must bind: {v:?}");
+        assert_eq!(v.bound, 1000.0);
     }
 
     #[test]

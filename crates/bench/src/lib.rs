@@ -10,6 +10,7 @@ pub mod alloc_count;
 pub mod gate;
 pub mod json;
 pub mod kernel_bench;
+pub mod liveness_bench;
 pub mod route_bench;
 pub mod shard_bench;
 pub mod wire_bench;

@@ -1,0 +1,464 @@
+//! Shared-liveness-plane benchmarks: the subscription registry at a
+//! million group edges, the SWIM detector's probe-round cost under a
+//! manual-clock host, and the amortization arithmetic the plane exists
+//! for — probe traffic that scales with the *peer* count while the
+//! per-group plane's liveness work scales with the *group* count.
+//!
+//! Used by `bench_runner` to emit the `liveness` section of the
+//! `BENCH_*.json` stakes. Three legs:
+//!
+//! * **registry** — `subscribe` a paper-scale edge set (1M (peer, group)
+//!   edges over 32 peers; 100k at quick scale) and measure ns + allocator
+//!   calls per edge, plus the `subscribers()` fanout cost a `Dead` verdict
+//!   pays per burned group.
+//! * **detector** — drive a [`Detector`] through hundreds of full probe
+//!   periods against an instant-ack host whose clock, timers and RNG are
+//!   all local (a `BinaryHeap` timer queue, synthetic handles), and
+//!   measure ns + allocs per probe round. The harness's own heap and hash
+//!   bookkeeping is inside the measurement, so the number is an upper
+//!   bound on the detector's real cost.
+//! * **scaling / rates** — measure the probe count at two registry sizes
+//!   (G and 10·G groups over the same peers) to stake the
+//!   `group_scaling_ratio ≈ 1.0` claim, then report the analytic
+//!   steady-state rates: a naive per-group liveness stream pays
+//!   `groups / ping_period` pings/s where the shared plane pays
+//!   `peers / probe_period` probes/s, with wire bytes from the real
+//!   encoded `Probe`/`ProbeAck` sizes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use fuse_liveness::{
+    Detector, LivenessConfig, LivenessIo, LivenessTimer, SubscriptionRegistry, Verdict,
+};
+use fuse_overlay::OverlayMsg;
+use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_wire::{sha1, Encode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::json_f64;
+
+/// Workload sizes for one liveness bench run.
+#[derive(Debug, Clone)]
+pub struct LivenessParams {
+    /// (peer, group) subscription edges in the registry leg. Doubles as
+    /// the per-node group count in the rate arithmetic.
+    pub edges: usize,
+    /// Distinct peers the edges spread over (the node's overlay degree).
+    pub peers: usize,
+    /// Full probe periods the detector leg simulates.
+    pub periods: u64,
+}
+
+impl LivenessParams {
+    /// Paper-scale stake: the ISSUE's million groups per node.
+    pub fn paper() -> Self {
+        LivenessParams {
+            edges: 1_000_000,
+            peers: 32,
+            periods: 200,
+        }
+    }
+
+    /// CI smoke scale.
+    pub fn quick() -> Self {
+        LivenessParams {
+            edges: 100_000,
+            peers: 32,
+            periods: 50,
+        }
+    }
+}
+
+/// Everything the liveness bench measured, plus the analytic rates.
+#[derive(Debug, Clone)]
+pub struct LivenessReport {
+    /// Subscription edges inserted.
+    pub edges: usize,
+    /// Peers the edges spread over.
+    pub peers: usize,
+    /// Nanoseconds per `subscribe` call (best repetition).
+    pub subscribe_ns_per_edge: f64,
+    /// Allocator calls per `subscribe` (`None` without the counting
+    /// allocator).
+    pub subscribe_allocs_per_edge: Option<f64>,
+    /// Group count behind the measured `subscribers()` fanout.
+    pub fanout_groups: usize,
+    /// Nanoseconds per group in one `subscribers()` materialization — the
+    /// per-burned-group cost of a `Dead` verdict fanning out.
+    pub fanout_ns_per_group: f64,
+    /// Probe rounds the detector leg executed.
+    pub rounds: u64,
+    /// Nanoseconds per probe round (detector + harness timer queue).
+    pub round_ns: f64,
+    /// Allocator calls per probe round.
+    pub round_allocs: Option<f64>,
+    /// Probes sent at the base group count.
+    pub probes_at_groups: u64,
+    /// Probes sent with ten times the groups over the same peers.
+    pub probes_at_10x_groups: u64,
+    /// `probes_at_10x_groups / probes_at_groups` — the stake that probe
+    /// traffic tracks the peer set, not the group count (≈ 1.0).
+    pub group_scaling_ratio: f64,
+    /// Pings/s a naive per-group liveness stream would pay at this group
+    /// count (also the per-group plane's timer refreshes per second).
+    pub pergroup_pings_per_sec: f64,
+    /// Probes/s the shared plane pays for the same guarantee.
+    pub shared_probes_per_sec: f64,
+    /// Wire bytes/s of the naive per-group streams (ping + ack).
+    pub pergroup_bytes_per_sec: f64,
+    /// Wire bytes/s of the shared plane (probe + ack).
+    pub shared_bytes_per_sec: f64,
+    /// `pergroup_pings_per_sec / shared_probes_per_sec` = groups / peers.
+    pub amortization_ratio: f64,
+}
+
+/// Instant-ack manual-clock host: timers live in a local binary heap keyed
+/// by deadline, handles are synthetic, and every direct probe is answered
+/// the moment the detector's `on_timer` call returns — so tracked peers
+/// cycle Idle → AwaitingDirect → Idle forever, which is the steady state
+/// whose cost the stake cares about.
+struct BenchIo {
+    now: SimTime,
+    rng: StdRng,
+    next_slot: u32,
+    /// Live timers by handle; cancellation just removes the entry and the
+    /// heap's stale deadline is skipped at pop time.
+    armed: HashMap<TimerHandle, LivenessTimer>,
+    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Direct probes awaiting their instant ack, drained by the driver.
+    acks: Vec<(ProcId, u64)>,
+    probes: u64,
+    indirects: u64,
+    verdicts: u64,
+}
+
+impl BenchIo {
+    fn new(seed: u64) -> Self {
+        BenchIo {
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            next_slot: 0,
+            armed: HashMap::new(),
+            heap: BinaryHeap::new(),
+            acks: Vec::new(),
+            probes: 0,
+            indirects: 0,
+            verdicts: 0,
+        }
+    }
+
+    /// Pops the next live timer at or before `until`, advancing the clock
+    /// to its deadline. Stale (cancelled) heap entries are skipped.
+    fn pop_due(&mut self, until: SimTime) -> Option<LivenessTimer> {
+        while let Some(&Reverse((t, slot))) = self.heap.peek() {
+            if t > until {
+                return None;
+            }
+            self.heap.pop();
+            let h = TimerHandle::synthetic(0, slot, 1);
+            if let Some(tag) = self.armed.remove(&h) {
+                self.now = t;
+                return Some(tag);
+            }
+        }
+        None
+    }
+}
+
+impl LivenessIo for BenchIo {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn send_probe(&mut self, to: ProcId, nonce: u64) {
+        self.probes += 1;
+        self.acks.push((to, nonce));
+    }
+
+    fn send_indirect(&mut self, _relay: ProcId, target: ProcId, nonce: u64) {
+        self.indirects += 1;
+        self.acks.push((target, nonce));
+    }
+
+    fn relay_candidates(&mut self, _target: ProcId) -> Vec<ProcId> {
+        Vec::new()
+    }
+
+    fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let h = TimerHandle::synthetic(0, slot, 1);
+        self.armed.insert(h, tag);
+        self.heap.push(Reverse((self.now + after, slot)));
+        h
+    }
+
+    fn cancel_timer(&mut self, h: TimerHandle) {
+        self.armed.remove(&h);
+    }
+
+    fn verdict(&mut self, _peer: ProcId, _v: Verdict) {
+        self.verdicts += 1;
+    }
+}
+
+/// Runs a detector tracking `peers` healthy peers for `periods` full probe
+/// periods and returns the driven host (probe count, verdict count).
+fn run_detector(peers: &[ProcId], periods: u64, seed: u64) -> BenchIo {
+    let cfg = LivenessConfig::default();
+    let mut det = Detector::new(cfg.clone());
+    let mut io = BenchIo::new(seed);
+    for &p in peers {
+        det.add_peer(&mut io, p);
+    }
+    let until = SimTime::ZERO + cfg.probe_period.saturating_mul(periods);
+    while let Some(tag) = io.pop_due(until) {
+        det.on_timer(&mut io, tag);
+        while let Some((peer, nonce)) = io.acks.pop() {
+            det.on_ack(&mut io, peer, nonce);
+        }
+    }
+    io
+}
+
+/// Builds the edge set: edge `i` subscribes group `i` on peer
+/// `1 + (i mod peers)` — a million distinct groups spread evenly over the
+/// node's overlay degree, the ISSUE's worst case.
+fn edge(i: usize, peers: usize) -> (ProcId, u64) {
+    ((1 + i % peers) as ProcId, i as u64)
+}
+
+/// Measures the full liveness suite at the given sizes.
+pub fn suite(params: &LivenessParams, reps: u32) -> LivenessReport {
+    let peers_list: Vec<ProcId> = (1..=params.peers as ProcId).collect();
+
+    // --- Registry: subscribe cost over the full edge set -----------------
+    let mut best_sub_ns = f64::INFINITY;
+    let mut sub_allocs = None;
+    let mut reg = SubscriptionRegistry::new();
+    for _ in 0..reps.max(1) {
+        let mut fresh = SubscriptionRegistry::new();
+        let allocs_before = crate::alloc_count::thread_snapshot();
+        let t0 = std::time::Instant::now();
+        for i in 0..params.edges {
+            let (peer, key) = edge(i, params.peers);
+            std::hint::black_box(fresh.subscribe(peer, key));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let allocs = crate::alloc_count::thread_snapshot() - allocs_before;
+        let ns = dt * 1e9 / params.edges as f64;
+        if ns < best_sub_ns {
+            best_sub_ns = ns;
+            if crate::alloc_count::installed() {
+                sub_allocs = Some(allocs as f64 / params.edges as f64);
+            }
+        }
+        reg = fresh;
+    }
+
+    // --- Registry: Dead-verdict fanout over one heavy peer ---------------
+    let fanout_groups = reg.subscribers(1).len();
+    let mut best_fanout_ns = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        let subs = std::hint::black_box(reg.subscribers(std::hint::black_box(1)));
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(subs.len(), fanout_groups);
+        best_fanout_ns = best_fanout_ns.min(dt * 1e9 / fanout_groups.max(1) as f64);
+    }
+
+    // --- Detector: ns + allocs per steady-state probe round --------------
+    let mut rounds = 0;
+    let mut best_round_ns = f64::INFINITY;
+    let mut round_allocs = None;
+    for rep in 0..reps.max(1) {
+        let allocs_before = crate::alloc_count::thread_snapshot();
+        let t0 = std::time::Instant::now();
+        let io = run_detector(&peers_list, params.periods, 0xF05E + u64::from(rep));
+        let dt = t0.elapsed().as_secs_f64();
+        let allocs = crate::alloc_count::thread_snapshot() - allocs_before;
+        assert_eq!(io.verdicts, 0, "healthy instant-ack peers must not die");
+        assert_eq!(io.indirects, 0, "instant acks must preempt relays");
+        rounds = io.probes;
+        let ns = dt * 1e9 / io.probes as f64;
+        if ns < best_round_ns {
+            best_round_ns = ns;
+            if crate::alloc_count::installed() {
+                round_allocs = Some(allocs as f64 / io.probes as f64);
+            }
+        }
+    }
+
+    // --- Scaling: probe traffic at G vs 10·G groups ----------------------
+    // The registry alone decides which peers the detector tracks; with the
+    // peer set fixed, ten times the groups must leave the probe count
+    // untouched. Measured, not assumed: both runs go through the real
+    // subscribe → peers() → probe pipeline.
+    let scale_periods = params.periods.clamp(1, 10);
+    let probes_at = |groups: usize| -> u64 {
+        let mut r = SubscriptionRegistry::new();
+        for i in 0..groups {
+            let (peer, key) = edge(i, params.peers);
+            r.subscribe(peer, key);
+        }
+        run_detector(&r.peers(), scale_periods, 0xF05E).probes
+    };
+    let base_groups = (params.edges / 10).max(params.peers);
+    let probes_at_groups = probes_at(base_groups);
+    let probes_at_10x_groups = probes_at(base_groups * 10);
+    let group_scaling_ratio = probes_at_10x_groups as f64 / probes_at_groups as f64;
+
+    // --- Analytic steady-state rates at the staked group count -----------
+    let cfg = LivenessConfig::default();
+    let probe_bytes = OverlayMsg::Probe {
+        nonce: u64::MAX,
+        hash: Some(sha1(b"liveness")),
+    }
+    .wire_size()
+        + OverlayMsg::ProbeAck {
+            nonce: u64::MAX,
+            hash: Some(sha1(b"liveness")),
+        }
+        .wire_size();
+    let ping_bytes = 2 * crate::wire_bench::ping_msg().wire_size();
+    let period_s = cfg.probe_period.as_secs_f64();
+    let pergroup_pings_per_sec = params.edges as f64 / period_s;
+    let shared_probes_per_sec = params.peers as f64 / period_s;
+
+    LivenessReport {
+        edges: params.edges,
+        peers: params.peers,
+        subscribe_ns_per_edge: best_sub_ns,
+        subscribe_allocs_per_edge: sub_allocs,
+        fanout_groups,
+        fanout_ns_per_group: best_fanout_ns,
+        rounds,
+        round_ns: best_round_ns,
+        round_allocs,
+        probes_at_groups,
+        probes_at_10x_groups,
+        group_scaling_ratio,
+        pergroup_pings_per_sec,
+        shared_probes_per_sec,
+        pergroup_bytes_per_sec: pergroup_pings_per_sec * ping_bytes as f64,
+        shared_bytes_per_sec: shared_probes_per_sec * probe_bytes as f64,
+        amortization_ratio: pergroup_pings_per_sec / shared_probes_per_sec,
+    }
+}
+
+/// Renders the `liveness` JSON object body.
+pub fn render_json(r: &LivenessReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"edges\": {},\n",
+            "    \"peers\": {},\n",
+            "    \"registry\": {{\n",
+            "      \"subscribe_ns_per_edge\": {},\n",
+            "      \"subscribe_allocs_per_edge\": {},\n",
+            "      \"fanout_groups\": {},\n",
+            "      \"fanout_ns_per_group\": {}\n",
+            "    }},\n",
+            "    \"detector\": {{\n",
+            "      \"rounds\": {},\n",
+            "      \"round_ns\": {},\n",
+            "      \"round_allocs\": {}\n",
+            "    }},\n",
+            "    \"scaling\": {{\n",
+            "      \"probes_at_groups\": {},\n",
+            "      \"probes_at_10x_groups\": {},\n",
+            "      \"group_scaling_ratio\": {}\n",
+            "    }},\n",
+            "    \"rates\": {{\n",
+            "      \"pergroup_pings_per_sec\": {},\n",
+            "      \"shared_probes_per_sec\": {},\n",
+            "      \"pergroup_bytes_per_sec\": {},\n",
+            "      \"shared_bytes_per_sec\": {},\n",
+            "      \"amortization_ratio\": {}\n",
+            "    }}\n",
+            "  }}"
+        ),
+        r.edges,
+        r.peers,
+        json_f64(r.subscribe_ns_per_edge),
+        r.subscribe_allocs_per_edge
+            .map(json_f64)
+            .unwrap_or_else(|| "null".to_string()),
+        r.fanout_groups,
+        json_f64(r.fanout_ns_per_group),
+        r.rounds,
+        json_f64(r.round_ns),
+        r.round_allocs
+            .map(json_f64)
+            .unwrap_or_else(|| "null".to_string()),
+        r.probes_at_groups,
+        r.probes_at_10x_groups,
+        json_f64(r.group_scaling_ratio),
+        json_f64(r.pergroup_pings_per_sec),
+        json_f64(r.shared_probes_per_sec),
+        json_f64(r.pergroup_bytes_per_sec),
+        json_f64(r.shared_bytes_per_sec),
+        json_f64(r.amortization_ratio),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_peers_probe_once_per_period_and_never_die() {
+        let peers: Vec<ProcId> = (1..=8).collect();
+        let io = run_detector(&peers, 5, 7);
+        // First rounds are jittered inside period one, then one probe per
+        // peer per period; the clock stops at the period-5 boundary so the
+        // count can be off by at most one round per peer.
+        assert!(io.probes >= 8 * 4 && io.probes <= 8 * 6, "{}", io.probes);
+        assert_eq!(io.verdicts, 0);
+        assert_eq!(io.indirects, 0);
+    }
+
+    #[test]
+    fn probe_count_is_group_invariant() {
+        let tiny = LivenessParams {
+            edges: 1000,
+            peers: 8,
+            periods: 3,
+        };
+        let r = suite(&tiny, 1);
+        assert_eq!(r.probes_at_groups, r.probes_at_10x_groups);
+        assert!((r.group_scaling_ratio - 1.0).abs() < 1e-9);
+        assert!((r.amortization_ratio - 1000.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_produces_parseable_json() {
+        let tiny = LivenessParams {
+            edges: 500,
+            peers: 4,
+            periods: 2,
+        };
+        let r = suite(&tiny, 1);
+        let doc = format!("{{\n  \"liveness\": {}\n}}", render_json(&r));
+        let v = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(
+            v.get("liveness.scaling.group_scaling_ratio")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert!(
+            v.get("liveness.registry.subscribe_ns_per_edge")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+}

@@ -18,13 +18,15 @@
 //! propagated on the wire inside `HardNotification` so members observe the
 //! same classified cause the declaring node saw.
 
+use fuse_liveness::{Detector, LivenessIo, LivenessTimer, SubscriptionRegistry, Verdict};
 use fuse_overlay::node::RouteStart;
-use fuse_overlay::{NodeInfo, OverlayIo, OverlayNode, OverlayUpcall};
+use fuse_overlay::{NodeInfo, OverlayIo, OverlayMsg, OverlayNode, OverlayUpcall};
 use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
 use fuse_util::backoff::Backoff;
 use fuse_util::idgen::IdGen;
 use fuse_util::{DetHashMap, DetHashSet};
 use fuse_wire::{Decode, Digest, EncodeBuf, Sha1};
+use rand::rngs::StdRng;
 
 use crate::messages::{FuseMsg, InstallChecking};
 use crate::types::{
@@ -48,6 +50,71 @@ pub trait FuseIo: OverlayIo {
     fn app(&mut self, ev: FuseEvent);
 }
 
+/// [`LivenessIo`] adapter the embedded shared-plane detector runs against.
+///
+/// Bridges detector effects onto the node's [`FuseIo`]: probes go out as
+/// overlay messages carrying the link's piggyback digest, detector timers
+/// ride [`FuseTimer::Liveness`], and verdicts are buffered so the layer can
+/// apply them *after* the detector call returns (the detector and the rest
+/// of the layer are disjoint borrows of [`FuseLayer`]).
+struct PlaneIo<'a, IO: FuseIo> {
+    io: &'a mut IO,
+    me: ProcId,
+    hashes: &'a DetHashMap<ProcId, Digest>,
+    /// Overlay neighbors, the relay pool for indirect probes. Wider than
+    /// the subscribed-peer set on purpose: a node whose groups all ride
+    /// one link still gets relays, so a lossy (or adversarially dropped)
+    /// direct path cannot manufacture a false kill on its own.
+    neighbors: &'a [ProcId],
+    verdicts: Vec<(ProcId, Verdict)>,
+}
+
+impl<IO: FuseIo> LivenessIo for PlaneIo<'_, IO> {
+    fn now(&self) -> SimTime {
+        self.io.now()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        self.io.rng()
+    }
+
+    fn send_probe(&mut self, to: ProcId, nonce: u64) {
+        let hash = self.hashes.get(&to).copied();
+        self.io.send(to, OverlayMsg::Probe { nonce, hash });
+    }
+
+    fn send_indirect(&mut self, relay: ProcId, target: ProcId, nonce: u64) {
+        self.io.send(
+            relay,
+            OverlayMsg::IndirectProbe {
+                origin: self.me,
+                target,
+                nonce,
+            },
+        );
+    }
+
+    fn relay_candidates(&mut self, target: ProcId) -> Vec<ProcId> {
+        self.neighbors
+            .iter()
+            .copied()
+            .filter(|&p| p != target && p != self.me)
+            .collect()
+    }
+
+    fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle {
+        self.io.set_fuse_timer(after, FuseTimer::Liveness(tag))
+    }
+
+    fn cancel_timer(&mut self, h: TimerHandle) {
+        self.io.cancel_timer(h);
+    }
+
+    fn verdict(&mut self, peer: ProcId, v: Verdict) {
+        self.verdicts.push((peer, v));
+    }
+}
+
 /// Counters exposed for tests and experiments.
 #[derive(Debug, Clone, Default)]
 pub struct FuseStats {
@@ -69,12 +136,23 @@ pub struct FuseStats {
     pub links_expired: u64,
     /// Reconciliations triggered by hash mismatches.
     pub reconciles: u64,
-    /// Piggyback digests recomputed (cache misses: `by_peer` changed).
+    /// Piggyback digests recomputed (cache misses: the link's monitored
+    /// set changed).
     pub hashes_computed: u64,
+    /// Shared-plane `Suspected` verdicts observed (burn nothing by
+    /// themselves).
+    pub suspects: u64,
+    /// Shared-plane refutations: a suspected peer proved alive in time.
+    pub refutations: u64,
+    /// Shared-plane `Dead` verdicts (each burns exactly the subscribed
+    /// groups).
+    pub peer_deaths: u64,
 }
 
 struct Link {
-    timer: TimerHandle,
+    /// Per-(group, link) expiry timer — `None` in shared-plane mode, where
+    /// the node-level detector owns liveness for the peer.
+    timer: Option<TimerHandle>,
     installed_at: SimTime,
 }
 
@@ -127,10 +205,16 @@ pub struct FuseLayer {
     idgen: IdGen,
     groups: DetHashMap<FuseId, Group>,
     creating: DetHashMap<FuseId, CreateAttempt>,
-    /// Index: which groups monitor each link (drives the piggyback hash).
-    by_peer: DetHashMap<ProcId, DetHashSet<FuseId>>,
-    /// Cached per-peer piggyback digest: recomputed only when
-    /// `by_peer[peer]` changes, *not* on every `PingHash` arrival.
+    /// Index: which groups monitor each link (drives the piggyback hash and,
+    /// in shared-plane mode, which groups a peer verdict burns).
+    subs: SubscriptionRegistry<FuseId>,
+    /// Node-level SWIM-style failure detector. Constructed always, driven
+    /// only when `cfg.shared_plane` is set: subscribe/unsubscribe edges add
+    /// and remove probed peers, and its `Dead` verdicts replace per-(group,
+    /// link) `LinkExpired` timers.
+    detector: Detector,
+    /// Cached per-peer piggyback digest: recomputed only when the peer's
+    /// subscribed-group set changes, *not* on every `PingHash` arrival.
     hash_cache: DetHashMap<ProcId, Digest>,
     /// Application context registered per group via `register_handler`;
     /// returned inside the failure [`Notification`].
@@ -151,13 +235,15 @@ impl FuseLayer {
     /// Creates the layer for node `me`.
     pub fn new(me: NodeInfo, cfg: FuseConfig) -> Self {
         let tag = u64::from(me.proc);
+        let detector = Detector::new(cfg.liveness.clone());
         FuseLayer {
             cfg,
             me,
             idgen: IdGen::new(tag),
             groups: DetHashMap::default(),
             creating: DetHashMap::default(),
-            by_peer: DetHashMap::default(),
+            subs: SubscriptionRegistry::default(),
+            detector,
             hash_cache: DetHashMap::default(),
             handlers: DetHashMap::default(),
             send_bound: DetHashMap::default(),
@@ -713,17 +799,13 @@ impl FuseLayer {
             OverlayUpcall::LinkDown { peer, .. } => {
                 // Dead or rerouted link: every group monitoring it soft-fails
                 // that branch and repairs.
-                let ids: Vec<FuseId> = self
-                    .by_peer
-                    .get(&peer)
-                    .map(|s| {
-                        let mut v: Vec<FuseId> = s.iter().copied().collect();
-                        v.sort_unstable();
-                        v
-                    })
-                    .unwrap_or_default();
-                for id in ids {
+                for id in self.subs.subscribers(peer) {
                     self.local_link_failed(io, ov, id, peer);
+                }
+            }
+            OverlayUpcall::ProbeAcked { peer, nonce, .. } => {
+                if self.cfg.shared_plane {
+                    self.drive_detector(io, ov, |det, pio| det.on_ack(pio, peer, nonce));
                 }
             }
             OverlayUpcall::Delivered { src, prev, payload } => {
@@ -854,16 +936,9 @@ impl FuseLayer {
         let mine = self.hash_for(peer);
         if mine == hash {
             // Agreement: refresh every (group, link) timer this hash covers.
-            let ids: Vec<FuseId> = self
-                .by_peer
-                .get(&peer)
-                .map(|s| {
-                    let mut v: Vec<FuseId> = s.iter().copied().collect();
-                    v.sort_unstable();
-                    v
-                })
-                .unwrap_or_default();
-            for id in ids {
+            // (In shared-plane mode links carry no timers and this loop
+            // no-ops; the detector's probe rounds are the refresh.)
+            for id in self.subs.subscribers(peer) {
                 self.reset_link_timer(io, id, peer);
             }
         } else {
@@ -882,15 +957,7 @@ impl FuseLayer {
         theirs: &[(FuseId, u64)],
     ) {
         let their_ids: DetHashSet<FuseId> = theirs.iter().map(|&(id, _)| id).collect();
-        let mine: Vec<FuseId> = self
-            .by_peer
-            .get(&peer)
-            .map(|s| {
-                let mut v: Vec<FuseId> = s.iter().copied().collect();
-                v.sort_unstable();
-                v
-            })
-            .unwrap_or_default();
+        let mine = self.subs.subscribers(peer);
         let now = io.now();
         for id in mine {
             if their_ids.contains(&id) {
@@ -921,6 +988,11 @@ impl FuseLayer {
             FuseTimer::LinkExpired { id, peer } => {
                 self.stats.links_expired += 1;
                 self.local_link_failed(io, ov, id, peer);
+            }
+            FuseTimer::Liveness(t) => {
+                if self.cfg.shared_plane {
+                    self.drive_detector(io, ov, |det, pio| det.on_timer(pio, t));
+                }
             }
             FuseTimer::CreateTimeout { id } => {
                 self.create_failed(io, id, CreateError::MemberUnreachable);
@@ -1033,18 +1105,71 @@ impl FuseLayer {
             self.declare_failed(io, ov, id, NotifyReason::ConnectionBroken);
         }
         // Liveness-tree links to this peer are gone.
-        let ids: Vec<FuseId> = self
-            .by_peer
-            .get(&peer)
-            .map(|s| {
-                let mut v: Vec<FuseId> = s.iter().copied().collect();
-                v.sort_unstable();
-                v
-            })
-            .unwrap_or_default();
-        for id in ids {
+        for id in self.subs.subscribers(peer) {
             self.local_link_failed(io, ov, id, peer);
         }
+    }
+
+    // ---- Shared liveness plane --------------------------------------------------
+
+    /// Runs one detector entry point through a scratch [`PlaneIo`], then
+    /// applies whatever verdicts it emitted.
+    fn drive_detector<IO: FuseIo>(
+        &mut self,
+        io: &mut IO,
+        ov: &mut OverlayNode,
+        f: impl for<'a, 'b> FnOnce(&'b mut Detector, &'b mut PlaneIo<'a, IO>),
+    ) {
+        let neighbors = ov.neighbors();
+        let mut pio = PlaneIo {
+            io,
+            me: self.me.proc,
+            hashes: &self.hash_cache,
+            neighbors: &neighbors,
+            verdicts: Vec::new(),
+        };
+        f(&mut self.detector, &mut pio);
+        let verdicts = pio.verdicts;
+        for (peer, v) in verdicts {
+            self.apply_verdict(io, ov, peer, v);
+        }
+    }
+
+    /// Applies one shared-plane verdict. `Dead` burns exactly the groups
+    /// subscribed to the peer, through the *identical* cascade a per-group
+    /// `LinkExpired` fires (soft-notify the rest of the tree, then member
+    /// repair give-up or root-driven repair) — that is what keeps the
+    /// per-group notification guarantees intact under amortization.
+    /// `Suspected` burns nothing: refutation may still arrive.
+    fn apply_verdict(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        peer: ProcId,
+        v: Verdict,
+    ) {
+        match v {
+            Verdict::Suspected => self.stats.suspects += 1,
+            Verdict::Refuted => self.stats.refutations += 1,
+            Verdict::Dead => {
+                self.stats.peer_deaths += 1;
+                for id in self.subs.subscribers(peer) {
+                    self.local_link_failed(io, ov, id, peer);
+                }
+            }
+        }
+    }
+
+    /// The embedded shared-plane detector (visibility for tests and the
+    /// liveness bench).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The verdict-subscription registry (visibility for tests and the
+    /// liveness bench).
+    pub fn subscriptions(&self) -> &SubscriptionRegistry<FuseId> {
+        &self.subs
     }
 
     // ---- Failure machinery ------------------------------------------------------
@@ -1062,10 +1187,12 @@ impl FuseLayer {
         let Some(link) = g.links.remove(&peer) else {
             return;
         };
-        io.cancel_timer(link.timer);
+        if let Some(t) = link.timer {
+            io.cancel_timer(t);
+        }
         let seq = g.seq;
         let others: Vec<ProcId> = g.links.keys().copied().collect();
-        self.unindex_link(ov, id, peer);
+        self.unindex_link(io, ov, id, peer);
         for p in others {
             self.stats.soft_sent += 1;
             io.send_fuse(p, FuseMsg::SoftNotification { id, seq });
@@ -1259,16 +1386,21 @@ impl FuseLayer {
         debug_assert_ne!(peer, self.me.proc);
         let now = io.now();
         let timeout = self.cfg.link_failure_timeout;
+        let shared = self.cfg.shared_plane;
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
         match g.links.get_mut(&peer) {
             Some(link) => {
-                io.cancel_timer(link.timer);
-                link.timer = io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer });
+                if let Some(t) = link.timer.take() {
+                    io.cancel_timer(t);
+                }
+                link.timer = (!shared)
+                    .then(|| io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
             }
             None => {
-                let timer = io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer });
+                let timer = (!shared)
+                    .then(|| io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
                 g.links.insert(
                     peer,
                     Link {
@@ -1276,7 +1408,10 @@ impl FuseLayer {
                         installed_at: now,
                     },
                 );
-                self.by_peer.entry(peer).or_default().insert(id);
+                let first = self.subs.subscribe(peer, id);
+                if first && shared {
+                    self.drive_detector(io, ov, |det, pio| det.add_peer(pio, peer));
+                }
                 self.push_hash(ov, peer);
             }
         }
@@ -1286,18 +1421,27 @@ impl FuseLayer {
         let timeout = self.cfg.link_failure_timeout;
         if let Some(g) = self.groups.get_mut(&id) {
             if let Some(link) = g.links.get_mut(&peer) {
-                io.cancel_timer(link.timer);
-                link.timer = io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer });
+                // Shared-plane links carry no timer (`None`): nothing to
+                // refresh, the node-level detector owns the peer's liveness.
+                if let Some(t) = link.timer.take() {
+                    io.cancel_timer(t);
+                    link.timer =
+                        Some(io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
+                }
             }
         }
     }
 
-    fn unindex_link(&mut self, ov: &mut OverlayNode, id: FuseId, peer: ProcId) {
-        if let Some(set) = self.by_peer.get_mut(&peer) {
-            set.remove(&id);
-            if set.is_empty() {
-                self.by_peer.remove(&peer);
-            }
+    fn unindex_link(
+        &mut self,
+        io: &mut impl FuseIo,
+        ov: &mut OverlayNode,
+        id: FuseId,
+        peer: ProcId,
+    ) {
+        let last = self.subs.unsubscribe(peer, id);
+        if last && self.cfg.shared_plane {
+            self.drive_detector(io, ov, |det, pio| det.remove_peer(pio, peer));
         }
         self.push_hash(ov, peer);
     }
@@ -1311,10 +1455,12 @@ impl FuseLayer {
         for peer in peers {
             if let Some(g) = self.groups.get_mut(&id) {
                 if let Some(link) = g.links.remove(&peer) {
-                    io.cancel_timer(link.timer);
+                    if let Some(t) = link.timer {
+                        io.cancel_timer(t);
+                    }
                 }
             }
-            self.unindex_link(ov, id, peer);
+            self.unindex_link(io, ov, id, peer);
         }
     }
 
@@ -1335,32 +1481,30 @@ impl FuseLayer {
     /// Recomputes the digest from scratch (cache fill and the consistency
     /// check in tests).
     fn recompute_hash(&self, peer: ProcId) -> Digest {
-        match self.by_peer.get(&peer) {
-            None => Digest::of_empty(),
-            Some(set) => {
-                let mut ids: Vec<FuseId> = set.iter().copied().collect();
-                ids.sort_unstable();
-                let mut h = Sha1::new();
-                for id in ids {
-                    h.update(&id.0.to_be_bytes());
-                }
-                h.finalize()
-            }
+        let ids = self.subs.subscribers(peer);
+        if ids.is_empty() {
+            return Digest::of_empty();
         }
+        let mut h = Sha1::new();
+        for id in ids {
+            h.update(&id.0.to_be_bytes());
+        }
+        h.finalize()
     }
 
     /// Whether every cached digest equals a fresh recomputation and no
     /// stale entries linger — the invariant behind taking SHA-1 off the
     /// per-ping path (test hook).
     pub fn hash_cache_consistent(&self) -> bool {
-        self.by_peer
-            .keys()
+        self.subs
+            .peers()
+            .iter()
             .all(|&p| self.hash_cache.get(&p) == Some(&self.recompute_hash(p)))
-            && self.hash_cache.keys().all(|p| self.by_peer.contains_key(p))
+            && self.hash_cache.keys().all(|&p| self.subs.has_peer(p))
     }
 
     fn push_hash(&mut self, ov: &mut OverlayNode, peer: ProcId) {
-        let hash = if self.by_peer.contains_key(&peer) {
+        let hash = if self.subs.has_peer(peer) {
             self.stats.hashes_computed += 1;
             let d = self.recompute_hash(peer);
             self.hash_cache.insert(peer, d);
@@ -1373,17 +1517,11 @@ impl FuseLayer {
     }
 
     fn links_with(&self, peer: ProcId) -> Vec<(FuseId, u64)> {
-        let mut v: Vec<(FuseId, u64)> = self
-            .by_peer
-            .get(&peer)
-            .map(|set| {
-                set.iter()
-                    .filter_map(|id| self.groups.get(id).map(|g| (*id, g.seq)))
-                    .collect()
-            })
-            .unwrap_or_default();
-        v.sort_unstable();
-        v
+        self.subs
+            .subscribers(peer)
+            .into_iter()
+            .filter_map(|id| self.groups.get(&id).map(|g| (id, g.seq)))
+            .collect()
     }
 
     fn new_backoff(&self) -> Backoff {

@@ -2,6 +2,7 @@
 //! client-facing event model (`CreateTicket` / `GroupHandle` /
 //! [`FuseEvent`]).
 
+use fuse_liveness::{LivenessConfig, LivenessTimer};
 use fuse_sim::{ProcId, SimDuration, SimTime};
 use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
 
@@ -61,6 +62,14 @@ pub struct FuseConfig {
     pub repair_backoff_base: SimDuration,
     /// Cap of the per-group repair backoff (paper §6.5: 40 seconds).
     pub repair_backoff_cap: SimDuration,
+    /// Liveness mode switch: `false` (default) keeps the paper's
+    /// per-(group, link) expiry timers; `true` amortizes liveness into the
+    /// shared node-level failure-detector plane (`fuse_liveness`), where a
+    /// `Dead` verdict on a peer burns exactly the groups subscribed to it.
+    pub shared_plane: bool,
+    /// Tuning of the shared failure detector (only read when
+    /// `shared_plane` is set).
+    pub liveness: LivenessConfig,
 }
 
 impl Default for FuseConfig {
@@ -74,6 +83,8 @@ impl Default for FuseConfig {
             reconcile_grace: SimDuration::from_secs(5),
             repair_backoff_base: SimDuration::from_secs(1),
             repair_backoff_cap: SimDuration::from_secs(40),
+            shared_plane: false,
+            liveness: LivenessConfig::default(),
         }
     }
 }
@@ -315,6 +326,9 @@ pub enum FuseTimer {
         /// The group.
         id: FuseId,
     },
+    /// A shared-plane failure-detector timer (probe rounds, suspicion
+    /// windows); routed to the embedded [`fuse_liveness::Detector`].
+    Liveness(LivenessTimer),
 }
 
 #[cfg(test)]
@@ -356,6 +370,10 @@ mod tests {
         assert!(
             c.link_failure_timeout > SimDuration::from_secs(80),
             "link expiry must exceed ping period + ping timeout"
+        );
+        assert!(
+            !c.shared_plane,
+            "the paper's per-group liveness path must stay the default"
         );
     }
 }

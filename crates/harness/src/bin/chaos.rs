@@ -1,9 +1,9 @@
 //! Chaos explorer CLI.
 //!
 //! ```text
-//! chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] [--out FILE]
+//! chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] [--shared-plane] [--out FILE]
 //! chaos replay <token> [--shards K]
-//! chaos crosscheck [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K]
+//! chaos crosscheck [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] [--plane-diff]
 //! ```
 //!
 //! `explore` generates N scripts from the seed, runs each in a fresh
@@ -23,19 +23,35 @@
 //! two [`RunReport`]s, trace fingerprints included, are bit-identical.
 //! This is the CI guard for the sharded kernel's determinism-in-the-
 //! shard-count contract on full protocol stacks.
+//!
+//! `--shared-plane` runs every explored script with the shared liveness
+//! plane (DESIGN.md §9) instead of per-(group, link) timers.
+//! `--plane-diff` adds a third run per crosscheck script — shared plane,
+//! 1 shard — and asserts the *burn outcome* (burned flag, per-participant
+//! notification counts and reasons) matches the per-group run, plus that
+//! the shared run holds every invariant. Fingerprints are deliberately
+//! not compared across planes: the two modes exchange different wire
+//! traffic. Scripts whose adversary drops a liveness-carrying class
+//! (`overlay.ping`, `overlay.ack`, or a probe flavor) are exempt from the
+//! equality check — dropping a class starves exactly one plane's
+//! transport, so the planes legitimately diverge there — but both runs
+//! must still hold the invariants.
 
 use std::process::ExitCode;
 
 use fuse_harness::chaos::{
-    explore, parse_token, run_script, run_script_sharded, ExploreParams, RunReport,
+    explore, parse_token, run_script, run_script_sharded, ChaosOp, ChaosScript, ExploreParams,
+    MsgClass, RunReport,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] [--out FILE]\n  \
+         chaos explore [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] \
+         [--shared-plane] [--out FILE]\n  \
          chaos replay <token> [--shards K]\n  \
-         chaos crosscheck [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K]"
+         chaos crosscheck [--scripts N] [--seed S] [--n NODES] [--group K] [--shards K] \
+         [--plane-diff]"
     );
     ExitCode::from(2)
 }
@@ -70,6 +86,7 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut n = 24usize;
     let mut group: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut shared_plane = false;
     let mut out = String::from("CHAOS_REPRO.txt");
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -101,6 +118,7 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                 Some(v) if v >= 1 => shards = Some(v),
                 _ => return usage(),
             },
+            "--shared-plane" => shared_plane = true,
             "--out" => match val("--out") {
                 Some(v) => out = v,
                 None => return usage(),
@@ -113,15 +131,17 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     params.n = n;
     params.group_size = group;
     params.shards = shards;
+    params.shared_plane = shared_plane;
     println!(
-        "chaos explore: {} scripts, base seed {}, {}-node worlds{}",
+        "chaos explore: {} scripts, base seed {}, {}-node worlds{}{}",
         scripts,
         seed,
         n,
         match shards {
             Some(k) => format!(", sharded kernel ({k} shards)"),
             None => String::new(),
-        }
+        },
+        if shared_plane { ", shared plane" } else { "" }
     );
     let mut ran = 0usize;
     match explore(&params, |i, r| {
@@ -216,6 +236,7 @@ fn cmd_crosscheck(args: &[String]) -> ExitCode {
     let mut n = 24usize;
     let mut group: Option<usize> = None;
     let mut shards = 4usize;
+    let mut plane_diff = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Option<String> {
@@ -246,6 +267,7 @@ fn cmd_crosscheck(args: &[String]) -> ExitCode {
                 Some(v) if v >= 2 => shards = v,
                 _ => return usage(),
             },
+            "--plane-diff" => plane_diff = true,
             _ => return usage(),
         }
     }
@@ -255,7 +277,12 @@ fn cmd_crosscheck(args: &[String]) -> ExitCode {
     params.group_size = group;
     println!(
         "chaos crosscheck: {scripts} scripts, base seed {seed}, {n}-node worlds, \
-         sharded kernel at 1 vs {shards} shards"
+         sharded kernel at 1 vs {shards} shards{}",
+        if plane_diff {
+            ", plus per-group vs shared plane"
+        } else {
+            ""
+        }
     );
     let mut mismatches = 0usize;
     for i in 0..scripts {
@@ -285,6 +312,9 @@ fn cmd_crosscheck(args: &[String]) -> ExitCode {
             println!("  -- {shards} shards:");
             print_report(&multi);
         }
+        if plane_diff && !plane_check(&cfg, &script, &single, i, scripts) {
+            mismatches += 1;
+        }
     }
     if mismatches == 0 {
         println!("chaos crosscheck: {scripts} scripts bit-identical across shard counts");
@@ -292,5 +322,82 @@ fn cmd_crosscheck(args: &[String]) -> ExitCode {
     } else {
         println!("chaos crosscheck: {mismatches} mismatch(es)");
         ExitCode::FAILURE
+    }
+}
+
+/// Whether the script's adversary ever drops a class that carries one
+/// plane's liveness traffic. Dropping `overlay.ping`/`overlay.ack`
+/// starves only the per-group timers; dropping a probe flavor starves
+/// only the shared detector. The planes usually still agree (repair
+/// absorbs the starved plane's false kills), but the divergent traffic
+/// shifts timing enough that a node restarting mid-burn can learn of
+/// the failure through a different path — same burn set, different
+/// reason label — so the plane-diff compares invariants only here.
+fn drops_liveness_class(script: &ChaosScript) -> bool {
+    script.phases.iter().any(|p| {
+        matches!(
+            p.op,
+            ChaosOp::AdversaryDrop {
+                class: MsgClass::Ping
+                    | MsgClass::Ack
+                    | MsgClass::ProbeDirect
+                    | MsgClass::ProbeIndirect,
+            }
+        )
+    })
+}
+
+/// The plane-diff leg: re-runs `script` with the shared liveness plane
+/// (1 shard) and asserts the shared run holds every invariant and — for
+/// scripts that don't target a liveness-carrying message class — that
+/// its burn outcome matches the per-group run `single`. Returns whether
+/// the script passed.
+fn plane_check(
+    cfg: &fuse_harness::chaos::ChaosConfig,
+    script: &ChaosScript,
+    single: &RunReport,
+    i: usize,
+    scripts: usize,
+) -> bool {
+    let mut shared_cfg = cfg.clone();
+    shared_cfg.shared_plane = true;
+    let shared = run_script_sharded(&shared_cfg, script, 1);
+    if !shared.violations.is_empty() {
+        println!(
+            "  [{}/{}] PLANE VIOLATION (shared-plane run breaks invariants)",
+            i + 1,
+            scripts
+        );
+        print_report(&shared);
+        return false;
+    }
+    if drops_liveness_class(script) {
+        println!(
+            "  [{}/{}] plane: invariants ok, burn-set compare skipped (liveness-class adversary)",
+            i + 1,
+            scripts
+        );
+        return true;
+    }
+    if single.burn_outcome() == shared.burn_outcome() {
+        println!(
+            "  [{}/{}] plane: burn outcome identical (burned={} notified={:?})",
+            i + 1,
+            scripts,
+            shared.burned,
+            shared.notified
+        );
+        true
+    } else {
+        println!(
+            "  [{}/{}] PLANE MISMATCH (per-group vs shared burn outcome)",
+            i + 1,
+            scripts
+        );
+        println!("  -- per-group:");
+        print_report(single);
+        println!("  -- shared:");
+        print_report(&shared);
+        false
     }
 }

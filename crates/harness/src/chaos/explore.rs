@@ -21,6 +21,10 @@ pub struct ExploreParams {
     pub group_size: Option<usize>,
     /// Injected-regression knob forwarded into every run's config.
     pub member_repair_timeout_s: Option<u64>,
+    /// Run every script with the shared liveness plane instead of
+    /// per-(group, link) timers. Scripts are generated from the seed
+    /// alone, so the same exploration replays in either mode.
+    pub shared_plane: bool,
     /// Run every script on the sharded kernel with this many shards
     /// instead of the single kernel. Shrinking uses the same kernel, so a
     /// sharded failure stays a sharded repro.
@@ -36,6 +40,7 @@ impl ExploreParams {
             n: 24,
             group_size: None,
             member_repair_timeout_s: None,
+            shared_plane: false,
             shards: None,
         }
     }
@@ -45,6 +50,7 @@ impl ExploreParams {
         let gs = self.group_size.unwrap_or(2 + i % 4);
         let mut cfg = ChaosConfig::new(self.base_seed + i as u64, self.n, gs);
         cfg.member_repair_timeout_s = self.member_repair_timeout_s;
+        cfg.shared_plane = self.shared_plane;
         cfg
     }
 

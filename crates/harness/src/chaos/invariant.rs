@@ -44,6 +44,12 @@ pub struct RunContext {
     /// state (a participant left dead / unplugged / partitioned off, or an
     /// explicit signal) or observed as a notification during the run.
     pub burned: bool,
+    /// Whether every scripted op was provably harmless to participant
+    /// connectivity — at most one probe flavor dropped by the adversary,
+    /// adversary clears, and trivial heals; no crash, loss, partition,
+    /// disconnect or signal ever applied. On a benign run any
+    /// notification at all is a false suspicion.
+    pub benign: bool,
     /// Latest instant a notification may legally arrive (last script phase
     /// plus the detection budget).
     pub deadline: SimTime,
@@ -166,6 +172,43 @@ impl Invariant for NoOrphanState {
     }
 }
 
+/// No false suspicion: while both endpoints of every monitored pair are
+/// alive and mutually connected, no group may burn. The runner marks a
+/// run *benign* only when the script provably never disturbed
+/// connectivity — the interesting case being the §3.5 adversary dropping
+/// exactly one probe flavor (`overlay.probe-direct` or
+/// `overlay.probe-indirect`, never both): the shared plane's other path
+/// must keep confirming liveness, and the per-group plane never used the
+/// probes at all. Any notification on a benign run is a detector (or
+/// liveness-timer) false positive.
+pub struct FalseSuspicion;
+
+impl Invariant for FalseSuspicion {
+    fn name(&self) -> &'static str {
+        "false-suspicion"
+    }
+
+    fn check(&self, world: &dyn ChaosObservable, ctx: &RunContext) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if !ctx.benign {
+            return out;
+        }
+        for p in 0..world.n_nodes() as ProcId {
+            for t in world.failures(p, ctx.id) {
+                out.push(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "benign run, but node {p} heard a failure notification for {} at {}ns",
+                        ctx.id,
+                        t.nanos()
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
 /// The standard checker set every chaos run (and the ported integration
 /// tests) evaluates.
 pub fn standard_invariants() -> Vec<Box<dyn Invariant>> {
@@ -173,5 +216,6 @@ pub fn standard_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(ExactlyOnceAgreement),
         Box::new(BoundedDetection),
         Box::new(NoOrphanState),
+        Box::new(FalseSuspicion),
     ]
 }

@@ -12,7 +12,7 @@ use fuse_sim::{ProcId, SimDuration, SimTime};
 use fuse_util::DetHashSet;
 
 use crate::chaos::invariant::{standard_invariants, RunContext, Violation};
-use crate::chaos::script::{ChaosOp, ChaosScript};
+use crate::chaos::script::{ChaosOp, ChaosScript, MsgClass};
 use crate::world::{
     create_group_blocking_on, ChaosHost, ChaosObservable, ShardedWorld, World, WorldParams,
 };
@@ -32,6 +32,12 @@ pub struct ChaosConfig {
     /// assumes the repair answer will arrive" bug class the acceptance
     /// criteria name; `None` runs the honest protocol.
     pub member_repair_timeout_s: Option<u64>,
+    /// Run every node with the shared liveness plane (DESIGN.md §9): one
+    /// SWIM-style detector per node and per-group verdict subscriptions
+    /// instead of per-(group, link) timers. Both modes must satisfy the
+    /// same invariant set; the `chaos crosscheck --plane-diff` leg also
+    /// asserts burn-set equivalence script by script.
+    pub shared_plane: bool,
     /// Budget for every obligated notification, counted from the last
     /// script phase.
     pub detection_budget: SimDuration,
@@ -56,6 +62,7 @@ impl ChaosConfig {
             n,
             group_size,
             member_repair_timeout_s: None,
+            shared_plane: false,
             detection_budget: SimDuration::from_secs(480),
             orphan_grace: SimDuration::from_secs(240),
         }
@@ -66,12 +73,14 @@ impl ChaosConfig {
         // Small test topology (same structure as the wide-area default);
         // matches the integration tests' world.
         p.topo.n_as = 24;
+        // The FUSE knobs compose: the injected-regression timeout and the
+        // liveness-plane switch may both be set on one config.
+        let mut fuse = FuseConfig::default();
         if let Some(s) = self.member_repair_timeout_s {
-            p.fuse = FuseConfig {
-                member_repair_timeout: SimDuration::from_secs(s),
-                ..FuseConfig::default()
-            };
+            fuse.member_repair_timeout = SimDuration::from_secs(s);
         }
+        fuse.shared_plane = self.shared_plane;
+        p.fuse = fuse;
         p
     }
 }
@@ -93,6 +102,22 @@ pub struct RunReport {
     pub end: SimTime,
     /// Per-participant notification counts, in slot order.
     pub notified: Vec<(ProcId, usize)>,
+    /// Per-participant notification reason labels, in slot and arrival
+    /// order. The plane cross-check compares these (plus [`Self::burned`]
+    /// and [`Self::notified`]) across liveness modes — never the
+    /// fingerprint, which folds timing and event counts that legitimately
+    /// differ between the per-group and shared planes.
+    pub reasons: Vec<(ProcId, Vec<&'static str>)>,
+}
+
+impl RunReport {
+    /// The mode-independent outcome of the run: who burned, who heard how
+    /// many notifications, and for which reasons. Two liveness modes that
+    /// agree on this value produced the same application-visible behavior
+    /// even though their wire traffic (and hence fingerprints) differ.
+    pub fn burn_outcome(&self) -> (bool, &[(ProcId, usize)], &[(ProcId, Vec<&'static str>)]) {
+        (self.burned, &self.notified, &self.reasons)
+    }
 }
 
 /// Runtime op: the script desugared onto an absolute-offset timeline
@@ -215,6 +240,7 @@ fn run_script_on<W: ChaosHost>(
                     events_executed: 0,
                     end: SimTime::ZERO,
                     notified: Vec::new(),
+                    reasons: Vec::new(),
                 };
             }
         }
@@ -245,6 +271,7 @@ fn run_script_on<W: ChaosHost>(
                 events_executed: world.events_executed(),
                 end: world.now(),
                 notified: Vec::new(),
+                reasons: Vec::new(),
             };
         }
     };
@@ -254,10 +281,44 @@ fn run_script_on<W: ChaosHost>(
     let mut ever_crashed: DetHashSet<ProcId> = DetHashSet::default();
     let mut signaled = false;
     let mut t_last = t0;
+    // Benign tracking for the false-suspicion invariant: the run stays
+    // benign while every applied op is provably harmless to participant
+    // connectivity — an adversary dropping only ONE probe flavor (the
+    // other path still confirms liveness), clearing the adversary, or
+    // healing partitions that were never installed. Anything else (a
+    // crash, loss, a partition, a non-probe content drop, or both probe
+    // flavors dropped at once) forfeits the benign claim for the whole
+    // run.
+    let mut benign = true;
+    let mut active_drops: DetHashSet<&'static str> = DetHashSet::default();
     for &(at, op) in &ops {
         let when = t0 + at;
         world.run_to(when);
         t_last = t_last.max(when);
+        match op {
+            RtOp::GlobalLoss(rate) => {
+                if rate > 0.0 {
+                    benign = false;
+                }
+            }
+            RtOp::Op(op) => match op {
+                ChaosOp::AdversaryDrop {
+                    class: class @ (MsgClass::ProbeDirect | MsgClass::ProbeIndirect),
+                } => {
+                    active_drops.insert(class.label());
+                    if active_drops.len() == 2 {
+                        // Both probe flavors muted: the shared detector is
+                        // blind and its false kills churn through repair.
+                        // Repair normally absorbs them all, but the claim
+                        // is timing-dependent, not provable — forfeit.
+                        benign = false;
+                    }
+                }
+                ChaosOp::AdversaryClear => active_drops.clear(),
+                ChaosOp::HealPartitions => {}
+                _ => benign = false,
+            },
+        }
         match op {
             RtOp::GlobalLoss(rate) => world.set_global_loss(rate),
             RtOp::Op(op) => match op {
@@ -372,6 +433,7 @@ fn run_script_on<W: ChaosHost>(
         participants: participants.clone(),
         ever_crashed: ever_crashed.iter().copied().collect(),
         burned,
+        benign,
         deadline,
     };
     let mut violations = Vec::new();
@@ -383,6 +445,17 @@ fn run_script_on<W: ChaosHost>(
         .iter()
         .map(|&p| (p, world.failures(p, id).len()))
         .collect();
+    let reasons: Vec<(ProcId, Vec<&'static str>)> = participants
+        .iter()
+        .map(|&p| {
+            let labels = world
+                .notifications(p, id)
+                .into_iter()
+                .map(|(_, n)| n.reason.label())
+                .collect();
+            (p, labels)
+        })
+        .collect();
     let fingerprint = fingerprint(&world, id, burned);
 
     RunReport {
@@ -392,6 +465,7 @@ fn run_script_on<W: ChaosHost>(
         events_executed: world.events_executed(),
         end: world.now(),
         notified,
+        reasons,
     }
 }
 

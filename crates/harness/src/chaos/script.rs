@@ -38,11 +38,20 @@ pub enum MsgClass {
     Reconcile,
     /// Opaque application payloads (`app`).
     App,
+    /// Shared-plane direct probes and their acks
+    /// (`overlay.probe-direct`). Dropping only this class leaves the
+    /// indirect relay path intact, so the detector must not declare
+    /// anyone dead.
+    ProbeDirect,
+    /// Shared-plane indirect probe relays and relayed acks
+    /// (`overlay.probe-indirect`). Dropping only this class leaves the
+    /// direct path intact.
+    ProbeIndirect,
 }
 
 impl MsgClass {
     /// Every class, in a fixed order (generation samples from this).
-    pub const ALL: [MsgClass; 9] = [
+    pub const ALL: [MsgClass; 11] = [
         MsgClass::Ping,
         MsgClass::Ack,
         MsgClass::InstallChecking,
@@ -52,6 +61,8 @@ impl MsgClass {
         MsgClass::Repair,
         MsgClass::Reconcile,
         MsgClass::App,
+        MsgClass::ProbeDirect,
+        MsgClass::ProbeIndirect,
     ];
 
     /// The `Payload::class` label this variant drops.
@@ -66,6 +77,8 @@ impl MsgClass {
             MsgClass::Repair => "fuse.repair",
             MsgClass::Reconcile => "fuse.reconcile",
             MsgClass::App => "app",
+            MsgClass::ProbeDirect => "overlay.probe-direct",
+            MsgClass::ProbeIndirect => "overlay.probe-indirect",
         }
     }
 
@@ -457,6 +470,12 @@ mod tests {
             },
             ChaosOp::AdversaryDrop {
                 class: MsgClass::InstallChecking,
+            },
+            ChaosOp::AdversaryDrop {
+                class: MsgClass::ProbeDirect,
+            },
+            ChaosOp::AdversaryDrop {
+                class: MsgClass::ProbeIndirect,
             },
             ChaosOp::AdversaryClear,
             ChaosOp::Churn {

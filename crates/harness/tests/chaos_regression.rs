@@ -169,6 +169,192 @@ fn content_adversary_cannot_defeat_the_guarantee() {
 }
 
 #[test]
+fn dropping_one_probe_flavor_never_burns_either_plane() {
+    // §3.5 against the shared plane: an adversary dropping every direct
+    // probe (but not the indirect relays) — or every indirect relay (but
+    // not the direct probes) — must not burn a healthy group. The
+    // surviving path keeps confirming liveness. The same scripts are
+    // benign by construction, so the false-suspicion invariant is armed
+    // and any notification at all is a violation. Both planes run: the
+    // per-group plane ignores probes entirely, the shared plane must
+    // route around the hole.
+    for class in [MsgClass::ProbeDirect, MsgClass::ProbeIndirect] {
+        for shared in [false, true] {
+            let mut cfg = ChaosConfig::new(21, 16, 2);
+            cfg.shared_plane = shared;
+            // Past the detector's worst case (~110 s) with margin, but
+            // not the full 480 s default — these runs never burn, so
+            // they always run out the whole window.
+            cfg.detection_budget = SimDuration::from_secs(240);
+            let script = ChaosScript::new(vec![Phase {
+                at: SimDuration::from_secs(5),
+                op: ChaosOp::AdversaryDrop { class },
+            }]);
+            let report = chaos::run_script(&cfg, &script);
+            assert!(
+                report.violations.is_empty(),
+                "dropping {class:?} (shared={shared}) violated: {:?}\nreplay: chaos replay '{}'",
+                report.violations,
+                chaos::format_token(&cfg, &script)
+            );
+            assert!(
+                !report.burned,
+                "dropping {class:?} (shared={shared}) must not burn a healthy group"
+            );
+            assert!(
+                report.notified.iter().all(|&(_, n)| n == 0),
+                "no participant may hear a notification ({class:?}, shared={shared})"
+            );
+        }
+    }
+}
+
+/// A script muting *both* probe flavors from early on.
+fn blind_detector_script(extra: Option<Phase>) -> ChaosScript {
+    let mut phases = vec![
+        Phase {
+            at: SimDuration::from_secs(5),
+            op: ChaosOp::AdversaryDrop {
+                class: MsgClass::ProbeDirect,
+            },
+        },
+        Phase {
+            at: SimDuration::from_secs(6),
+            op: ChaosOp::AdversaryDrop {
+                class: MsgClass::ProbeIndirect,
+            },
+        },
+    ];
+    phases.extend(extra);
+    ChaosScript::new(phases)
+}
+
+#[test]
+fn blind_shared_detector_churns_repair_but_never_burns_live_members() {
+    // With both probe flavors muted the shared detector is completely
+    // blind: every round ends in suspicion and every suspicion ends in a
+    // `Dead` verdict against a peer that is actually alive. Each false
+    // kill rides the ordinary teardown cascade — and the cascade's next
+    // stop is *repair*, whose RPCs still flow. Live members answer, the
+    // tree reinstalls, and the cycle repeats. The group must NOT burn:
+    // repair is the paper's mechanism for keeping a lying failure
+    // detector from manufacturing spurious notifications, and it absorbs
+    // a blind one the same way. The per-group plane never sends probes,
+    // so the same script is a no-op there — both planes agree on the
+    // application-visible outcome (nothing happened).
+    for shared in [false, true] {
+        let mut cfg = ChaosConfig::new(23, 16, 2);
+        cfg.shared_plane = shared;
+        cfg.detection_budget = SimDuration::from_secs(240);
+        let report = chaos::run_script(&cfg, &blind_detector_script(None));
+        assert!(
+            report.violations.is_empty(),
+            "blind detector (shared={shared}) violated: {:?}",
+            report.violations
+        );
+        assert!(
+            !report.burned,
+            "repair must absorb the blind kills (shared={shared})"
+        );
+        assert!(
+            report.notified.iter().all(|&(_, n)| n == 0),
+            "no spurious notification may escape (shared={shared}): {:?}",
+            report.notified
+        );
+    }
+}
+
+#[test]
+fn blind_detector_churn_is_real_kills_absorbed_by_real_repairs() {
+    // White-box companion to the no-burn test above: the quiet outcome
+    // must be the repair loop absorbing real `Dead` verdicts, not the
+    // probes quietly surviving the drop rules. Drive a shared-plane
+    // world with both probe flavors muted and watch the root's counters:
+    // peers die, repairs start, repairs succeed, nobody gets notified.
+    use fuse_harness::world::{create_group_blocking_on, ChaosHost, World};
+    let mut p = fuse_harness::WorldParams::new(16, 23, fuse_net::NetConfig::simulator());
+    p.topo.n_as = 24;
+    p.fuse.shared_plane = true;
+    let mut world = World::build(&p);
+    let settle = world.now() + SimDuration::from_secs(2);
+    world.run_to(settle);
+    let (created, _) = create_group_blocking_on(&mut world, 0, &[5, 10]);
+    created.expect("group creation must succeed before faults");
+    world.run(SimDuration::from_secs(5));
+    world.with_fault(|f| f.drop_class("overlay.probe-direct"));
+    world.with_fault(|f| f.drop_class("overlay.probe-indirect"));
+    world.run(SimDuration::from_secs(300));
+    let stats = &world.sim.proc(0).expect("root up").fuse.stats;
+    assert!(
+        stats.peer_deaths > 0,
+        "the blind detector must actually issue Dead verdicts"
+    );
+    assert!(
+        stats.repairs_started > 0,
+        "each false kill must kick a repair round"
+    );
+    assert_eq!(
+        stats.repairs_failed, 0,
+        "live members answer every repair round"
+    );
+    assert_eq!(
+        stats.notifications, 0,
+        "no spurious notification reaches the application"
+    );
+}
+
+#[test]
+fn blind_shared_detector_still_detects_a_real_crash() {
+    // Blindness must not cost the guarantee: with both probe flavors
+    // still muted, a member that *really* crashes cannot answer repair
+    // (and direct sends to it break), so both planes burn the group and
+    // every live participant hears exactly once, in budget, with no
+    // orphaned state — §3.5's content adversary loses even against the
+    // shared plane's own transport.
+    let crash = Phase {
+        at: SimDuration::from_secs(10),
+        op: ChaosOp::Crash { slot: 1 },
+    };
+    for shared in [false, true] {
+        let mut cfg = ChaosConfig::new(23, 16, 2);
+        cfg.shared_plane = shared;
+        let report = chaos::run_script(&cfg, &blind_detector_script(Some(crash)));
+        assert!(
+            report.violations.is_empty(),
+            "crash under a blind detector (shared={shared}) violated: {:?}",
+            report.violations
+        );
+        assert!(report.burned, "the crash must burn (shared={shared})");
+    }
+}
+
+#[test]
+fn plane_burn_outcomes_match_on_a_crash_script() {
+    // The differential contract behind `chaos crosscheck --plane-diff`:
+    // for a fault that genuinely kills a participant, both planes must
+    // agree on the application-visible outcome — who burned, who heard
+    // how many notifications, and for which reasons. (Fingerprints are
+    // excluded by design: the planes exchange different wire traffic.)
+    let script = ChaosScript::new(vec![Phase {
+        at: SimDuration::from_secs(10),
+        op: ChaosOp::Crash { slot: 1 },
+    }]);
+    let pergroup_cfg = ChaosConfig::new(29, 16, 2);
+    let mut shared_cfg = ChaosConfig::new(29, 16, 2);
+    shared_cfg.shared_plane = true;
+    let pergroup = chaos::run_script(&pergroup_cfg, &script);
+    let shared = chaos::run_script(&shared_cfg, &script);
+    assert!(pergroup.violations.is_empty(), "{:?}", pergroup.violations);
+    assert!(shared.violations.is_empty(), "{:?}", shared.violations);
+    assert_eq!(
+        pergroup.burn_outcome(),
+        shared.burn_outcome(),
+        "planes must agree on the application-visible outcome"
+    );
+    assert!(pergroup.burned);
+}
+
+#[test]
 fn exploration_is_deterministic_and_regression_aware() {
     // The explorer is a pure function of its params: the same exploration
     // twice visits identical traces...

@@ -1,0 +1,67 @@
+//! Failure-detector tuning knobs.
+
+use fuse_sim::SimDuration;
+
+/// Parameters of the shared SWIM-style failure detector.
+///
+/// The defaults are chosen against FUSE's paper constants: one probe per
+/// peer per ping period (60 s, matching the overlay's ping cadence), and a
+/// worst-case detection time of `probe_period + probe_timeout +
+/// indirect_timeout + suspect_timeout` = 110 s — comfortably inside the
+/// chaos harness's 480 s detection budget and commensurate with the
+/// per-group path's 90 s link-failure timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// Gap between successive probe rounds for one peer (paper ping
+    /// period: 60 s).
+    pub probe_period: SimDuration,
+    /// How long a direct probe may go unacked before indirect relays are
+    /// tried.
+    pub probe_timeout: SimDuration,
+    /// How long the indirect round may go unacked before the peer becomes
+    /// suspected.
+    pub indirect_timeout: SimDuration,
+    /// Number of indirect probe relays asked to reach a silent peer.
+    pub k_indirect: usize,
+    /// How long a suspected peer has to refute (ack any outstanding or
+    /// subsequent probe) before the `Dead` verdict fires.
+    pub suspect_timeout: SimDuration,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            probe_period: SimDuration::from_secs(60),
+            probe_timeout: SimDuration::from_secs(10),
+            indirect_timeout: SimDuration::from_secs(10),
+            k_indirect: 2,
+            suspect_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl LivenessConfig {
+    /// Worst-case time from a peer dying just after an ack to the `Dead`
+    /// verdict: a full quiet period, the direct and indirect rounds, then
+    /// the suspicion window.
+    pub fn worst_case_detection(&self) -> SimDuration {
+        self.probe_period + self.probe_timeout + self.indirect_timeout + self.suspect_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fit_the_chaos_detection_budget() {
+        let cfg = LivenessConfig::default();
+        assert_eq!(cfg.probe_period, SimDuration::from_secs(60));
+        assert_eq!(cfg.k_indirect, 2);
+        assert_eq!(
+            cfg.worst_case_detection(),
+            SimDuration::from_secs(110),
+            "worst case must stay far below the 480 s chaos budget"
+        );
+    }
+}

@@ -1,0 +1,717 @@
+//! SWIM-style per-peer probe state machine.
+//!
+//! One [`Detector`] instance lives on each node and tracks every peer some
+//! consumer has subscribed on. Each peer independently cycles through:
+//!
+//! ```text
+//! Idle --ProbeDue--> AwaitingDirect --ProbeTimeout--> AwaitingIndirect
+//!   ^                     | ack                            | ack
+//!   |<--------------------+<------------------------------+
+//!   |                                                      | IndirectTimeout
+//!   |        ack (refutation, Verdict::Refuted)            v
+//!   +<-------------------------------------------------- Suspect
+//!                                                          | SuspectExpired
+//!                                                          v
+//!                                                    Verdict::Dead
+//! ```
+//!
+//! The machine is sans-io: transmission, timers, time, randomness and
+//! verdict delivery all flow through the [`LivenessIo`] trait, keeping the
+//! detector drivable by the deterministic kernel and by scratch test
+//! doubles alike. Probe rounds are correlated by nonce; a stale ack (wrong
+//! nonce, or a round already resolved) is ignored, except during suspicion
+//! where any ack at or after the suspect round refutes.
+
+use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_util::det::DetHashMap;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::LivenessConfig;
+
+/// What the detector concluded about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The direct and indirect rounds both went unanswered; the suspicion
+    /// window is open. No consumer action is required yet.
+    Suspected,
+    /// A suspected peer answered before the window closed; it is alive.
+    Refuted,
+    /// The suspicion window closed unanswered; consumers should treat the
+    /// peer as failed.
+    Dead,
+}
+
+/// Timer tags the detector arms through [`LivenessIo::set_timer`]. The
+/// embedding layer wraps these in its own timer enum and routes fires back
+/// to [`Detector::on_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LivenessTimer {
+    /// Start the next probe round for the peer.
+    ProbeDue(ProcId),
+    /// The direct probe of round `nonce` went unanswered.
+    ProbeTimeout {
+        /// Probed peer.
+        peer: ProcId,
+        /// Round correlator.
+        nonce: u64,
+    },
+    /// The indirect round `nonce` went unanswered.
+    IndirectTimeout {
+        /// Probed peer.
+        peer: ProcId,
+        /// Round correlator.
+        nonce: u64,
+    },
+    /// The suspicion window opened by round `nonce` closed.
+    SuspectExpired {
+        /// Suspected peer.
+        peer: ProcId,
+        /// Round correlator.
+        nonce: u64,
+    },
+    /// Re-probe a suspected peer. Suspects are probed every
+    /// `probe_timeout` (not every `probe_period`): the default period is
+    /// longer than the suspicion window, so without the faster cadence a
+    /// recovered peer would have no chance to refute before the kill.
+    SuspectReprobe {
+        /// Suspected peer.
+        peer: ProcId,
+        /// Round correlator.
+        nonce: u64,
+    },
+}
+
+/// Everything the detector needs from its host: time, randomness, probe
+/// transmission, timers, and a sink for verdicts.
+pub trait LivenessIo {
+    /// Current time.
+    fn now(&self) -> SimTime;
+    /// Deterministic randomness (probe phase jitter, relay choice).
+    fn rng(&mut self) -> &mut StdRng;
+    /// Transmits a direct probe to `to`, correlated by `nonce`.
+    fn send_probe(&mut self, to: ProcId, nonce: u64);
+    /// Asks `relay` to probe `target` on our behalf, correlated by `nonce`.
+    fn send_indirect(&mut self, relay: ProcId, target: ProcId, nonce: u64);
+    /// Extra relay candidates the host believes are alive (overlay
+    /// neighbors, in `fuse_core`'s embedding), excluding the local node.
+    /// The detector unions these with its other tracked peers before
+    /// sampling relays, so a node that monitors a single peer can still
+    /// route an indirect probe around a lossy direct path.
+    fn relay_candidates(&mut self, target: ProcId) -> Vec<ProcId>;
+    /// Arms a timer that fires `after` from now with the given tag.
+    fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle;
+    /// Cancels a previously armed timer.
+    fn cancel_timer(&mut self, h: TimerHandle);
+    /// Delivers a verdict about `peer` to the subscription layer.
+    fn verdict(&mut self, peer: ProcId, v: Verdict);
+}
+
+/// Where one peer is in its probe cycle.
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for the next `ProbeDue`.
+    Idle,
+    /// Direct probe in flight.
+    AwaitingDirect { nonce: u64, timeout: TimerHandle },
+    /// Indirect relays in flight.
+    AwaitingIndirect { nonce: u64, timeout: TimerHandle },
+    /// Suspicion window open; refutation still possible.
+    Suspect {
+        nonce: u64,
+        expire: TimerHandle,
+        reprobe: TimerHandle,
+    },
+}
+
+#[derive(Debug)]
+struct PeerState {
+    /// The periodic round timer; always armed while the peer is tracked.
+    probe_due: TimerHandle,
+    phase: Phase,
+}
+
+/// The per-node failure detector: one probe cycle per tracked peer.
+pub struct Detector {
+    cfg: LivenessConfig,
+    peers: DetHashMap<ProcId, PeerState>,
+    next_nonce: u64,
+    /// Verdicts issued since construction, by kind (suspected, refuted,
+    /// dead) — cheap observability for stats and benches.
+    pub verdicts: [u64; 3],
+}
+
+impl Detector {
+    /// Creates a detector with the given tuning.
+    pub fn new(cfg: LivenessConfig) -> Self {
+        Detector {
+            cfg,
+            peers: DetHashMap::default(),
+            next_nonce: 0,
+            verdicts: [0; 3],
+        }
+    }
+
+    /// The detector's tuning.
+    pub fn config(&self) -> &LivenessConfig {
+        &self.cfg
+    }
+
+    /// Number of peers currently tracked.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether `peer` is currently tracked.
+    pub fn tracks(&self, peer: ProcId) -> bool {
+        self.peers.contains_key(&peer)
+    }
+
+    /// Tracked peers, sorted.
+    pub fn peers(&self) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self.peers.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Starts probing `peer`. The first round fires after a random
+    /// fraction of the probe period, so a node's probe traffic spreads
+    /// over the period instead of bursting. No-op if already tracked.
+    pub fn add_peer(&mut self, io: &mut impl LivenessIo, peer: ProcId) {
+        if self.peers.contains_key(&peer) {
+            return;
+        }
+        let jitter = SimDuration(io.rng().gen_range(0..=self.cfg.probe_period.nanos()));
+        let probe_due = io.set_timer(jitter, LivenessTimer::ProbeDue(peer));
+        self.peers.insert(
+            peer,
+            PeerState {
+                probe_due,
+                phase: Phase::Idle,
+            },
+        );
+    }
+
+    /// Stops probing `peer`, cancelling every outstanding timer. No
+    /// verdict is produced. No-op if untracked.
+    pub fn remove_peer(&mut self, io: &mut impl LivenessIo, peer: ProcId) {
+        let Some(st) = self.peers.remove(&peer) else {
+            return;
+        };
+        io.cancel_timer(st.probe_due);
+        match st.phase {
+            Phase::Idle => {}
+            Phase::AwaitingDirect { timeout, .. } | Phase::AwaitingIndirect { timeout, .. } => {
+                io.cancel_timer(timeout)
+            }
+            Phase::Suspect {
+                expire, reprobe, ..
+            } => {
+                io.cancel_timer(expire);
+                io.cancel_timer(reprobe);
+            }
+        }
+    }
+
+    /// An ack from `peer` correlated to round `nonce` arrived (directly or
+    /// through a relay).
+    pub fn on_ack(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+        let Some(st) = self.peers.get_mut(&peer) else {
+            return;
+        };
+        match st.phase {
+            Phase::AwaitingDirect { nonce: n, timeout }
+            | Phase::AwaitingIndirect { nonce: n, timeout }
+                if n == nonce =>
+            {
+                io.cancel_timer(timeout);
+                st.phase = Phase::Idle;
+            }
+            // While suspected the peer keeps being probed with the suspect
+            // round's nonce, so any ack at or after that round is proof of
+            // life and refutes.
+            Phase::Suspect {
+                nonce: n,
+                expire,
+                reprobe,
+            } if nonce >= n => {
+                io.cancel_timer(expire);
+                io.cancel_timer(reprobe);
+                st.phase = Phase::Idle;
+                self.verdicts[1] += 1;
+                io.verdict(peer, Verdict::Refuted);
+            }
+            _ => {}
+        }
+    }
+
+    /// Routes a fired timer back into the state machine. Stale fires
+    /// (cancelled rounds, removed peers) are ignored.
+    pub fn on_timer(&mut self, io: &mut impl LivenessIo, t: LivenessTimer) {
+        match t {
+            LivenessTimer::ProbeDue(peer) => self.probe_due(io, peer),
+            LivenessTimer::ProbeTimeout { peer, nonce } => self.probe_timeout(io, peer, nonce),
+            LivenessTimer::IndirectTimeout { peer, nonce } => {
+                self.indirect_timeout(io, peer, nonce)
+            }
+            LivenessTimer::SuspectExpired { peer, nonce } => self.suspect_expired(io, peer, nonce),
+            LivenessTimer::SuspectReprobe { peer, nonce } => self.suspect_reprobe(io, peer, nonce),
+        }
+    }
+
+    fn probe_due(&mut self, io: &mut impl LivenessIo, peer: ProcId) {
+        if !self.peers.contains_key(&peer) {
+            return;
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let probe_due = io.set_timer(self.cfg.probe_period, LivenessTimer::ProbeDue(peer));
+        let st = self.peers.get_mut(&peer).expect("checked above");
+        st.probe_due = probe_due;
+        match st.phase {
+            Phase::Idle => {
+                let timeout = io.set_timer(
+                    self.cfg.probe_timeout,
+                    LivenessTimer::ProbeTimeout { peer, nonce },
+                );
+                st.phase = Phase::AwaitingDirect { nonce, timeout };
+                io.send_probe(peer, nonce);
+            }
+            // A suspected peer keeps receiving direct probes (with the
+            // suspect round's nonce) so a recovered peer can refute before
+            // the window closes.
+            Phase::Suspect { nonce: n, .. } => io.send_probe(peer, n),
+            // A round is still in flight (period shorter than the
+            // timeouts, or extreme delay); let it resolve.
+            Phase::AwaitingDirect { .. } | Phase::AwaitingIndirect { .. } => {}
+        }
+    }
+
+    fn probe_timeout(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+        match self.peers.get(&peer) {
+            Some(st) => match st.phase {
+                Phase::AwaitingDirect { nonce: n, .. } if n == nonce => {}
+                _ => return,
+            },
+            None => return,
+        }
+        // Pick k relays among the other tracked peers plus the host's
+        // candidate pool, deterministically: sorted deduped candidates,
+        // RNG-sampled without replacement.
+        let mut candidates: Vec<ProcId> =
+            self.peers.keys().copied().filter(|&p| p != peer).collect();
+        candidates.extend(io.relay_candidates(peer).into_iter().filter(|&p| p != peer));
+        candidates.sort_unstable();
+        candidates.dedup();
+        let k = self.cfg.k_indirect.min(candidates.len());
+        let mut relays = Vec::with_capacity(k);
+        for _ in 0..k {
+            let i = io.rng().gen_range(0..candidates.len());
+            relays.push(candidates.swap_remove(i));
+        }
+        if relays.is_empty() {
+            // No relay available (the peer is our only contact): go
+            // straight to suspicion.
+            self.open_suspicion(io, peer, nonce);
+            return;
+        }
+        let timeout = io.set_timer(
+            self.cfg.indirect_timeout,
+            LivenessTimer::IndirectTimeout { peer, nonce },
+        );
+        let st = self.peers.get_mut(&peer).expect("checked above");
+        st.phase = Phase::AwaitingIndirect { nonce, timeout };
+        for relay in relays {
+            io.send_indirect(relay, peer, nonce);
+        }
+    }
+
+    fn indirect_timeout(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+        match self.peers.get(&peer) {
+            Some(st) => match st.phase {
+                Phase::AwaitingIndirect { nonce: n, .. } if n == nonce => {}
+                _ => return,
+            },
+            None => return,
+        }
+        self.open_suspicion(io, peer, nonce);
+    }
+
+    fn open_suspicion(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+        let expire = io.set_timer(
+            self.cfg.suspect_timeout,
+            LivenessTimer::SuspectExpired { peer, nonce },
+        );
+        let reprobe = io.set_timer(
+            self.cfg.probe_timeout,
+            LivenessTimer::SuspectReprobe { peer, nonce },
+        );
+        let st = self.peers.get_mut(&peer).expect("caller checked");
+        st.phase = Phase::Suspect {
+            nonce,
+            expire,
+            reprobe,
+        };
+        // Probe immediately and then on the fast cadence: the suspicion
+        // window must contain real refutation opportunities.
+        io.send_probe(peer, nonce);
+        self.verdicts[0] += 1;
+        io.verdict(peer, Verdict::Suspected);
+    }
+
+    fn suspect_reprobe(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+        let next = match self.peers.get(&peer) {
+            Some(st) => match st.phase {
+                Phase::Suspect { nonce: n, .. } if n == nonce => io.set_timer(
+                    self.cfg.probe_timeout,
+                    LivenessTimer::SuspectReprobe { peer, nonce },
+                ),
+                _ => return,
+            },
+            None => return,
+        };
+        let st = self.peers.get_mut(&peer).expect("checked above");
+        if let Phase::Suspect { reprobe, .. } = &mut st.phase {
+            *reprobe = next;
+        }
+        io.send_probe(peer, nonce);
+    }
+
+    fn suspect_expired(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+        match self.peers.get_mut(&peer) {
+            Some(st) => match st.phase {
+                Phase::Suspect {
+                    nonce: n, reprobe, ..
+                } if n == nonce => {
+                    io.cancel_timer(reprobe);
+                    st.phase = Phase::Idle;
+                }
+                _ => return,
+            },
+            None => return,
+        }
+        self.verdicts[2] += 1;
+        io.verdict(peer, Verdict::Dead);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Scratch host: records sends/timers/verdicts, hands out synthetic
+    /// timer handles.
+    struct TestIo {
+        now: SimTime,
+        rng: StdRng,
+        probes: Vec<(ProcId, u64)>,
+        indirects: Vec<(ProcId, ProcId, u64)>,
+        timers: Vec<(SimDuration, LivenessTimer)>,
+        cancelled: Vec<TimerHandle>,
+        verdicts: Vec<(ProcId, Verdict)>,
+        relay_pool: Vec<ProcId>,
+        next_slot: u32,
+    }
+
+    impl TestIo {
+        fn new() -> Self {
+            TestIo {
+                now: SimTime::ZERO,
+                rng: StdRng::seed_from_u64(7),
+                probes: Vec::new(),
+                indirects: Vec::new(),
+                timers: Vec::new(),
+                cancelled: Vec::new(),
+                verdicts: Vec::new(),
+                relay_pool: Vec::new(),
+                next_slot: 0,
+            }
+        }
+    }
+
+    impl LivenessIo for TestIo {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+
+        fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        fn send_probe(&mut self, to: ProcId, nonce: u64) {
+            self.probes.push((to, nonce));
+        }
+
+        fn send_indirect(&mut self, relay: ProcId, target: ProcId, nonce: u64) {
+            self.indirects.push((relay, target, nonce));
+        }
+
+        fn relay_candidates(&mut self, target: ProcId) -> Vec<ProcId> {
+            self.relay_pool
+                .iter()
+                .copied()
+                .filter(|&p| p != target)
+                .collect()
+        }
+
+        fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle {
+            self.next_slot += 1;
+            self.timers.push((after, tag));
+            TimerHandle::synthetic(0, self.next_slot, 1)
+        }
+
+        fn cancel_timer(&mut self, h: TimerHandle) {
+            self.cancelled.push(h);
+        }
+
+        fn verdict(&mut self, peer: ProcId, v: Verdict) {
+            self.verdicts.push((peer, v));
+        }
+    }
+
+    fn det() -> Detector {
+        Detector::new(LivenessConfig::default())
+    }
+
+    /// Runs one full probe round for `peer` starting from Idle: fires
+    /// ProbeDue and returns the round nonce from the recorded probe.
+    fn start_round(d: &mut Detector, io: &mut TestIo, peer: ProcId) -> u64 {
+        let before = io.probes.len();
+        d.on_timer(io, LivenessTimer::ProbeDue(peer));
+        assert_eq!(io.probes.len(), before + 1, "round must send one probe");
+        io.probes[before].1
+    }
+
+    #[test]
+    fn add_peer_arms_a_jittered_first_round() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        d.add_peer(&mut io, 3);
+        assert!(d.tracks(3));
+        assert_eq!(io.timers.len(), 1);
+        let (after, tag) = io.timers[0];
+        assert_eq!(tag, LivenessTimer::ProbeDue(3));
+        assert!(after <= LivenessConfig::default().probe_period);
+        // Re-adding is a no-op.
+        d.add_peer(&mut io, 3);
+        assert_eq!(io.timers.len(), 1);
+        assert_eq!(d.peer_count(), 1);
+    }
+
+    #[test]
+    fn ack_within_direct_round_keeps_peer_alive() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        d.add_peer(&mut io, 3);
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_ack(&mut io, 3, nonce);
+        assert_eq!(io.cancelled.len(), 1, "direct timeout cancelled");
+        // The stale timeout now does nothing.
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        assert!(io.indirects.is_empty());
+        assert!(io.verdicts.is_empty());
+    }
+
+    #[test]
+    fn direct_miss_fans_out_k_indirect_relays() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4, 5, 6] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        assert_eq!(io.indirects.len(), 2, "k_indirect = 2 relays");
+        for &(relay, target, n) in &io.indirects {
+            assert_ne!(relay, 3, "the silent peer cannot relay for itself");
+            assert_eq!(target, 3);
+            assert_eq!(n, nonce);
+        }
+        let relays: Vec<ProcId> = io.indirects.iter().map(|&(r, _, _)| r).collect();
+        assert_ne!(relays[0], relays[1], "relays sampled without replacement");
+        // An indirect ack resolves the round without any verdict.
+        d.on_ack(&mut io, 3, nonce);
+        assert!(io.verdicts.is_empty());
+    }
+
+    #[test]
+    fn unanswered_rounds_suspect_then_kill() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4, 5] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        assert_eq!(io.verdicts, vec![(3, Verdict::Suspected)]);
+        d.on_timer(&mut io, LivenessTimer::SuspectExpired { peer: 3, nonce });
+        assert_eq!(
+            io.verdicts,
+            vec![(3, Verdict::Suspected), (3, Verdict::Dead)]
+        );
+        assert_eq!(d.verdicts, [1, 0, 1]);
+        // The peer stays tracked (the subscription layer decides removal).
+        assert!(d.tracks(3));
+    }
+
+    #[test]
+    fn late_ack_refutes_suspicion_and_stops_the_kill() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        assert_eq!(io.verdicts, vec![(3, Verdict::Suspected)]);
+        d.on_ack(&mut io, 3, nonce);
+        assert_eq!(
+            io.verdicts,
+            vec![(3, Verdict::Suspected), (3, Verdict::Refuted)]
+        );
+        // The stale expiry must not kill.
+        d.on_timer(&mut io, LivenessTimer::SuspectExpired { peer: 3, nonce });
+        assert_eq!(io.verdicts.len(), 2);
+        assert_eq!(d.verdicts, [1, 1, 0]);
+    }
+
+    #[test]
+    fn suspected_peer_keeps_getting_probes_with_the_suspect_nonce() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        let before = io.probes.len();
+        d.on_timer(&mut io, LivenessTimer::ProbeDue(3));
+        assert_eq!(io.probes.len(), before + 1);
+        assert_eq!(
+            io.probes[before],
+            (3, nonce),
+            "refutation probe reuses the nonce"
+        );
+    }
+
+    #[test]
+    fn suspects_are_reprobed_on_the_fast_cadence() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        // Opening suspicion probes immediately and arms the fast ticker.
+        assert_eq!(*io.probes.last().unwrap(), (3, nonce));
+        let tickers = io
+            .timers
+            .iter()
+            .filter(|(after, t)| {
+                *t == LivenessTimer::SuspectReprobe { peer: 3, nonce }
+                    && *after == LivenessConfig::default().probe_timeout
+            })
+            .count();
+        assert_eq!(tickers, 1, "suspicion arms one fast re-probe ticker");
+        // Each ticker fire re-probes with the suspect nonce and re-arms.
+        let before = io.probes.len();
+        d.on_timer(&mut io, LivenessTimer::SuspectReprobe { peer: 3, nonce });
+        assert_eq!(io.probes[before], (3, nonce));
+        // Refutation cancels the ticker; a stale fire stays silent.
+        d.on_ack(&mut io, 3, nonce);
+        let quiet = io.probes.len();
+        d.on_timer(&mut io, LivenessTimer::SuspectReprobe { peer: 3, nonce });
+        assert_eq!(io.probes.len(), quiet, "stale re-probe tick is ignored");
+    }
+
+    #[test]
+    fn no_relays_available_goes_straight_to_suspicion() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        d.add_peer(&mut io, 3);
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        assert!(io.indirects.is_empty());
+        assert_eq!(io.verdicts, vec![(3, Verdict::Suspected)]);
+    }
+
+    #[test]
+    fn host_relay_pool_rescues_a_single_peer_monitor() {
+        // A node monitoring exactly one peer has no tracked-peer relays,
+        // but the host's candidate pool (overlay neighbors) must still
+        // carry the indirect round — this is what lets a content
+        // adversary drop every direct probe without causing a false kill.
+        let (mut d, mut io) = (det(), TestIo::new());
+        io.relay_pool = vec![8, 9, 3];
+        d.add_peer(&mut io, 3);
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        assert_eq!(io.indirects.len(), 2, "k relays drawn from the pool");
+        for &(relay, target, n) in &io.indirects {
+            assert!(relay == 8 || relay == 9, "target excluded from the pool");
+            assert_eq!(target, 3);
+            assert_eq!(n, nonce);
+        }
+        assert!(io.verdicts.is_empty(), "no premature suspicion");
+        d.on_ack(&mut io, 3, nonce);
+        assert!(io.verdicts.is_empty());
+    }
+
+    #[test]
+    fn remove_peer_cancels_everything_and_silences_timers() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        d.remove_peer(&mut io, 3);
+        assert!(!d.tracks(3));
+        // probe_due + the indirect-round timeout.
+        assert_eq!(io.cancelled.len(), 2);
+        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        d.on_timer(&mut io, LivenessTimer::ProbeDue(3));
+        assert!(io.verdicts.is_empty());
+        d.on_ack(&mut io, 3, nonce);
+        assert!(io.verdicts.is_empty());
+    }
+
+    #[test]
+    fn stale_nonces_are_ignored() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        for p in [3, 4] {
+            d.add_peer(&mut io, p);
+        }
+        let nonce = start_round(&mut d, &mut io, 3);
+        d.on_ack(&mut io, 3, nonce + 10);
+        // Round still open: the timeout must still fan out.
+        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        assert!(!io.indirects.is_empty());
+        // A timeout for a nonce that never existed does nothing further.
+        let before = io.verdicts.len();
+        d.on_timer(
+            &mut io,
+            LivenessTimer::IndirectTimeout {
+                peer: 3,
+                nonce: nonce + 10,
+            },
+        );
+        assert_eq!(io.verdicts.len(), before);
+    }
+
+    #[test]
+    fn rounds_advance_nonces_and_rearm_the_period() {
+        let (mut d, mut io) = (det(), TestIo::new());
+        d.add_peer(&mut io, 3);
+        d.add_peer(&mut io, 4);
+        let n1 = start_round(&mut d, &mut io, 3);
+        d.on_ack(&mut io, 3, n1);
+        let n2 = start_round(&mut d, &mut io, 3);
+        assert!(n2 > n1, "each round draws a fresh nonce");
+        // Every ProbeDue re-arms the next period.
+        let periods = io
+            .timers
+            .iter()
+            .filter(|(_, t)| *t == LivenessTimer::ProbeDue(3))
+            .count();
+        assert_eq!(periods, 3, "add jitter + two round re-arms");
+    }
+}

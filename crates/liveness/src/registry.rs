@@ -1,0 +1,164 @@
+//! Verdict subscriptions: which consumers care about which peer.
+//!
+//! The registry is the fan-out half of the amortization: the detector
+//! tracks each peer once, and every consumer (a FUSE group, in
+//! `fuse_core`'s instantiation) registered on that peer subscribes to the
+//! single verdict stream. Subscribe/unsubscribe report edge transitions —
+//! first subscription for a peer, last subscription gone — which is
+//! exactly the signal the embedding layer needs to start and stop the
+//! detector's probing of that peer.
+
+use std::hash::Hash;
+
+use fuse_sim::ProcId;
+use fuse_util::det::{DetHashMap, DetHashSet};
+
+/// Per-peer subscription table, generic over the consumer key (FUSE
+/// instantiates `K = FuseId`).
+#[derive(Debug, Clone)]
+pub struct SubscriptionRegistry<K> {
+    by_peer: DetHashMap<ProcId, DetHashSet<K>>,
+    subs: usize,
+}
+
+impl<K> Default for SubscriptionRegistry<K> {
+    fn default() -> Self {
+        SubscriptionRegistry {
+            by_peer: DetHashMap::default(),
+            subs: 0,
+        }
+    }
+}
+
+impl<K: Copy + Ord + Hash + Eq> SubscriptionRegistry<K> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SubscriptionRegistry::default()
+    }
+
+    /// Subscribes `key` to `peer`'s verdicts. Returns `true` when this is
+    /// the peer's *first* subscription (the caller should start probing
+    /// it). Re-subscribing is a no-op returning `false`.
+    pub fn subscribe(&mut self, peer: ProcId, key: K) -> bool {
+        let set = self.by_peer.entry(peer).or_default();
+        let first = set.is_empty();
+        if set.insert(key) {
+            self.subs += 1;
+        }
+        first
+    }
+
+    /// Drops `key`'s subscription on `peer`. Returns `true` when this was
+    /// the peer's *last* subscription (the caller should stop probing it).
+    pub fn unsubscribe(&mut self, peer: ProcId, key: K) -> bool {
+        let Some(set) = self.by_peer.get_mut(&peer) else {
+            return false;
+        };
+        if set.remove(&key) {
+            self.subs -= 1;
+        }
+        if set.is_empty() {
+            self.by_peer.remove(&peer);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The consumers subscribed to `peer`, sorted (callers iterate this to
+    /// apply verdicts, and iteration order must be deterministic).
+    pub fn subscribers(&self, peer: ProcId) -> Vec<K> {
+        let mut v: Vec<K> = self
+            .by_peer
+            .get(&peer)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether `key` is subscribed to `peer`.
+    pub fn is_subscribed(&self, peer: ProcId, key: K) -> bool {
+        self.by_peer.get(&peer).is_some_and(|s| s.contains(&key))
+    }
+
+    /// Whether `peer` has at least one subscription.
+    pub fn has_peer(&self, peer: ProcId) -> bool {
+        self.by_peer.contains_key(&peer)
+    }
+
+    /// Peers with at least one subscription, sorted.
+    pub fn peers(&self) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self.by_peer.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of peers with at least one subscription.
+    pub fn peer_count(&self) -> usize {
+        self.by_peer.len()
+    }
+
+    /// Total number of (peer, key) subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs
+    }
+
+    /// Whether the registry holds no subscriptions at all.
+    pub fn is_empty(&self) -> bool {
+        self.subs == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_last_subscription_edges_are_reported() {
+        let mut r: SubscriptionRegistry<u64> = SubscriptionRegistry::new();
+        assert!(r.subscribe(7, 100), "first sub on peer 7");
+        assert!(!r.subscribe(7, 200), "second sub is not an edge");
+        assert!(!r.subscribe(7, 100), "duplicate sub is a no-op");
+        assert_eq!(r.len(), 2);
+        assert!(!r.unsubscribe(7, 100), "one sub remains");
+        assert!(r.unsubscribe(7, 200), "last sub gone");
+        assert!(r.is_empty());
+        assert!(!r.unsubscribe(7, 200), "double unsubscribe is a no-op");
+        assert_eq!(r.peer_count(), 0);
+    }
+
+    #[test]
+    fn subscribers_are_sorted_and_per_peer() {
+        let mut r: SubscriptionRegistry<u64> = SubscriptionRegistry::new();
+        for k in [300, 100, 200] {
+            r.subscribe(7, k);
+        }
+        r.subscribe(8, 400);
+        assert_eq!(r.subscribers(7), vec![100, 200, 300]);
+        assert_eq!(r.subscribers(8), vec![400]);
+        assert_eq!(r.subscribers(9), Vec::<u64>::new());
+        assert_eq!(r.peers(), vec![7, 8]);
+        assert!(r.is_subscribed(7, 200));
+        assert!(!r.is_subscribed(8, 200));
+    }
+
+    #[test]
+    fn churn_keeps_counts_consistent() {
+        let mut r: SubscriptionRegistry<u64> = SubscriptionRegistry::new();
+        // Groups come and go across a pair of peers; the registry's
+        // counts and edges must track exactly.
+        for round in 0..50u64 {
+            let peer = (round % 2) as ProcId;
+            let key = round % 5;
+            if round % 3 == 0 {
+                r.unsubscribe(peer, key);
+            } else {
+                r.subscribe(peer, key);
+            }
+            let total: usize = r.peers().iter().map(|&p| r.subscribers(p).len()).sum();
+            assert_eq!(total, r.len());
+            assert!(r.peers().iter().all(|&p| !r.subscribers(p).is_empty()));
+        }
+    }
+}

@@ -63,6 +63,9 @@ fn main() {
 
     let mut sim = Sim::new(42, net);
     for (info, (cw, ccw, rt)) in infos.iter().zip(tables) {
+        // `FuseConfig { shared_plane: true, ..Default::default() }` swaps
+        // the per-(group, link) liveness timers for the node-level SWIM
+        // detector plane (DESIGN.md §9); everything below is unchanged.
         let mut stack = NodeStack::new(
             info.clone(),
             None,
