@@ -26,13 +26,14 @@
 //!   encoded `Probe`/`ProbeAck` sizes.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, VecDeque};
 
 use fuse_liveness::{
-    Detector, LivenessConfig, LivenessIo, LivenessTimer, SubscriptionRegistry, Verdict,
+    Detector, LivenessConfig, LivenessCx, LivenessEffect, LivenessTimer, SubscriptionRegistry,
 };
 use fuse_overlay::OverlayMsg;
-use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_sim::{ProcId, SimTime};
+use fuse_util::{KeyedTimers, TimerKey};
 use fuse_wire::{sha1, Encode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,19 +115,17 @@ pub struct LivenessReport {
     pub amortization_ratio: f64,
 }
 
-/// Instant-ack manual-clock host: timers live in a local binary heap keyed
-/// by deadline, handles are synthetic, and every direct probe is answered
-/// the moment the detector's `on_timer` call returns — so tracked peers
-/// cycle Idle → AwaitingDirect → Idle forever, which is the steady state
-/// whose cost the stake cares about.
-struct BenchIo {
+/// Instant-ack manual-clock host for the sans-io detector: timer keys live
+/// in a local binary heap keyed by deadline (with [`KeyedTimers`] providing
+/// the lazy-cancellation staleness check), and every direct probe is
+/// answered the moment the detector's `on_timer` call returns — so tracked
+/// peers cycle Idle → AwaitingDirect → Idle forever, which is the steady
+/// state whose cost the stake cares about.
+struct BenchHost {
     now: SimTime,
     rng: StdRng,
-    next_slot: u32,
-    /// Live timers by handle; cancellation just removes the entry and the
-    /// heap's stale deadline is skipped at pop time.
-    armed: HashMap<TimerHandle, LivenessTimer>,
-    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    timers: KeyedTimers<LivenessTimer>,
+    heap: BinaryHeap<Reverse<(SimTime, TimerKey)>>,
     /// Direct probes awaiting their instant ack, drained by the driver.
     acks: Vec<(ProcId, u64)>,
     probes: u64,
@@ -134,13 +133,12 @@ struct BenchIo {
     verdicts: u64,
 }
 
-impl BenchIo {
+impl BenchHost {
     fn new(seed: u64) -> Self {
-        BenchIo {
+        BenchHost {
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
-            next_slot: 0,
-            armed: HashMap::new(),
+            timers: KeyedTimers::new(0),
             heap: BinaryHeap::new(),
             acks: Vec::new(),
             probes: 0,
@@ -149,16 +147,45 @@ impl BenchIo {
         }
     }
 
+    /// Runs one detector entry point inside a fresh [`LivenessCx`] and
+    /// applies the drained effects: probes get their instant ack queued,
+    /// armed timers land in the heap (cancellations are lazy — the stale
+    /// key is skipped at pop time), verdicts are counted.
+    fn drive(&mut self, det: &mut Detector, f: impl FnOnce(&mut Detector, &mut LivenessCx<'_>)) {
+        let mut effects: VecDeque<LivenessEffect> = VecDeque::new();
+        {
+            let mut cx =
+                LivenessCx::new(self.now, &mut self.rng, &mut self.timers, &[], &mut effects);
+            f(det, &mut cx);
+        }
+        while let Some(eff) = effects.pop_front() {
+            match eff {
+                LivenessEffect::Probe { to, nonce } => {
+                    self.probes += 1;
+                    self.acks.push((to, nonce));
+                }
+                LivenessEffect::Indirect { target, nonce, .. } => {
+                    self.indirects += 1;
+                    self.acks.push((target, nonce));
+                }
+                LivenessEffect::SetTimer { key, after } => {
+                    self.heap.push(Reverse((self.now + after, key)));
+                }
+                LivenessEffect::CancelTimer { .. } => {}
+                LivenessEffect::Verdict { .. } => self.verdicts += 1,
+            }
+        }
+    }
+
     /// Pops the next live timer at or before `until`, advancing the clock
     /// to its deadline. Stale (cancelled) heap entries are skipped.
     fn pop_due(&mut self, until: SimTime) -> Option<LivenessTimer> {
-        while let Some(&Reverse((t, slot))) = self.heap.peek() {
+        while let Some(&Reverse((t, key))) = self.heap.peek() {
             if t > until {
                 return None;
             }
             self.heap.pop();
-            let h = TimerHandle::synthetic(0, slot, 1);
-            if let Some(tag) = self.armed.remove(&h) {
+            if let Some(tag) = self.timers.fire(key) {
                 self.now = t;
                 return Some(tag);
             }
@@ -167,64 +194,23 @@ impl BenchIo {
     }
 }
 
-impl LivenessIo for BenchIo {
-    fn now(&self) -> SimTime {
-        self.now
-    }
-
-    fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
-    }
-
-    fn send_probe(&mut self, to: ProcId, nonce: u64) {
-        self.probes += 1;
-        self.acks.push((to, nonce));
-    }
-
-    fn send_indirect(&mut self, _relay: ProcId, target: ProcId, nonce: u64) {
-        self.indirects += 1;
-        self.acks.push((target, nonce));
-    }
-
-    fn relay_candidates(&mut self, _target: ProcId) -> Vec<ProcId> {
-        Vec::new()
-    }
-
-    fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle {
-        let slot = self.next_slot;
-        self.next_slot += 1;
-        let h = TimerHandle::synthetic(0, slot, 1);
-        self.armed.insert(h, tag);
-        self.heap.push(Reverse((self.now + after, slot)));
-        h
-    }
-
-    fn cancel_timer(&mut self, h: TimerHandle) {
-        self.armed.remove(&h);
-    }
-
-    fn verdict(&mut self, _peer: ProcId, _v: Verdict) {
-        self.verdicts += 1;
-    }
-}
-
 /// Runs a detector tracking `peers` healthy peers for `periods` full probe
 /// periods and returns the driven host (probe count, verdict count).
-fn run_detector(peers: &[ProcId], periods: u64, seed: u64) -> BenchIo {
+fn run_detector(peers: &[ProcId], periods: u64, seed: u64) -> BenchHost {
     let cfg = LivenessConfig::default();
     let mut det = Detector::new(cfg.clone());
-    let mut io = BenchIo::new(seed);
+    let mut host = BenchHost::new(seed);
     for &p in peers {
-        det.add_peer(&mut io, p);
+        host.drive(&mut det, |det, cx| det.add_peer(cx, p));
     }
     let until = SimTime::ZERO + cfg.probe_period.saturating_mul(periods);
-    while let Some(tag) = io.pop_due(until) {
-        det.on_timer(&mut io, tag);
-        while let Some((peer, nonce)) = io.acks.pop() {
-            det.on_ack(&mut io, peer, nonce);
+    while let Some(tag) = host.pop_due(until) {
+        host.drive(&mut det, |det, cx| det.on_timer(cx, tag));
+        while let Some((peer, nonce)) = host.acks.pop() {
+            host.drive(&mut det, |det, cx| det.on_ack(cx, peer, nonce));
         }
     }
-    io
+    host
 }
 
 /// Builds the edge set: edge `i` subscribes group `i` on peer

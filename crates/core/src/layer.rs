@@ -17,101 +17,133 @@
 //! ([`NotifyReason`]): the local evidence where failure was first declared,
 //! propagated on the wire inside `HardNotification` so members observe the
 //! same classified cause the declaring node saw.
+//!
+//! The layer is sans-io: every entry point takes a `CoreCx` — a borrowed
+//! bundle of `now`, the driver RNG, the stack's timer tables and the
+//! [`Output`] queue — and all side effects leave as queued outputs. The
+//! embedded overlay and shared-plane failure detector are driven through
+//! scratch contexts whose effects are translated into the same queue, in
+//! emission order.
 
-use fuse_liveness::{Detector, LivenessIo, LivenessTimer, SubscriptionRegistry, Verdict};
+use std::collections::VecDeque;
+
+use fuse_liveness::{
+    Detector, LivenessCx, LivenessEffect, LivenessTimer, SubscriptionRegistry, Verdict,
+};
 use fuse_overlay::node::RouteStart;
-use fuse_overlay::{NodeInfo, OverlayIo, OverlayMsg, OverlayNode, OverlayUpcall};
-use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_overlay::{
+    NodeInfo, OverlayCx, OverlayEffect, OverlayMsg, OverlayNode, OverlayTimer, OverlayUpcall,
+};
 use fuse_util::backoff::Backoff;
 use fuse_util::idgen::IdGen;
-use fuse_util::{DetHashMap, DetHashSet};
+use fuse_util::{DetHashMap, DetHashSet, Duration, KeyedTimers, PeerAddr, Time, TimerKey};
 use fuse_wire::{Decode, Digest, EncodeBuf, Sha1};
 use rand::rngs::StdRng;
 
 use crate::messages::{FuseMsg, InstallChecking};
+use crate::stack::{AppCall, Output, StackMsg};
 use crate::types::{
     CreateError, CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer, GroupHandle, Notification,
     NotifyReason, Role,
 };
 
-/// Host services for the FUSE layer (implemented by the node stack).
+/// Borrowed per-call context for one FUSE-layer entry point.
 ///
-/// Extends [`OverlayIo`] because the layer also drives the overlay (routing
-/// `InstallChecking` messages and pushing piggyback hashes): one shim object
-/// serves both layers.
-pub trait FuseIo: OverlayIo {
-    /// Sends a FUSE message directly to a peer process.
-    fn send_fuse(&mut self, to: ProcId, msg: FuseMsg);
-
-    /// Arms a FUSE timer (cancel with [`OverlayIo::cancel_timer`]).
-    fn set_fuse_timer(&mut self, after: SimDuration, tag: FuseTimer) -> TimerHandle;
-
-    /// Delivers an event to the application (buffered by the stack).
-    fn app(&mut self, ev: FuseEvent);
+/// Owned state lives in `FuseStack`; the stack constructs a `CoreCx` around
+/// disjoint borrows of it for the duration of one call. Sends, timer
+/// commands and application callbacks all leave through the shared
+/// [`Output`] queue, in emission order — the property drivers rely on to
+/// reproduce the simulator's event order bit-for-bit.
+pub(crate) struct CoreCx<'a> {
+    pub(crate) now: Time,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) fuse_timers: &'a mut KeyedTimers<FuseTimer>,
+    pub(crate) liv_timers: &'a mut KeyedTimers<LivenessTimer>,
+    pub(crate) ov_timers: &'a mut KeyedTimers<OverlayTimer>,
+    /// Scratch buffer for overlay effects; always drained empty before an
+    /// [`ov`](CoreCx::ov) call returns.
+    pub(crate) ov_effects: &'a mut VecDeque<OverlayEffect>,
+    /// Overlay upcalls produced by re-entrant overlay calls (routing from
+    /// inside the layer); the stack feeds them back after the entry point
+    /// returns.
+    pub(crate) ov_upcalls: &'a mut Vec<OverlayUpcall>,
+    pub(crate) out: &'a mut VecDeque<Output>,
 }
 
-/// [`LivenessIo`] adapter the embedded shared-plane detector runs against.
-///
-/// Bridges detector effects onto the node's [`FuseIo`]: probes go out as
-/// overlay messages carrying the link's piggyback digest, detector timers
-/// ride [`FuseTimer::Liveness`], and verdicts are buffered so the layer can
-/// apply them *after* the detector call returns (the detector and the rest
-/// of the layer are disjoint borrows of [`FuseLayer`]).
-struct PlaneIo<'a, IO: FuseIo> {
-    io: &'a mut IO,
-    me: ProcId,
-    hashes: &'a DetHashMap<ProcId, Digest>,
-    /// Overlay neighbors, the relay pool for indirect probes. Wider than
-    /// the subscribed-peer set on purpose: a node whose groups all ride
-    /// one link still gets relays, so a lossy (or adversarially dropped)
-    /// direct path cannot manufacture a false kill on its own.
-    neighbors: &'a [ProcId],
-    verdicts: Vec<(ProcId, Verdict)>,
-}
-
-impl<IO: FuseIo> LivenessIo for PlaneIo<'_, IO> {
-    fn now(&self) -> SimTime {
-        self.io.now()
+impl CoreCx<'_> {
+    /// Current time (driver-provided).
+    pub(crate) fn now(&self) -> Time {
+        self.now
     }
 
-    fn rng(&mut self) -> &mut StdRng {
-        self.io.rng()
+    /// Queues a FUSE message to a peer.
+    pub(crate) fn send_fuse(&mut self, to: PeerAddr, msg: FuseMsg) {
+        self.out.push_back(Output::Send {
+            to,
+            msg: StackMsg::Fuse(msg),
+        });
     }
 
-    fn send_probe(&mut self, to: ProcId, nonce: u64) {
-        let hash = self.hashes.get(&to).copied();
-        self.io.send(to, OverlayMsg::Probe { nonce, hash });
+    /// Queues an overlay-plane message to a peer (shared-plane probes).
+    pub(crate) fn send_overlay(&mut self, to: PeerAddr, msg: OverlayMsg) {
+        self.out.push_back(Output::Send {
+            to,
+            msg: StackMsg::Overlay(msg),
+        });
     }
 
-    fn send_indirect(&mut self, relay: ProcId, target: ProcId, nonce: u64) {
-        self.io.send(
-            relay,
-            OverlayMsg::IndirectProbe {
-                origin: self.me,
-                target,
-                nonce,
-            },
-        );
+    /// Arms a FUSE timer, returning its key.
+    pub(crate) fn set_fuse_timer(&mut self, after: Duration, tag: FuseTimer) -> TimerKey {
+        let key = self.fuse_timers.arm(tag);
+        self.out.push_back(Output::SetTimer { key, after });
+        key
     }
 
-    fn relay_candidates(&mut self, target: ProcId) -> Vec<ProcId> {
-        self.neighbors
-            .iter()
-            .copied()
-            .filter(|&p| p != target && p != self.me)
-            .collect()
+    /// Cancels a previously armed FUSE timer.
+    pub(crate) fn cancel_fuse_timer(&mut self, key: TimerKey) {
+        if self.fuse_timers.cancel(key) {
+            self.out.push_back(Output::CancelTimer { key });
+        }
     }
 
-    fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle {
-        self.io.set_fuse_timer(after, FuseTimer::Liveness(tag))
+    /// Queues an application event callback.
+    pub(crate) fn app(&mut self, ev: FuseEvent) {
+        self.out.push_back(Output::App(AppCall::Event(ev)));
     }
 
-    fn cancel_timer(&mut self, h: TimerHandle) {
-        self.io.cancel_timer(h);
-    }
-
-    fn verdict(&mut self, peer: ProcId, v: Verdict) {
-        self.verdicts.push((peer, v));
+    /// Runs `f` against the overlay through a scratch [`OverlayCx`], then
+    /// translates the emitted overlay effects into stack outputs, in
+    /// emission order. Upcalls stay buffered for the stack's drain loop.
+    pub(crate) fn ov<R>(
+        &mut self,
+        ov: &mut OverlayNode,
+        f: impl FnOnce(&mut OverlayNode, &mut OverlayCx<'_>) -> R,
+    ) -> R {
+        let r = {
+            let mut ocx = OverlayCx::new(
+                self.now,
+                self.rng,
+                self.ov_timers,
+                self.ov_effects,
+                self.ov_upcalls,
+            );
+            f(ov, &mut ocx)
+        };
+        while let Some(eff) = self.ov_effects.pop_front() {
+            match eff {
+                OverlayEffect::Send { to, msg } => self.out.push_back(Output::Send {
+                    to,
+                    msg: StackMsg::Overlay(msg),
+                }),
+                OverlayEffect::SetTimer { key, after } => {
+                    self.out.push_back(Output::SetTimer { key, after });
+                }
+                OverlayEffect::CancelTimer { key } => {
+                    self.out.push_back(Output::CancelTimer { key });
+                }
+            }
+        }
+        r
     }
 }
 
@@ -152,28 +184,28 @@ pub struct FuseStats {
 struct Link {
     /// Per-(group, link) expiry timer — `None` in shared-plane mode, where
     /// the node-level detector owns liveness for the peer.
-    timer: Option<TimerHandle>,
-    installed_at: SimTime,
+    timer: Option<TimerKey>,
+    installed_at: Time,
 }
 
 struct RootState {
     members: Vec<NodeInfo>,
-    install_missing: DetHashSet<ProcId>,
-    install_timer: Option<TimerHandle>,
+    install_missing: DetHashSet<PeerAddr>,
+    install_timer: Option<TimerKey>,
     repair: Option<RepairRound>,
-    kick: Option<TimerHandle>,
+    kick: Option<TimerKey>,
     dirty: bool,
     backoff: Backoff,
 }
 
 struct RepairRound {
     seq: u64,
-    awaiting: DetHashSet<ProcId>,
-    timer: TimerHandle,
+    awaiting: DetHashSet<PeerAddr>,
+    timer: TimerKey,
 }
 
 struct MemberState {
-    repair_wait: Option<TimerHandle>,
+    repair_wait: Option<TimerKey>,
 }
 
 enum RoleState {
@@ -186,16 +218,16 @@ struct Group {
     seq: u64,
     root: NodeInfo,
     role: RoleState,
-    created_at: SimTime,
-    links: DetHashMap<ProcId, Link>,
+    created_at: Time,
+    links: DetHashMap<PeerAddr, Link>,
 }
 
 struct CreateAttempt {
     members: Vec<NodeInfo>,
-    awaiting: DetHashSet<ProcId>,
-    timer: TimerHandle,
+    awaiting: DetHashSet<PeerAddr>,
+    timer: TimerKey,
     /// InstallChecking arrivals that raced ahead of the last create reply.
-    early_ics: Vec<(ProcId, ProcId)>,
+    early_ics: Vec<(PeerAddr, PeerAddr)>,
 }
 
 /// The per-node FUSE layer.
@@ -215,14 +247,14 @@ pub struct FuseLayer {
     detector: Detector,
     /// Cached per-peer piggyback digest: recomputed only when the peer's
     /// subscribed-group set changes, *not* on every `PingHash` arrival.
-    hash_cache: DetHashMap<ProcId, Digest>,
+    hash_cache: DetHashMap<PeerAddr, Digest>,
     /// Application context registered per group via `register_handler`;
     /// returned inside the failure [`Notification`].
     handlers: DetHashMap<FuseId, u64>,
     /// Group-scoped fail-on-send bindings (§3.4): peers this node performed
     /// a `group_send` to, per group. A broken connection to a bound peer
     /// declares the group failed.
-    send_bound: DetHashMap<FuseId, DetHashSet<ProcId>>,
+    send_bound: DetHashMap<FuseId, DetHashSet<PeerAddr>>,
     /// Reusable single-pass encode scratch for wire payloads this layer
     /// builds (`InstallChecking` envelopes): encoding reserves the exact
     /// size hint once and never re-counts or grows per message.
@@ -287,8 +319,8 @@ impl FuseLayer {
 
     /// Liveness-tree neighbors currently monitored for `id` (visibility for
     /// tests and the SV-tree census).
-    pub fn tree_links(&self, id: FuseId) -> Vec<ProcId> {
-        let mut v: Vec<ProcId> = self
+    pub fn tree_links(&self, id: FuseId) -> Vec<PeerAddr> {
+        let mut v: Vec<PeerAddr> = self
             .groups
             .get(&id)
             .map(|g| g.links.keys().copied().collect())
@@ -306,12 +338,16 @@ impl FuseLayer {
     /// [`FuseEvent::Created`] echoing the ticket once every member has been
     /// contacted (the paper's blocking-create semantics: success implies all
     /// members were alive and reachable).
-    pub fn create_group(&mut self, io: &mut impl FuseIo, others: Vec<NodeInfo>) -> CreateTicket {
+    pub(crate) fn create_group(
+        &mut self,
+        cx: &mut CoreCx<'_>,
+        others: Vec<NodeInfo>,
+    ) -> CreateTicket {
         let id = FuseId(self.idgen.next_id());
         let ticket = CreateTicket::new(id);
         if others.is_empty() {
             // Singleton group: alive until explicitly signalled.
-            let now = io.now();
+            let now = cx.now();
             self.groups.insert(
                 id,
                 Group {
@@ -331,7 +367,7 @@ impl FuseLayer {
                 },
             );
             self.stats.groups_created += 1;
-            io.app(FuseEvent::Created {
+            cx.app(FuseEvent::Created {
                 ticket,
                 result: Ok(GroupHandle {
                     id,
@@ -341,9 +377,9 @@ impl FuseLayer {
             });
             return ticket;
         }
-        let awaiting: DetHashSet<ProcId> = others.iter().map(|m| m.proc).collect();
+        let awaiting: DetHashSet<PeerAddr> = others.iter().map(|m| m.proc).collect();
         for m in &others {
-            io.send_fuse(
+            cx.send_fuse(
                 m.proc,
                 FuseMsg::GroupCreateRequest {
                     id,
@@ -352,7 +388,7 @@ impl FuseLayer {
                 },
             );
         }
-        let timer = io.set_fuse_timer(self.cfg.create_timeout, FuseTimer::CreateTimeout { id });
+        let timer = cx.set_fuse_timer(self.cfg.create_timeout, FuseTimer::CreateTimeout { id });
         self.creating.insert(
             id,
             CreateAttempt {
@@ -370,24 +406,24 @@ impl FuseLayer {
     /// unknown on this node (never existed here, or already failed), the
     /// callback fires immediately with [`NotifyReason::UnknownGroup`],
     /// exactly as §3.1 specifies.
-    pub fn register_handler(&mut self, io: &mut impl FuseIo, id: FuseId, ctx: u64) {
+    pub(crate) fn register_handler(&mut self, cx: &mut CoreCx<'_>, id: FuseId, ctx: u64) {
         if self.is_participant(id) {
             self.handlers.insert(id, ctx);
         } else {
-            io.app(FuseEvent::Notified(Notification {
+            cx.app(FuseEvent::Notified(Notification {
                 id,
                 reason: NotifyReason::UnknownGroup,
                 role: Role::Observer,
                 seq: 0,
-                created_at: io.now(),
+                created_at: cx.now(),
                 ctx: Some(ctx),
             }));
         }
     }
 
     /// `SignalFailure`: explicit, application-triggered group failure.
-    pub fn signal_failure(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
-        self.declare_failed(io, ov, id, NotifyReason::ExplicitSignal);
+    pub(crate) fn signal_failure(&mut self, cx: &mut CoreCx<'_>, ov: &mut OverlayNode, id: FuseId) {
+        self.declare_failed(cx, ov, id, NotifyReason::ExplicitSignal);
     }
 
     /// Records a §3.4 fail-on-send binding: this node is about to send
@@ -395,7 +431,7 @@ impl FuseLayer {
     /// group. Returns `false` (and binds nothing) when this node does not
     /// hold live participant state for `id` — the caller should drop the
     /// payload, since the group has already failed here.
-    pub fn bind_fail_on_send(&mut self, id: FuseId, to: ProcId) -> bool {
+    pub fn bind_fail_on_send(&mut self, id: FuseId, to: PeerAddr) -> bool {
         if !self.is_participant(id) {
             return false;
         }
@@ -407,7 +443,7 @@ impl FuseLayer {
     /// of `SignalFailure`, shared by the explicit API and fail-on-send.
     fn declare_failed(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
         reason: NotifyReason,
@@ -416,13 +452,13 @@ impl FuseLayer {
             return; // Already failed; handler already ran.
         };
         match &g.role {
-            RoleState::Root(_) => self.group_failed_at_root(io, ov, id, None, reason),
+            RoleState::Root(_) => self.group_failed_at_root(cx, ov, id, None, reason),
             RoleState::Member(_) => {
                 let root = g.root.proc;
                 let seq = g.seq;
                 self.stats.hard_sent += 1;
-                io.send_fuse(root, FuseMsg::HardNotification { id, seq, reason });
-                self.fail_locally(io, ov, id, reason);
+                cx.send_fuse(root, FuseMsg::HardNotification { id, seq, reason });
+                self.fail_locally(cx, ov, id, reason);
             }
             RoleState::Delegate => {
                 // Only participants may signal; a delegate-only node has no
@@ -434,25 +470,25 @@ impl FuseLayer {
     // ---- Message handling --------------------------------------------------
 
     /// Handles a FUSE message from `from`.
-    pub fn on_message(
+    pub(crate) fn on_message(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         msg: FuseMsg,
     ) {
         match msg {
             FuseMsg::GroupCreateRequest { id, root, members } => {
-                self.on_create_request(io, ov, from, id, root, members);
+                self.on_create_request(cx, ov, from, id, root, members);
             }
             FuseMsg::GroupCreateReply { id, ok } => {
-                self.on_create_reply(io, ov, from, id, ok);
+                self.on_create_reply(cx, ov, from, id, ok);
             }
             FuseMsg::SoftNotification { id, seq } => {
-                self.on_soft(io, ov, from, id, seq);
+                self.on_soft(cx, ov, from, id, seq);
             }
             FuseMsg::HardNotification { id, seq, reason } => {
-                self.on_hard(io, ov, from, id, seq, reason);
+                self.on_hard(cx, ov, from, id, seq, reason);
             }
             FuseMsg::NeedRepair { id, .. } => {
                 if self
@@ -461,10 +497,10 @@ impl FuseLayer {
                     .map(|g| matches!(g.role, RoleState::Root(_)))
                     == Some(true)
                 {
-                    self.request_repair(io, id);
+                    self.request_repair(cx, id);
                 } else if !self.groups.contains_key(&id) && !self.creating.contains_key(&id) {
                     // The group already failed here; burn the fuse back.
-                    io.send_fuse(
+                    cx.send_fuse(
                         from,
                         FuseMsg::HardNotification {
                             id,
@@ -475,32 +511,32 @@ impl FuseLayer {
                 }
             }
             FuseMsg::GroupRepairRequest { id, seq, root } => {
-                self.on_repair_request(io, ov, from, id, seq, root);
+                self.on_repair_request(cx, ov, from, id, seq, root);
             }
             FuseMsg::GroupRepairReply { id, seq, ok } => {
-                self.on_repair_reply(io, ov, from, id, seq, ok);
+                self.on_repair_reply(cx, ov, from, id, seq, ok);
             }
             FuseMsg::ReconcileRequest { links } => {
                 let mine = self.links_with(from);
-                io.send_fuse(from, FuseMsg::ReconcileReply { links: mine });
-                self.reconcile(io, ov, from, &links);
+                cx.send_fuse(from, FuseMsg::ReconcileReply { links: mine });
+                self.reconcile(cx, ov, from, &links);
             }
             FuseMsg::ReconcileReply { links } => {
-                self.reconcile(io, ov, from, &links);
+                self.reconcile(cx, ov, from, &links);
             }
         }
     }
 
     fn on_create_request(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         id: FuseId,
         root: NodeInfo,
         _members: Vec<NodeInfo>,
     ) {
-        let now = io.now();
+        let now = cx.now();
         match self.groups.get_mut(&id) {
             Some(g) => {
                 // A delegate branch for this group was installed before our
@@ -524,13 +560,13 @@ impl FuseLayer {
                 );
             }
         }
-        io.send_fuse(from, FuseMsg::GroupCreateReply { id, ok: true });
-        self.route_install_checking(io, ov, id, 0, root);
+        cx.send_fuse(from, FuseMsg::GroupCreateReply { id, ok: true });
+        self.route_install_checking(cx, ov, id, 0, root);
     }
 
     fn route_install_checking(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
         seq: u64,
@@ -546,23 +582,24 @@ impl FuseLayer {
             root: root.clone(),
         };
         let payload = self.ebuf.encode_to_bytes(&ic);
-        match ov.route_client(io, &root.name, payload) {
+        let start = cx.ov(ov, |ov, ocx| ov.route_client(ocx, &root.name, payload));
+        match start {
             RouteStart::Sent { next } => {
-                self.add_link(io, ov, id, next);
+                self.add_link(cx, ov, id, next);
             }
             RouteStart::SelfIsTarget => {}
             RouteStart::NoRoute => {
                 // No overlay path right now: fall back on root-driven repair.
-                self.initiate_member_repair(io, id);
+                self.initiate_member_repair(cx, id);
             }
         }
     }
 
     fn on_create_reply(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         id: FuseId,
         ok: bool,
     ) {
@@ -570,7 +607,7 @@ impl FuseLayer {
             return; // Late reply for an already-failed creation.
         };
         if !ok {
-            self.create_failed(io, id, CreateError::Refused);
+            self.create_failed(cx, id, CreateError::Refused);
             return;
         }
         attempt.awaiting.remove(&from);
@@ -579,11 +616,12 @@ impl FuseLayer {
         }
         // Blocking create complete: every member answered.
         let attempt = self.creating.remove(&id).expect("attempt present");
-        io.cancel_timer(attempt.timer);
-        let install_missing: DetHashSet<ProcId> = attempt.members.iter().map(|m| m.proc).collect();
+        cx.cancel_fuse_timer(attempt.timer);
+        let install_missing: DetHashSet<PeerAddr> =
+            attempt.members.iter().map(|m| m.proc).collect();
         let install_timer =
-            Some(io.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
-        let now = io.now();
+            Some(cx.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
+        let now = cx.now();
         self.groups.insert(
             id,
             Group {
@@ -603,7 +641,7 @@ impl FuseLayer {
             },
         );
         self.stats.groups_created += 1;
-        io.app(FuseEvent::Created {
+        cx.app(FuseEvent::Created {
             ticket: CreateTicket::new(id),
             result: Ok(GroupHandle {
                 id,
@@ -613,20 +651,20 @@ impl FuseLayer {
         });
         // Process InstallChecking arrivals that raced ahead.
         for (member, prev) in attempt.early_ics {
-            self.install_arrived_at_root(io, ov, id, 0, member, prev);
+            self.install_arrived_at_root(cx, ov, id, 0, member, prev);
         }
     }
 
-    fn create_failed(&mut self, io: &mut impl FuseIo, id: FuseId, err: CreateError) {
+    fn create_failed(&mut self, cx: &mut CoreCx<'_>, id: FuseId, err: CreateError) {
         let Some(attempt) = self.creating.remove(&id) else {
             return;
         };
-        io.cancel_timer(attempt.timer);
+        cx.cancel_fuse_timer(attempt.timer);
         self.stats.creates_failed += 1;
         // Best effort: tear down any member state already installed.
         for m in &attempt.members {
             self.stats.hard_sent += 1;
-            io.send_fuse(
+            cx.send_fuse(
                 m.proc,
                 FuseMsg::HardNotification {
                     id,
@@ -635,7 +673,7 @@ impl FuseLayer {
                 },
             );
         }
-        io.app(FuseEvent::Created {
+        cx.app(FuseEvent::Created {
             ticket: CreateTicket::new(id),
             result: Err(err),
         });
@@ -643,9 +681,9 @@ impl FuseLayer {
 
     fn on_soft(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         id: FuseId,
         seq: u64,
     ) {
@@ -657,50 +695,50 @@ impl FuseLayer {
         }
         // Forward along the tree, away from the originator, then drop the
         // damaged tree locally.
-        let peers: Vec<ProcId> = g.links.keys().copied().filter(|&p| p != from).collect();
+        let peers: Vec<PeerAddr> = g.links.keys().copied().filter(|&p| p != from).collect();
         for p in peers {
             self.stats.soft_sent += 1;
-            io.send_fuse(p, FuseMsg::SoftNotification { id, seq });
+            cx.send_fuse(p, FuseMsg::SoftNotification { id, seq });
         }
-        self.clear_links(io, ov, id);
+        self.clear_links(cx, ov, id);
         match &self.groups.get(&id).expect("group present").role {
             RoleState::Delegate => {
                 self.groups.remove(&id);
             }
-            RoleState::Member(_) => self.initiate_member_repair(io, id),
-            RoleState::Root(_) => self.request_repair(io, id),
+            RoleState::Member(_) => self.initiate_member_repair(cx, id),
+            RoleState::Root(_) => self.request_repair(cx, id),
         }
     }
 
     fn on_hard(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         id: FuseId,
         _seq: u64,
         reason: NotifyReason,
     ) {
         if self.creating.contains_key(&id) {
             // A member installed state and failed before creation finished.
-            self.create_failed(io, id, CreateError::Refused);
+            self.create_failed(cx, id, CreateError::Refused);
             return;
         }
         let Some(g) = self.groups.get(&id) else {
             return; // Already failed here; handler already ran.
         };
         if matches!(g.role, RoleState::Root(_)) {
-            self.group_failed_at_root(io, ov, id, Some(from), reason);
+            self.group_failed_at_root(cx, ov, id, Some(from), reason);
         } else {
-            self.fail_locally(io, ov, id, reason);
+            self.fail_locally(cx, ov, id, reason);
         }
     }
 
     fn on_repair_request(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         id: FuseId,
         seq: u64,
         root: NodeInfo,
@@ -710,12 +748,12 @@ impl FuseLayer {
                 // "If a repair message ever encounters a member that no
                 // longer has knowledge of the group, it fails and signals a
                 // HardNotification" (§6.5). Crash recovery lands here.
-                io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
+                cx.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
             }
             Some(g) => {
                 if seq <= g.seq {
                     // Stale repair (we already advanced); still acknowledge.
-                    io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: true });
+                    cx.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: true });
                     return;
                 }
                 g.seq = seq;
@@ -723,26 +761,26 @@ impl FuseLayer {
                     // A delegate that happens to also be addressed as a
                     // member (stale root view); treat conservatively as
                     // unknown membership.
-                    io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
+                    cx.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: false });
                     return;
                 }
                 if let RoleState::Member(ms) = &mut g.role {
                     if let Some(h) = ms.repair_wait.take() {
-                        io.cancel_timer(h);
+                        cx.cancel_fuse_timer(h);
                     }
                 }
-                io.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: true });
-                self.clear_links(io, ov, id);
-                self.route_install_checking(io, ov, id, seq, root);
+                cx.send_fuse(from, FuseMsg::GroupRepairReply { id, seq, ok: true });
+                self.clear_links(cx, ov, id);
+                self.route_install_checking(cx, ov, id, seq, root);
             }
         }
     }
 
     fn on_repair_reply(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        from: ProcId,
+        from: PeerAddr,
         id: FuseId,
         seq: u64,
         ok: bool,
@@ -760,7 +798,7 @@ impl FuseLayer {
             return;
         }
         if !ok {
-            self.group_failed_at_root(io, ov, id, None, NotifyReason::RepairFailed);
+            self.group_failed_at_root(cx, ov, id, None, NotifyReason::RepairFailed);
             return;
         }
         round.awaiting.remove(&from);
@@ -769,16 +807,16 @@ impl FuseLayer {
         }
         // Round succeeded.
         let round = rs.repair.take().expect("round present");
-        io.cancel_timer(round.timer);
+        cx.cancel_fuse_timer(round.timer);
         rs.install_missing = rs.members.iter().map(|m| m.proc).collect();
         if let Some(h) = rs.install_timer.take() {
-            io.cancel_timer(h);
+            cx.cancel_fuse_timer(h);
         }
         rs.install_timer =
-            Some(io.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
+            Some(cx.set_fuse_timer(self.cfg.install_wait, FuseTimer::InstallWait { id }));
         if rs.dirty {
             rs.dirty = false;
-            self.request_repair(io, id);
+            self.request_repair(cx, id);
         } else {
             rs.backoff.reset();
         }
@@ -787,30 +825,30 @@ impl FuseLayer {
     // ---- Overlay upcalls ----------------------------------------------------
 
     /// Handles an upcall from the overlay beneath.
-    pub fn on_overlay_upcall(
+    pub(crate) fn on_overlay_upcall(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         up: OverlayUpcall,
     ) {
         match up {
-            OverlayUpcall::PingHash { peer, hash } => self.on_ping_hash(io, peer, hash),
+            OverlayUpcall::PingHash { peer, hash } => self.on_ping_hash(cx, peer, hash),
             OverlayUpcall::LinkUp { .. } => {}
             OverlayUpcall::LinkDown { peer, .. } => {
                 // Dead or rerouted link: every group monitoring it soft-fails
                 // that branch and repairs.
                 for id in self.subs.subscribers(peer) {
-                    self.local_link_failed(io, ov, id, peer);
+                    self.local_link_failed(cx, ov, id, peer);
                 }
             }
             OverlayUpcall::ProbeAcked { peer, nonce, .. } => {
                 if self.cfg.shared_plane {
-                    self.drive_detector(io, ov, |det, pio| det.on_ack(pio, peer, nonce));
+                    self.drive_detector(cx, ov, |det, lcx| det.on_ack(lcx, peer, nonce));
                 }
             }
             OverlayUpcall::Delivered { src, prev, payload } => {
                 if let Ok(ic) = InstallChecking::from_bytes(&payload) {
-                    self.install_delivered(io, ov, ic, src.proc, prev);
+                    self.install_delivered(cx, ov, ic, src.proc, prev);
                 }
             }
             OverlayUpcall::Forwarded {
@@ -820,14 +858,14 @@ impl FuseLayer {
                 ..
             } => {
                 if let Ok(ic) = InstallChecking::from_bytes(&payload) {
-                    self.install_forwarded(io, ov, ic, prev, next);
+                    self.install_forwarded(cx, ov, ic, prev, next);
                 }
             }
             OverlayUpcall::RouteStuck { payload, .. } => {
                 if let Ok(ic) = InstallChecking::from_bytes(&payload) {
                     // Our InstallChecking could not reach the root.
                     if ic.member.proc == self.me.proc {
-                        self.initiate_member_repair(io, ic.id);
+                        self.initiate_member_repair(cx, ic.id);
                     }
                 }
             }
@@ -836,11 +874,11 @@ impl FuseLayer {
 
     fn install_delivered(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         ic: InstallChecking,
-        src: ProcId,
-        prev: ProcId,
+        src: PeerAddr,
+        prev: PeerAddr,
     ) {
         if ic.root.proc != self.me.proc {
             // Routed to us although we are not the root: stale name tables.
@@ -854,7 +892,7 @@ impl FuseLayer {
         if !self.groups.contains_key(&ic.id) {
             // Group already failed: burn the fuse back toward the member.
             self.stats.hard_sent += 1;
-            io.send_fuse(
+            cx.send_fuse(
                 src,
                 FuseMsg::HardNotification {
                     id: ic.id,
@@ -864,17 +902,17 @@ impl FuseLayer {
             );
             return;
         }
-        self.install_arrived_at_root(io, ov, ic.id, ic.seq, src, prev);
+        self.install_arrived_at_root(cx, ov, ic.id, ic.seq, src, prev);
     }
 
     fn install_arrived_at_root(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
         seq: u64,
-        member: ProcId,
-        prev: ProcId,
+        member: PeerAddr,
+        prev: PeerAddr,
     ) {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
@@ -886,24 +924,24 @@ impl FuseLayer {
             rs.install_missing.remove(&member);
             if rs.install_missing.is_empty() {
                 if let Some(h) = rs.install_timer.take() {
-                    io.cancel_timer(h);
+                    cx.cancel_fuse_timer(h);
                 }
             }
         }
         if prev != self.me.proc {
-            self.add_link(io, ov, id, prev);
+            self.add_link(cx, ov, id, prev);
         }
     }
 
     fn install_forwarded(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         ic: InstallChecking,
-        prev: ProcId,
-        next: ProcId,
+        prev: PeerAddr,
+        next: PeerAddr,
     ) {
-        let now = io.now();
+        let now = cx.now();
         match self.groups.get_mut(&ic.id) {
             Some(g) => {
                 if ic.seq < g.seq {
@@ -925,44 +963,44 @@ impl FuseLayer {
             }
         }
         if prev != self.me.proc {
-            self.add_link(io, ov, ic.id, prev);
+            self.add_link(cx, ov, ic.id, prev);
         }
         if next != self.me.proc {
-            self.add_link(io, ov, ic.id, next);
+            self.add_link(cx, ov, ic.id, next);
         }
     }
 
-    fn on_ping_hash(&mut self, io: &mut impl FuseIo, peer: ProcId, hash: Digest) {
+    fn on_ping_hash(&mut self, cx: &mut CoreCx<'_>, peer: PeerAddr, hash: Digest) {
         let mine = self.hash_for(peer);
         if mine == hash {
             // Agreement: refresh every (group, link) timer this hash covers.
             // (In shared-plane mode links carry no timers and this loop
             // no-ops; the detector's probe rounds are the refresh.)
             for id in self.subs.subscribers(peer) {
-                self.reset_link_timer(io, id, peer);
+                self.reset_link_timer(cx, id, peer);
             }
         } else {
             // Disagreement: exchange lists (§6.3).
             self.stats.reconciles += 1;
             let links = self.links_with(peer);
-            io.send_fuse(peer, FuseMsg::ReconcileRequest { links });
+            cx.send_fuse(peer, FuseMsg::ReconcileRequest { links });
         }
     }
 
     fn reconcile(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        peer: ProcId,
+        peer: PeerAddr,
         theirs: &[(FuseId, u64)],
     ) {
         let their_ids: DetHashSet<FuseId> = theirs.iter().map(|&(id, _)| id).collect();
         let mine = self.subs.subscribers(peer);
-        let now = io.now();
+        let now = cx.now();
         for id in mine {
             if their_ids.contains(&id) {
                 // Agreed link: treat like a refresh.
-                self.reset_link_timer(io, id, peer);
+                self.reset_link_timer(cx, id, peer);
             } else {
                 // They do not monitor this tree with us. Outside the grace
                 // period (creation race, §6.3) the disagreeing tree is torn
@@ -974,7 +1012,7 @@ impl FuseLayer {
                     .map(|l| now.since(l.installed_at) < self.cfg.reconcile_grace)
                     .unwrap_or(true);
                 if !fresh {
-                    self.local_link_failed(io, ov, id, peer);
+                    self.local_link_failed(cx, ov, id, peer);
                 }
             }
         }
@@ -983,19 +1021,14 @@ impl FuseLayer {
     // ---- Timers ---------------------------------------------------------------
 
     /// Handles a FUSE timer.
-    pub fn on_timer(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, tag: FuseTimer) {
+    pub(crate) fn on_timer(&mut self, cx: &mut CoreCx<'_>, ov: &mut OverlayNode, tag: FuseTimer) {
         match tag {
             FuseTimer::LinkExpired { id, peer } => {
                 self.stats.links_expired += 1;
-                self.local_link_failed(io, ov, id, peer);
-            }
-            FuseTimer::Liveness(t) => {
-                if self.cfg.shared_plane {
-                    self.drive_detector(io, ov, |det, pio| det.on_timer(pio, t));
-                }
+                self.local_link_failed(cx, ov, id, peer);
             }
             FuseTimer::CreateTimeout { id } => {
-                self.create_failed(io, id, CreateError::MemberUnreachable);
+                self.create_failed(cx, id, CreateError::MemberUnreachable);
             }
             FuseTimer::InstallWait { id } => {
                 let needs = match self.groups.get_mut(&id) {
@@ -1009,7 +1042,7 @@ impl FuseLayer {
                     _ => false,
                 };
                 if needs {
-                    self.request_repair(io, id);
+                    self.request_repair(cx, id);
                 }
             }
             FuseTimer::MemberRepairWait { id } => {
@@ -1033,7 +1066,7 @@ impl FuseLayer {
                         (g.root.proc, g.seq)
                     };
                     self.stats.hard_sent += 1;
-                    io.send_fuse(
+                    cx.send_fuse(
                         root,
                         FuseMsg::HardNotification {
                             id,
@@ -1041,7 +1074,7 @@ impl FuseLayer {
                             reason: NotifyReason::LivenessExpired,
                         },
                     );
-                    self.fail_locally(io, ov, id, NotifyReason::LivenessExpired);
+                    self.fail_locally(cx, ov, id, NotifyReason::LivenessExpired);
                 }
             }
             FuseTimer::RepairRound { id, seq } => {
@@ -1056,17 +1089,35 @@ impl FuseLayer {
                     }) if r.seq == seq && !r.awaiting.is_empty()
                 );
                 if failed {
-                    self.group_failed_at_root(io, ov, id, None, NotifyReason::RepairFailed);
+                    self.group_failed_at_root(cx, ov, id, None, NotifyReason::RepairFailed);
                 }
             }
             FuseTimer::RepairKick { id } => {
-                self.start_repair_round(io, id);
+                self.start_repair_round(cx, id);
             }
         }
     }
 
+    /// Handles a shared-plane detector timer (a `NS_LIVENESS` key resolved
+    /// by the stack). Ignored when the shared plane is off.
+    pub(crate) fn on_liveness_timer(
+        &mut self,
+        cx: &mut CoreCx<'_>,
+        ov: &mut OverlayNode,
+        t: LivenessTimer,
+    ) {
+        if self.cfg.shared_plane {
+            self.drive_detector(cx, ov, |det, lcx| det.on_timer(lcx, t));
+        }
+    }
+
     /// Handles a transport-level broken connection (direct messages).
-    pub fn on_link_broken(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, peer: ProcId) {
+    pub(crate) fn on_link_broken(
+        &mut self,
+        cx: &mut CoreCx<'_>,
+        ov: &mut OverlayNode,
+        peer: PeerAddr,
+    ) {
         // Creation attempts waiting on this peer fail immediately.
         let failed_creates: Vec<FuseId> = self
             .creating
@@ -1075,7 +1126,7 @@ impl FuseLayer {
             .map(|(&id, _)| id)
             .collect();
         for id in failed_creates {
-            self.create_failed(io, id, CreateError::ConnectionBroken);
+            self.create_failed(cx, id, CreateError::ConnectionBroken);
         }
         // Repair rounds waiting on this peer fail the group.
         let failed_repairs: Vec<FuseId> = self
@@ -1090,7 +1141,7 @@ impl FuseLayer {
             .map(|(&id, _)| id)
             .collect();
         for id in failed_repairs {
-            self.group_failed_at_root(io, ov, id, None, NotifyReason::ConnectionBroken);
+            self.group_failed_at_root(cx, ov, id, None, NotifyReason::ConnectionBroken);
         }
         // §3.4 fail-on-send: groups whose data path to this peer just broke
         // are declared failed, exactly as if the sender had signalled.
@@ -1102,36 +1153,71 @@ impl FuseLayer {
             .collect();
         bound.sort_unstable();
         for id in bound {
-            self.declare_failed(io, ov, id, NotifyReason::ConnectionBroken);
+            self.declare_failed(cx, ov, id, NotifyReason::ConnectionBroken);
         }
         // Liveness-tree links to this peer are gone.
         for id in self.subs.subscribers(peer) {
-            self.local_link_failed(io, ov, id, peer);
+            self.local_link_failed(cx, ov, id, peer);
         }
     }
 
     // ---- Shared liveness plane --------------------------------------------------
 
-    /// Runs one detector entry point through a scratch [`PlaneIo`], then
-    /// applies whatever verdicts it emitted.
-    fn drive_detector<IO: FuseIo>(
+    /// Runs one detector entry point through a scratch [`LivenessCx`], then
+    /// translates its effects: probes become overlay messages carrying the
+    /// link's piggyback digest, timer commands pass through, and verdicts
+    /// are applied *after* the drain (the cascade a `Dead` verdict starts
+    /// emits behind the detector's own sends, exactly as before).
+    ///
+    /// The relay pool is the overlay neighbor set (minus this node) — wider
+    /// than the subscribed-peer set on purpose: a node whose groups all
+    /// ride one link still gets relays, so a lossy (or adversarially
+    /// dropped) direct path cannot manufacture a false kill on its own.
+    fn drive_detector(
         &mut self,
-        io: &mut IO,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        f: impl for<'a, 'b> FnOnce(&'b mut Detector, &'b mut PlaneIo<'a, IO>),
+        f: impl FnOnce(&mut Detector, &mut LivenessCx<'_>),
     ) {
-        let neighbors = ov.neighbors();
-        let mut pio = PlaneIo {
-            io,
-            me: self.me.proc,
-            hashes: &self.hash_cache,
-            neighbors: &neighbors,
-            verdicts: Vec::new(),
-        };
-        f(&mut self.detector, &mut pio);
-        let verdicts = pio.verdicts;
+        let me = self.me.proc;
+        let neighbors: Vec<PeerAddr> = ov.neighbors().into_iter().filter(|&p| p != me).collect();
+        let mut effects: VecDeque<LivenessEffect> = VecDeque::new();
+        {
+            let mut lcx = LivenessCx::new(cx.now, cx.rng, cx.liv_timers, &neighbors, &mut effects);
+            f(&mut self.detector, &mut lcx);
+        }
+        let mut verdicts = Vec::new();
+        while let Some(eff) = effects.pop_front() {
+            match eff {
+                LivenessEffect::Probe { to, nonce } => {
+                    let hash = self.hash_cache.get(&to).copied();
+                    cx.send_overlay(to, OverlayMsg::Probe { nonce, hash });
+                }
+                LivenessEffect::Indirect {
+                    relay,
+                    target,
+                    nonce,
+                } => {
+                    cx.send_overlay(
+                        relay,
+                        OverlayMsg::IndirectProbe {
+                            origin: me,
+                            target,
+                            nonce,
+                        },
+                    );
+                }
+                LivenessEffect::SetTimer { key, after } => {
+                    cx.out.push_back(Output::SetTimer { key, after });
+                }
+                LivenessEffect::CancelTimer { key } => {
+                    cx.out.push_back(Output::CancelTimer { key });
+                }
+                LivenessEffect::Verdict { peer, verdict } => verdicts.push((peer, verdict)),
+            }
+        }
         for (peer, v) in verdicts {
-            self.apply_verdict(io, ov, peer, v);
+            self.apply_verdict(cx, ov, peer, v);
         }
     }
 
@@ -1143,9 +1229,9 @@ impl FuseLayer {
     /// `Suspected` burns nothing: refutation may still arrive.
     fn apply_verdict(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
-        peer: ProcId,
+        peer: PeerAddr,
         v: Verdict,
     ) {
         match v {
@@ -1154,7 +1240,7 @@ impl FuseLayer {
             Verdict::Dead => {
                 self.stats.peer_deaths += 1;
                 for id in self.subs.subscribers(peer) {
-                    self.local_link_failed(io, ov, id, peer);
+                    self.local_link_failed(cx, ov, id, peer);
                 }
             }
         }
@@ -1176,10 +1262,10 @@ impl FuseLayer {
 
     fn local_link_failed(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
-        peer: ProcId,
+        peer: PeerAddr,
     ) {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
@@ -1188,14 +1274,14 @@ impl FuseLayer {
             return;
         };
         if let Some(t) = link.timer {
-            io.cancel_timer(t);
+            cx.cancel_fuse_timer(t);
         }
         let seq = g.seq;
-        let others: Vec<ProcId> = g.links.keys().copied().collect();
-        self.unindex_link(io, ov, id, peer);
+        let others: Vec<PeerAddr> = g.links.keys().copied().collect();
+        self.unindex_link(cx, ov, id, peer);
         for p in others {
             self.stats.soft_sent += 1;
-            io.send_fuse(p, FuseMsg::SoftNotification { id, seq });
+            cx.send_fuse(p, FuseMsg::SoftNotification { id, seq });
         }
         match &self.groups.get(&id).expect("group present").role {
             RoleState::Delegate => {
@@ -1203,12 +1289,12 @@ impl FuseLayer {
                     self.groups.remove(&id);
                 }
             }
-            RoleState::Member(_) => self.initiate_member_repair(io, id),
-            RoleState::Root(_) => self.request_repair(io, id),
+            RoleState::Member(_) => self.initiate_member_repair(cx, id),
+            RoleState::Root(_) => self.request_repair(cx, id),
         }
     }
 
-    fn initiate_member_repair(&mut self, io: &mut impl FuseIo, id: FuseId) {
+    fn initiate_member_repair(&mut self, cx: &mut CoreCx<'_>, id: FuseId) {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
@@ -1220,14 +1306,14 @@ impl FuseLayer {
         if ms.repair_wait.is_some() {
             return;
         }
-        io.send_fuse(root, FuseMsg::NeedRepair { id, seq });
-        ms.repair_wait = Some(io.set_fuse_timer(
+        cx.send_fuse(root, FuseMsg::NeedRepair { id, seq });
+        ms.repair_wait = Some(cx.set_fuse_timer(
             self.cfg.member_repair_timeout,
             FuseTimer::MemberRepairWait { id },
         ));
     }
 
-    fn request_repair(&mut self, io: &mut impl FuseIo, id: FuseId) {
+    fn request_repair(&mut self, cx: &mut CoreCx<'_>, id: FuseId) {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
@@ -1241,11 +1327,11 @@ impl FuseLayer {
         if rs.kick.is_some() {
             return;
         }
-        let delay = SimDuration(rs.backoff.next_delay());
-        rs.kick = Some(io.set_fuse_timer(delay, FuseTimer::RepairKick { id }));
+        let delay = Duration(rs.backoff.next_delay());
+        rs.kick = Some(cx.set_fuse_timer(delay, FuseTimer::RepairKick { id }));
     }
 
-    fn start_repair_round(&mut self, io: &mut impl FuseIo, id: FuseId) {
+    fn start_repair_round(&mut self, cx: &mut CoreCx<'_>, id: FuseId) {
         let Some(g) = self.groups.get_mut(&id) else {
             return;
         };
@@ -1259,13 +1345,13 @@ impl FuseLayer {
         }
         g.seq += 1;
         let seq = g.seq;
-        let awaiting: DetHashSet<ProcId> = rs.members.iter().map(|m| m.proc).collect();
+        let awaiting: DetHashSet<PeerAddr> = rs.members.iter().map(|m| m.proc).collect();
         if awaiting.is_empty() {
             return;
         }
         self.stats.repairs_started += 1;
         for m in rs.members.clone() {
-            io.send_fuse(
+            cx.send_fuse(
                 m.proc,
                 FuseMsg::GroupRepairRequest {
                     id,
@@ -1274,7 +1360,7 @@ impl FuseLayer {
                 },
             );
         }
-        let timer = io.set_fuse_timer(
+        let timer = cx.set_fuse_timer(
             self.cfg.root_repair_timeout,
             FuseTimer::RepairRound { id, seq },
         );
@@ -1293,10 +1379,10 @@ impl FuseLayer {
 
     fn group_failed_at_root(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
-        except: Option<ProcId>,
+        except: Option<PeerAddr>,
         reason: NotifyReason,
     ) {
         self.stats.repairs_failed += 1;
@@ -1309,13 +1395,13 @@ impl FuseLayer {
             let mut sent = 0u64;
             for m in &rs.members {
                 if Some(m.proc) != except {
-                    io.send_fuse(m.proc, FuseMsg::HardNotification { id, seq, reason });
+                    cx.send_fuse(m.proc, FuseMsg::HardNotification { id, seq, reason });
                     sent += 1;
                 }
             }
             self.stats.hard_sent += sent;
         }
-        self.fail_locally(io, ov, id, reason);
+        self.fail_locally(cx, ov, id, reason);
     }
 
     /// Tears down all local state for `id` and invokes the application
@@ -1323,7 +1409,7 @@ impl FuseLayer {
     /// gates the upcall.
     fn fail_locally(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
         reason: NotifyReason,
@@ -1339,28 +1425,28 @@ impl FuseLayer {
             RoleState::Delegate => None,
         };
         // Clean the liveness tree below us.
-        let peers: Vec<ProcId> = g.links.keys().copied().collect();
+        let peers: Vec<PeerAddr> = g.links.keys().copied().collect();
         for p in &peers {
             self.stats.soft_sent += 1;
-            io.send_fuse(*p, FuseMsg::SoftNotification { id, seq });
+            cx.send_fuse(*p, FuseMsg::SoftNotification { id, seq });
         }
-        self.clear_links(io, ov, id);
+        self.clear_links(cx, ov, id);
         let g = self.groups.remove(&id).expect("group present");
         match g.role {
             RoleState::Root(rs) => {
                 if let Some(h) = rs.install_timer {
-                    io.cancel_timer(h);
+                    cx.cancel_fuse_timer(h);
                 }
                 if let Some(h) = rs.kick {
-                    io.cancel_timer(h);
+                    cx.cancel_fuse_timer(h);
                 }
                 if let Some(r) = rs.repair {
-                    io.cancel_timer(r.timer);
+                    cx.cancel_fuse_timer(r.timer);
                 }
             }
             RoleState::Member(ms) => {
                 if let Some(h) = ms.repair_wait {
-                    io.cancel_timer(h);
+                    cx.cancel_fuse_timer(h);
                 }
             }
             RoleState::Delegate => {}
@@ -1369,7 +1455,7 @@ impl FuseLayer {
         self.send_bound.remove(&id);
         if let Some(role) = role {
             self.stats.notifications += 1;
-            io.app(FuseEvent::Notified(Notification {
+            cx.app(FuseEvent::Notified(Notification {
                 id,
                 reason,
                 role,
@@ -1382,9 +1468,9 @@ impl FuseLayer {
 
     // ---- Link bookkeeping -------------------------------------------------------
 
-    fn add_link(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId, peer: ProcId) {
+    fn add_link(&mut self, cx: &mut CoreCx<'_>, ov: &mut OverlayNode, id: FuseId, peer: PeerAddr) {
         debug_assert_ne!(peer, self.me.proc);
-        let now = io.now();
+        let now = cx.now();
         let timeout = self.cfg.link_failure_timeout;
         let shared = self.cfg.shared_plane;
         let Some(g) = self.groups.get_mut(&id) else {
@@ -1393,14 +1479,14 @@ impl FuseLayer {
         match g.links.get_mut(&peer) {
             Some(link) => {
                 if let Some(t) = link.timer.take() {
-                    io.cancel_timer(t);
+                    cx.cancel_fuse_timer(t);
                 }
                 link.timer = (!shared)
-                    .then(|| io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
+                    .then(|| cx.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
             }
             None => {
                 let timer = (!shared)
-                    .then(|| io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
+                    .then(|| cx.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
                 g.links.insert(
                     peer,
                     Link {
@@ -1410,23 +1496,23 @@ impl FuseLayer {
                 );
                 let first = self.subs.subscribe(peer, id);
                 if first && shared {
-                    self.drive_detector(io, ov, |det, pio| det.add_peer(pio, peer));
+                    self.drive_detector(cx, ov, |det, lcx| det.add_peer(lcx, peer));
                 }
                 self.push_hash(ov, peer);
             }
         }
     }
 
-    fn reset_link_timer(&mut self, io: &mut impl FuseIo, id: FuseId, peer: ProcId) {
+    fn reset_link_timer(&mut self, cx: &mut CoreCx<'_>, id: FuseId, peer: PeerAddr) {
         let timeout = self.cfg.link_failure_timeout;
         if let Some(g) = self.groups.get_mut(&id) {
             if let Some(link) = g.links.get_mut(&peer) {
                 // Shared-plane links carry no timer (`None`): nothing to
                 // refresh, the node-level detector owns the peer's liveness.
                 if let Some(t) = link.timer.take() {
-                    io.cancel_timer(t);
+                    cx.cancel_fuse_timer(t);
                     link.timer =
-                        Some(io.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
+                        Some(cx.set_fuse_timer(timeout, FuseTimer::LinkExpired { id, peer }));
                 }
             }
         }
@@ -1434,20 +1520,20 @@ impl FuseLayer {
 
     fn unindex_link(
         &mut self,
-        io: &mut impl FuseIo,
+        cx: &mut CoreCx<'_>,
         ov: &mut OverlayNode,
         id: FuseId,
-        peer: ProcId,
+        peer: PeerAddr,
     ) {
         let last = self.subs.unsubscribe(peer, id);
         if last && self.cfg.shared_plane {
-            self.drive_detector(io, ov, |det, pio| det.remove_peer(pio, peer));
+            self.drive_detector(cx, ov, |det, lcx| det.remove_peer(lcx, peer));
         }
         self.push_hash(ov, peer);
     }
 
-    fn clear_links(&mut self, io: &mut impl FuseIo, ov: &mut OverlayNode, id: FuseId) {
-        let peers: Vec<ProcId> = self
+    fn clear_links(&mut self, cx: &mut CoreCx<'_>, ov: &mut OverlayNode, id: FuseId) {
+        let peers: Vec<PeerAddr> = self
             .groups
             .get(&id)
             .map(|g| g.links.keys().copied().collect())
@@ -1456,11 +1542,11 @@ impl FuseLayer {
             if let Some(g) = self.groups.get_mut(&id) {
                 if let Some(link) = g.links.remove(&peer) {
                     if let Some(t) = link.timer {
-                        io.cancel_timer(t);
+                        cx.cancel_fuse_timer(t);
                     }
                 }
             }
-            self.unindex_link(io, ov, id, peer);
+            self.unindex_link(cx, ov, id, peer);
         }
     }
 
@@ -1471,7 +1557,7 @@ impl FuseLayer {
     /// changes, so every `PingHash` arrival is a pure lookup.
     ///
     /// [`push_hash`]: FuseLayer::push_hash
-    fn hash_for(&self, peer: ProcId) -> Digest {
+    fn hash_for(&self, peer: PeerAddr) -> Digest {
         self.hash_cache
             .get(&peer)
             .copied()
@@ -1480,7 +1566,7 @@ impl FuseLayer {
 
     /// Recomputes the digest from scratch (cache fill and the consistency
     /// check in tests).
-    fn recompute_hash(&self, peer: ProcId) -> Digest {
+    fn recompute_hash(&self, peer: PeerAddr) -> Digest {
         let ids = self.subs.subscribers(peer);
         if ids.is_empty() {
             return Digest::of_empty();
@@ -1503,7 +1589,7 @@ impl FuseLayer {
             && self.hash_cache.keys().all(|&p| self.subs.has_peer(p))
     }
 
-    fn push_hash(&mut self, ov: &mut OverlayNode, peer: ProcId) {
+    fn push_hash(&mut self, ov: &mut OverlayNode, peer: PeerAddr) {
         let hash = if self.subs.has_peer(peer) {
             self.stats.hashes_computed += 1;
             let d = self.recompute_hash(peer);
@@ -1516,7 +1602,7 @@ impl FuseLayer {
         ov.set_link_hash(peer, hash);
     }
 
-    fn links_with(&self, peer: ProcId) -> Vec<(FuseId, u64)> {
+    fn links_with(&self, peer: PeerAddr) -> Vec<(FuseId, u64)> {
         self.subs
             .subscribers(peer)
             .into_iter()

@@ -3,8 +3,8 @@
 //! This crate is the paper's primary contribution: the **FUSE group**
 //! abstraction with *distributed one-way agreement* semantics. An
 //! application creates a group over an immutable set of nodes
-//! ([`FuseLayer::create_group`]); thereafter, whenever the group is declared
-//! failed — explicitly by any member ([`FuseLayer::signal_failure`]) or
+//! ([`FuseApi::create_group`]); thereafter, whenever the group is declared
+//! failed — explicitly by any member ([`FuseApi::signal_failure`]) or
 //! implicitly by FUSE's liveness checking — **every live member hears
 //! exactly one failure notification within a bounded time**, under node
 //! crashes and arbitrary network failures. "Failure notifications never
@@ -27,20 +27,25 @@
 //!   unrepairable groups produce `HardNotification`s that invoke the
 //!   application handler exactly once per node.
 //!
-//! The [`stack`] module composes transport ↔ overlay ↔ FUSE ↔ application
-//! into a single simulated process; [`topologies`] contains the three
-//! alternative liveness-checking topologies discussed in §5.1.
+//! The [`stack`] module composes overlay ↔ FUSE ↔ application into a single
+//! **sans-io** state machine, [`FuseStack`]: drivers feed it
+//! `(now, `[`Input`]`)` and drain [`Output`]s — there is no transport or
+//! clock in this crate. The simulation kernel and the real-socket
+//! `fuse-node` binary are both thin drivers over this one surface (see the
+//! `fuse_simdriver` crate and the `fuse-node` package).
 
 pub mod layer;
 pub mod messages;
 pub mod stack;
-pub mod topologies;
 pub mod types;
 
-pub use layer::{FuseIo, FuseLayer};
+pub use layer::{FuseLayer, FuseStats};
 pub use messages::{FuseMsg, InstallChecking};
-pub use stack::{FuseApi, FuseApp, NodeStack, StackMsg, StackTimer};
+pub use stack::{
+    AppCall, FuseApi, FuseApp, FuseStack, Input, Output, StackMsg, NS_APP, NS_FUSE, NS_LIVENESS,
+    NS_OVERLAY,
+};
 pub use types::{
-    CreateError, CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer, GroupHandle, Notification,
-    NotifyReason, Role,
+    ConfigError, CreateError, CreateTicket, FuseConfig, FuseConfigBuilder, FuseEvent, FuseId,
+    FuseTimer, GroupHandle, Notification, NotifyReason, Role,
 };

@@ -1,24 +1,76 @@
-//! The node stack: transport ↔ overlay ↔ FUSE ↔ application, as one
-//! simulated process.
+//! The sans-io node stack: overlay ↔ FUSE composed as one pure state
+//! machine.
 //!
-//! The stack is the "base messaging layer" glue the paper swaps between its
-//! simulator and its cluster: protocol layers never touch the kernel
-//! directly — a private `Shim` implementing [`OverlayIo`] and [`FuseIo`]
-//! adapts the kernel's handler context, buffers inter-layer upcalls, and
-//! replays them in order (overlay → FUSE → application).
+//! [`FuseStack`] is the driver-facing surface of this crate. It owns the
+//! overlay, the FUSE layer, their timer tables and an output queue — and
+//! nothing else. A driver feeds it `(now, rng, `[`Input`]`)` and drains
+//! [`Output`]s; the stack never touches a socket, a clock or an event
+//! queue. The same stack runs unchanged under the deterministic simulation
+//! kernel (`fuse_simdriver`) and over real TCP sockets (the `fuse-node`
+//! binary): only the driver differs.
+//!
+//! Application code hangs off the driver, not the stack: when the driver
+//! pops [`Output::App`], it invokes its application callback with a
+//! [`FuseApi`] built over the stack ([`FuseStack::api`]). Outputs the
+//! callback generates append to the tail of the same queue, which preserves
+//! the overlay → FUSE → application ordering the deterministic traces rely
+//! on.
+//!
+//! # Example: a full group lifecycle with no driver at all
+//!
+//! ```
+//! use fuse_core::{AppCall, FuseConfig, FuseEvent, FuseStack, Input, Output};
+//! use fuse_overlay::{NodeInfo, NodeName, OverlayConfig};
+//! use fuse_util::Time;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let me = NodeInfo::new(1, NodeName::numbered(1));
+//! let mut stack = FuseStack::new(me, None, OverlayConfig::default(), FuseConfig::default());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let now = Time::ZERO;
+//!
+//! stack.handle(now, &mut rng, Input::Boot);
+//! let mut result = None;
+//! while let Some(out) = stack.poll_output() {
+//!     match out {
+//!         Output::App(AppCall::Boot) => {
+//!             // Driver-side application code runs against the API.
+//!             let mut api = stack.api(now, &mut rng);
+//!             api.create_group(Vec::new()); // singleton group: root-only
+//!         }
+//!         Output::App(AppCall::Event(ev)) => result = Some(ev),
+//!         _ => {} // Send / SetTimer / CancelTimer go to the transport
+//!     }
+//! }
+//! assert!(matches!(result, Some(FuseEvent::Created { result: Ok(_), .. })));
+//! ```
+
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 
+use fuse_liveness::LivenessTimer;
 use fuse_overlay::{
-    NodeInfo, OverlayConfig, OverlayIo, OverlayMsg, OverlayNode, OverlayTimer, OverlayUpcall,
+    NodeInfo, OverlayConfig, OverlayCx, OverlayEffect, OverlayMsg, OverlayNode, OverlayTimer,
+    OverlayUpcall,
 };
-use fuse_sim::process::Ctx;
-use fuse_sim::{Payload, ProcId, Process, SimDuration, SimTime, TimerHandle};
-use fuse_wire::Encode;
+use fuse_util::{Duration, KeyedTimers, PeerAddr, Time, TimerKey};
+use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
+use rand::rngs::StdRng;
 
-use crate::layer::{FuseIo, FuseLayer};
+use crate::layer::{CoreCx, FuseLayer};
 use crate::messages::FuseMsg;
 use crate::types::{CreateTicket, FuseConfig, FuseEvent, FuseId, FuseTimer};
+
+/// Timer-key namespace of the overlay's table.
+pub const NS_OVERLAY: u8 = 0;
+/// Timer-key namespace of the FUSE layer's table.
+pub const NS_FUSE: u8 = 1;
+/// Timer-key namespace of the shared-plane failure detector's table.
+pub const NS_LIVENESS: u8 = 2;
+/// Timer-key namespace of application timers.
+pub const NS_APP: u8 = 3;
 
 /// Union message type carried between node stacks.
 #[derive(Debug, Clone)]
@@ -31,7 +83,7 @@ pub enum StackMsg {
     App(Bytes),
 }
 
-impl Payload for StackMsg {
+impl fuse_util::Payload for StackMsg {
     fn size_bytes(&self) -> usize {
         // One tag byte plus the exact encoded size of the inner message.
         // `wire_size` is single-pass arithmetic (the codec's exact size
@@ -52,89 +104,338 @@ impl Payload for StackMsg {
     }
 }
 
-/// Union timer tag.
+const STACK_OVERLAY: u8 = 0;
+const STACK_FUSE: u8 = 1;
+const STACK_APP: u8 = 2;
+
+impl Encode for StackMsg {
+    fn encode(&self, w: &mut dyn Writer) {
+        match self {
+            StackMsg::Overlay(m) => {
+                STACK_OVERLAY.encode(w);
+                m.encode(w);
+            }
+            StackMsg::Fuse(m) => {
+                STACK_FUSE.encode(w);
+                m.encode(w);
+            }
+            StackMsg::App(b) => {
+                STACK_APP.encode(w);
+                b.encode(w);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            StackMsg::Overlay(m) => m.size_hint(),
+            StackMsg::Fuse(m) => m.size_hint(),
+            StackMsg::App(b) => b.size_hint(),
+        }
+    }
+}
+
+impl Decode for StackMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            STACK_OVERLAY => Ok(StackMsg::Overlay(OverlayMsg::decode(r)?)),
+            STACK_FUSE => Ok(StackMsg::Fuse(FuseMsg::decode(r)?)),
+            STACK_APP => Ok(StackMsg::App(Bytes::decode(r)?)),
+            _ => Err(DecodeError::Invalid("stack message tag")),
+        }
+    }
+}
+
+/// One event a driver feeds into the stack.
 #[derive(Debug, Clone)]
-pub enum StackTimer {
-    /// Overlay timers (pings, maintenance, join).
-    Overlay(OverlayTimer),
-    /// FUSE timers (liveness, create, repair).
-    Fuse(FuseTimer),
-    /// Application timers.
-    App(u64),
+pub enum Input {
+    /// The node just started; fires exactly once, first.
+    Boot,
+    /// A message arrived from a peer.
+    Message {
+        /// Sending peer.
+        from: PeerAddr,
+        /// The message.
+        msg: StackMsg,
+    },
+    /// A previously requested timer expired. Feeding a stale key
+    /// (cancelled or superseded) is harmless: it resolves to nothing, so
+    /// lazy-cancel drivers need no bookkeeping.
+    Timer(TimerKey),
+    /// The transport declared the connection to `peer` broken (e.g. TCP
+    /// gave up). Feeds overlay eviction and the §3.4 fail-on-send path.
+    LinkBroken {
+        /// The unreachable peer.
+        peer: PeerAddr,
+    },
 }
 
-/// The adapter the protocol layers see instead of the kernel.
-struct Shim<'a, 'b> {
-    ctx: &'a mut Ctx<'b, StackMsg, StackTimer>,
-    ov_up: &'a mut Vec<OverlayUpcall>,
-    app_up: &'a mut Vec<FuseEvent>,
+/// One command the stack asks its driver to perform, in queue order.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// Transmit `msg` to `to`.
+    Send {
+        /// Destination peer.
+        to: PeerAddr,
+        /// The message.
+        msg: StackMsg,
+    },
+    /// Schedule `key` to be fed back as [`Input::Timer`] `after` from now.
+    SetTimer {
+        /// The timer's identity.
+        key: TimerKey,
+        /// Relative deadline.
+        after: Duration,
+    },
+    /// Drop a scheduled wakeup. Optional: drivers that deliver the expiry
+    /// anyway stay correct (stale keys resolve to nothing), this is purely
+    /// a scheduling-load optimization.
+    CancelTimer {
+        /// The cancelled timer.
+        key: TimerKey,
+    },
+    /// Invoke the driver-side application callback. Outputs produced by
+    /// the callback (through [`FuseApi`]) append behind everything already
+    /// queued.
+    App(AppCall),
 }
 
-impl OverlayIo for Shim<'_, '_> {
-    fn now(&self) -> SimTime {
-        self.ctx.now
-    }
-
-    fn rng(&mut self) -> &mut rand::rngs::StdRng {
-        self.ctx.rng()
-    }
-
-    fn send(&mut self, to: ProcId, msg: OverlayMsg) {
-        self.ctx.send(to, StackMsg::Overlay(msg));
-    }
-
-    fn set_timer(&mut self, after: SimDuration, tag: OverlayTimer) -> TimerHandle {
-        self.ctx.set_timer(after, StackTimer::Overlay(tag))
-    }
-
-    fn cancel_timer(&mut self, h: TimerHandle) {
-        self.ctx.cancel_timer(h);
-    }
-
-    fn upcall(&mut self, ev: OverlayUpcall) {
-        self.ov_up.push(ev);
-    }
+/// Which application callback [`Output::App`] asks the driver to run.
+#[derive(Debug, Clone)]
+pub enum AppCall {
+    /// The node booted (`FuseApp::on_boot` in the drivers).
+    Boot,
+    /// A FUSE event: creation completed or a failure notification.
+    Event(FuseEvent),
+    /// An opaque application payload from a peer.
+    Message {
+        /// Sending peer.
+        from: PeerAddr,
+        /// The payload.
+        payload: Bytes,
+    },
+    /// An application timer (armed via [`FuseApi::set_app_timer`]) fired.
+    Timer(u64),
 }
 
-impl FuseIo for Shim<'_, '_> {
-    fn send_fuse(&mut self, to: ProcId, msg: FuseMsg) {
-        self.ctx.send(to, StackMsg::Fuse(msg));
+/// The composed sans-io protocol stack: overlay + FUSE, one per node.
+pub struct FuseStack {
+    /// The overlay layer.
+    pub overlay: OverlayNode,
+    /// The FUSE layer.
+    pub fuse: FuseLayer,
+    ov_timers: KeyedTimers<OverlayTimer>,
+    fuse_timers: KeyedTimers<FuseTimer>,
+    liv_timers: KeyedTimers<LivenessTimer>,
+    app_timers: KeyedTimers<u64>,
+    /// Scratch buffer for overlay effects; drained empty inside every
+    /// entry point.
+    ov_effects: VecDeque<OverlayEffect>,
+    /// Overlay upcalls awaiting the FUSE layer.
+    ov_upcalls: Vec<OverlayUpcall>,
+    out: VecDeque<Output>,
+}
+
+impl FuseStack {
+    /// Builds a stack for `me`, joining through `bootstrap` (or starting a
+    /// fresh ring when `None`).
+    pub fn new(
+        me: NodeInfo,
+        bootstrap: Option<PeerAddr>,
+        ov_cfg: OverlayConfig,
+        fuse_cfg: FuseConfig,
+    ) -> Self {
+        FuseStack {
+            overlay: OverlayNode::new(me.clone(), bootstrap, ov_cfg),
+            fuse: FuseLayer::new(me, fuse_cfg),
+            ov_timers: KeyedTimers::new(NS_OVERLAY),
+            fuse_timers: KeyedTimers::new(NS_FUSE),
+            liv_timers: KeyedTimers::new(NS_LIVENESS),
+            app_timers: KeyedTimers::new(NS_APP),
+            ov_effects: VecDeque::new(),
+            ov_upcalls: Vec::new(),
+            out: VecDeque::new(),
+        }
     }
 
-    fn set_fuse_timer(&mut self, after: SimDuration, tag: FuseTimer) -> TimerHandle {
-        self.ctx.set_timer(after, StackTimer::Fuse(tag))
+    /// This node's overlay identity.
+    pub fn me(&self) -> &NodeInfo {
+        self.overlay.info()
     }
 
-    fn app(&mut self, ev: FuseEvent) {
-        self.app_up.push(ev);
+    /// Processes one input. All resulting commands land on the output
+    /// queue; drain it with [`poll_output`](FuseStack::poll_output).
+    pub fn handle(&mut self, now: Time, rng: &mut StdRng, input: Input) {
+        match input {
+            Input::Boot => {
+                self.with_overlay(now, rng, |ov, ocx| ov.boot(ocx));
+                self.drain_upcalls(now, rng);
+                self.out.push_back(Output::App(AppCall::Boot));
+            }
+            Input::Message { from, msg } => match msg {
+                StackMsg::Overlay(m) => {
+                    self.with_overlay(now, rng, |ov, ocx| ov.on_message(ocx, from, m));
+                    self.drain_upcalls(now, rng);
+                }
+                StackMsg::Fuse(m) => {
+                    self.with_core(now, rng, |fuse, ov, cx| fuse.on_message(cx, ov, from, m));
+                    self.drain_upcalls(now, rng);
+                }
+                StackMsg::App(payload) => {
+                    self.out
+                        .push_back(Output::App(AppCall::Message { from, payload }));
+                }
+            },
+            Input::Timer(key) => match key.ns {
+                NS_OVERLAY => {
+                    if let Some(t) = self.ov_timers.fire(key) {
+                        self.with_overlay(now, rng, |ov, ocx| ov.on_timer(ocx, t));
+                        self.drain_upcalls(now, rng);
+                    }
+                }
+                NS_FUSE => {
+                    if let Some(t) = self.fuse_timers.fire(key) {
+                        self.with_core(now, rng, |fuse, ov, cx| fuse.on_timer(cx, ov, t));
+                        self.drain_upcalls(now, rng);
+                    }
+                }
+                NS_LIVENESS => {
+                    if let Some(t) = self.liv_timers.fire(key) {
+                        self.with_core(now, rng, |fuse, ov, cx| fuse.on_liveness_timer(cx, ov, t));
+                        self.drain_upcalls(now, rng);
+                    }
+                }
+                NS_APP => {
+                    if let Some(tag) = self.app_timers.fire(key) {
+                        self.out.push_back(Output::App(AppCall::Timer(tag)));
+                    }
+                }
+                _ => {}
+            },
+            Input::LinkBroken { peer } => {
+                self.with_overlay(now, rng, |ov, ocx| ov.on_link_broken(ocx, peer));
+                self.with_core(now, rng, |fuse, ov, cx| fuse.on_link_broken(cx, ov, peer));
+                self.drain_upcalls(now, rng);
+            }
+        }
+    }
+
+    /// Pops the oldest queued command. Single-pop (rather than a drain
+    /// iterator) so the driver can reborrow the stack between commands —
+    /// which is exactly what [`Output::App`] callbacks need.
+    pub fn poll_output(&mut self) -> Option<Output> {
+        self.out.pop_front()
+    }
+
+    /// Builds the application-facing API over this stack. Drivers call
+    /// this when an [`Output::App`] pops, and for scripted calls from
+    /// experiments.
+    pub fn api<'a>(&'a mut self, now: Time, rng: &'a mut StdRng) -> FuseApi<'a> {
+        FuseApi {
+            stack: self,
+            now,
+            rng,
+        }
+    }
+
+    /// Runs `f` against the overlay and drains its effects onto the output
+    /// queue.
+    fn with_overlay<R>(
+        &mut self,
+        now: Time,
+        rng: &mut StdRng,
+        f: impl FnOnce(&mut OverlayNode, &mut OverlayCx<'_>) -> R,
+    ) -> R {
+        let r = {
+            let mut ocx = OverlayCx::new(
+                now,
+                rng,
+                &mut self.ov_timers,
+                &mut self.ov_effects,
+                &mut self.ov_upcalls,
+            );
+            f(&mut self.overlay, &mut ocx)
+        };
+        while let Some(eff) = self.ov_effects.pop_front() {
+            match eff {
+                OverlayEffect::Send { to, msg } => self.out.push_back(Output::Send {
+                    to,
+                    msg: StackMsg::Overlay(msg),
+                }),
+                OverlayEffect::SetTimer { key, after } => {
+                    self.out.push_back(Output::SetTimer { key, after });
+                }
+                OverlayEffect::CancelTimer { key } => {
+                    self.out.push_back(Output::CancelTimer { key });
+                }
+            }
+        }
+        r
+    }
+
+    /// Runs `f` against the FUSE layer through a [`CoreCx`] over this
+    /// stack's state.
+    fn with_core<R>(
+        &mut self,
+        now: Time,
+        rng: &mut StdRng,
+        f: impl FnOnce(&mut FuseLayer, &mut OverlayNode, &mut CoreCx<'_>) -> R,
+    ) -> R {
+        let mut cx = CoreCx {
+            now,
+            rng,
+            fuse_timers: &mut self.fuse_timers,
+            liv_timers: &mut self.liv_timers,
+            ov_timers: &mut self.ov_timers,
+            ov_effects: &mut self.ov_effects,
+            ov_upcalls: &mut self.ov_upcalls,
+            out: &mut self.out,
+        };
+        f(&mut self.fuse, &mut self.overlay, &mut cx)
+    }
+
+    /// Replays buffered overlay upcalls through the FUSE layer until
+    /// quiescent (processing one batch may produce another).
+    fn drain_upcalls(&mut self, now: Time, rng: &mut StdRng) {
+        while !self.ov_upcalls.is_empty() {
+            let batch: Vec<OverlayUpcall> = std::mem::take(&mut self.ov_upcalls);
+            for up in batch {
+                self.with_core(now, rng, |fuse, ov, cx| fuse.on_overlay_upcall(cx, ov, up));
+            }
+        }
     }
 }
 
 /// What the application sees: the FUSE API of the paper's Figure 1, plus
-/// app-level messaging and timers.
-pub struct FuseApi<'a, 'b, 'c> {
-    fuse: &'a mut FuseLayer,
-    overlay: &'a mut OverlayNode,
-    io: Shim<'a, 'c>,
-    _marker: std::marker::PhantomData<&'b ()>,
+/// app-level messaging and timers. Built by [`FuseStack::api`]; everything
+/// it does lands on the stack's output queue behind the commands already
+/// there.
+pub struct FuseApi<'a> {
+    stack: &'a mut FuseStack,
+    now: Time,
+    rng: &'a mut StdRng,
 }
 
-impl FuseApi<'_, '_, '_> {
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.io.now()
+impl FuseApi<'_> {
+    /// Current time (driver-provided).
+    pub fn now(&self) -> Time {
+        self.now
     }
 
     /// This node's overlay identity.
     pub fn me(&self) -> NodeInfo {
-        self.overlay.info().clone()
+        self.stack.overlay.info().clone()
     }
 
     /// `CreateGroup` (Figure 1): asynchronous-blocking creation. The
     /// returned [`CreateTicket`] is echoed by the completion event,
     /// [`FuseEvent::Created`].
     pub fn create_group(&mut self, others: Vec<NodeInfo>) -> CreateTicket {
-        self.fuse.create_group(&mut self.io, others)
+        let t = self.stack.with_core(self.now, self.rng, |fuse, _ov, cx| {
+            fuse.create_group(cx, others)
+        });
+        self.stack.drain_upcalls(self.now, self.rng);
+        t
     }
 
     /// `RegisterFailureHandler` (Figure 1): attaches `ctx` to the group's
@@ -142,12 +443,18 @@ impl FuseApi<'_, '_, '_> {
     /// [`Notification`](crate::types::Notification). Unknown groups fire
     /// immediately (§3.1).
     pub fn register_handler(&mut self, id: FuseId, ctx: u64) {
-        self.fuse.register_handler(&mut self.io, id, ctx);
+        self.stack.with_core(self.now, self.rng, |fuse, _ov, cx| {
+            fuse.register_handler(cx, id, ctx);
+        });
+        self.stack.drain_upcalls(self.now, self.rng);
     }
 
     /// `SignalFailure` (Figure 1).
     pub fn signal_failure(&mut self, id: FuseId) {
-        self.fuse.signal_failure(&mut self.io, self.overlay, id);
+        self.stack.with_core(self.now, self.rng, |fuse, ov, cx| {
+            fuse.signal_failure(cx, ov, id);
+        });
+        self.stack.drain_upcalls(self.now, self.rng);
     }
 
     /// Sends `payload` to `to` under group `id`'s fate-sharing contract —
@@ -157,259 +464,196 @@ impl FuseApi<'_, '_, '_> {
     /// plumbing. Returns `false` and drops the payload when this node no
     /// longer holds live participant state for `id` (the group already
     /// failed here; the handler has already run).
-    pub fn group_send(&mut self, id: FuseId, to: ProcId, payload: Bytes) -> bool {
-        if !self.fuse.bind_fail_on_send(id, to) {
+    pub fn group_send(&mut self, id: FuseId, to: PeerAddr, payload: Bytes) -> bool {
+        if !self.stack.fuse.bind_fail_on_send(id, to) {
             return false;
         }
-        self.io.ctx.send(to, StackMsg::App(payload));
+        self.stack.out.push_back(Output::Send {
+            to,
+            msg: StackMsg::App(payload),
+        });
         true
     }
 
     /// Sends an opaque application payload to a peer (no fate sharing; see
     /// [`group_send`](FuseApi::group_send) for the fail-on-send variant).
-    pub fn send_app(&mut self, to: ProcId, payload: Bytes) {
-        self.io.ctx.send(to, StackMsg::App(payload));
+    pub fn send_app(&mut self, to: PeerAddr, payload: Bytes) {
+        self.stack.out.push_back(Output::Send {
+            to,
+            msg: StackMsg::App(payload),
+        });
     }
 
-    /// Arms an application timer.
-    pub fn set_app_timer(&mut self, after: SimDuration, tag: u64) -> TimerHandle {
-        self.io.ctx.set_timer(after, StackTimer::App(tag))
+    /// Arms an application timer; it comes back as
+    /// [`AppCall::Timer`]`(tag)`.
+    pub fn set_app_timer(&mut self, after: Duration, tag: u64) -> TimerKey {
+        let key = self.stack.app_timers.arm(tag);
+        self.stack.out.push_back(Output::SetTimer { key, after });
+        key
     }
 
-    /// Cancels any timer handle.
-    pub fn cancel_timer(&mut self, h: TimerHandle) {
-        self.io.ctx.cancel_timer(h);
+    /// Cancels any timer key (whatever namespace it belongs to).
+    pub fn cancel_timer(&mut self, key: TimerKey) {
+        let live = match key.ns {
+            NS_OVERLAY => self.stack.ov_timers.cancel(key),
+            NS_FUSE => self.stack.fuse_timers.cancel(key),
+            NS_LIVENESS => self.stack.liv_timers.cancel(key),
+            NS_APP => self.stack.app_timers.cancel(key),
+            _ => false,
+        };
+        if live {
+            self.stack.out.push_back(Output::CancelTimer { key });
+        }
     }
 
-    /// Deterministic randomness.
-    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
-        self.io.ctx.rng()
+    /// Deterministic randomness (driver-provided).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
     }
 
     /// Read access to the FUSE layer (state introspection).
     pub fn fuse(&self) -> &FuseLayer {
-        self.fuse
+        &self.stack.fuse
     }
 
     /// Read access to the overlay (routing-table visibility, §6.1).
     pub fn overlay(&self) -> &OverlayNode {
-        self.overlay
+        &self.stack.overlay
     }
 }
 
-/// A FUSE application: receives the API plus FUSE events.
+/// A FUSE application: receives the API plus FUSE events. Drivers (the sim
+/// kernel's `NodeStack`, the `fuse-node` binary) dispatch [`AppCall`]s to
+/// these methods.
 pub trait FuseApp: Sized {
     /// Called once at process start.
-    fn on_boot(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    fn on_boot(&mut self, api: &mut FuseApi<'_>) {
         let _ = api;
     }
 
     /// A FUSE event (creation completed, or a failure notification).
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent);
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent);
 
     /// An application payload from a peer.
-    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+    fn on_app_message(&mut self, api: &mut FuseApi<'_>, from: PeerAddr, payload: Bytes) {
         let _ = (api, from, payload);
     }
 
     /// An application timer fired.
-    fn on_app_timer(&mut self, api: &mut FuseApi<'_, '_, '_>, tag: u64) {
+    fn on_app_timer(&mut self, api: &mut FuseApi<'_>, tag: u64) {
         let _ = (api, tag);
     }
 }
 
-/// The composed per-process protocol stack.
-pub struct NodeStack<A> {
-    /// The overlay layer.
-    pub overlay: OverlayNode,
-    /// The FUSE layer.
-    pub fuse: FuseLayer,
-    /// The application layer.
-    pub app: A,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_overlay::NodeName;
+    use rand::SeedableRng;
 
-impl<A: FuseApp> NodeStack<A> {
-    /// Builds a stack for `me`, joining through `bootstrap` (or starting a
-    /// fresh ring when `None`).
-    pub fn new(
-        me: NodeInfo,
-        bootstrap: Option<ProcId>,
-        ov_cfg: OverlayConfig,
-        fuse_cfg: FuseConfig,
-        app: A,
-    ) -> Self {
-        NodeStack {
-            overlay: OverlayNode::new(me.clone(), bootstrap, ov_cfg),
-            fuse: FuseLayer::new(me, fuse_cfg),
-            app,
-        }
+    fn stack(i: usize) -> FuseStack {
+        FuseStack::new(
+            NodeInfo::new(i as PeerAddr, NodeName::numbered(i)),
+            None,
+            OverlayConfig::default(),
+            FuseConfig::default(),
+        )
     }
 
-    /// Runs `f` with the application API — the entry point for scripted
-    /// calls (`CreateGroup`, `SignalFailure`, sends) from experiments.
-    pub fn with_api<R>(
-        &mut self,
-        ctx: &mut Ctx<'_, StackMsg, StackTimer>,
-        f: impl FnOnce(&mut FuseApi<'_, '_, '_>, &mut A) -> R,
-    ) -> R {
-        let mut ov_up = Vec::new();
-        let mut app_up = Vec::new();
-        let r = {
-            let mut api = FuseApi {
-                fuse: &mut self.fuse,
-                overlay: &mut self.overlay,
-                io: Shim {
-                    ctx,
-                    ov_up: &mut ov_up,
-                    app_up: &mut app_up,
-                },
-                _marker: std::marker::PhantomData,
-            };
-            f(&mut api, &mut self.app)
+    #[test]
+    fn boot_emits_app_boot_last() {
+        let mut s = stack(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        s.handle(Time::ZERO, &mut rng, Input::Boot);
+        let mut outs = Vec::new();
+        while let Some(o) = s.poll_output() {
+            outs.push(o);
+        }
+        assert!(
+            matches!(outs.last(), Some(Output::App(AppCall::Boot))),
+            "boot callback must trail the overlay's own boot effects"
+        );
+    }
+
+    #[test]
+    fn stale_timer_keys_are_inert() {
+        let mut s = stack(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        s.handle(Time::ZERO, &mut rng, Input::Boot);
+        while s.poll_output().is_some() {}
+        // A key that was never armed (wrong generation) does nothing.
+        let bogus = TimerKey {
+            ns: NS_FUSE,
+            slot: 0,
+            gen: 99,
         };
-        self.pump(ctx, ov_up, app_up);
-        r
+        s.handle(Time(1), &mut rng, Input::Timer(bogus));
+        assert!(s.poll_output().is_none());
     }
 
-    /// Replays buffered upcalls through the layers until quiescent.
-    fn pump(
-        &mut self,
-        ctx: &mut Ctx<'_, StackMsg, StackTimer>,
-        mut ov_up: Vec<OverlayUpcall>,
-        mut app_up: Vec<FuseEvent>,
-    ) {
-        loop {
-            // Overlay upcalls feed the FUSE layer.
-            while !ov_up.is_empty() {
-                let batch = std::mem::take(&mut ov_up);
-                for up in batch {
-                    let mut shim = Shim {
-                        ctx,
-                        ov_up: &mut ov_up,
-                        app_up: &mut app_up,
-                    };
-                    self.fuse
-                        .on_overlay_upcall(&mut shim, &mut self.overlay, up);
-                }
-            }
-            // FUSE upcalls feed the application (which may call back in).
-            if app_up.is_empty() {
-                break;
-            }
-            let batch = std::mem::take(&mut app_up);
-            for ev in batch {
-                let mut api = FuseApi {
-                    fuse: &mut self.fuse,
-                    overlay: &mut self.overlay,
-                    io: Shim {
-                        ctx,
-                        ov_up: &mut ov_up,
-                        app_up: &mut app_up,
-                    },
-                    _marker: std::marker::PhantomData,
-                };
-                self.app.on_fuse_event(&mut api, ev);
-            }
-        }
-    }
-}
-
-impl<A: FuseApp> Process for NodeStack<A> {
-    type Msg = StackMsg;
-    type Timer = StackTimer;
-
-    fn on_boot(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>) {
-        let mut ov_up = Vec::new();
-        let mut app_up = Vec::new();
-        {
-            let mut shim = Shim {
-                ctx,
-                ov_up: &mut ov_up,
-                app_up: &mut app_up,
-            };
-            self.overlay.boot(&mut shim);
-        }
-        self.pump(ctx, ov_up, app_up);
-        self.with_api(ctx, |api, app| app.on_boot(api));
+    #[test]
+    fn app_timer_roundtrip() {
+        let mut s = stack(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        s.handle(Time::ZERO, &mut rng, Input::Boot);
+        while s.poll_output().is_some() {}
+        let key = s.api(Time(1), &mut rng).set_app_timer(Duration(5), 42);
+        assert!(matches!(
+            s.poll_output(),
+            Some(Output::SetTimer { key: k, after: Duration(5) }) if k == key
+        ));
+        s.handle(Time(6), &mut rng, Input::Timer(key));
+        assert!(matches!(
+            s.poll_output(),
+            Some(Output::App(AppCall::Timer(42)))
+        ));
+        // Firing consumed the key; replaying it is inert.
+        s.handle(Time(7), &mut rng, Input::Timer(key));
+        assert!(s.poll_output().is_none());
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>, from: ProcId, msg: StackMsg) {
-        let mut ov_up = Vec::new();
-        let mut app_up = Vec::new();
-        match msg {
-            StackMsg::Overlay(m) => {
-                let mut shim = Shim {
-                    ctx,
-                    ov_up: &mut ov_up,
-                    app_up: &mut app_up,
-                };
-                self.overlay.on_message(&mut shim, from, m);
+    #[test]
+    fn app_payloads_surface_as_app_calls() {
+        let mut s = stack(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        s.handle(Time::ZERO, &mut rng, Input::Boot);
+        while s.poll_output().is_some() {}
+        s.handle(
+            Time(1),
+            &mut rng,
+            Input::Message {
+                from: 9,
+                msg: StackMsg::App(Bytes::from_static(b"hi")),
+            },
+        );
+        match s.poll_output() {
+            Some(Output::App(AppCall::Message { from, payload })) => {
+                assert_eq!(from, 9);
+                assert_eq!(&payload[..], b"hi");
             }
-            StackMsg::Fuse(m) => {
-                let mut shim = Shim {
-                    ctx,
-                    ov_up: &mut ov_up,
-                    app_up: &mut app_up,
-                };
-                self.fuse.on_message(&mut shim, &mut self.overlay, from, m);
-            }
-            StackMsg::App(payload) => {
-                self.pump(ctx, ov_up, app_up);
-                self.with_api(ctx, |api, app| app.on_app_message(api, from, payload));
-                return;
-            }
+            other => panic!("expected app message, got {other:?}"),
         }
-        self.pump(ctx, ov_up, app_up);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>, tag: StackTimer) {
-        let mut ov_up = Vec::new();
-        let mut app_up = Vec::new();
-        match tag {
-            StackTimer::Overlay(t) => {
-                let mut shim = Shim {
-                    ctx,
-                    ov_up: &mut ov_up,
-                    app_up: &mut app_up,
-                };
-                self.overlay.on_timer(&mut shim, t);
-            }
-            StackTimer::Fuse(t) => {
-                let mut shim = Shim {
-                    ctx,
-                    ov_up: &mut ov_up,
-                    app_up: &mut app_up,
-                };
-                self.fuse.on_timer(&mut shim, &mut self.overlay, t);
-            }
-            StackTimer::App(t) => {
-                self.pump(ctx, ov_up, app_up);
-                self.with_api(ctx, |api, app| app.on_app_timer(api, t));
-                return;
+    #[test]
+    fn stack_msg_roundtrips_on_the_wire() {
+        let msgs = [
+            StackMsg::Fuse(FuseMsg::SoftNotification {
+                id: FuseId(7),
+                seq: 3,
+            }),
+            StackMsg::App(Bytes::from_static(b"payload")),
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.len(), m.size_hint());
+            let back = StackMsg::from_bytes(&bytes).expect("decodes");
+            match (&m, &back) {
+                (StackMsg::Fuse(_), StackMsg::Fuse(_)) => {}
+                (StackMsg::App(a), StackMsg::App(b)) => assert_eq!(a, b),
+                _ => panic!("variant changed across the wire"),
             }
         }
-        self.pump(ctx, ov_up, app_up);
-    }
-
-    fn on_link_broken(&mut self, ctx: &mut Ctx<'_, StackMsg, StackTimer>, peer: ProcId) {
-        let mut ov_up = Vec::new();
-        let mut app_up = Vec::new();
-        {
-            let mut shim = Shim {
-                ctx,
-                ov_up: &mut ov_up,
-                app_up: &mut app_up,
-            };
-            self.overlay.on_link_broken(&mut shim, peer);
-        }
-        {
-            let mut shim = Shim {
-                ctx,
-                ov_up: &mut ov_up,
-                app_up: &mut app_up,
-            };
-            self.fuse.on_link_broken(&mut shim, &mut self.overlay, peer);
-        }
-        self.pump(ctx, ov_up, app_up);
+        assert!(StackMsg::from_bytes(&[9]).is_err());
     }
 }

@@ -2,8 +2,8 @@
 //! client-facing event model (`CreateTicket` / `GroupHandle` /
 //! [`FuseEvent`]).
 
-use fuse_liveness::{LivenessConfig, LivenessTimer};
-use fuse_sim::{ProcId, SimDuration, SimTime};
+use fuse_liveness::LivenessConfig;
+use fuse_util::{Duration, PeerAddr, Time};
 use fuse_wire::{Decode, DecodeError, Encode, Reader, Writer};
 
 /// A FUSE group identifier.
@@ -38,30 +38,39 @@ impl std::fmt::Display for FuseId {
 }
 
 /// FUSE protocol configuration, defaulting to the paper's constants.
-#[derive(Debug, Clone)]
+///
+/// Construct via [`FuseConfig::default`] or, for anything non-default,
+/// through [`FuseConfig::builder`] — the builder is the only supported way
+/// to assemble a custom configuration, and [`FuseConfigBuilder::build`]
+/// validates the timer-period relationships and the shared-plane relay
+/// fan-out before handing the config out. The struct is `#[non_exhaustive]`
+/// precisely so downstream code cannot bypass that validation with a
+/// struct literal. Field *reads* are unrestricted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct FuseConfig {
     /// Root-side timeout for the blocking group creation attempt.
-    pub create_timeout: SimDuration,
+    pub create_timeout: Duration,
     /// Root-side wait for `InstallChecking` arrivals after create/repair.
-    pub install_wait: SimDuration,
+    pub install_wait: Duration,
     /// Member-side wait for the root to react to `NeedRepair` before
     /// declaring the group failed (paper §7.4: members time out after one
     /// minute with no repair response).
-    pub member_repair_timeout: SimDuration,
+    pub member_repair_timeout: Duration,
     /// Root-side wait for repair replies before declaring the group failed
     /// (paper §7.4: the root times out after two minutes).
-    pub root_repair_timeout: SimDuration,
+    pub root_repair_timeout: Duration,
     /// Per-(group, link) liveness timer: expires when no matching piggyback
     /// hash refreshes the link. Set above ping period + ping timeout so the
     /// pinging side's 20 s timeout normally detects failures first.
-    pub link_failure_timeout: SimDuration,
+    pub link_failure_timeout: Duration,
     /// Grace period before hash-mismatch reconciliation may tear down a
     /// freshly installed liveness tree (paper §6.3: 5 seconds).
-    pub reconcile_grace: SimDuration,
+    pub reconcile_grace: Duration,
     /// First-retry delay of the per-group repair backoff.
-    pub repair_backoff_base: SimDuration,
+    pub repair_backoff_base: Duration,
     /// Cap of the per-group repair backoff (paper §6.5: 40 seconds).
-    pub repair_backoff_cap: SimDuration,
+    pub repair_backoff_cap: Duration,
     /// Liveness mode switch: `false` (default) keeps the paper's
     /// per-(group, link) expiry timers; `true` amortizes liveness into the
     /// shared node-level failure-detector plane (`fuse_liveness`), where a
@@ -75,17 +84,194 @@ pub struct FuseConfig {
 impl Default for FuseConfig {
     fn default() -> Self {
         FuseConfig {
-            create_timeout: SimDuration::from_secs(10),
-            install_wait: SimDuration::from_secs(30),
-            member_repair_timeout: SimDuration::from_secs(60),
-            root_repair_timeout: SimDuration::from_secs(120),
-            link_failure_timeout: SimDuration::from_secs(90),
-            reconcile_grace: SimDuration::from_secs(5),
-            repair_backoff_base: SimDuration::from_secs(1),
-            repair_backoff_cap: SimDuration::from_secs(40),
+            create_timeout: Duration::from_secs(10),
+            install_wait: Duration::from_secs(30),
+            member_repair_timeout: Duration::from_secs(60),
+            root_repair_timeout: Duration::from_secs(120),
+            link_failure_timeout: Duration::from_secs(90),
+            reconcile_grace: Duration::from_secs(5),
+            repair_backoff_base: Duration::from_secs(1),
+            repair_backoff_cap: Duration::from_secs(40),
             shared_plane: false,
             liveness: LivenessConfig::default(),
         }
+    }
+}
+
+impl FuseConfig {
+    /// Starts a builder seeded with the paper's default constants.
+    pub fn builder() -> FuseConfigBuilder {
+        FuseConfigBuilder {
+            cfg: FuseConfig::default(),
+        }
+    }
+}
+
+/// A rejected [`FuseConfigBuilder::build`]: which cross-field invariant the
+/// requested configuration violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A duration that the protocol divides by or waits on was zero.
+    ZeroDuration(&'static str),
+    /// `repair_backoff_base` exceeds `repair_backoff_cap`, so the capped
+    /// exponential backoff could never emit its base delay.
+    BackoffInverted,
+    /// `member_repair_timeout` exceeds `root_repair_timeout`: members would
+    /// give up on groups *after* the root has already declared them dead,
+    /// making the member wait pure latency with no repair opportunity.
+    RepairWindowInverted,
+    /// `reconcile_grace` is not shorter than `link_failure_timeout`: a
+    /// freshly installed tree would stay immune to reconciliation for
+    /// longer than the liveness timer that protects it.
+    GraceExceedsLinkTimeout,
+    /// Shared-plane mode with `k_indirect == 0`: no indirect relays means
+    /// one lossy direct path can manufacture a false kill on its own.
+    NoIndirectRelays,
+    /// Shared-plane mode with `probe_timeout >= probe_period`: the suspect
+    /// re-probe cadence (one per `probe_timeout`) would be no faster than
+    /// the ordinary round cadence, leaving a recovered peer no extra
+    /// refutation opportunities inside the suspicion window.
+    ProbeTimeoutExceedsPeriod,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDuration(field) => write!(f, "{field} must be non-zero"),
+            ConfigError::BackoffInverted => {
+                f.write_str("repair_backoff_base must not exceed repair_backoff_cap")
+            }
+            ConfigError::RepairWindowInverted => {
+                f.write_str("member_repair_timeout must not exceed root_repair_timeout")
+            }
+            ConfigError::GraceExceedsLinkTimeout => {
+                f.write_str("reconcile_grace must be shorter than link_failure_timeout")
+            }
+            ConfigError::NoIndirectRelays => {
+                f.write_str("shared_plane requires liveness.k_indirect >= 1")
+            }
+            ConfigError::ProbeTimeoutExceedsPeriod => {
+                f.write_str("shared_plane requires liveness.probe_timeout < probe_period")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`FuseConfig`]: starts from the paper's defaults, lets each
+/// knob be overridden, and [`build`](FuseConfigBuilder::build) checks the
+/// cross-field invariants the protocol machinery assumes.
+#[derive(Debug, Clone)]
+pub struct FuseConfigBuilder {
+    cfg: FuseConfig,
+}
+
+impl FuseConfigBuilder {
+    /// Root-side timeout for the blocking group creation attempt.
+    pub fn create_timeout(mut self, d: Duration) -> Self {
+        self.cfg.create_timeout = d;
+        self
+    }
+
+    /// Root-side wait for `InstallChecking` arrivals after create/repair.
+    pub fn install_wait(mut self, d: Duration) -> Self {
+        self.cfg.install_wait = d;
+        self
+    }
+
+    /// Member-side wait for the root to react to `NeedRepair`.
+    pub fn member_repair_timeout(mut self, d: Duration) -> Self {
+        self.cfg.member_repair_timeout = d;
+        self
+    }
+
+    /// Root-side wait for repair replies.
+    pub fn root_repair_timeout(mut self, d: Duration) -> Self {
+        self.cfg.root_repair_timeout = d;
+        self
+    }
+
+    /// Per-(group, link) liveness expiry.
+    pub fn link_failure_timeout(mut self, d: Duration) -> Self {
+        self.cfg.link_failure_timeout = d;
+        self
+    }
+
+    /// Grace period shielding freshly installed trees from reconciliation.
+    pub fn reconcile_grace(mut self, d: Duration) -> Self {
+        self.cfg.reconcile_grace = d;
+        self
+    }
+
+    /// First-retry delay of the per-group repair backoff.
+    pub fn repair_backoff_base(mut self, d: Duration) -> Self {
+        self.cfg.repair_backoff_base = d;
+        self
+    }
+
+    /// Cap of the per-group repair backoff.
+    pub fn repair_backoff_cap(mut self, d: Duration) -> Self {
+        self.cfg.repair_backoff_cap = d;
+        self
+    }
+
+    /// Switches liveness to the shared node-level detector plane.
+    pub fn shared_plane(mut self, on: bool) -> Self {
+        self.cfg.shared_plane = on;
+        self
+    }
+
+    /// Tuning of the shared failure detector.
+    pub fn liveness(mut self, l: LivenessConfig) -> Self {
+        self.cfg.liveness = l;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    pub fn build(self) -> Result<FuseConfig, ConfigError> {
+        let c = &self.cfg;
+        for (d, name) in [
+            (c.create_timeout, "create_timeout"),
+            (c.install_wait, "install_wait"),
+            (c.member_repair_timeout, "member_repair_timeout"),
+            (c.root_repair_timeout, "root_repair_timeout"),
+            (c.link_failure_timeout, "link_failure_timeout"),
+            (c.repair_backoff_base, "repair_backoff_base"),
+            (c.repair_backoff_cap, "repair_backoff_cap"),
+        ] {
+            if d == Duration::ZERO {
+                return Err(ConfigError::ZeroDuration(name));
+            }
+        }
+        if c.repair_backoff_base > c.repair_backoff_cap {
+            return Err(ConfigError::BackoffInverted);
+        }
+        if c.member_repair_timeout > c.root_repair_timeout {
+            return Err(ConfigError::RepairWindowInverted);
+        }
+        if c.reconcile_grace >= c.link_failure_timeout {
+            return Err(ConfigError::GraceExceedsLinkTimeout);
+        }
+        if c.shared_plane {
+            if c.liveness.k_indirect == 0 {
+                return Err(ConfigError::NoIndirectRelays);
+            }
+            for (d, name) in [
+                (c.liveness.probe_period, "liveness.probe_period"),
+                (c.liveness.probe_timeout, "liveness.probe_timeout"),
+                (c.liveness.indirect_timeout, "liveness.indirect_timeout"),
+                (c.liveness.suspect_timeout, "liveness.suspect_timeout"),
+            ] {
+                if d == Duration::ZERO {
+                    return Err(ConfigError::ZeroDuration(name));
+                }
+            }
+            if c.liveness.probe_timeout >= c.liveness.probe_period {
+                return Err(ConfigError::ProbeTimeoutExceedsPeriod);
+            }
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -239,7 +425,7 @@ pub struct GroupHandle {
     /// This node's role in the group.
     pub role: Role,
     /// Local time the group state was installed here.
-    pub created_at: SimTime,
+    pub created_at: Time,
 }
 
 /// One failure notification: the payload of [`FuseEvent::Notified`].
@@ -260,7 +446,7 @@ pub struct Notification {
     /// The group's repair sequence number when it failed.
     pub seq: u64,
     /// When this node installed the group (`io.now()` for unknown groups).
-    pub created_at: SimTime,
+    pub created_at: Time,
     /// Application context registered via `register_handler`, if any.
     pub ctx: Option<u64>,
 }
@@ -297,7 +483,7 @@ pub enum FuseTimer {
         /// The group.
         id: FuseId,
         /// The liveness-tree neighbor.
-        peer: ProcId,
+        peer: PeerAddr,
     },
     /// Root-side creation attempt timeout.
     CreateTimeout {
@@ -326,9 +512,6 @@ pub enum FuseTimer {
         /// The group.
         id: FuseId,
     },
-    /// A shared-plane failure-detector timer (probe rounds, suspicion
-    /// windows); routed to the embedded [`fuse_liveness::Detector`].
-    Liveness(LivenessTimer),
 }
 
 #[cfg(test)]
@@ -363,17 +546,103 @@ mod tests {
     #[test]
     fn defaults_match_paper_constants() {
         let c = FuseConfig::default();
-        assert_eq!(c.member_repair_timeout, SimDuration::from_secs(60));
-        assert_eq!(c.root_repair_timeout, SimDuration::from_secs(120));
-        assert_eq!(c.reconcile_grace, SimDuration::from_secs(5));
-        assert_eq!(c.repair_backoff_cap, SimDuration::from_secs(40));
+        assert_eq!(c.member_repair_timeout, Duration::from_secs(60));
+        assert_eq!(c.root_repair_timeout, Duration::from_secs(120));
+        assert_eq!(c.reconcile_grace, Duration::from_secs(5));
+        assert_eq!(c.repair_backoff_cap, Duration::from_secs(40));
         assert!(
-            c.link_failure_timeout > SimDuration::from_secs(80),
+            c.link_failure_timeout > Duration::from_secs(80),
             "link expiry must exceed ping period + ping timeout"
         );
         assert!(
             !c.shared_plane,
             "the paper's per-group liveness path must stay the default"
         );
+    }
+
+    #[test]
+    fn builder_defaults_build_clean() {
+        let built = FuseConfig::builder().build().expect("defaults are valid");
+        assert_eq!(built, FuseConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_zero_durations() {
+        let err = FuseConfig::builder()
+            .create_timeout(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroDuration("create_timeout"));
+    }
+
+    #[test]
+    fn builder_rejects_inverted_backoff() {
+        let err = FuseConfig::builder()
+            .repair_backoff_base(Duration::from_secs(50))
+            .repair_backoff_cap(Duration::from_secs(40))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::BackoffInverted);
+    }
+
+    #[test]
+    fn builder_rejects_inverted_repair_windows() {
+        let err = FuseConfig::builder()
+            .member_repair_timeout(Duration::from_secs(200))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RepairWindowInverted);
+    }
+
+    #[test]
+    fn builder_rejects_grace_at_or_above_link_timeout() {
+        let err = FuseConfig::builder()
+            .reconcile_grace(Duration::from_secs(90))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::GraceExceedsLinkTimeout);
+    }
+
+    #[test]
+    fn builder_checks_liveness_only_under_shared_plane() {
+        let lax = LivenessConfig {
+            k_indirect: 0,
+            ..LivenessConfig::default()
+        };
+        // Without the shared plane, the detector config is dormant.
+        assert!(FuseConfig::builder().liveness(lax.clone()).build().is_ok());
+        let err = FuseConfig::builder()
+            .shared_plane(true)
+            .liveness(lax)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoIndirectRelays);
+
+        let slow_probe = LivenessConfig {
+            probe_timeout: Duration::from_secs(60),
+            ..LivenessConfig::default()
+        };
+        let err = FuseConfig::builder()
+            .shared_plane(true)
+            .liveness(slow_probe)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ProbeTimeoutExceedsPeriod);
+    }
+
+    #[test]
+    fn config_errors_display_distinctly() {
+        let errs: [ConfigError; 6] = [
+            ConfigError::ZeroDuration("install_wait"),
+            ConfigError::BackoffInverted,
+            ConfigError::RepairWindowInverted,
+            ConfigError::GraceExceedsLinkTimeout,
+            ConfigError::NoIndirectRelays,
+            ConfigError::ProbeTimeoutExceedsPeriod,
+        ];
+        let mut msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        msgs.sort_unstable();
+        msgs.dedup();
+        assert_eq!(msgs.len(), errs.len());
     }
 }

@@ -33,7 +33,7 @@ impl RecorderApp {
     }
 
     /// Starts an RPC to `to`; the RTT lands in [`RecorderApp::rpc_rtts`].
-    pub fn start_rpc(&mut self, api: &mut FuseApi<'_, '_, '_>, to: ProcId, nonce: u64) {
+    pub fn start_rpc(&mut self, api: &mut FuseApi<'_>, to: ProcId, nonce: u64) {
         self.outstanding.insert(nonce, api.now());
         api.send_app(to, (RPC_REQUEST, nonce).to_bytes());
     }
@@ -87,11 +87,11 @@ impl RecorderApp {
 }
 
 impl FuseApp for RecorderApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 
-    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+    fn on_app_message(&mut self, api: &mut FuseApi<'_>, from: ProcId, payload: Bytes) {
         let mut r = fuse_wire::codec::Reader::new(&payload);
         let Ok(tag) = u8::decode(&mut r) else { return };
         let Ok(nonce) = u64::decode(&mut r) else {

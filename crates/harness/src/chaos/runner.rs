@@ -73,13 +73,17 @@ impl ChaosConfig {
         // Small test topology (same structure as the wide-area default);
         // matches the integration tests' world.
         p.topo.n_as = 24;
-        // The FUSE knobs compose: the injected-regression timeout and the
-        // liveness-plane switch may both be set on one config.
-        let mut fuse = FuseConfig::default();
+        let mut fuse = FuseConfig::builder()
+            .shared_plane(self.shared_plane)
+            .build()
+            .expect("chaos FUSE base config is valid");
+        // The injected-regression knob is a *deliberately* broken value
+        // (members that never give up on repair), which the builder's
+        // validation would rightly refuse — set it after `build()` so
+        // fault injection can still manufacture invalid configurations.
         if let Some(s) = self.member_repair_timeout_s {
             fuse.member_repair_timeout = SimDuration::from_secs(s);
         }
-        fuse.shared_plane = self.shared_plane;
         p.fuse = fuse;
         p
     }

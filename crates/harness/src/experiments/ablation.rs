@@ -9,11 +9,11 @@
 //! all four implementations, plus the all-to-all detection bound (§3:
 //! notification within twice the ping interval).
 
-use fuse_core::topologies::alltoall::{AllToAllConfig, AllToAllNode};
-use fuse_core::topologies::central::{CentralConfig, CentralNode};
-use fuse_core::topologies::direct::{DirectConfig, DirectNode};
 use fuse_net::NetConfig;
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration};
+use fuse_simdriver::topologies::alltoall::{AllToAllConfig, AllToAllNode};
+use fuse_simdriver::topologies::central::{CentralConfig, CentralNode};
+use fuse_simdriver::topologies::direct::{DirectConfig, DirectNode};
 use fuse_util::Summary;
 
 use crate::metrics::MsgTrace;

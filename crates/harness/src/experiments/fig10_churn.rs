@@ -12,10 +12,11 @@
 //! Churn requires the live join protocol, so this experiment builds its
 //! worlds with protocol joins rather than oracle tables.
 
-use fuse_core::{FuseConfig, NodeStack};
+use fuse_core::FuseConfig;
 use fuse_net::NetConfig;
 use fuse_overlay::OverlayConfig;
 use fuse_sim::{ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use rand::Rng;
 
 use fuse_net::Network;

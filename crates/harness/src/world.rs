@@ -4,11 +4,12 @@
 //! [`ChaosObservable`] traits the chaos runner and invariants use.
 
 use fuse_core::Notification;
-use fuse_core::{CreateError, CreateTicket, FuseConfig, FuseId, GroupHandle, NodeStack};
+use fuse_core::{CreateError, CreateTicket, FuseConfig, FuseId, GroupHandle};
 use fuse_net::{FaultPlane, NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::process::{Ctx, Process};
 use fuse_sim::{ProcId, ShardedSim, Sim, SimDuration, SimTime};
+use fuse_simdriver::NodeStack;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

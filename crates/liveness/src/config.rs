@@ -1,6 +1,6 @@
 //! Failure-detector tuning knobs.
 
-use fuse_sim::SimDuration;
+use fuse_util::Duration as SimDuration;
 
 /// Parameters of the shared SWIM-style failure detector.
 ///

@@ -15,15 +15,18 @@
 //!                                                    Verdict::Dead
 //! ```
 //!
-//! The machine is sans-io: transmission, timers, time, randomness and
-//! verdict delivery all flow through the [`LivenessIo`] trait, keeping the
-//! detector drivable by the deterministic kernel and by scratch test
-//! doubles alike. Probe rounds are correlated by nonce; a stale ack (wrong
-//! nonce, or a round already resolved) is ignored, except during suspicion
-//! where any ack at or after the suspect round refutes.
+//! The machine is sans-io: every entry point takes a [`LivenessCx`] and
+//! transmission, timers and verdict delivery all leave as plain
+//! [`LivenessEffect`] data for the embedding stack to translate, keeping
+//! the detector drivable by the deterministic kernel, the socket runtime
+//! and scratch test doubles alike. Probe rounds are correlated by nonce; a
+//! stale ack (wrong nonce, or a round already resolved) is ignored, except
+//! during suspicion where any ack at or after the suspect round refutes.
 
-use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use std::collections::VecDeque;
+
 use fuse_util::det::DetHashMap;
+use fuse_util::{Duration, KeyedTimers, PeerAddr, Time, TimerKey};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -42,31 +45,31 @@ pub enum Verdict {
     Dead,
 }
 
-/// Timer tags the detector arms through [`LivenessIo::set_timer`]. The
-/// embedding layer wraps these in its own timer enum and routes fires back
-/// to [`Detector::on_timer`].
+/// Timer tags the detector arms through [`LivenessCx::set_timer`]. The
+/// embedding layer resolves fired [`TimerKey`]s back to tags and routes
+/// them into [`Detector::on_timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LivenessTimer {
     /// Start the next probe round for the peer.
-    ProbeDue(ProcId),
+    ProbeDue(PeerAddr),
     /// The direct probe of round `nonce` went unanswered.
     ProbeTimeout {
         /// Probed peer.
-        peer: ProcId,
+        peer: PeerAddr,
         /// Round correlator.
         nonce: u64,
     },
     /// The indirect round `nonce` went unanswered.
     IndirectTimeout {
         /// Probed peer.
-        peer: ProcId,
+        peer: PeerAddr,
         /// Round correlator.
         nonce: u64,
     },
     /// The suspicion window opened by round `nonce` closed.
     SuspectExpired {
         /// Suspected peer.
-        peer: ProcId,
+        peer: PeerAddr,
         /// Round correlator.
         nonce: u64,
     },
@@ -76,35 +79,147 @@ pub enum LivenessTimer {
     /// recovered peer would have no chance to refute before the kill.
     SuspectReprobe {
         /// Suspected peer.
-        peer: ProcId,
+        peer: PeerAddr,
         /// Round correlator.
         nonce: u64,
     },
 }
 
-/// Everything the detector needs from its host: time, randomness, probe
-/// transmission, timers, and a sink for verdicts.
-pub trait LivenessIo {
-    /// Current time.
-    fn now(&self) -> SimTime;
+/// Side effects the detector asks its host to perform, in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivenessEffect {
+    /// Transmit a direct probe to `to`, correlated by `nonce`.
+    Probe {
+        /// Probed peer.
+        to: PeerAddr,
+        /// Round correlator.
+        nonce: u64,
+    },
+    /// Ask `relay` to probe `target` on our behalf, correlated by `nonce`.
+    Indirect {
+        /// The relay carrying the indirect round.
+        relay: PeerAddr,
+        /// The peer being checked.
+        target: PeerAddr,
+        /// Round correlator.
+        nonce: u64,
+    },
+    /// Schedule the (already armed) timer `key` to fire `after` from now.
+    SetTimer {
+        /// The timer's identity, to be fed back on expiry.
+        key: TimerKey,
+        /// Relative deadline.
+        after: Duration,
+    },
+    /// Drop a scheduled wakeup; a cancelled key resolves to nothing anyway.
+    CancelTimer {
+        /// The cancelled timer.
+        key: TimerKey,
+    },
+    /// A verdict about `peer` for the subscription layer.
+    Verdict {
+        /// The judged peer.
+        peer: PeerAddr,
+        /// What the detector concluded.
+        verdict: Verdict,
+    },
+}
+
+/// Borrowed per-call context for one detector entry point: time,
+/// randomness, the detector's timer table, the host's relay-candidate
+/// pool, and the effect buffer everything drains into.
+///
+/// `relay_pool` holds extra relay candidates the host believes are alive
+/// (overlay neighbors, in `fuse_core`'s embedding), excluding the local
+/// node. The detector unions these with its other tracked peers before
+/// sampling relays, so a node that monitors a single peer can still route
+/// an indirect probe around a lossy direct path.
+pub struct LivenessCx<'a> {
+    now: Time,
+    rng: &'a mut StdRng,
+    timers: &'a mut KeyedTimers<LivenessTimer>,
+    relay_pool: &'a [PeerAddr],
+    effects: &'a mut VecDeque<LivenessEffect>,
+}
+
+impl<'a> LivenessCx<'a> {
+    /// Builds a context over the host-owned state.
+    pub fn new(
+        now: Time,
+        rng: &'a mut StdRng,
+        timers: &'a mut KeyedTimers<LivenessTimer>,
+        relay_pool: &'a [PeerAddr],
+        effects: &'a mut VecDeque<LivenessEffect>,
+    ) -> Self {
+        LivenessCx {
+            now,
+            rng,
+            timers,
+            relay_pool,
+            effects,
+        }
+    }
+
+    /// Current time (driver-provided).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
     /// Deterministic randomness (probe phase jitter, relay choice).
-    fn rng(&mut self) -> &mut StdRng;
-    /// Transmits a direct probe to `to`, correlated by `nonce`.
-    fn send_probe(&mut self, to: ProcId, nonce: u64);
-    /// Asks `relay` to probe `target` on our behalf, correlated by `nonce`.
-    fn send_indirect(&mut self, relay: ProcId, target: ProcId, nonce: u64);
-    /// Extra relay candidates the host believes are alive (overlay
-    /// neighbors, in `fuse_core`'s embedding), excluding the local node.
-    /// The detector unions these with its other tracked peers before
-    /// sampling relays, so a node that monitors a single peer can still
-    /// route an indirect probe around a lossy direct path.
-    fn relay_candidates(&mut self, target: ProcId) -> Vec<ProcId>;
-    /// Arms a timer that fires `after` from now with the given tag.
-    fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle;
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues a direct probe to `to`, correlated by `nonce`.
+    pub fn send_probe(&mut self, to: PeerAddr, nonce: u64) {
+        self.effects.push_back(LivenessEffect::Probe { to, nonce });
+    }
+
+    /// Queues an indirect probe request through `relay`.
+    pub fn send_indirect(&mut self, relay: PeerAddr, target: PeerAddr, nonce: u64) {
+        self.effects.push_back(LivenessEffect::Indirect {
+            relay,
+            target,
+            nonce,
+        });
+    }
+
+    /// The host's relay candidates, excluding `target`.
+    pub fn relay_candidates(&mut self, target: PeerAddr) -> Vec<PeerAddr> {
+        self.relay_pool
+            .iter()
+            .copied()
+            .filter(|&p| p != target)
+            .collect()
+    }
+
+    /// Arms a timer firing `after` from now with the given tag.
+    pub fn set_timer(&mut self, after: Duration, tag: LivenessTimer) -> TimerKey {
+        let key = self.timers.arm(tag);
+        self.effects
+            .push_back(LivenessEffect::SetTimer { key, after });
+        key
+    }
+
     /// Cancels a previously armed timer.
-    fn cancel_timer(&mut self, h: TimerHandle);
-    /// Delivers a verdict about `peer` to the subscription layer.
-    fn verdict(&mut self, peer: ProcId, v: Verdict);
+    pub fn cancel_timer(&mut self, h: TimerKey) {
+        if self.timers.cancel(h) {
+            self.effects
+                .push_back(LivenessEffect::CancelTimer { key: h });
+        }
+    }
+
+    /// Resolves a driver-delivered timer key to its tag; stale keys
+    /// (cancelled or superseded) resolve to `None`.
+    pub fn fire_timer(&mut self, key: TimerKey) -> Option<LivenessTimer> {
+        self.timers.fire(key)
+    }
+
+    /// Emits a verdict about `peer` for the subscription layer.
+    pub fn verdict(&mut self, peer: PeerAddr, v: Verdict) {
+        self.effects
+            .push_back(LivenessEffect::Verdict { peer, verdict: v });
+    }
 }
 
 /// Where one peer is in its probe cycle.
@@ -113,28 +228,28 @@ enum Phase {
     /// Waiting for the next `ProbeDue`.
     Idle,
     /// Direct probe in flight.
-    AwaitingDirect { nonce: u64, timeout: TimerHandle },
+    AwaitingDirect { nonce: u64, timeout: TimerKey },
     /// Indirect relays in flight.
-    AwaitingIndirect { nonce: u64, timeout: TimerHandle },
+    AwaitingIndirect { nonce: u64, timeout: TimerKey },
     /// Suspicion window open; refutation still possible.
     Suspect {
         nonce: u64,
-        expire: TimerHandle,
-        reprobe: TimerHandle,
+        expire: TimerKey,
+        reprobe: TimerKey,
     },
 }
 
 #[derive(Debug)]
 struct PeerState {
     /// The periodic round timer; always armed while the peer is tracked.
-    probe_due: TimerHandle,
+    probe_due: TimerKey,
     phase: Phase,
 }
 
 /// The per-node failure detector: one probe cycle per tracked peer.
 pub struct Detector {
     cfg: LivenessConfig,
-    peers: DetHashMap<ProcId, PeerState>,
+    peers: DetHashMap<PeerAddr, PeerState>,
     next_nonce: u64,
     /// Verdicts issued since construction, by kind (suspected, refuted,
     /// dead) — cheap observability for stats and benches.
@@ -163,13 +278,13 @@ impl Detector {
     }
 
     /// Whether `peer` is currently tracked.
-    pub fn tracks(&self, peer: ProcId) -> bool {
+    pub fn tracks(&self, peer: PeerAddr) -> bool {
         self.peers.contains_key(&peer)
     }
 
     /// Tracked peers, sorted.
-    pub fn peers(&self) -> Vec<ProcId> {
-        let mut v: Vec<ProcId> = self.peers.keys().copied().collect();
+    pub fn peers(&self) -> Vec<PeerAddr> {
+        let mut v: Vec<PeerAddr> = self.peers.keys().copied().collect();
         v.sort_unstable();
         v
     }
@@ -177,11 +292,11 @@ impl Detector {
     /// Starts probing `peer`. The first round fires after a random
     /// fraction of the probe period, so a node's probe traffic spreads
     /// over the period instead of bursting. No-op if already tracked.
-    pub fn add_peer(&mut self, io: &mut impl LivenessIo, peer: ProcId) {
+    pub fn add_peer(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr) {
         if self.peers.contains_key(&peer) {
             return;
         }
-        let jitter = SimDuration(io.rng().gen_range(0..=self.cfg.probe_period.nanos()));
+        let jitter = Duration(io.rng().gen_range(0..=self.cfg.probe_period.nanos()));
         let probe_due = io.set_timer(jitter, LivenessTimer::ProbeDue(peer));
         self.peers.insert(
             peer,
@@ -194,7 +309,7 @@ impl Detector {
 
     /// Stops probing `peer`, cancelling every outstanding timer. No
     /// verdict is produced. No-op if untracked.
-    pub fn remove_peer(&mut self, io: &mut impl LivenessIo, peer: ProcId) {
+    pub fn remove_peer(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr) {
         let Some(st) = self.peers.remove(&peer) else {
             return;
         };
@@ -215,7 +330,7 @@ impl Detector {
 
     /// An ack from `peer` correlated to round `nonce` arrived (directly or
     /// through a relay).
-    pub fn on_ack(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+    pub fn on_ack(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr, nonce: u64) {
         let Some(st) = self.peers.get_mut(&peer) else {
             return;
         };
@@ -247,7 +362,7 @@ impl Detector {
 
     /// Routes a fired timer back into the state machine. Stale fires
     /// (cancelled rounds, removed peers) are ignored.
-    pub fn on_timer(&mut self, io: &mut impl LivenessIo, t: LivenessTimer) {
+    pub fn on_timer(&mut self, io: &mut LivenessCx<'_>, t: LivenessTimer) {
         match t {
             LivenessTimer::ProbeDue(peer) => self.probe_due(io, peer),
             LivenessTimer::ProbeTimeout { peer, nonce } => self.probe_timeout(io, peer, nonce),
@@ -259,7 +374,7 @@ impl Detector {
         }
     }
 
-    fn probe_due(&mut self, io: &mut impl LivenessIo, peer: ProcId) {
+    fn probe_due(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr) {
         if !self.peers.contains_key(&peer) {
             return;
         }
@@ -287,7 +402,7 @@ impl Detector {
         }
     }
 
-    fn probe_timeout(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+    fn probe_timeout(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr, nonce: u64) {
         match self.peers.get(&peer) {
             Some(st) => match st.phase {
                 Phase::AwaitingDirect { nonce: n, .. } if n == nonce => {}
@@ -298,7 +413,7 @@ impl Detector {
         // Pick k relays among the other tracked peers plus the host's
         // candidate pool, deterministically: sorted deduped candidates,
         // RNG-sampled without replacement.
-        let mut candidates: Vec<ProcId> =
+        let mut candidates: Vec<PeerAddr> =
             self.peers.keys().copied().filter(|&p| p != peer).collect();
         candidates.extend(io.relay_candidates(peer).into_iter().filter(|&p| p != peer));
         candidates.sort_unstable();
@@ -326,7 +441,7 @@ impl Detector {
         }
     }
 
-    fn indirect_timeout(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+    fn indirect_timeout(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr, nonce: u64) {
         match self.peers.get(&peer) {
             Some(st) => match st.phase {
                 Phase::AwaitingIndirect { nonce: n, .. } if n == nonce => {}
@@ -337,7 +452,7 @@ impl Detector {
         self.open_suspicion(io, peer, nonce);
     }
 
-    fn open_suspicion(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+    fn open_suspicion(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr, nonce: u64) {
         let expire = io.set_timer(
             self.cfg.suspect_timeout,
             LivenessTimer::SuspectExpired { peer, nonce },
@@ -359,7 +474,7 @@ impl Detector {
         io.verdict(peer, Verdict::Suspected);
     }
 
-    fn suspect_reprobe(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+    fn suspect_reprobe(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr, nonce: u64) {
         let next = match self.peers.get(&peer) {
             Some(st) => match st.phase {
                 Phase::Suspect { nonce: n, .. } if n == nonce => io.set_timer(
@@ -377,7 +492,7 @@ impl Detector {
         io.send_probe(peer, nonce);
     }
 
-    fn suspect_expired(&mut self, io: &mut impl LivenessIo, peer: ProcId, nonce: u64) {
+    fn suspect_expired(&mut self, io: &mut LivenessCx<'_>, peer: PeerAddr, nonce: u64) {
         match self.peers.get_mut(&peer) {
             Some(st) => match st.phase {
                 Phase::Suspect {
@@ -400,73 +515,83 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    /// Scratch host: records sends/timers/verdicts, hands out synthetic
-    /// timer handles.
+    /// Scratch host: runs each entry point under a fresh [`LivenessCx`]
+    /// and drains the emitted effects into per-kind recording buffers.
     struct TestIo {
-        now: SimTime,
+        now: Time,
         rng: StdRng,
-        probes: Vec<(ProcId, u64)>,
-        indirects: Vec<(ProcId, ProcId, u64)>,
-        timers: Vec<(SimDuration, LivenessTimer)>,
-        cancelled: Vec<TimerHandle>,
-        verdicts: Vec<(ProcId, Verdict)>,
-        relay_pool: Vec<ProcId>,
-        next_slot: u32,
+        keyed: KeyedTimers<LivenessTimer>,
+        effects: VecDeque<LivenessEffect>,
+        probes: Vec<(PeerAddr, u64)>,
+        indirects: Vec<(PeerAddr, PeerAddr, u64)>,
+        timers: Vec<(Duration, LivenessTimer)>,
+        cancelled: Vec<TimerKey>,
+        verdicts: Vec<(PeerAddr, Verdict)>,
+        relay_pool: Vec<PeerAddr>,
     }
 
     impl TestIo {
         fn new() -> Self {
             TestIo {
-                now: SimTime::ZERO,
+                now: Time::ZERO,
                 rng: StdRng::seed_from_u64(7),
+                keyed: KeyedTimers::new(0),
+                effects: VecDeque::new(),
                 probes: Vec::new(),
                 indirects: Vec::new(),
                 timers: Vec::new(),
                 cancelled: Vec::new(),
                 verdicts: Vec::new(),
                 relay_pool: Vec::new(),
-                next_slot: 0,
             }
         }
-    }
 
-    impl LivenessIo for TestIo {
-        fn now(&self) -> SimTime {
-            self.now
+        /// Runs one detector entry point under a context, then drains the
+        /// effect queue into the recording buffers.
+        fn with<R>(&mut self, f: impl FnOnce(&mut LivenessCx<'_>) -> R) -> R {
+            let mut cx = LivenessCx::new(
+                self.now,
+                &mut self.rng,
+                &mut self.keyed,
+                &self.relay_pool,
+                &mut self.effects,
+            );
+            let r = f(&mut cx);
+            while let Some(e) = self.effects.pop_front() {
+                match e {
+                    LivenessEffect::Probe { to, nonce } => self.probes.push((to, nonce)),
+                    LivenessEffect::Indirect {
+                        relay,
+                        target,
+                        nonce,
+                    } => self.indirects.push((relay, target, nonce)),
+                    LivenessEffect::SetTimer { key, after } => {
+                        let tag = *self.keyed.get(key).expect("armed key has a tag");
+                        self.timers.push((after, tag));
+                    }
+                    LivenessEffect::CancelTimer { key } => self.cancelled.push(key),
+                    LivenessEffect::Verdict { peer, verdict } => {
+                        self.verdicts.push((peer, verdict))
+                    }
+                }
+            }
+            r
         }
 
-        fn rng(&mut self) -> &mut StdRng {
-            &mut self.rng
+        fn add_peer(&mut self, d: &mut Detector, peer: PeerAddr) {
+            self.with(|cx| d.add_peer(cx, peer));
         }
 
-        fn send_probe(&mut self, to: ProcId, nonce: u64) {
-            self.probes.push((to, nonce));
+        fn remove_peer(&mut self, d: &mut Detector, peer: PeerAddr) {
+            self.with(|cx| d.remove_peer(cx, peer));
         }
 
-        fn send_indirect(&mut self, relay: ProcId, target: ProcId, nonce: u64) {
-            self.indirects.push((relay, target, nonce));
+        fn on_ack(&mut self, d: &mut Detector, peer: PeerAddr, nonce: u64) {
+            self.with(|cx| d.on_ack(cx, peer, nonce));
         }
 
-        fn relay_candidates(&mut self, target: ProcId) -> Vec<ProcId> {
-            self.relay_pool
-                .iter()
-                .copied()
-                .filter(|&p| p != target)
-                .collect()
-        }
-
-        fn set_timer(&mut self, after: SimDuration, tag: LivenessTimer) -> TimerHandle {
-            self.next_slot += 1;
-            self.timers.push((after, tag));
-            TimerHandle::synthetic(0, self.next_slot, 1)
-        }
-
-        fn cancel_timer(&mut self, h: TimerHandle) {
-            self.cancelled.push(h);
-        }
-
-        fn verdict(&mut self, peer: ProcId, v: Verdict) {
-            self.verdicts.push((peer, v));
+        fn on_timer(&mut self, d: &mut Detector, t: LivenessTimer) {
+            self.with(|cx| d.on_timer(cx, t));
         }
     }
 
@@ -476,9 +601,9 @@ mod tests {
 
     /// Runs one full probe round for `peer` starting from Idle: fires
     /// ProbeDue and returns the round nonce from the recorded probe.
-    fn start_round(d: &mut Detector, io: &mut TestIo, peer: ProcId) -> u64 {
+    fn start_round(d: &mut Detector, io: &mut TestIo, peer: PeerAddr) -> u64 {
         let before = io.probes.len();
-        d.on_timer(io, LivenessTimer::ProbeDue(peer));
+        io.on_timer(d, LivenessTimer::ProbeDue(peer));
         assert_eq!(io.probes.len(), before + 1, "round must send one probe");
         io.probes[before].1
     }
@@ -486,14 +611,14 @@ mod tests {
     #[test]
     fn add_peer_arms_a_jittered_first_round() {
         let (mut d, mut io) = (det(), TestIo::new());
-        d.add_peer(&mut io, 3);
+        io.add_peer(&mut d, 3);
         assert!(d.tracks(3));
         assert_eq!(io.timers.len(), 1);
         let (after, tag) = io.timers[0];
         assert_eq!(tag, LivenessTimer::ProbeDue(3));
         assert!(after <= LivenessConfig::default().probe_period);
         // Re-adding is a no-op.
-        d.add_peer(&mut io, 3);
+        io.add_peer(&mut d, 3);
         assert_eq!(io.timers.len(), 1);
         assert_eq!(d.peer_count(), 1);
     }
@@ -501,12 +626,12 @@ mod tests {
     #[test]
     fn ack_within_direct_round_keeps_peer_alive() {
         let (mut d, mut io) = (det(), TestIo::new());
-        d.add_peer(&mut io, 3);
+        io.add_peer(&mut d, 3);
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_ack(&mut io, 3, nonce);
+        io.on_ack(&mut d, 3, nonce);
         assert_eq!(io.cancelled.len(), 1, "direct timeout cancelled");
         // The stale timeout now does nothing.
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
         assert!(io.indirects.is_empty());
         assert!(io.verdicts.is_empty());
     }
@@ -515,20 +640,20 @@ mod tests {
     fn direct_miss_fans_out_k_indirect_relays() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4, 5, 6] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
         assert_eq!(io.indirects.len(), 2, "k_indirect = 2 relays");
         for &(relay, target, n) in &io.indirects {
             assert_ne!(relay, 3, "the silent peer cannot relay for itself");
             assert_eq!(target, 3);
             assert_eq!(n, nonce);
         }
-        let relays: Vec<ProcId> = io.indirects.iter().map(|&(r, _, _)| r).collect();
+        let relays: Vec<PeerAddr> = io.indirects.iter().map(|&(r, _, _)| r).collect();
         assert_ne!(relays[0], relays[1], "relays sampled without replacement");
         // An indirect ack resolves the round without any verdict.
-        d.on_ack(&mut io, 3, nonce);
+        io.on_ack(&mut d, 3, nonce);
         assert!(io.verdicts.is_empty());
     }
 
@@ -536,13 +661,13 @@ mod tests {
     fn unanswered_rounds_suspect_then_kill() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4, 5] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
-        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::IndirectTimeout { peer: 3, nonce });
         assert_eq!(io.verdicts, vec![(3, Verdict::Suspected)]);
-        d.on_timer(&mut io, LivenessTimer::SuspectExpired { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::SuspectExpired { peer: 3, nonce });
         assert_eq!(
             io.verdicts,
             vec![(3, Verdict::Suspected), (3, Verdict::Dead)]
@@ -556,19 +681,19 @@ mod tests {
     fn late_ack_refutes_suspicion_and_stops_the_kill() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
-        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::IndirectTimeout { peer: 3, nonce });
         assert_eq!(io.verdicts, vec![(3, Verdict::Suspected)]);
-        d.on_ack(&mut io, 3, nonce);
+        io.on_ack(&mut d, 3, nonce);
         assert_eq!(
             io.verdicts,
             vec![(3, Verdict::Suspected), (3, Verdict::Refuted)]
         );
         // The stale expiry must not kill.
-        d.on_timer(&mut io, LivenessTimer::SuspectExpired { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::SuspectExpired { peer: 3, nonce });
         assert_eq!(io.verdicts.len(), 2);
         assert_eq!(d.verdicts, [1, 1, 0]);
     }
@@ -577,13 +702,13 @@ mod tests {
     fn suspected_peer_keeps_getting_probes_with_the_suspect_nonce() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
-        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::IndirectTimeout { peer: 3, nonce });
         let before = io.probes.len();
-        d.on_timer(&mut io, LivenessTimer::ProbeDue(3));
+        io.on_timer(&mut d, LivenessTimer::ProbeDue(3));
         assert_eq!(io.probes.len(), before + 1);
         assert_eq!(
             io.probes[before],
@@ -596,11 +721,11 @@ mod tests {
     fn suspects_are_reprobed_on_the_fast_cadence() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
-        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::IndirectTimeout { peer: 3, nonce });
         // Opening suspicion probes immediately and arms the fast ticker.
         assert_eq!(*io.probes.last().unwrap(), (3, nonce));
         let tickers = io
@@ -614,21 +739,21 @@ mod tests {
         assert_eq!(tickers, 1, "suspicion arms one fast re-probe ticker");
         // Each ticker fire re-probes with the suspect nonce and re-arms.
         let before = io.probes.len();
-        d.on_timer(&mut io, LivenessTimer::SuspectReprobe { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::SuspectReprobe { peer: 3, nonce });
         assert_eq!(io.probes[before], (3, nonce));
         // Refutation cancels the ticker; a stale fire stays silent.
-        d.on_ack(&mut io, 3, nonce);
+        io.on_ack(&mut d, 3, nonce);
         let quiet = io.probes.len();
-        d.on_timer(&mut io, LivenessTimer::SuspectReprobe { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::SuspectReprobe { peer: 3, nonce });
         assert_eq!(io.probes.len(), quiet, "stale re-probe tick is ignored");
     }
 
     #[test]
     fn no_relays_available_goes_straight_to_suspicion() {
         let (mut d, mut io) = (det(), TestIo::new());
-        d.add_peer(&mut io, 3);
+        io.add_peer(&mut d, 3);
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
         assert!(io.indirects.is_empty());
         assert_eq!(io.verdicts, vec![(3, Verdict::Suspected)]);
     }
@@ -641,9 +766,9 @@ mod tests {
         // adversary drop every direct probe without causing a false kill.
         let (mut d, mut io) = (det(), TestIo::new());
         io.relay_pool = vec![8, 9, 3];
-        d.add_peer(&mut io, 3);
+        io.add_peer(&mut d, 3);
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
         assert_eq!(io.indirects.len(), 2, "k relays drawn from the pool");
         for &(relay, target, n) in &io.indirects {
             assert!(relay == 8 || relay == 9, "target excluded from the pool");
@@ -651,7 +776,7 @@ mod tests {
             assert_eq!(n, nonce);
         }
         assert!(io.verdicts.is_empty(), "no premature suspicion");
-        d.on_ack(&mut io, 3, nonce);
+        io.on_ack(&mut d, 3, nonce);
         assert!(io.verdicts.is_empty());
     }
 
@@ -659,18 +784,18 @@ mod tests {
     fn remove_peer_cancels_everything_and_silences_timers() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
-        d.remove_peer(&mut io, 3);
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.remove_peer(&mut d, 3);
         assert!(!d.tracks(3));
         // probe_due + the indirect-round timeout.
         assert_eq!(io.cancelled.len(), 2);
-        d.on_timer(&mut io, LivenessTimer::IndirectTimeout { peer: 3, nonce });
-        d.on_timer(&mut io, LivenessTimer::ProbeDue(3));
+        io.on_timer(&mut d, LivenessTimer::IndirectTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeDue(3));
         assert!(io.verdicts.is_empty());
-        d.on_ack(&mut io, 3, nonce);
+        io.on_ack(&mut d, 3, nonce);
         assert!(io.verdicts.is_empty());
     }
 
@@ -678,17 +803,17 @@ mod tests {
     fn stale_nonces_are_ignored() {
         let (mut d, mut io) = (det(), TestIo::new());
         for p in [3, 4] {
-            d.add_peer(&mut io, p);
+            io.add_peer(&mut d, p);
         }
         let nonce = start_round(&mut d, &mut io, 3);
-        d.on_ack(&mut io, 3, nonce + 10);
+        io.on_ack(&mut d, 3, nonce + 10);
         // Round still open: the timeout must still fan out.
-        d.on_timer(&mut io, LivenessTimer::ProbeTimeout { peer: 3, nonce });
+        io.on_timer(&mut d, LivenessTimer::ProbeTimeout { peer: 3, nonce });
         assert!(!io.indirects.is_empty());
         // A timeout for a nonce that never existed does nothing further.
         let before = io.verdicts.len();
-        d.on_timer(
-            &mut io,
+        io.on_timer(
+            &mut d,
             LivenessTimer::IndirectTimeout {
                 peer: 3,
                 nonce: nonce + 10,
@@ -700,10 +825,10 @@ mod tests {
     #[test]
     fn rounds_advance_nonces_and_rearm_the_period() {
         let (mut d, mut io) = (det(), TestIo::new());
-        d.add_peer(&mut io, 3);
-        d.add_peer(&mut io, 4);
+        io.add_peer(&mut d, 3);
+        io.add_peer(&mut d, 4);
         let n1 = start_round(&mut d, &mut io, 3);
-        d.on_ack(&mut io, 3, n1);
+        io.on_ack(&mut d, 3, n1);
         let n2 = start_round(&mut d, &mut io, 3);
         assert!(n2 > n1, "each round draws a fresh nonce");
         // Every ProbeDue re-arms the next period.

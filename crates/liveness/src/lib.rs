@@ -19,10 +19,11 @@
 //!   (FUSE groups) subscribed to its verdict, so one `Dead` verdict fans
 //!   out to exactly the registered groups — no over-burn, no under-burn.
 //!
-//! The detector is sans-io: it calls back through [`LivenessIo`] for time,
-//! randomness, probe transmission, timers and verdict delivery, so it runs
-//! identically under the deterministic simulation kernel and any future
-//! socket driver. `fuse_core` embeds it behind the `shared_plane` config
+//! The detector is sans-io: every entry point takes a [`LivenessCx`]
+//! (time, randomness, timer table, relay pool) and probe transmission,
+//! timers and verdict delivery all leave as plain [`LivenessEffect`] data,
+//! so it runs identically under the deterministic simulation kernel and
+//! the `fuse-node` socket driver. `fuse_core` embeds it behind the `shared_plane` config
 //! switch; the original per-group timer path remains the default and the
 //! two are held equivalent by the chaos explorer's differential checks.
 
@@ -31,5 +32,5 @@ pub mod detector;
 pub mod registry;
 
 pub use config::LivenessConfig;
-pub use detector::{Detector, LivenessIo, LivenessTimer, Verdict};
+pub use detector::{Detector, LivenessCx, LivenessEffect, LivenessTimer, Verdict};
 pub use registry::SubscriptionRegistry;

@@ -10,8 +10,8 @@
 
 use std::hash::Hash;
 
-use fuse_sim::ProcId;
 use fuse_util::det::{DetHashMap, DetHashSet};
+use fuse_util::PeerAddr as ProcId;
 
 /// Per-peer subscription table, generic over the consumer key (FUSE
 /// instantiates `K = FuseId`).

@@ -1,0 +1,138 @@
+//! Multi-process loopback smoke test: three real `fuse-node` processes on
+//! 127.0.0.1, a group created over actual TCP, one member killed with
+//! SIGKILL, and both survivors required to observe the failure notification
+//! within the detection bound.
+//!
+//! This is the deployment-mode counterpart of the simulator's
+//! `member_crash_notifies_survivors_within_detection_bound`: same state
+//! machine, real sockets, real clock, real process death.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Kills the child on drop so a failing assertion never leaks processes.
+struct NodeProc {
+    child: Child,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl NodeProc {
+    fn spawn(args: &[String]) -> NodeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fuse-node"))
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fuse-node");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        thread::spawn(move || {
+            for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                sink.lock().unwrap().push(line);
+            }
+        });
+        NodeProc { child, lines }
+    }
+
+    /// Polls until some stdout line satisfies `pred`, failing after
+    /// `timeout`.
+    fn wait_for(&self, what: &str, timeout: Duration, pred: impl Fn(&str) -> bool) -> String {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(l) = self.lines.lock().unwrap().iter().find(|l| pred(l)) {
+                return l.clone();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {what}; output so far: {:?}",
+                self.lines.lock().unwrap()
+            );
+            thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// Reserves a distinct loopback port by binding to :0 and releasing it.
+/// Racy in principle; in practice the kernel will not rebind the port to
+/// another socket this quickly, and the nodes bind within milliseconds.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind :0")
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn node_args(id: u32, ports: &[u16; 3], create: Option<&str>) -> Vec<String> {
+    let mut args = vec![
+        "--id".into(),
+        id.to_string(),
+        "--listen".into(),
+        format!("127.0.0.1:{}", ports[id as usize]),
+        "--run-secs".into(),
+        "120".into(),
+    ];
+    for (pid, &port) in ports.iter().enumerate() {
+        if pid as u32 != id {
+            args.push("--peer".into());
+            args.push(format!("{pid}=127.0.0.1:{port}"));
+        }
+    }
+    if let Some(members) = create {
+        args.push("--create".into());
+        args.push(members.into());
+    }
+    args
+}
+
+#[test]
+fn killed_member_notifies_survivors_over_real_tcp() {
+    let ports = [free_port(), free_port(), free_port()];
+
+    // Members first, so the creator's connection attempts land.
+    let n1 = NodeProc::spawn(&node_args(1, &ports, None));
+    let n2 = NodeProc::spawn(&node_args(2, &ports, None));
+    n1.wait_for("node 1 READY", Duration::from_secs(10), |l| l == "READY");
+    n2.wait_for("node 2 READY", Duration::from_secs(10), |l| l == "READY");
+
+    // The creator boots and immediately creates a group over {0, 1, 2}.
+    let n0 = NodeProc::spawn(&node_args(0, &ports, Some("1,2")));
+    let created = n0.wait_for("group creation", Duration::from_secs(20), |l| {
+        l.starts_with("CREATED ") && l.ends_with("result=ok")
+    });
+    let gid = created
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("id="))
+        .expect("CREATED line carries the group id")
+        .to_string();
+
+    // SIGKILL one member: its sockets close, the survivors' readers see
+    // EOF, and the connection-broken path burns the group.
+    let mut n1 = n1;
+    n1.child.kill().expect("kill node 1");
+
+    // §2's guarantee, deployment edition: every live member hears the
+    // notification within a bounded time. TCP EOF detection is near-instant
+    // (the 30 s budget is slack, not the expectation).
+    for (name, node) in [("node 0", &n0), ("node 2", &n2)] {
+        let line = node.wait_for(&format!("{name} NOTIFIED"), Duration::from_secs(30), |l| {
+            l.starts_with("NOTIFIED ")
+        });
+        assert!(
+            line.contains(&format!("id={gid}")),
+            "{name} notified for the wrong group: {line}"
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! Overlay configuration.
 
-use fuse_sim::SimDuration;
+use fuse_util::Duration as SimDuration;
 
 /// Tunables for the overlay, defaulting to the paper's configuration (§7.1):
 /// 60 s ping period, 20 s ping timeout, base 8, leaf set of size 16.

@@ -7,7 +7,7 @@
 //! neighbors sharing the first `h` numeric digits, which is what yields
 //! O(log n) routing.
 
-use fuse_sim::ProcId;
+use fuse_util::PeerAddr as ProcId;
 use fuse_wire::{sha1, Decode, DecodeError, Encode, Reader, Writer};
 
 /// Number of numeric-ID digits we derive (enough levels for any

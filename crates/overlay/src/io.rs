@@ -1,15 +1,18 @@
-//! The overlay's interface to its host (the node stack) and its client
-//! (the FUSE layer).
+//! The overlay's sans-io surface: effects out, upcalls up.
 //!
-//! All side effects — sends, timers, randomness, and upcalls to the layer
-//! above — flow through [`OverlayIo`]. The node stack in `fuse-core`
-//! implements it over the simulation kernel's handler context; tests
-//! implement it over a scratch buffer.
+//! The overlay is a pure state machine. Every entry point takes an
+//! [`OverlayCx`] — a borrowed bundle of `now`, the driver RNG, the
+//! overlay's timer table and two output buffers — and all side effects
+//! leave as plain data: [`OverlayEffect`]s (sends, timer arm/cancel) for
+//! the embedding stack to translate into driver commands, and
+//! [`OverlayUpcall`]s for the client layer (FUSE) to consume. No driver
+//! type (`fuse_sim` or otherwise) appears anywhere in the signatures.
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
+use std::collections::VecDeque;
 
-use fuse_sim::{ProcId, SimDuration, SimTime, TimerHandle};
+use fuse_util::{Duration, KeyedTimers, PeerAddr, Time, TimerKey};
 use fuse_wire::Digest;
 
 use crate::id::{NodeInfo, NodeName};
@@ -19,11 +22,11 @@ use crate::messages::OverlayMsg;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OverlayTimer {
     /// Periodic liveness ping for one neighbor.
-    PingDue(ProcId),
+    PingDue(PeerAddr),
     /// A ping to `peer` (nonce-matched) was not acknowledged in time.
     AckTimeout {
         /// The pinged neighbor.
-        peer: ProcId,
+        peer: PeerAddr,
         /// Nonce of the outstanding ping.
         nonce: u64,
     },
@@ -31,6 +34,33 @@ pub enum OverlayTimer {
     JoinRetry,
     /// Periodic background table maintenance.
     Maintenance,
+}
+
+/// Side effects the overlay asks its driver to perform, in emission order.
+#[derive(Debug, Clone)]
+pub enum OverlayEffect {
+    /// Send an overlay message to a peer.
+    Send {
+        /// Destination peer.
+        to: PeerAddr,
+        /// The message.
+        msg: OverlayMsg,
+    },
+    /// Schedule the timer identified by `key` to fire `after` from now.
+    /// (The key is already armed in the overlay's [`KeyedTimers`]; the
+    /// driver only schedules the wakeup.)
+    SetTimer {
+        /// The timer's identity, to be fed back on expiry.
+        key: TimerKey,
+        /// Relative deadline.
+        after: Duration,
+    },
+    /// Drop a scheduled wakeup. Drivers may also ignore this and deliver
+    /// the expiry anyway — a cancelled key resolves to nothing.
+    CancelTimer {
+        /// The cancelled timer.
+        key: TimerKey,
+    },
 }
 
 /// Upcalls from the overlay to its client layer.
@@ -41,19 +71,19 @@ pub enum OverlayUpcall {
     /// (paper §6.3).
     PingHash {
         /// Monitored neighbor.
-        peer: ProcId,
+        peer: PeerAddr,
         /// The digest the neighbor piggybacked for this link.
         hash: Digest,
     },
     /// A new neighbor entered the monitored set.
     LinkUp {
         /// The neighbor.
-        peer: ProcId,
+        peer: PeerAddr,
     },
     /// A monitored link stopped being monitored.
     LinkDown {
         /// The neighbor.
-        peer: ProcId,
+        peer: PeerAddr,
         /// `true` when the neighbor was declared dead (ping timeout or
         /// transport break); `false` when it was merely evicted by table
         /// maintenance (overlay route change).
@@ -65,7 +95,7 @@ pub enum OverlayUpcall {
         src: NodeInfo,
         /// The hop the message arrived from (the originator itself when the
         /// route was a single hop).
-        prev: ProcId,
+        prev: PeerAddr,
         /// Opaque client payload.
         payload: Bytes,
     },
@@ -77,9 +107,9 @@ pub enum OverlayUpcall {
         /// Final routing target.
         target: NodeName,
         /// Previous hop process.
-        prev: ProcId,
+        prev: PeerAddr,
         /// Next hop process.
-        next: ProcId,
+        next: PeerAddr,
         /// Opaque client payload.
         payload: Bytes,
     },
@@ -98,7 +128,7 @@ pub enum OverlayUpcall {
     /// no digest). The client routes it into its failure detector.
     ProbeAcked {
         /// The peer that proved alive.
-        peer: ProcId,
+        peer: PeerAddr,
         /// Round correlator echoed by the peer.
         nonce: u64,
         /// Responder's piggyback digest (direct acks only).
@@ -106,23 +136,77 @@ pub enum OverlayUpcall {
     },
 }
 
-/// Host services for the overlay.
-pub trait OverlayIo {
-    /// Current simulated time.
-    fn now(&self) -> SimTime;
+/// Borrowed per-call context for one overlay entry point.
+///
+/// The embedding stack owns the RNG, the timer table and the buffers; it
+/// constructs an `OverlayCx` around them for the duration of one call and
+/// drains `effects`/`upcalls` afterwards. Effects are emitted in call
+/// order, which the drivers preserve — that is what keeps sim traces
+/// bit-identical across the sans-io boundary.
+pub struct OverlayCx<'a> {
+    now: Time,
+    rng: &'a mut StdRng,
+    timers: &'a mut KeyedTimers<OverlayTimer>,
+    effects: &'a mut VecDeque<OverlayEffect>,
+    upcalls: &'a mut Vec<OverlayUpcall>,
+}
 
-    /// Deterministic randomness.
-    fn rng(&mut self) -> &mut StdRng;
+impl<'a> OverlayCx<'a> {
+    /// Builds a context over the stack-owned state.
+    pub fn new(
+        now: Time,
+        rng: &'a mut StdRng,
+        timers: &'a mut KeyedTimers<OverlayTimer>,
+        effects: &'a mut VecDeque<OverlayEffect>,
+        upcalls: &'a mut Vec<OverlayUpcall>,
+    ) -> Self {
+        OverlayCx {
+            now,
+            rng,
+            timers,
+            effects,
+            upcalls,
+        }
+    }
 
-    /// Sends an overlay message to a peer process.
-    fn send(&mut self, to: ProcId, msg: OverlayMsg);
+    /// Current time (driver-provided).
+    pub fn now(&self) -> Time {
+        self.now
+    }
 
-    /// Arms a timer with an overlay tag.
-    fn set_timer(&mut self, after: SimDuration, tag: OverlayTimer) -> TimerHandle;
+    /// Deterministic randomness (driver-provided).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues an overlay message to a peer.
+    pub fn send(&mut self, to: PeerAddr, msg: OverlayMsg) {
+        self.effects.push_back(OverlayEffect::Send { to, msg });
+    }
+
+    /// Arms a timer with an overlay tag, returning its key.
+    pub fn set_timer(&mut self, after: Duration, tag: OverlayTimer) -> TimerKey {
+        let key = self.timers.arm(tag);
+        self.effects
+            .push_back(OverlayEffect::SetTimer { key, after });
+        key
+    }
 
     /// Cancels a previously armed timer.
-    fn cancel_timer(&mut self, h: TimerHandle);
+    pub fn cancel_timer(&mut self, key: TimerKey) {
+        if self.timers.cancel(key) {
+            self.effects.push_back(OverlayEffect::CancelTimer { key });
+        }
+    }
+
+    /// Resolves a driver-delivered timer key to its tag; stale keys
+    /// (cancelled or superseded) resolve to `None`.
+    pub fn fire_timer(&mut self, key: TimerKey) -> Option<OverlayTimer> {
+        self.timers.fire(key)
+    }
 
     /// Delivers an upcall to the client layer (buffered by the stack).
-    fn upcall(&mut self, ev: OverlayUpcall);
+    pub fn upcall(&mut self, ev: OverlayUpcall) {
+        self.upcalls.push(ev);
+    }
 }

@@ -17,9 +17,10 @@
 //! * per-hop **upcalls** for routed client payloads, and routing-table
 //!   visibility through [`OverlayNode::neighbors`]/[`OverlayNode::next_hop`].
 //!
-//! The overlay is transport-agnostic: all effects flow through the
-//! [`OverlayIo`] trait, which the node stack in `fuse-core` implements over
-//! the simulation kernel.
+//! The overlay is sans-io: every entry point takes an [`OverlayCx`] and all
+//! side effects leave as [`OverlayEffect`]s/[`OverlayUpcall`]s for the
+//! embedding stack (`fuse_core::FuseStack`) to translate. This crate has no
+//! dependency on any driver — neither the simulation kernel nor sockets.
 
 pub mod config;
 pub mod id;
@@ -30,7 +31,7 @@ pub mod oracle;
 
 pub use config::OverlayConfig;
 pub use id::{NodeInfo, NodeName, NumericId};
-pub use io::{OverlayIo, OverlayTimer, OverlayUpcall};
+pub use io::{OverlayCx, OverlayEffect, OverlayTimer, OverlayUpcall};
 pub use messages::OverlayMsg;
 pub use node::OverlayNode;
 pub use oracle::build_oracle_tables;

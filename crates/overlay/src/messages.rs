@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 
-use fuse_sim::ProcId;
+use fuse_util::PeerAddr as ProcId;
 use fuse_wire::{Decode, DecodeError, Digest, Encode, Reader, Writer};
 
 use crate::id::{NodeInfo, NodeName};

@@ -3,15 +3,15 @@
 use bytes::Bytes;
 use rand::Rng;
 
-use fuse_sim::{ProcId, SimDuration, TimerHandle};
 use fuse_util::{DetHashMap, DetHashSet};
+use fuse_util::{Duration, PeerAddr, TimerKey};
 use fuse_wire::{Decode, Digest, Encode};
 
 use crate::config::OverlayConfig;
 use crate::id::{
     closer_clockwise, closer_counterclockwise, further_clockwise, NodeInfo, NodeName, NumericId,
 };
-use crate::io::{OverlayIo, OverlayTimer, OverlayUpcall};
+use crate::io::{OverlayCx, OverlayTimer, OverlayUpcall};
 use crate::messages::{OverlayMsg, RoutedClass};
 
 /// Counters exposed for tests and experiments.
@@ -39,7 +39,7 @@ pub enum RouteStart {
     /// Handed to the given next hop.
     Sent {
         /// First hop of the route (an overlay neighbor).
-        next: ProcId,
+        next: PeerAddr,
     },
     /// The local node is the routing target; nothing was sent.
     SelfIsTarget,
@@ -49,13 +49,13 @@ pub enum RouteStart {
 
 /// A SkipNet-style overlay node.
 ///
-/// All entry points take an [`OverlayIo`] implementation; the node never
-/// touches the simulation kernel directly.
+/// All entry points take an [`OverlayCx`]; the node never touches a
+/// driver (simulation kernel or socket runtime) directly.
 pub struct OverlayNode {
     cfg: OverlayConfig,
     me: NodeInfo,
     numeric: NumericId,
-    bootstrap: Option<ProcId>,
+    bootstrap: Option<PeerAddr>,
     ready: bool,
     /// Clockwise leaf set, nearest first.
     leaves_cw: Vec<NodeInfo>,
@@ -65,15 +65,15 @@ pub struct OverlayNode {
     /// numeric-digit prefixes.
     rtable: Vec<[Option<NodeInfo>; 2]>,
     /// Passive candidate cache (recently seen live nodes).
-    known: DetHashMap<ProcId, NodeInfo>,
+    known: DetHashMap<PeerAddr, NodeInfo>,
     /// Per-neighbor periodic ping timers.
-    ping_timers: DetHashMap<ProcId, TimerHandle>,
+    ping_timers: DetHashMap<PeerAddr, TimerKey>,
     /// Outstanding ping (nonce, timeout) per neighbor.
-    ack_waits: DetHashMap<ProcId, (u64, TimerHandle)>,
+    ack_waits: DetHashMap<PeerAddr, (u64, TimerKey)>,
     /// Piggyback digest per link, pushed down by the client (FUSE).
-    link_hashes: DetHashMap<ProcId, Digest>,
+    link_hashes: DetHashMap<PeerAddr, Digest>,
     next_nonce: u64,
-    join_timer: Option<TimerHandle>,
+    join_timer: Option<TimerKey>,
     join_attempts: u32,
     /// Exposed counters.
     pub stats: OverlayStats,
@@ -82,7 +82,7 @@ pub struct OverlayNode {
 impl OverlayNode {
     /// Creates a node that will join through `bootstrap` on boot (or start
     /// a new ring when `None`).
-    pub fn new(me: NodeInfo, bootstrap: Option<ProcId>, cfg: OverlayConfig) -> Self {
+    pub fn new(me: NodeInfo, bootstrap: Option<PeerAddr>, cfg: OverlayConfig) -> Self {
         let numeric = me.numeric();
         let levels = cfg.max_levels;
         OverlayNode {
@@ -140,21 +140,21 @@ impl OverlayNode {
 
     /// Boots the node: joins through the bootstrap or, when preloaded or
     /// alone, starts steady-state operation immediately.
-    pub fn boot(&mut self, io: &mut impl OverlayIo) {
+    pub fn boot(&mut self, io: &mut OverlayCx<'_>) {
         if self.ready || self.bootstrap.is_none() {
             self.ready = true;
             self.start_all_pings(io);
         } else {
             self.send_join(io);
         }
-        let jitter = SimDuration(io.rng().gen_range(0..=self.cfg.maintenance_period.nanos()));
+        let jitter = Duration(io.rng().gen_range(0..=self.cfg.maintenance_period.nanos()));
         io.set_timer(
             self.cfg.maintenance_period + jitter,
             OverlayTimer::Maintenance,
         );
     }
 
-    fn send_join(&mut self, io: &mut impl OverlayIo) {
+    fn send_join(&mut self, io: &mut OverlayCx<'_>) {
         let Some(bs) = self.bootstrap else { return };
         self.join_attempts += 1;
         let payload = self.me.to_bytes();
@@ -176,13 +176,13 @@ impl OverlayNode {
     // ---- Table structure -------------------------------------------------
 
     /// All distinct monitored neighbors (leaf set union routing table).
-    pub fn neighbors(&self) -> Vec<ProcId> {
-        let mut set: Vec<ProcId> = self.neighbor_set().into_iter().collect();
+    pub fn neighbors(&self) -> Vec<PeerAddr> {
+        let mut set: Vec<PeerAddr> = self.neighbor_set().into_iter().collect();
         set.sort_unstable();
         set
     }
 
-    fn neighbor_set(&self) -> DetHashSet<ProcId> {
+    fn neighbor_set(&self) -> DetHashSet<PeerAddr> {
         let mut s = DetHashSet::default();
         for l in self.leaves_cw.iter().chain(self.leaves_ccw.iter()) {
             s.insert(l.proc);
@@ -201,7 +201,7 @@ impl OverlayNode {
     }
 
     /// Next hop the node would use to route toward `target`.
-    pub fn next_hop(&self, target: &NodeName) -> Option<ProcId> {
+    pub fn next_hop(&self, target: &NodeName) -> Option<PeerAddr> {
         self.best_next_hop(target).map(|n| n.proc)
     }
 
@@ -328,7 +328,7 @@ impl OverlayNode {
 
     /// Integrates a batch of candidates, then reconciles ping timers and
     /// emits LinkUp/LinkDown(eviction) upcalls for the neighbor-set diff.
-    fn integrate_all(&mut self, io: &mut impl OverlayIo, cands: &[NodeInfo]) {
+    fn integrate_all(&mut self, io: &mut OverlayCx<'_>, cands: &[NodeInfo]) {
         let before = self.neighbor_set();
         for c in cands {
             self.integrate(c);
@@ -336,10 +336,10 @@ impl OverlayNode {
         self.reconcile_neighbors(io, &before);
     }
 
-    fn reconcile_neighbors(&mut self, io: &mut impl OverlayIo, before: &DetHashSet<ProcId>) {
+    fn reconcile_neighbors(&mut self, io: &mut OverlayCx<'_>, before: &DetHashSet<PeerAddr>) {
         let after = self.neighbor_set();
-        let mut added: Vec<ProcId> = after.difference(before).copied().collect();
-        let mut removed: Vec<ProcId> = before.difference(&after).copied().collect();
+        let mut added: Vec<PeerAddr> = after.difference(before).copied().collect();
+        let mut removed: Vec<PeerAddr> = before.difference(&after).copied().collect();
         added.sort_unstable();
         removed.sort_unstable();
         for p in added {
@@ -358,25 +358,25 @@ impl OverlayNode {
 
     // ---- Liveness --------------------------------------------------------
 
-    fn start_all_pings(&mut self, io: &mut impl OverlayIo) {
-        let mut peers: Vec<ProcId> = self.neighbor_set().into_iter().collect();
+    fn start_all_pings(&mut self, io: &mut OverlayCx<'_>) {
+        let mut peers: Vec<PeerAddr> = self.neighbor_set().into_iter().collect();
         peers.sort_unstable();
         for p in peers {
             self.start_ping(io, p);
         }
     }
 
-    fn start_ping(&mut self, io: &mut impl OverlayIo, peer: ProcId) {
+    fn start_ping(&mut self, io: &mut OverlayCx<'_>, peer: PeerAddr) {
         if self.ping_timers.contains_key(&peer) {
             return;
         }
         // Phase jitter spreads ping load over the period.
-        let jitter = SimDuration(io.rng().gen_range(0..=self.cfg.ping_period.nanos()));
+        let jitter = Duration(io.rng().gen_range(0..=self.cfg.ping_period.nanos()));
         let h = io.set_timer(jitter, OverlayTimer::PingDue(peer));
         self.ping_timers.insert(peer, h);
     }
 
-    fn stop_ping(&mut self, io: &mut impl OverlayIo, peer: ProcId) {
+    fn stop_ping(&mut self, io: &mut OverlayCx<'_>, peer: PeerAddr) {
         if let Some(h) = self.ping_timers.remove(&peer) {
             io.cancel_timer(h);
         }
@@ -387,13 +387,13 @@ impl OverlayNode {
 
     /// The digest the client asked us to piggyback for `peer` (absent when
     /// no groups monitor the link).
-    fn hash_for(&self, peer: ProcId) -> Option<Digest> {
+    fn hash_for(&self, peer: PeerAddr) -> Option<Digest> {
         self.link_hashes.get(&peer).copied()
     }
 
     /// Client hook: sets the piggyback digest for one link (paper §6.1:
     /// FUSE piggybacks a 20-byte hash on overlay ping requests).
-    pub fn set_link_hash(&mut self, peer: ProcId, hash: Option<Digest>) {
+    pub fn set_link_hash(&mut self, peer: PeerAddr, hash: Option<Digest>) {
         match hash {
             Some(h) => {
                 self.link_hashes.insert(peer, h);
@@ -405,11 +405,11 @@ impl OverlayNode {
     }
 
     /// Whether `peer` is currently a monitored neighbor.
-    pub fn is_neighbor(&self, peer: ProcId) -> bool {
+    pub fn is_neighbor(&self, peer: PeerAddr) -> bool {
         self.ping_timers.contains_key(&peer)
     }
 
-    fn neighbor_dead(&mut self, io: &mut impl OverlayIo, peer: ProcId) {
+    fn neighbor_dead(&mut self, io: &mut OverlayCx<'_>, peer: PeerAddr) {
         if !self.is_neighbor(peer) && !self.known.contains_key(&peer) {
             return;
         }
@@ -429,10 +429,10 @@ impl OverlayNode {
         self.repair_after_death(io);
     }
 
-    fn repair_after_death(&mut self, io: &mut impl OverlayIo) {
+    fn repair_after_death(&mut self, io: &mut OverlayCx<'_>) {
         // Pull candidates from the extreme survivors on each leaf side and
         // refill from the passive cache.
-        let mut pull: Vec<ProcId> = Vec::new();
+        let mut pull: Vec<PeerAddr> = Vec::new();
         if let Some(l) = self.leaves_cw.last() {
             pull.push(l.proc);
         }
@@ -458,7 +458,7 @@ impl OverlayNode {
     /// intermediate nodes, `Delivered` at the target).
     pub fn route_client(
         &mut self,
-        io: &mut impl OverlayIo,
+        io: &mut OverlayCx<'_>,
         target: &NodeName,
         payload: Bytes,
     ) -> RouteStart {
@@ -486,8 +486,8 @@ impl OverlayNode {
 
     fn forward_routed(
         &mut self,
-        io: &mut impl OverlayIo,
-        from: ProcId,
+        io: &mut OverlayCx<'_>,
+        from: PeerAddr,
         src: NodeInfo,
         target: NodeName,
         ttl: u8,
@@ -542,8 +542,8 @@ impl OverlayNode {
 
     fn deliver_routed(
         &mut self,
-        io: &mut impl OverlayIo,
-        from: ProcId,
+        io: &mut OverlayCx<'_>,
+        from: PeerAddr,
         src: NodeInfo,
         payload: Bytes,
         rclass: Option<RoutedClass>,
@@ -569,7 +569,7 @@ impl OverlayNode {
 
     fn deliver_as_owner(
         &mut self,
-        io: &mut impl OverlayIo,
+        io: &mut OverlayCx<'_>,
         src: NodeInfo,
         target: NodeName,
         class: u8,
@@ -593,7 +593,7 @@ impl OverlayNode {
 
     fn routed_failed(
         &mut self,
-        io: &mut impl OverlayIo,
+        io: &mut OverlayCx<'_>,
         src: &NodeInfo,
         target: &NodeName,
         class: u8,
@@ -619,7 +619,7 @@ impl OverlayNode {
         }
     }
 
-    fn handle_join_request(&mut self, io: &mut impl OverlayIo, payload: Bytes) {
+    fn handle_join_request(&mut self, io: &mut OverlayCx<'_>, payload: Bytes) {
         let Ok(joiner) = NodeInfo::from_bytes(&payload) else {
             return;
         };
@@ -640,7 +640,7 @@ impl OverlayNode {
     // ---- Event handlers (called by the node stack) -------------------------
 
     /// Handles an incoming overlay message.
-    pub fn on_message(&mut self, io: &mut impl OverlayIo, from: ProcId, msg: OverlayMsg) {
+    pub fn on_message(&mut self, io: &mut OverlayCx<'_>, from: PeerAddr, msg: OverlayMsg) {
         match msg {
             OverlayMsg::Ping { nonce, hash } => {
                 io.upcall(OverlayUpcall::PingHash {
@@ -805,7 +805,7 @@ impl OverlayNode {
     }
 
     /// Handles an overlay timer.
-    pub fn on_timer(&mut self, io: &mut impl OverlayIo, tag: OverlayTimer) {
+    pub fn on_timer(&mut self, io: &mut OverlayCx<'_>, tag: OverlayTimer) {
         match tag {
             OverlayTimer::PingDue(peer) => {
                 if !self.ping_timers.contains_key(&peer) {
@@ -851,13 +851,13 @@ impl OverlayNode {
     }
 
     /// Handles a transport-level broken connection.
-    pub fn on_link_broken(&mut self, io: &mut impl OverlayIo, peer: ProcId) {
+    pub fn on_link_broken(&mut self, io: &mut OverlayCx<'_>, peer: PeerAddr) {
         if self.is_neighbor(peer) {
             self.neighbor_dead(io, peer);
         }
     }
 
-    fn send_probe(&mut self, io: &mut impl OverlayIo) {
+    fn send_probe(&mut self, io: &mut OverlayCx<'_>) {
         // Probe toward a uniformly random ring position; hop path infos
         // opportunistically refresh tables along the way and at the source.
         let point: u64 = io.rng().gen();
@@ -882,65 +882,98 @@ impl OverlayNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fuse_sim::SimTime;
+    use crate::io::OverlayEffect;
+    use fuse_util::{KeyedTimers, Time};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::VecDeque;
 
-    /// Scratch Io that records effects without a kernel.
+    /// Scratch driver state that records effects without a kernel: each
+    /// call runs under a fresh [`OverlayCx`] and the emitted effects are
+    /// drained into `sent`/`timers` afterwards.
     struct TestIo {
-        now: SimTime,
+        now: Time,
         rng: StdRng,
-        sent: Vec<(ProcId, OverlayMsg)>,
+        keyed: KeyedTimers<OverlayTimer>,
+        effects: VecDeque<OverlayEffect>,
+        sent: Vec<(PeerAddr, OverlayMsg)>,
         upcalls: Vec<OverlayUpcall>,
-        timers: Vec<(SimDuration, OverlayTimer)>,
-        next_slot: u32,
+        timers: Vec<(Duration, TimerKey)>,
     }
 
     impl TestIo {
         fn new() -> Self {
             TestIo {
-                now: SimTime::ZERO,
+                now: Time::ZERO,
                 rng: StdRng::seed_from_u64(5),
+                keyed: KeyedTimers::new(0),
+                effects: VecDeque::new(),
                 sent: Vec::new(),
                 upcalls: Vec::new(),
                 timers: Vec::new(),
-                next_slot: 0,
             }
         }
-    }
 
-    impl OverlayIo for TestIo {
-        fn now(&self) -> SimTime {
-            self.now
+        /// Runs one node entry point under a context, then drains effects.
+        fn with<R>(&mut self, f: impl FnOnce(&mut OverlayCx<'_>) -> R) -> R {
+            let mut cx = OverlayCx::new(
+                self.now,
+                &mut self.rng,
+                &mut self.keyed,
+                &mut self.effects,
+                &mut self.upcalls,
+            );
+            let r = f(&mut cx);
+            while let Some(e) = self.effects.pop_front() {
+                match e {
+                    OverlayEffect::Send { to, msg } => self.sent.push((to, msg)),
+                    OverlayEffect::SetTimer { key, after } => self.timers.push((after, key)),
+                    OverlayEffect::CancelTimer { .. } => {}
+                }
+            }
+            r
         }
-        fn rng(&mut self) -> &mut StdRng {
-            &mut self.rng
+
+        fn boot(&mut self, n: &mut OverlayNode) {
+            self.with(|cx| n.boot(cx));
         }
-        fn send(&mut self, to: ProcId, msg: OverlayMsg) {
-            self.sent.push((to, msg));
+
+        fn integrate_all(&mut self, n: &mut OverlayNode, cands: &[NodeInfo]) {
+            self.with(|cx| n.integrate_all(cx, cands));
         }
-        fn set_timer(&mut self, after: SimDuration, tag: OverlayTimer) -> TimerHandle {
-            self.timers.push((after, tag));
-            self.next_slot += 1;
-            // Fabricate a distinct handle; the scratch Io never fires them.
-            TimerHandle::synthetic(0, self.next_slot, 1)
+
+        fn on_message(&mut self, n: &mut OverlayNode, from: PeerAddr, msg: OverlayMsg) {
+            self.with(|cx| n.on_message(cx, from, msg));
         }
-        fn cancel_timer(&mut self, _h: TimerHandle) {}
-        fn upcall(&mut self, ev: OverlayUpcall) {
-            self.upcalls.push(ev);
+
+        fn on_timer(&mut self, n: &mut OverlayNode, tag: OverlayTimer) {
+            self.with(|cx| n.on_timer(cx, tag));
+        }
+
+        fn on_link_broken(&mut self, n: &mut OverlayNode, peer: PeerAddr) {
+            self.with(|cx| n.on_link_broken(cx, peer));
+        }
+
+        fn route_client(
+            &mut self,
+            n: &mut OverlayNode,
+            target: &NodeName,
+            payload: Bytes,
+        ) -> RouteStart {
+            self.with(|cx| n.route_client(cx, target, payload))
         }
     }
 
     fn info(i: usize) -> NodeInfo {
-        NodeInfo::new(i as ProcId, NodeName::numbered(i))
+        NodeInfo::new(i as PeerAddr, NodeName::numbered(i))
     }
 
     fn node_with(me: usize, others: &[usize]) -> (OverlayNode, TestIo) {
         let mut n = OverlayNode::new(info(me), None, OverlayConfig::default());
         let mut io = TestIo::new();
-        n.boot(&mut io);
+        io.boot(&mut n);
         let cands: Vec<NodeInfo> = others.iter().map(|&i| info(i)).collect();
-        n.integrate_all(&mut io, &cands);
+        io.integrate_all(&mut n, &cands);
         (n, io)
     }
 
@@ -991,7 +1024,7 @@ mod tests {
         let (mut n, mut io) = node_with(10, &[20]);
         let h = fuse_wire::sha1(b"groups-on-link");
         n.set_link_hash(20, Some(h));
-        n.on_timer(&mut io, OverlayTimer::PingDue(20));
+        io.on_timer(&mut n, OverlayTimer::PingDue(20));
         let ping = io
             .sent
             .iter()
@@ -1008,8 +1041,8 @@ mod tests {
         let (mut n, mut io) = node_with(10, &[20]);
         let h = fuse_wire::sha1(b"my-links");
         n.set_link_hash(20, Some(h));
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             20,
             OverlayMsg::Probe {
                 nonce: 9,
@@ -1032,8 +1065,8 @@ mod tests {
     fn probe_ack_upcalls_probe_acked_and_hash() {
         let (mut n, mut io) = node_with(10, &[20]);
         let h = fuse_wire::sha1(b"their-links");
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             20,
             OverlayMsg::ProbeAck {
                 nonce: 4,
@@ -1065,11 +1098,11 @@ mod tests {
         };
         // Relay forwards the probe to the target.
         let (mut relay, mut io_r) = node_with(15, &[10, 20]);
-        relay.on_message(&mut io_r, 10, probe.clone());
+        io_r.on_message(&mut relay, 10, probe.clone());
         assert_eq!(io_r.sent.last(), Some(&(20, probe.clone())));
         // Target answers back through the relay.
         let (mut target, mut io_t) = node_with(20, &[15]);
-        target.on_message(&mut io_t, 15, probe);
+        io_t.on_message(&mut target, 15, probe);
         let ack = OverlayMsg::IndirectAck {
             origin: 10,
             target: 20,
@@ -1078,11 +1111,11 @@ mod tests {
         assert_eq!(io_t.sent.last(), Some(&(15, ack.clone())));
         // Relay forwards the ack to the origin.
         io_r.sent.clear();
-        relay.on_message(&mut io_r, 20, ack.clone());
+        io_r.on_message(&mut relay, 20, ack.clone());
         assert_eq!(io_r.sent.last(), Some(&(10, ack.clone())));
         // Origin surfaces the ack to its detector, with no digest.
         let (mut origin, mut io_o) = node_with(10, &[15, 20]);
-        origin.on_message(&mut io_o, 15, ack);
+        io_o.on_message(&mut origin, 15, ack);
         assert!(io_o.upcalls.iter().any(|u| matches!(
             u,
             OverlayUpcall::ProbeAcked {
@@ -1097,15 +1130,15 @@ mod tests {
     fn ping_ack_roundtrip_upcalls_hash_on_both_sides() {
         let (mut a, mut io_a) = node_with(10, &[20]);
         let (mut b, mut io_b) = node_with(20, &[10]);
-        a.on_timer(&mut io_a, OverlayTimer::PingDue(20));
+        io_a.on_timer(&mut a, OverlayTimer::PingDue(20));
         let (_, ping) = io_a.sent.pop().expect("ping");
-        b.on_message(&mut io_b, 10, ping);
+        io_b.on_message(&mut b, 10, ping);
         assert!(matches!(
             io_b.upcalls.last(),
             Some(OverlayUpcall::PingHash { peer: 10, .. })
         ));
         let (_, ack) = io_b.sent.pop().expect("ack");
-        a.on_message(&mut io_a, 20, ack);
+        io_a.on_message(&mut a, 20, ack);
         assert!(matches!(
             io_a.upcalls.last(),
             Some(OverlayUpcall::PingHash { peer: 20, .. })
@@ -1116,10 +1149,10 @@ mod tests {
     #[test]
     fn ack_timeout_kills_neighbor_and_upcalls_linkdown() {
         let (mut n, mut io) = node_with(10, &[20, 30]);
-        n.on_timer(&mut io, OverlayTimer::PingDue(20));
+        io.on_timer(&mut n, OverlayTimer::PingDue(20));
         // Find the nonce from the ack wait.
         let nonce = n.ack_waits.get(&20).unwrap().0;
-        n.on_timer(&mut io, OverlayTimer::AckTimeout { peer: 20, nonce });
+        io.on_timer(&mut n, OverlayTimer::AckTimeout { peer: 20, nonce });
         assert!(!n.is_neighbor(20));
         assert!(io.upcalls.iter().any(|u| matches!(
             u,
@@ -1137,23 +1170,23 @@ mod tests {
     fn stale_ack_timeout_is_ignored_after_ack() {
         let (mut a, mut io_a) = node_with(10, &[20]);
         let (mut b, mut io_b) = node_with(20, &[10]);
-        a.on_timer(&mut io_a, OverlayTimer::PingDue(20));
+        io_a.on_timer(&mut a, OverlayTimer::PingDue(20));
         let (_, ping) = io_a.sent.pop().unwrap();
         let nonce = match &ping {
             OverlayMsg::Ping { nonce, .. } => *nonce,
             _ => unreachable!(),
         };
-        b.on_message(&mut io_b, 10, ping);
+        io_b.on_message(&mut b, 10, ping);
         let (_, ack) = io_b.sent.pop().unwrap();
-        a.on_message(&mut io_a, 20, ack);
-        a.on_timer(&mut io_a, OverlayTimer::AckTimeout { peer: 20, nonce });
+        io_a.on_message(&mut a, 20, ack);
+        io_a.on_timer(&mut a, OverlayTimer::AckTimeout { peer: 20, nonce });
         assert!(a.is_neighbor(20), "timeout after ack must be a no-op");
     }
 
     #[test]
     fn transport_break_kills_neighbor() {
         let (mut n, mut io) = node_with(10, &[20]);
-        n.on_link_broken(&mut io, 20);
+        io.on_link_broken(&mut n, 20);
         assert!(!n.is_neighbor(20));
         assert!(!n.neighbors().contains(&20));
     }
@@ -1161,13 +1194,13 @@ mod tests {
     #[test]
     fn route_client_from_source() {
         let (mut n, mut io) = node_with(10, &[20, 30]);
-        let r = n.route_client(&mut io, &NodeName::numbered(30), Bytes::from_static(b"x"));
+        let r = io.route_client(&mut n, &NodeName::numbered(30), Bytes::from_static(b"x"));
         assert_eq!(r, RouteStart::Sent { next: 30 });
         assert!(matches!(
             io.sent.last(),
             Some((30, OverlayMsg::Routed { .. }))
         ));
-        let r2 = n.route_client(&mut io, &NodeName::numbered(10), Bytes::from_static(b"x"));
+        let r2 = io.route_client(&mut n, &NodeName::numbered(10), Bytes::from_static(b"x"));
         assert_eq!(r2, RouteStart::SelfIsTarget);
     }
 
@@ -1175,8 +1208,8 @@ mod tests {
     fn forwarding_emits_per_hop_upcall() {
         let (mut n, mut io) = node_with(20, &[30, 40]);
         let src = info(10);
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             10,
             OverlayMsg::Routed {
                 src: src.clone(),
@@ -1201,8 +1234,8 @@ mod tests {
     #[test]
     fn delivery_at_exact_target_upcalls() {
         let (mut n, mut io) = node_with(40, &[10]);
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             10,
             OverlayMsg::Routed {
                 src: info(10),
@@ -1224,8 +1257,8 @@ mod tests {
         // Node 20 knows 10 and 30; target 25 is absent — 20 is the owner of
         // that arc and must return a RoutedError to the source.
         let (mut n, mut io) = node_with(20, &[10, 30]);
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             10,
             OverlayMsg::Routed {
                 src: info(10),
@@ -1246,21 +1279,21 @@ mod tests {
     fn join_reply_marks_ready_and_announces() {
         let mut n = OverlayNode::new(info(5), Some(0), OverlayConfig::default());
         let mut io = TestIo::new();
-        n.boot(&mut io);
+        io.boot(&mut n);
         assert!(!n.is_ready());
         assert!(matches!(
             io.sent.last(),
             Some((0, OverlayMsg::Routed { .. }))
         ));
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             0,
             OverlayMsg::JoinReply {
                 candidates: vec![info(0), info(10), info(90)],
             },
         );
         assert!(n.is_ready());
-        let announced: Vec<ProcId> = io
+        let announced: Vec<PeerAddr> = io
             .sent
             .iter()
             .filter_map(|(to, m)| match m {
@@ -1283,8 +1316,8 @@ mod tests {
         let (mut n, mut io) = node_with(500, &others);
         io.upcalls.clear();
         let close: Vec<NodeInfo> = (501..509).chain(492..500).map(info).collect();
-        n.integrate_all(&mut io, &close);
-        let evicted: Vec<ProcId> = io
+        io.integrate_all(&mut n, &close);
+        let evicted: Vec<PeerAddr> = io
             .upcalls
             .iter()
             .filter_map(|u| match u {
@@ -1305,8 +1338,8 @@ mod tests {
     fn probe_records_path_and_reply_integrates() {
         let (mut n, mut io) = node_with(20, &[40]);
         // A probe for a point owned by 40's arc passes through.
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             10,
             OverlayMsg::Routed {
                 src: info(10),
@@ -1326,8 +1359,8 @@ mod tests {
         }
         // Probe replies integrate unknown nodes.
         let before = n.neighbors().len();
-        n.on_message(
-            &mut io,
+        io.on_message(
+            &mut n,
             10,
             OverlayMsg::ProbeReply {
                 path: vec![info(21), info(22)],

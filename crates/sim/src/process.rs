@@ -6,22 +6,11 @@ use crate::time::{SimDuration, SimTime};
 use crate::timer::{TimerHandle, TimerTable};
 
 /// Index of a simulated process (a "virtual node" in the paper's terms).
-pub type ProcId = u32;
+/// This is the transport-neutral [`fuse_util::PeerAddr`]: sans-io protocol
+/// code addresses peers by the same dense index under every driver.
+pub type ProcId = fuse_util::PeerAddr;
 
-/// Message payload carried between processes.
-///
-/// `size_bytes` is the on-wire size used by the network model and the byte
-/// accounting; `class` is a short label used by message-rate metrics
-/// (Figure 10 distinguishes overlay maintenance from FUSE repair traffic).
-pub trait Payload: Clone {
-    /// On-wire size in bytes.
-    fn size_bytes(&self) -> usize;
-
-    /// Metrics class label.
-    fn class(&self) -> &'static str {
-        "msg"
-    }
-}
+pub use fuse_util::Payload;
 
 /// A simulated process: boots, receives messages, and handles timers.
 ///

@@ -1,184 +1,10 @@
 //! Simulated time.
 //!
-//! Instants ([`SimTime`]) and durations ([`SimDuration`]) are nanoseconds in
-//! `u64` — enough for ~584 years of simulated time, far beyond any
-//! experiment. Keeping instants and durations as distinct types prevents the
-//! classic bug of adding two absolute timestamps.
+//! [`SimTime`]/[`SimDuration`] are aliases of the transport-neutral
+//! [`fuse_util::time`] types: the protocol stack is sans-io and speaks
+//! `fuse_util::Time` everywhere, and under this kernel the driver-defined
+//! epoch is simply "simulation start". The aliases keep kernel-side code
+//! and its callers reading naturally (`SimTime` really is simulated time
+//! here) without introducing a second nanosecond type.
 
-use std::ops::{Add, AddAssign, Sub};
-
-/// An instant in simulated time (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimTime(pub u64);
-
-/// A span of simulated time (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimDuration(pub u64);
-
-impl SimTime {
-    /// The simulation epoch.
-    pub const ZERO: SimTime = SimTime(0);
-
-    /// Nanoseconds since the epoch.
-    pub fn nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Fractional seconds since the epoch.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Fractional milliseconds since the epoch.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1e6
-    }
-
-    /// Saturating difference, as a duration.
-    pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-}
-
-impl SimDuration {
-    /// Zero-length duration.
-    pub const ZERO: SimDuration = SimDuration(0);
-
-    /// Builds from whole seconds.
-    pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
-    }
-
-    /// Builds from whole milliseconds.
-    pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
-    }
-
-    /// Builds from whole microseconds.
-    pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
-    }
-
-    /// Builds from fractional seconds (rounds to nanoseconds).
-    pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite duration");
-        SimDuration((s * 1e9).round() as u64)
-    }
-
-    /// Builds from fractional milliseconds (rounds to nanoseconds).
-    pub fn from_millis_f64(ms: f64) -> Self {
-        Self::from_secs_f64(ms / 1e3)
-    }
-
-    /// Nanosecond count.
-    pub fn nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Fractional seconds.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Fractional milliseconds.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1e6
-    }
-
-    /// Scales by an integer factor, saturating.
-    pub fn saturating_mul(self, k: u64) -> Self {
-        SimDuration(self.0.saturating_mul(k))
-    }
-
-    /// Scales by a float factor (e.g. jitter), rounding.
-    pub fn mul_f64(self, k: f64) -> Self {
-        assert!(k >= 0.0 && k.is_finite());
-        SimDuration((self.0 as f64 * k).round() as u64)
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-
-    fn add(self, d: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(d.0).expect("sim time overflow"))
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, d: SimDuration) {
-        *self = *self + d;
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = SimDuration;
-
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("sim time subtraction underflow"),
-        )
-    }
-}
-
-impl Add<SimDuration> for SimDuration {
-    type Output = SimDuration;
-
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
-    }
-}
-
-impl std::fmt::Display for SimTime {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "t={:.6}s", self.as_secs_f64())
-    }
-}
-
-impl std::fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn arithmetic_roundtrips() {
-        let t = SimTime::ZERO + SimDuration::from_secs(60);
-        assert_eq!(t.nanos(), 60_000_000_000);
-        let d = t - SimTime::ZERO;
-        assert_eq!(d, SimDuration::from_secs(60));
-        assert_eq!(t.since(SimTime::ZERO), d);
-        // Saturating since: earlier.since(later) is zero, not a panic.
-        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn conversions() {
-        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
-        assert_eq!(
-            SimDuration::from_secs_f64(0.25),
-            SimDuration::from_millis(250)
-        );
-        assert_eq!(SimDuration::from_micros(2500).as_millis_f64(), 2.5);
-        assert_eq!(SimDuration::from_millis_f64(2.5).nanos(), 2_500_000);
-    }
-
-    #[test]
-    fn scaling() {
-        let d = SimDuration::from_secs(2);
-        assert_eq!(d.saturating_mul(3), SimDuration::from_secs(6));
-        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(1));
-    }
-
-    #[test]
-    #[should_panic(expected = "underflow")]
-    fn sub_underflow_panics() {
-        let _ = SimTime::ZERO - (SimTime::ZERO + SimDuration::from_secs(1));
-    }
-}
+pub use fuse_util::time::{Duration as SimDuration, Time as SimTime};

@@ -14,7 +14,7 @@ use fuse_sim::{Payload, ProcId, Process, SimDuration, SimTime};
 use fuse_util::idgen::IdGen;
 use fuse_util::DetHashMap;
 
-use crate::types::FuseId;
+use fuse_core::FuseId;
 
 /// Configuration: the paper's 60 s period and 20 s timeout by default.
 #[derive(Debug, Clone)]

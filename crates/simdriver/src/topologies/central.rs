@@ -12,7 +12,7 @@ use fuse_sim::{Payload, ProcId, Process, SimDuration, SimTime};
 use fuse_util::idgen::IdGen;
 use fuse_util::{DetHashMap, DetHashSet};
 
-use crate::types::FuseId;
+use fuse_core::FuseId;
 
 /// Configuration.
 #[derive(Debug, Clone)]

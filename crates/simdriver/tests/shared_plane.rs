@@ -10,9 +10,10 @@
 use bytes::Bytes;
 use rand::rngs::StdRng;
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack, NotifyReason, Role};
+use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NotifyReason, Role};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{Medium, PerfectMedium, ProcId, Sim, SimDuration, SimTime, Verdict};
+use fuse_simdriver::NodeStack;
 
 #[derive(Default)]
 struct Recorder {
@@ -20,11 +21,11 @@ struct Recorder {
 }
 
 impl FuseApp for Recorder {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 
-    fn on_app_message(&mut self, _api: &mut FuseApi<'_, '_, '_>, _from: ProcId, _payload: Bytes) {}
+    fn on_app_message(&mut self, _api: &mut FuseApi<'_>, _from: ProcId, _payload: Bytes) {}
 }
 
 /// Silently black-holes all traffic to and from one node once `after` is
@@ -62,10 +63,10 @@ impl Medium for MuteMedium {
 }
 
 fn shared_cfg() -> FuseConfig {
-    FuseConfig {
-        shared_plane: true,
-        ..FuseConfig::default()
-    }
+    FuseConfig::builder()
+        .shared_plane(true)
+        .build()
+        .expect("default shared-plane config is valid")
 }
 
 /// An overlay tuned so slow that its own ping path cannot detect anything
@@ -131,7 +132,7 @@ fn create_group<M: Medium>(
     sim.run_for(SimDuration::from_secs(2));
     let created = sim.proc(root).unwrap().app.events.iter().any(|(_, ev)| {
         matches!(ev, FuseEvent::Created { ticket: t, result: Ok(h) }
-            if *t == ticket && h.id == ticket.id() && h.role == Role::Root)
+            if t.id() == ticket.id() && h.id == ticket.id() && h.role == Role::Root)
     });
     assert!(created, "creation must complete");
     ticket.id()

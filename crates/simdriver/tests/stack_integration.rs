@@ -7,11 +7,10 @@
 
 use bytes::Bytes;
 
-use fuse_core::{
-    CreateError, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack, NotifyReason, Role,
-};
+use fuse_core::{CreateError, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NotifyReason, Role};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration, SimTime};
+use fuse_simdriver::NodeStack;
 
 /// Records every FUSE event with its arrival time.
 #[derive(Default)]
@@ -21,11 +20,11 @@ struct Recorder {
 }
 
 impl FuseApp for Recorder {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 
-    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+    fn on_app_message(&mut self, api: &mut FuseApi<'_>, from: ProcId, payload: Bytes) {
         let _ = api;
         self.app_msgs.push((from, payload));
     }
@@ -67,7 +66,7 @@ fn create_group(sim: &mut World, infos: &[NodeInfo], root: ProcId, members: &[Pr
     sim.run_for(SimDuration::from_secs(2));
     let created = sim.proc(root).unwrap().app.events.iter().any(|(_, ev)| {
         matches!(ev, FuseEvent::Created { ticket: t, result: Ok(h) }
-            if *t == ticket && h.id == ticket.id() && h.role == Role::Root)
+            if t.id() == ticket.id() && h.id == ticket.id() && h.role == Role::Root)
     });
     assert!(created, "creation must complete");
     ticket.id()
@@ -233,7 +232,7 @@ fn create_with_dead_member_fails() {
             FuseEvent::Created {
                 ticket: t,
                 result: Err(CreateError::MemberUnreachable | CreateError::ConnectionBroken)
-            } if *t == ticket
+            } if t.id() == ticket.id()
         )
     });
     assert!(

@@ -9,9 +9,10 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use fuse_core::{FuseConfig, NodeStack};
+use fuse_core::FuseConfig;
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use fuse_util::Summary;
 
 use crate::{SvApp, SvConfig};

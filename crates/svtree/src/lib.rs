@@ -282,21 +282,21 @@ impl SvApp {
     }
 
     /// Publishes an event from this node (meaningful on the root).
-    pub fn publish(&mut self, api: &mut FuseApi<'_, '_, '_>, event: u64) {
+    pub fn publish(&mut self, api: &mut FuseApi<'_>, event: u64) {
         self.accept_event(api, event);
     }
 
     /// Turns a bystander into a subscriber and joins the tree now. Trees in
     /// practice grow incrementally; workloads use this to stagger joins
     /// instead of stampeding at boot.
-    pub fn subscribe_now(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    pub fn subscribe_now(&mut self, api: &mut FuseApi<'_>) {
         self.cfg.subscribe = true;
         self.start_join(api);
     }
 
     /// Leaves the tree voluntarily: signals the groups that would have been
     /// signalled had this node failed (§4's non-failure use of FUSE).
-    pub fn leave(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    pub fn leave(&mut self, api: &mut FuseApi<'_>) {
         self.cfg.subscribe = false;
         self.grafting = false;
         if let Some(up) = self.uplink.take() {
@@ -309,7 +309,7 @@ impl SvApp {
         self.on_tree = self.is_root;
     }
 
-    fn start_join(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    fn start_join(&mut self, api: &mut FuseApi<'_>) {
         if self.on_tree || self.pending.is_some() || !self.wants_tree() {
             return;
         }
@@ -336,7 +336,7 @@ impl SvApp {
         }
     }
 
-    fn schedule_rejoin(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    fn schedule_rejoin(&mut self, api: &mut FuseApi<'_>) {
         if self.wants_tree() && !self.on_tree && self.pending.is_none() {
             api.set_app_timer(self.cfg.rejoin_delay, TIMER_REJOIN);
         }
@@ -348,7 +348,7 @@ impl SvApp {
         self.cfg.subscribe || self.grafting || !self.children.is_empty()
     }
 
-    fn accept_event(&mut self, api: &mut FuseApi<'_, '_, '_>, event: u64) {
+    fn accept_event(&mut self, api: &mut FuseApi<'_>, event: u64) {
         if !self.seen_events.insert(event) {
             return;
         }
@@ -367,7 +367,7 @@ impl SvApp {
 
     fn on_subscribe(
         &mut self,
-        api: &mut FuseApi<'_, '_, '_>,
+        api: &mut FuseApi<'_>,
         subscriber: NodeInfo,
         version: u64,
         mut path: Vec<NodeInfo>,
@@ -416,7 +416,7 @@ impl SvApp {
 
     fn on_link_accept(
         &mut self,
-        api: &mut FuseApi<'_, '_, '_>,
+        api: &mut FuseApi<'_>,
         parent: NodeInfo,
         version: u64,
         path: Vec<NodeInfo>,
@@ -439,7 +439,7 @@ impl SvApp {
 
     fn on_link_confirm(
         &mut self,
-        api: &mut FuseApi<'_, '_, '_>,
+        api: &mut FuseApi<'_>,
         subscriber: NodeInfo,
         version: u64,
         id: FuseId,
@@ -453,7 +453,7 @@ impl SvApp {
 
     fn on_created(
         &mut self,
-        api: &mut FuseApi<'_, '_, '_>,
+        api: &mut FuseApi<'_>,
         ticket: CreateTicket,
         result: Result<fuse_core::GroupHandle, fuse_core::CreateError>,
     ) {
@@ -488,7 +488,7 @@ impl SvApp {
         }
     }
 
-    fn on_failure(&mut self, api: &mut FuseApi<'_, '_, '_>, n: Notification) {
+    fn on_failure(&mut self, api: &mut FuseApi<'_>, n: Notification) {
         let id = n.id;
         // Uplink gone: garbage-collect and rejoin (we are the link creator).
         if self.uplink.as_ref().map(|u| u.group) == Some(id) {
@@ -507,7 +507,7 @@ impl SvApp {
 }
 
 impl FuseApp for SvApp {
-    fn on_boot(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    fn on_boot(&mut self, api: &mut FuseApi<'_>) {
         if api.overlay().next_hop(&self.cfg.topic).is_none() {
             self.is_root = true;
             self.on_tree = true;
@@ -517,14 +517,14 @@ impl FuseApp for SvApp {
         }
     }
 
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         match ev {
             FuseEvent::Created { ticket, result } => self.on_created(api, ticket, result),
             FuseEvent::Notified(n) => self.on_failure(api, n),
         }
     }
 
-    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, _from: ProcId, payload: Bytes) {
+    fn on_app_message(&mut self, api: &mut FuseApi<'_>, _from: ProcId, payload: Bytes) {
         let Ok(msg) = SvMsg::from_bytes(&payload) else {
             return;
         };
@@ -548,7 +548,7 @@ impl FuseApp for SvApp {
         }
     }
 
-    fn on_app_timer(&mut self, api: &mut FuseApi<'_, '_, '_>, tag: u64) {
+    fn on_app_timer(&mut self, api: &mut FuseApi<'_>, tag: u64) {
         if tag == TIMER_REJOIN {
             self.start_join(api);
         }

@@ -1,0 +1,16 @@
+//! The message-payload contract shared by every driver.
+//!
+//! `size_bytes` is the on-wire size used by network models and byte
+//! accounting; `class` is a short label used by message-rate metrics
+//! (Figure 10 distinguishes overlay maintenance from FUSE repair traffic).
+
+/// Message payload carried between processes.
+pub trait Payload: Clone {
+    /// On-wire size in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Metrics class label.
+    fn class(&self) -> &'static str {
+        "msg"
+    }
+}

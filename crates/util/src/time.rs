@@ -1,0 +1,187 @@
+//! Transport-neutral time.
+//!
+//! Instants ([`Time`]) and durations ([`Duration`]) are nanoseconds in
+//! `u64` — enough for ~584 years, far beyond any experiment or deployment.
+//! Keeping instants and durations as distinct types prevents the classic
+//! bug of adding two absolute timestamps.
+//!
+//! The protocol stack never reads a clock: every entry point receives `now`
+//! from its driver. Under the deterministic kernel `now` is simulated time;
+//! under the TCP driver it is a monotonic count of nanoseconds since the
+//! process started. The epoch is therefore *driver-defined* — only
+//! differences and orderings are meaningful to protocol code.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant (nanoseconds since the driver's epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The driver's epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since the epoch.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds since the epoch.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference, as a duration.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Builds from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Builds from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Builds from fractional seconds (rounds to nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite duration");
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// Builds from fractional milliseconds (rounds to nanoseconds).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Nanosecond count.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> Self {
+        Duration(self.0.saturating_mul(k))
+    }
+
+    /// Scales by a float factor (e.g. jitter), rounding.
+    pub fn mul_f64(self, k: f64) -> Self {
+        assert!(k >= 0.0 && k.is_finite());
+        Duration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, d: Duration) -> Time {
+        Time(self.0.checked_add(d.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("time subtraction underflow"),
+        )
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl std::fmt::Display for Time {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::ZERO + Duration::from_secs(60);
+        assert_eq!(t.nanos(), 60_000_000_000);
+        let d = t - Time::ZERO;
+        assert_eq!(d, Duration::from_secs(60));
+        assert_eq!(t.since(Time::ZERO), d);
+        // Saturating since: earlier.since(later) is zero, not a panic.
+        assert_eq!(Time::ZERO.since(t), Duration::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+        assert_eq!(Duration::from_micros(2500).as_millis_f64(), 2.5);
+        assert_eq!(Duration::from_millis_f64(2.5).nanos(), 2_500_000);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = Duration::from_secs(2);
+        assert_eq!(d.saturating_mul(3), Duration::from_secs(6));
+        assert_eq!(d.mul_f64(0.5), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Time::ZERO - (Time::ZERO + Duration::from_secs(1));
+    }
+}

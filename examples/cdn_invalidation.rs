@@ -12,10 +12,11 @@
 
 use bytes::Bytes;
 
-use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack};
+use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use fuse_util::DetHashMap;
 use fuse_wire::{Decode, Encode};
 use rand::rngs::StdRng;
@@ -37,13 +38,7 @@ struct CdnApp {
 
 impl CdnApp {
     /// Origin API: push `doc` at `version` to `replicas`, guarded by FUSE.
-    fn publish(
-        &mut self,
-        api: &mut FuseApi<'_, '_, '_>,
-        doc: u64,
-        version: u64,
-        replicas: Vec<NodeInfo>,
-    ) {
+    fn publish(&mut self, api: &mut FuseApi<'_>, doc: u64, version: u64, replicas: Vec<NodeInfo>) {
         let ticket = api.create_group(replicas.clone());
         self.pending.insert(ticket, (doc, version, replicas));
         println!(
@@ -59,7 +54,7 @@ fn encode_update(doc: u64, version: u64, group: FuseId) -> Bytes {
 }
 
 impl FuseApp for CdnApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         match ev {
             FuseEvent::Created { ticket, result } => {
                 let Some((doc, version, replicas)) = self.pending.remove(&ticket) else {
@@ -118,7 +113,7 @@ impl FuseApp for CdnApp {
         }
     }
 
-    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, _from: ProcId, payload: Bytes) {
+    fn on_app_message(&mut self, api: &mut FuseApi<'_>, _from: ProcId, payload: Bytes) {
         let mut r = fuse_wire::codec::Reader::new(&payload);
         let (Ok(doc), Ok(version), Ok(group)) = (
             u64::decode(&mut r),

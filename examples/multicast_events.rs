@@ -8,10 +8,11 @@
 //!
 //! Run with `cargo run --example multicast_events`.
 
-use fuse_core::{FuseConfig, NodeStack};
+use fuse_core::FuseConfig;
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use fuse_svtree::{SvApp, SvConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

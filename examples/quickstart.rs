@@ -3,10 +3,11 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, NodeStack};
+use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,7 +15,7 @@ use rand::SeedableRng;
 struct PrintApp;
 
 impl FuseApp for PrintApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         match ev {
             FuseEvent::Created { ticket, result } => match result {
                 Ok(handle) => println!(

@@ -12,10 +12,11 @@
 
 use bytes::Bytes;
 
-use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack};
+use fuse_core::{CreateTicket, FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use fuse_util::DetHashMap;
 use fuse_wire::{Decode, Encode};
 use rand::rngs::StdRng;
@@ -37,7 +38,7 @@ struct QueueApp {
 }
 
 impl QueueApp {
-    fn dispatch(&mut self, api: &mut FuseApi<'_, '_, '_>) {
+    fn dispatch(&mut self, api: &mut FuseApi<'_>) {
         while let Some(item) = self.backlog.pop() {
             if self.workers.is_empty() {
                 self.backlog.push(item);
@@ -65,7 +66,7 @@ const ASSIGN: u8 = 1;
 const DONE: u8 = 2;
 
 impl FuseApp for QueueApp {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         match ev {
             FuseEvent::Created { ticket, result } => {
                 let Some((item, worker)) = self.pending.remove(&ticket) else {
@@ -123,7 +124,7 @@ impl FuseApp for QueueApp {
         }
     }
 
-    fn on_app_message(&mut self, api: &mut FuseApi<'_, '_, '_>, from: ProcId, payload: Bytes) {
+    fn on_app_message(&mut self, api: &mut FuseApi<'_>, from: ProcId, payload: Bytes) {
         let mut r = fuse_wire::codec::Reader::new(&payload);
         let (Ok(kind), Ok(item), Ok(group)) = (
             u8::decode(&mut r),
@@ -152,7 +153,7 @@ impl FuseApp for QueueApp {
         }
     }
 
-    fn on_app_timer(&mut self, api: &mut FuseApi<'_, '_, '_>, item: u64) {
+    fn on_app_timer(&mut self, api: &mut FuseApi<'_>, item: u64) {
         if let Some(group) = self.working_on.remove(&item) {
             // Report completion under the lease's fate-sharing contract
             // (§3.4): if the path to the coordinator is broken, the lease

@@ -4,10 +4,11 @@
 // subset of the helpers.
 #![allow(dead_code)]
 
-use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, NodeStack, Notification};
+use fuse_core::{FuseApi, FuseApp, FuseConfig, FuseEvent, FuseId, Notification};
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration, SimTime};
+use fuse_simdriver::NodeStack;
 
 /// Minimal recording application.
 #[derive(Default)]
@@ -17,7 +18,7 @@ pub struct Rec {
 }
 
 impl FuseApp for Rec {
-    fn on_fuse_event(&mut self, api: &mut FuseApi<'_, '_, '_>, ev: FuseEvent) {
+    fn on_fuse_event(&mut self, api: &mut FuseApi<'_>, ev: FuseEvent) {
         self.events.push((api.now(), ev));
     }
 }

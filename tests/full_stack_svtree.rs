@@ -2,10 +2,11 @@
 //! FUSE over the SkipNet-style overlay over the wide-area network model —
 //! every crate in the workspace in one scenario.
 
-use fuse_core::{FuseConfig, NodeStack};
+use fuse_core::FuseConfig;
 use fuse_net::{NetConfig, Network, TopologyConfig};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{ProcId, Sim, SimDuration};
+use fuse_simdriver::NodeStack;
 use fuse_svtree::{SvApp, SvConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -121,7 +121,7 @@ fn member_that_lost_state_fails_repair_with_repair_failed() {
     sim.crash(4);
     let ov_cfg = OverlayConfig::default();
     let tables = build_oracle_tables(&infos, &ov_cfg);
-    let mut stack = fuse_core::NodeStack::new(
+    let mut stack = fuse_simdriver::NodeStack::new(
         infos[4].clone(),
         None,
         ov_cfg,
