@@ -77,6 +77,17 @@ const fn m7(path: &'static str, direction: Direction, abs_slack: f64) -> Metric 
     }
 }
 
+/// A metric introduced by the PR-9 live load-harness stake.
+const fn m9(path: &'static str, direction: Direction, abs_slack: f64, floor: f64) -> Metric {
+    Metric {
+        path,
+        direction,
+        abs_slack,
+        since_pr: 9,
+        floor,
+    }
+}
+
 /// The gated metric set. Scale-dependent numbers are deliberately absent:
 /// totals (event counts, wall time), the wheel-vs-heap speedup (the heap
 /// baseline is only slow at paper-scale queue depths), and churn
@@ -218,6 +229,35 @@ pub const GATED: &[Metric] = &[
         abs_slack: f64::INFINITY,
         since_pr: 7,
         floor: 1000.0,
+    },
+    // Live load harness (PR 9): kill → last-member-notified over real TCP.
+    // Only the `kill` class is gated — it is the class the CI smoke run
+    // measures, and its EOF-driven detection path is the latency claim the
+    // harness exists to hold. Wall-clock latencies on a shared runner are
+    // noisy, so the band gets a generous absolute slack (seconds); the
+    // number being bounded at all is the point — the paper's budget is
+    // 480 000 ms.
+    m9(
+        "node_load.kill.p50_ms",
+        Direction::HigherIsWorse,
+        5_000.0,
+        f64::NEG_INFINITY,
+    ),
+    m9(
+        "node_load.kill.p99_ms",
+        Direction::HigherIsWorse,
+        10_000.0,
+        f64::NEG_INFINITY,
+    ),
+    // 1.0 = every group notified every survivor within the detection
+    // budget. The relative band is meaningless for a boolean; the floor
+    // is the whole gate.
+    Metric {
+        path: "node_load.kill.within_budget",
+        direction: Direction::LowerIsWorse,
+        abs_slack: f64::INFINITY,
+        since_pr: 9,
+        floor: 1.0,
     },
 ];
 
@@ -488,6 +528,64 @@ mod tests {
             .unwrap();
         assert!(!v.pass, "floor must bind: {v:?}");
         assert_eq!(v.bound, 1000.0);
+    }
+
+    /// `doc7(...)` plus the PR-9 `node_load` section, `"pr"` bumped to 9.
+    fn doc9(p50: f64, p99: f64, within_budget: f64) -> Value {
+        let base = doc7(1.0, 31250.0, 0.05);
+        let extra = parse(&format!(
+            r#"{{
+              "pr": 9,
+              "node_load": {{
+                "nodes": 10,
+                "kill": {{"p50_ms": {p50}, "p99_ms": {p99}, "within_budget": {within_budget}}}
+              }}
+            }}"#
+        ))
+        .unwrap();
+        let (Value::Obj(b), Value::Obj(e)) = (base, extra) else {
+            unreachable!()
+        };
+        let mut b: Vec<_> = b.into_iter().filter(|(k, _)| k != "pr").collect();
+        b.extend(e);
+        Value::Obj(b)
+    }
+
+    #[test]
+    fn pr9_metrics_are_skipped_against_a_pre_pr9_stake() {
+        let stake = doc7(1.0, 31250.0, 0.05); // "pr": 7, no node_load
+        let current = doc9(40.0, 120.0, 1.0);
+        let verdicts = compare(&current, &stake, 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| !v.path.contains("node_load")));
+        assert!(verdicts.iter().all(|v| v.pass), "{verdicts:?}");
+    }
+
+    #[test]
+    fn pr9_stake_gates_the_live_kill_latency() {
+        let stake = doc9(40.0, 120.0, 1.0);
+        // Jitter well inside the absolute slack passes.
+        let good = compare(&doc9(900.0, 2_000.0, 1.0), &stake, 0.25).unwrap();
+        assert!(good.iter().any(|v| v.path.contains("node_load")));
+        assert!(good.iter().all(|v| v.pass), "{good:?}");
+        // A kill path that degraded past band + slack fails.
+        let slow = compare(&doc9(40.0, 30_000.0, 1.0), &stake, 0.25).unwrap();
+        assert!(slow
+            .iter()
+            .any(|v| !v.pass && v.path == "node_load.kill.p99_ms"));
+    }
+
+    #[test]
+    fn missed_detection_budget_fails_regardless_of_latency() {
+        let stake = doc9(40.0, 120.0, 1.0);
+        // Even with both documents agreeing, within_budget < 1 trips the
+        // floor — a missed 480 s budget is never acceptable drift.
+        let missed = compare(&doc9(40.0, 120.0, 0.0), &stake, 0.25).unwrap();
+        let v = missed
+            .iter()
+            .find(|v| v.path == "node_load.kill.within_budget")
+            .unwrap();
+        assert!(!v.pass, "floor must bind: {v:?}");
+        assert_eq!(v.bound, 1.0);
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Minimal JSON reader for the bench gate.
+//! Minimal JSON reader/writer for the bench gate.
 //!
 //! The workspace has no serde; the gate only needs to pull numbers out of
 //! the `BENCH_*.json` documents this crate itself emits, so a ~100-line
 //! recursive-descent parser covers it: objects, arrays, strings (no escape
 //! exotica beyond `\"`, `\\`, `\/`, `\n`, `\t`, `\r`), numbers, booleans,
-//! null.
+//! null. [`render`] is the inverse — it exists so tools like `fuse-load`
+//! can splice a section into an existing `BENCH_*.json` (parse, mutate,
+//! re-render) without a serializer dependency.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +48,80 @@ impl Value {
             _ => None,
         }
     }
+
+    /// On an object: replaces the value under `key`, or appends the pair if
+    /// the key is absent. Panics on non-objects (a usage bug — the bench
+    /// documents are always rooted in an object).
+    pub fn set(&mut self, key: &str, value: Value) {
+        let Value::Obj(fields) = self else {
+            panic!("Value::set on a non-object");
+        };
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => fields.push((key.to_string(), value)),
+        }
+    }
+}
+
+/// Renders a value back to JSON text (2-space indent, document field
+/// order preserved). Non-finite numbers render as `null` — JSON has no
+/// spelling for them, and a gate metric that went NaN should read as
+/// missing, not parse-error the whole document.
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn render_into(v: &Value, indent: usize, out: &mut String) {
+    let pad = |n: usize, out: &mut String| out.push_str(&"  ".repeat(n));
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) if n.is_finite() => out.push_str(&format!("{n}")),
+        Value::Num(_) => out.push_str("null"),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) if items.is_empty() => out.push_str("[]"),
+        Value::Arr(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                pad(indent + 1, out);
+                render_into(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+        Value::Obj(fields) => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                pad(indent + 1, out);
+                render_string(k, out);
+                out.push_str(": ");
+                render_into(val, indent + 1, out);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses a complete JSON document.
@@ -238,6 +314,34 @@ mod tests {
         let v = parse(doc).unwrap();
         assert_eq!(v.get("x").unwrap().as_f64(), Some(-1250.0));
         assert_eq!(v.get("y").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let doc = r#"{
+            "pr": 9,
+            "a": {"b": {"c": 1.5, "16384B": 2}},
+            "list": [1, -2.25, 3e3],
+            "s": "hi \"there\"\nline two",
+            "t": true, "n": null, "empty": {}, "earr": []
+        }"#;
+        let v = parse(doc).unwrap();
+        let text = render(&v);
+        let back = parse(&text).expect("rendered text parses");
+        assert_eq!(back, v, "parse(render(v)) == v");
+    }
+
+    #[test]
+    fn set_replaces_and_appends() {
+        let mut v = parse(r#"{"pr": 7, "x": 1}"#).unwrap();
+        v.set("pr", Value::Num(9.0));
+        v.set(
+            "node_load",
+            Value::Obj(vec![("nodes".into(), Value::Num(10.0))]),
+        );
+        assert_eq!(v.get("pr").unwrap().as_f64(), Some(9.0));
+        assert_eq!(v.get("node_load.nodes").unwrap().as_f64(), Some(10.0));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! A live fleet of `fuse-node` processes on 127.0.0.1, every directed
+//! inter-node connection routed through its own [`FaultProxy`].
+//!
+//! Node *i*'s `--peer j=<addr>` points at proxy *(i → j)*; the proxy dials
+//! node *j*'s real listener. N nodes therefore run behind N·(N−1) proxies —
+//! the paper's §7 deployment (10 virtual nodes per machine) fits in a few
+//! hundred threads on loopback. The cluster also owns each node's stdout
+//! (collected line-by-line with receive order preserved) and stdin (the
+//! node's `create`/`signal`/`shutdown` control protocol).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::proxy::{FaultProxy, LinkPolicy};
+
+/// Wall-clock nanoseconds since the UNIX epoch — the clock the nodes stamp
+/// `t_ns=` with. Same host, same clock: cross-process subtraction is valid.
+pub fn wall_now_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Compressed `fuse-node` timing flags for bounded-wall-clock runs: ping
+/// every 2 s (timeout 1 s), 8 s link-failure timeout, 5 s/10 s repair
+/// windows, 1 s reconcile grace. Detection chains that take minutes at
+/// the paper defaults resolve in ~20 s; the protocol structure (and the
+/// burn guarantee) is unchanged.
+pub fn fast_timing_args() -> Vec<String> {
+    [
+        "--ping-secs",
+        "2",
+        "--ping-timeout-secs",
+        "1",
+        "--link-timeout-secs",
+        "8",
+        "--member-repair-secs",
+        "5",
+        "--root-repair-secs",
+        "10",
+        "--grace-secs",
+        "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// A parsed `NOTIFIED id=… reason=… t_ns=…` stdout line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notified {
+    /// The burned group id, as printed (`fuse:<hex>`).
+    pub gid: String,
+    /// The notification reason label.
+    pub reason: String,
+    /// The node's monotonic wall-clock stamp.
+    pub t_ns: u64,
+}
+
+/// One live node process: child handle, control stdin, collected stdout.
+struct NodeHandle {
+    child: Child,
+    stdin: ChildStdin,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl NodeHandle {
+    fn spawn(bin: &PathBuf, args: &[String]) -> std::io::Result<NodeHandle> {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        thread::spawn(move || {
+            for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                sink.lock().unwrap().push(line);
+            }
+        });
+        Ok(NodeHandle {
+            child,
+            stdin,
+            lines,
+        })
+    }
+}
+
+/// The error type of cluster operations: a human-readable description
+/// (every failure here is terminal for the run).
+pub type ClusterError = String;
+
+/// A live N-node fleet behind a full proxy mesh.
+pub struct Cluster {
+    /// Fleet size.
+    pub n: usize,
+    node_bin: PathBuf,
+    seed: u64,
+    extra_args: Vec<String>,
+    node_ports: Vec<u16>,
+    proxies: HashMap<(usize, usize), FaultProxy>,
+    nodes: Vec<Option<NodeHandle>>,
+}
+
+impl Cluster {
+    /// Reserves a distinct loopback port by binding to :0 and releasing
+    /// it (same trade-off as the loopback tests: racy in principle, fine
+    /// on the timescale of a spawn).
+    fn free_port() -> u16 {
+        TcpListener::bind("127.0.0.1:0")
+            .expect("bind :0")
+            .local_addr()
+            .unwrap()
+            .port()
+    }
+
+    /// Boots `n` nodes and the N·(N−1) proxy mesh, waiting for every node
+    /// to print `READY`.
+    pub fn launch(
+        n: usize,
+        node_bin: PathBuf,
+        seed: u64,
+        extra_args: &[String],
+    ) -> Result<Cluster, ClusterError> {
+        assert!(n >= 2, "a cluster needs at least two nodes");
+        let node_ports: Vec<u16> = (0..n).map(|_| Self::free_port()).collect();
+        let mut proxies = HashMap::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let upstream: SocketAddr = format!("127.0.0.1:{}", node_ports[j])
+                    .parse()
+                    .expect("loopback addr parses");
+                let p = FaultProxy::spawn(upstream, seed ^ ((i as u64) << 32 | j as u64))
+                    .map_err(|e| format!("proxy ({i}->{j}): {e}"))?;
+                proxies.insert((i, j), p);
+            }
+        }
+        let mut cluster = Cluster {
+            n,
+            node_bin,
+            seed,
+            extra_args: extra_args.to_vec(),
+            node_ports,
+            proxies,
+            nodes: (0..n).map(|_| None).collect(),
+        };
+        for i in 0..n {
+            cluster.spawn_node(i)?;
+        }
+        for i in 0..n {
+            cluster.wait_line(i, Duration::from_secs(20), |l| l == "READY")?;
+        }
+        Ok(cluster)
+    }
+
+    fn node_args(&self, i: usize) -> Vec<String> {
+        let mut args = vec![
+            "--id".into(),
+            i.to_string(),
+            "--listen".into(),
+            format!("127.0.0.1:{}", self.node_ports[i]),
+            "--seed".into(),
+            (self.seed ^ i as u64).to_string(),
+        ];
+        for j in 0..self.n {
+            if j == i {
+                continue;
+            }
+            args.push("--peer".into());
+            args.push(format!("{j}={}", self.proxies[&(i, j)].addr()));
+        }
+        args.extend(self.extra_args.iter().cloned());
+        args
+    }
+
+    /// (Re)spawns node `i` from its canonical argument list.
+    pub fn spawn_node(&mut self, i: usize) -> Result<(), ClusterError> {
+        let args = self.node_args(i);
+        let h =
+            NodeHandle::spawn(&self.node_bin, &args).map_err(|e| format!("spawn node {i}: {e}"))?;
+        self.nodes[i] = Some(h);
+        Ok(())
+    }
+
+    /// Whether node `i` currently has a live process.
+    pub fn is_up(&mut self, i: usize) -> bool {
+        match self.nodes[i].as_mut() {
+            Some(h) => h.child.try_wait().ok().flatten().is_none(),
+            None => false,
+        }
+    }
+
+    /// SIGKILLs node `i` (the crash fault).
+    pub fn kill(&mut self, i: usize) -> Result<(), ClusterError> {
+        let h = self.nodes[i].as_mut().ok_or(format!("node {i} not up"))?;
+        h.child.kill().map_err(|e| format!("kill node {i}: {e}"))?;
+        let _ = h.child.wait();
+        self.nodes[i] = None;
+        Ok(())
+    }
+
+    /// Restarts a killed node on its original port and waits for `READY`.
+    pub fn restart(&mut self, i: usize) -> Result<(), ClusterError> {
+        self.spawn_node(i)?;
+        // The fresh process's READY is the first one past the previous
+        // incarnation's lines (the lines buffer was replaced on spawn).
+        self.wait_line(i, Duration::from_secs(20), |l| l == "READY")?;
+        Ok(())
+    }
+
+    /// Sends one control line to node `i`'s stdin.
+    pub fn control(&mut self, i: usize, line: &str) -> Result<(), ClusterError> {
+        let h = self.nodes[i].as_mut().ok_or(format!("node {i} not up"))?;
+        writeln!(h.stdin, "{line}").map_err(|e| format!("control node {i}: {e}"))?;
+        h.stdin.flush().map_err(|e| format!("flush node {i}: {e}"))
+    }
+
+    /// Number of stdout lines node `i` has produced so far.
+    pub fn line_count(&self, i: usize) -> usize {
+        self.nodes[i]
+            .as_ref()
+            .map(|h| h.lines.lock().unwrap().len())
+            .unwrap_or(0)
+    }
+
+    /// Polls node `i`'s stdout (from line index `from` on) until a line
+    /// matches, returning `(index, line)`.
+    pub fn wait_line_from(
+        &self,
+        i: usize,
+        from: usize,
+        timeout: Duration,
+        pred: impl Fn(&str) -> bool,
+    ) -> Result<(usize, String), ClusterError> {
+        let h = self.nodes[i].as_ref().ok_or(format!("node {i} not up"))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let lines = h.lines.lock().unwrap();
+                if let Some((k, l)) = lines.iter().enumerate().skip(from).find(|(_, l)| pred(l)) {
+                    return Ok((k, l.clone()));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "node {i}: timed out waiting for a matching line; output: {:?}",
+                    h.lines.lock().unwrap()
+                ));
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// [`Self::wait_line_from`] anchored at the start of the current
+    /// incarnation's output.
+    pub fn wait_line(
+        &self,
+        i: usize,
+        timeout: Duration,
+        pred: impl Fn(&str) -> bool,
+    ) -> Result<String, ClusterError> {
+        self.wait_line_from(i, 0, timeout, pred).map(|(_, l)| l)
+    }
+
+    /// Creates a group rooted at `root` over `members` via the control
+    /// protocol and returns the printed group id.
+    pub fn create_group(
+        &mut self,
+        root: usize,
+        members: &[usize],
+        timeout: Duration,
+    ) -> Result<String, ClusterError> {
+        let from = self.line_count(root);
+        let ids: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+        self.control(root, &format!("create {}", ids.join(",")))?;
+        let (_, line) = self.wait_line_from(root, from, timeout, |l| l.starts_with("CREATED "))?;
+        if !line.contains("result=ok") {
+            return Err(format!("node {root}: creation failed: {line}"));
+        }
+        line.split_whitespace()
+            .find_map(|w| w.strip_prefix("id="))
+            .map(|s| s.to_string())
+            .ok_or(format!("node {root}: CREATED line lacks an id: {line}"))
+    }
+
+    /// All parsed `NOTIFIED` lines node `i` printed for group `gid`.
+    pub fn notifications(&self, i: usize, gid: &str) -> Vec<Notified> {
+        let Some(h) = self.nodes[i].as_ref() else {
+            return Vec::new();
+        };
+        let lines = h.lines.lock().unwrap();
+        lines
+            .iter()
+            .filter_map(|l| parse_notified(l))
+            .filter(|n| n.gid == gid)
+            .collect()
+    }
+
+    /// Waits for node `i` to print a `NOTIFIED` for `gid`, returning the
+    /// parsed line.
+    pub fn wait_notified(
+        &self,
+        i: usize,
+        gid: &str,
+        timeout: Duration,
+    ) -> Result<Notified, ClusterError> {
+        let (_, line) = self.wait_line_from(i, 0, timeout, |l| {
+            parse_notified(l).map(|n| n.gid == gid).unwrap_or(false)
+        })?;
+        Ok(parse_notified(&line).expect("predicate matched"))
+    }
+
+    /// Applies a policy mutation to one directed link's proxy.
+    pub fn set_link(&self, from: usize, to: usize, f: impl FnOnce(&mut LinkPolicy)) {
+        self.proxies[&(from, to)].update(f);
+    }
+
+    /// Applies a policy mutation to every directed link touching `node`
+    /// (both directions — the node-level faults `disc`, `partoff`).
+    pub fn set_node_links(&self, node: usize, f: impl Fn(&mut LinkPolicy)) {
+        for (&(i, j), p) in &self.proxies {
+            if i == node || j == node {
+                p.update(&f);
+            }
+        }
+    }
+
+    /// Applies a policy mutation to every directed link in the mesh
+    /// (global conditioning: delay, loss, throttle).
+    pub fn set_all_links(&self, f: impl Fn(&mut LinkPolicy)) {
+        for p in self.proxies.values() {
+            p.update(&f);
+        }
+    }
+
+    /// Recomputes blackhole flags from a partition cell assignment: frames
+    /// between different cells vanish silently (the sim fault plane's
+    /// partition semantics, live edition).
+    pub fn apply_partitions(&self, cell_of: &[u32]) {
+        for (&(i, j), p) in &self.proxies {
+            let split = cell_of[i] != cell_of[j];
+            p.update(|pol| pol.blackhole = split);
+        }
+    }
+
+    /// Graceful teardown: `shutdown` to every live node, bounded wait,
+    /// SIGKILL stragglers.
+    pub fn shutdown(&mut self) {
+        for i in 0..self.n {
+            let _ = self.control(i, "shutdown");
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for i in 0..self.n {
+            if let Some(h) = self.nodes[i].as_mut() {
+                loop {
+                    match h.child.try_wait() {
+                        Ok(Some(_)) => break,
+                        _ if Instant::now() >= deadline => {
+                            let _ = h.child.kill();
+                            let _ = h.child.wait();
+                            break;
+                        }
+                        _ => thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            }
+            self.nodes[i] = None;
+        }
+        for p in self.proxies.values() {
+            p.stop();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for h in self.nodes.iter_mut().flatten() {
+            let _ = h.child.kill();
+            let _ = h.child.wait();
+        }
+    }
+}
+
+/// Parses a `NOTIFIED id=… reason=… t_ns=…` line.
+pub fn parse_notified(line: &str) -> Option<Notified> {
+    if !line.starts_with("NOTIFIED ") {
+        return None;
+    }
+    let mut gid = None;
+    let mut reason = None;
+    let mut t_ns = None;
+    for w in line.split_whitespace() {
+        if let Some(v) = w.strip_prefix("id=") {
+            gid = Some(v.to_string());
+        } else if let Some(v) = w.strip_prefix("reason=") {
+            reason = Some(v.to_string());
+        } else if let Some(v) = w.strip_prefix("t_ns=") {
+            t_ns = v.parse().ok();
+        }
+    }
+    Some(Notified {
+        gid: gid?,
+        reason: reason?,
+        t_ns: t_ns?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_notified_lines() {
+        let n = parse_notified(
+            "NOTIFIED id=fuse:00000000002a0000 reason=connection-broken t_ns=123456789",
+        )
+        .unwrap();
+        assert_eq!(n.gid, "fuse:00000000002a0000");
+        assert_eq!(n.reason, "connection-broken");
+        assert_eq!(n.t_ns, 123_456_789);
+        assert!(parse_notified("READY").is_none());
+        assert!(
+            parse_notified("NOTIFIED id=x reason=y").is_none(),
+            "t_ns required"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Drives a planned scenario against a live [`Cluster`]: create the
+//! round's groups, fire the fault class at one wall-clock instant, collect
+//! every surviving participant's `NOTIFIED … t_ns=` stamp, and repair the
+//! fleet before the next round.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::cluster::{wall_now_ns, Cluster, ClusterError};
+use crate::scenario::{FaultClass, RoundPlan, ScenarioParams};
+
+/// How long a single group creation may take before we retry it.
+const CREATE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Creation attempts under lossy conditioning before we count a miss.
+const CREATE_ATTEMPTS: usize = 3;
+
+/// Per-class live samples: `(latency_ms per fully-notified group, groups
+/// where some survivor missed the budget)`.
+pub type LiveSamples = HashMap<FaultClass, (Vec<f64>, usize)>;
+
+/// Applies the scenario's ambient network conditioning (delay/loss) to
+/// every proxied link.
+pub fn condition_links(cluster: &Cluster, p: &ScenarioParams) {
+    let delay = Duration::from_millis(p.delay_ms);
+    let drop_pct = f64::from(p.loss_pct) / 100.0;
+    cluster.set_all_links(|pol| {
+        pol.delay = delay;
+        pol.drop_pct = drop_pct;
+    });
+}
+
+/// Runs every planned round against the cluster, returning per-class
+/// samples. `progress` receives one human line per round.
+pub fn run_rounds(
+    cluster: &mut Cluster,
+    p: &ScenarioParams,
+    rounds: &[RoundPlan],
+    mut progress: impl FnMut(&str),
+) -> Result<LiveSamples, ClusterError> {
+    let mut samples: LiveSamples = HashMap::new();
+    for (rno, round) in rounds.iter().enumerate() {
+        // Create this round's groups (with bounded retries: ambient loss
+        // can legitimately fail a create; a create that keeps failing is
+        // scored as a miss, not a harness error).
+        let mut gids: Vec<Option<String>> = Vec::new();
+        for g in &round.groups {
+            let mut gid = None;
+            for _ in 0..CREATE_ATTEMPTS {
+                match cluster.create_group(g.root, &g.members, CREATE_TIMEOUT) {
+                    Ok(id) => {
+                        gid = Some(id);
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            gids.push(gid);
+        }
+
+        // One fault instant for the whole round.
+        let victims = round.victims();
+        let t0_ns = wall_now_ns();
+        for (g, gid) in round.groups.iter().zip(&gids) {
+            match round.class {
+                FaultClass::Kill => cluster.kill(g.victim)?,
+                FaultClass::Sever => cluster.set_node_links(g.victim, |pol| pol.severed = true),
+                FaultClass::Signal => {
+                    if let Some(gid) = gid {
+                        cluster.control(g.victim, &format!("signal {gid}"))?;
+                    }
+                }
+            }
+        }
+
+        // Collect: every survivor of every group must print NOTIFIED for
+        // its gid within the budget (shared deadline across the round).
+        let deadline = Instant::now() + p.budget;
+        let entry = samples.entry(round.class).or_default();
+        for (g, gid) in round.groups.iter().zip(&gids) {
+            let Some(gid) = gid else {
+                entry.1 += 1; // Creation never succeeded: a miss.
+                continue;
+            };
+            let mut last_ms: f64 = 0.0;
+            let mut missed = false;
+            for s in g.survivors(round.class, &victims) {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match cluster.wait_notified(s, gid, left) {
+                    Ok(n) => {
+                        // Clamp: a survivor may stamp NOTIFIED a hair
+                        // before our wall read of the fault instant.
+                        let ms = n.t_ns.saturating_sub(t0_ns) as f64 / 1e6;
+                        last_ms = last_ms.max(ms);
+                    }
+                    Err(_) => {
+                        missed = true;
+                        break;
+                    }
+                }
+            }
+            if missed {
+                entry.1 += 1;
+            } else {
+                entry.0.push(last_ms);
+            }
+        }
+
+        // Repair before the next round: restart kills, un-sever links.
+        for g in &round.groups {
+            match round.class {
+                FaultClass::Kill => cluster.restart(g.victim)?,
+                FaultClass::Sever => cluster.set_node_links(g.victim, |pol| pol.severed = false),
+                FaultClass::Signal => {}
+            }
+        }
+        let (ok, miss) = (entry.0.len(), entry.1);
+        progress(&format!(
+            "round {}/{} class={} groups={} cum_ok={ok} cum_miss={miss}",
+            rno + 1,
+            rounds.len(),
+            round.class.label(),
+            round.groups.len(),
+        ));
+    }
+    Ok(samples)
+}

@@ -19,6 +19,11 @@
 //!   nanosecond [`Time`]; `SetTimer` outputs land in a local binary heap
 //!   and fire as [`fuse_core::Input::Timer`]. Cancelled or superseded keys
 //!   are inert by construction — the stack ignores stale generations.
+//! * **Control**: stdin accepts one command per line (`create`, `signal`,
+//!   `shutdown`) so an orchestrator like `fuse-load` can drive group
+//!   lifecycle without restarting processes. SIGTERM and the `--run-secs`
+//!   deadline exit through the same clean path: print `BYE`, flush stdout,
+//!   exit 0 (closing the listener and every peer socket with the process).
 //!
 //! The wire format is minimal: every frame is `u32-LE length ‖ encoded
 //! StackMsg`; each fresh connection first sends a `u32-LE` hello carrying
@@ -29,23 +34,28 @@
 //! preloads converged overlay routing tables, exactly like the simulator's
 //! oracle bootstrap. Group lifecycle events print machine-parseable lines
 //! (`READY`, `CREATED …`, `NOTIFIED …`) consumed by the loopback smoke
-//! test.
+//! test and the `fuse-load` orchestrator. `CREATED` and `NOTIFIED` carry a
+//! wall-clock timestamp `t_ns=<nanoseconds since the UNIX epoch>`, made
+//! strictly monotonic within the process, so a same-host orchestrator can
+//! compute cross-process fault→notification latencies.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fuse_core::{AppCall, FuseConfig, FuseEvent, FuseStack, Input, Output, StackMsg};
+use fuse_core::{AppCall, FuseConfig, FuseEvent, FuseId, FuseStack, Input, Output, StackMsg};
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
-use fuse_util::{PeerAddr, Time, TimerKey};
+use fuse_util::{Duration as ProtoDuration, PeerAddr, Time, TimerKey};
 use fuse_wire::codec::twopass::to_bytes;
 use fuse_wire::Decode;
 
@@ -56,19 +66,32 @@ USAGE:
     fuse-node --id <N> --listen <ADDR> [--peer <N>=<ADDR>]... [OPTIONS]
 
 OPTIONS:
-    --id <N>           This node's numeric id (unique across the deployment)
-    --listen <ADDR>    TCP address to accept peer connections on
-    --peer <N>=<ADDR>  A remote peer's id and address (repeatable)
-    --create <N,N,..>  After boot, create a FUSE group over these member ids
-    --seed <N>         RNG seed (default: the node id)
-    --run-secs <N>     Exit cleanly after N seconds (default: run forever)
-    --help             Print this help
-    --version          Print the version
+    --id <N>                This node's numeric id (unique across the deployment)
+    --listen <ADDR>         TCP address to accept peer connections on
+    --peer <N>=<ADDR>       A remote peer's id and address (repeatable)
+    --create <N,N,..>       After boot, create a FUSE group over these member ids
+    --seed <N>              RNG seed (default: the node id)
+    --run-secs <N>          Exit cleanly after N seconds (default: run forever)
+    --ping-secs <N>         Overlay liveness ping period (default: 60)
+    --ping-timeout-secs <N> Overlay ping-ack timeout (default: 20)
+    --link-timeout-secs <N> FUSE per-(group, link) liveness expiry (default: 90)
+    --member-repair-secs <N> Member-side wait for a repair response (default: 60)
+    --root-repair-secs <N>  Root-side wait for repair replies (default: 120)
+    --grace-secs <N>        FUSE reconcile grace (default: 5; must stay below
+                            the link timeout)
+    --help                  Print this help
+    --version               Print the version
+
+CONTROL (one command per stdin line):
+    create <N,N,..>    Create a FUSE group over these member ids
+    signal <GID>       Signal failure of a group (fuse:<hex> or bare hex)
+    shutdown           Flush stdout and exit cleanly (same path as SIGTERM)
 
 OUTPUT (one line each, stdout):
-    READY                                   listening, stack booted
-    CREATED id=<gid> result=ok|<error>      a --create attempt completed
-    NOTIFIED id=<gid> reason=<reason>       a group failure notification fired
+    READY                                         listening, stack booted
+    CREATED id=<gid> result=ok|<error> t_ns=<ns>  a create attempt completed
+    NOTIFIED id=<gid> reason=<reason> t_ns=<ns>   a failure notification fired
+    BYE                                           clean shutdown (stdout flushed)
 ";
 
 /// Maximum accepted frame payload; anything larger is a protocol error.
@@ -78,12 +101,64 @@ const MAX_FRAME: u32 = 16 * 1024 * 1024;
 const CONNECT_ATTEMPTS: u32 = 25;
 const CONNECT_DELAY: std::time::Duration = std::time::Duration::from_millis(200);
 
-/// What the socket threads report to the single stack thread.
+/// Set by the SIGTERM handler; the stack loop polls it (≤100 ms latency)
+/// and exits through the clean `BYE` path.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    // `signal(2)` from the C runtime std already links; registering a flag
+    // store is the one async-signal-safe thing worth doing without libc.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGTERM: i32 = 15;
+
+/// What the socket and stdin threads report to the single stack thread.
 enum Event {
     /// A decoded frame from `from`.
     Frame { from: PeerAddr, msg: StackMsg },
     /// An inbound or outbound connection to `peer` died.
     Broken { peer: PeerAddr },
+    /// A control command read from stdin.
+    Control(Control),
+}
+
+/// Stdin control commands (one per line).
+enum Control {
+    /// `create <id,id,..>` — create a group over these member ids.
+    Create(Vec<PeerAddr>),
+    /// `signal <gid>` — signal failure of a group by id.
+    Signal(u64),
+    /// `shutdown` — clean exit.
+    Shutdown,
+}
+
+fn parse_control(line: &str) -> Result<Control, String> {
+    let line = line.trim();
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd {
+        "create" => {
+            let mut members = Vec::new();
+            for part in rest.split(',') {
+                members.push(parse_u32(part)?);
+            }
+            Ok(Control::Create(members))
+        }
+        "signal" => {
+            let hex = rest.strip_prefix("fuse:").unwrap_or(rest);
+            let raw = u64::from_str_radix(hex, 16).map_err(|_| format!("bad group id {rest:?}"))?;
+            Ok(Control::Signal(raw))
+        }
+        "shutdown" => Ok(Control::Shutdown),
+        other => Err(format!("unknown control command {other:?}")),
+    }
 }
 
 struct Opts {
@@ -93,6 +168,12 @@ struct Opts {
     create: Vec<PeerAddr>,
     seed: u64,
     run_secs: Option<u64>,
+    ping_secs: Option<u64>,
+    ping_timeout_secs: Option<u64>,
+    link_timeout_secs: Option<u64>,
+    member_repair_secs: Option<u64>,
+    root_repair_secs: Option<u64>,
+    grace_secs: Option<u64>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -103,6 +184,12 @@ fn parse_opts() -> Result<Opts, String> {
     let mut create = Vec::new();
     let mut seed = None;
     let mut run_secs = None;
+    let mut ping_secs = None;
+    let mut ping_timeout_secs = None;
+    let mut link_timeout_secs = None;
+    let mut member_repair_secs = None;
+    let mut root_repair_secs = None;
+    let mut grace_secs = None;
     while let Some(a) = args.next() {
         let mut val = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
         match a.as_str() {
@@ -130,6 +217,20 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--seed" => seed = Some(parse_u64(&val("--seed")?)?),
             "--run-secs" => run_secs = Some(parse_u64(&val("--run-secs")?)?),
+            "--ping-secs" => ping_secs = Some(parse_u64(&val("--ping-secs")?)?),
+            "--ping-timeout-secs" => {
+                ping_timeout_secs = Some(parse_u64(&val("--ping-timeout-secs")?)?)
+            }
+            "--link-timeout-secs" => {
+                link_timeout_secs = Some(parse_u64(&val("--link-timeout-secs")?)?)
+            }
+            "--member-repair-secs" => {
+                member_repair_secs = Some(parse_u64(&val("--member-repair-secs")?)?)
+            }
+            "--root-repair-secs" => {
+                root_repair_secs = Some(parse_u64(&val("--root-repair-secs")?)?)
+            }
+            "--grace-secs" => grace_secs = Some(parse_u64(&val("--grace-secs")?)?),
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
@@ -145,6 +246,12 @@ fn parse_opts() -> Result<Opts, String> {
         create,
         seed: seed.unwrap_or(u64::from(id)),
         run_secs,
+        ping_secs,
+        ping_timeout_secs,
+        link_timeout_secs,
+        member_repair_secs,
+        root_repair_secs,
+        grace_secs,
     })
 }
 
@@ -154,6 +261,27 @@ fn parse_u32(s: &str) -> Result<u32, String> {
 
 fn parse_u64(s: &str) -> Result<u64, String> {
     s.trim().parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+/// Wall-clock nanoseconds since the UNIX epoch, made strictly monotonic
+/// within this process (SystemTime may step; notification latency math
+/// across processes must not see time run backwards).
+fn wall_ns(last: &Cell<u64>) -> u64 {
+    let raw = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let t = raw.max(last.get() + 1);
+    last.set(t);
+    t
+}
+
+/// Clean shutdown: flush every buffered stdout line behind a final `BYE`
+/// marker and exit 0. Process exit closes the listener and all sockets.
+fn graceful_exit() -> ! {
+    println!("BYE");
+    let _ = std::io::stdout().flush();
+    exit(0);
 }
 
 /// Reads frames off one accepted connection until it dies.
@@ -286,10 +414,33 @@ fn main() {
     infos.push(NodeInfo::new(opts.id, NodeName::numbered(opts.id as usize)));
     infos.sort_by_key(|i| i.proc);
     let me = infos.iter().find(|i| i.proc == opts.id).unwrap().clone();
-    let ov_cfg = OverlayConfig::default();
-    let fuse_cfg = FuseConfig::builder()
-        .build()
-        .expect("default config is valid");
+    let mut ov_cfg = OverlayConfig::default();
+    if let Some(s) = opts.ping_secs {
+        ov_cfg.ping_period = ProtoDuration::from_secs(s);
+    }
+    if let Some(s) = opts.ping_timeout_secs {
+        ov_cfg.ping_timeout = ProtoDuration::from_secs(s);
+    }
+    let mut fuse_b = FuseConfig::builder();
+    if let Some(s) = opts.link_timeout_secs {
+        fuse_b = fuse_b.link_failure_timeout(ProtoDuration::from_secs(s));
+    }
+    if let Some(s) = opts.member_repair_secs {
+        fuse_b = fuse_b.member_repair_timeout(ProtoDuration::from_secs(s));
+    }
+    if let Some(s) = opts.root_repair_secs {
+        fuse_b = fuse_b.root_repair_timeout(ProtoDuration::from_secs(s));
+    }
+    if let Some(s) = opts.grace_secs {
+        fuse_b = fuse_b.reconcile_grace(ProtoDuration::from_secs(s));
+    }
+    let fuse_cfg = match fuse_b.build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fuse-node: invalid configuration: {e}");
+            exit(2);
+        }
+    };
     let tables = build_oracle_tables(&infos, &ov_cfg);
     let my_index = infos.iter().position(|i| i.proc == opts.id).unwrap();
     let (cw, ccw, rt) = tables.into_iter().nth(my_index).unwrap();
@@ -298,6 +449,11 @@ fn main() {
     stack.overlay.preload_tables(cw, ccw, rt);
 
     let (events_tx, events_rx) = mpsc::channel::<Event>();
+
+    // Clean-exit signal: the handler only flips a flag the loop polls.
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
 
     // Inbound: listener → reader threads.
     let listener = match TcpListener::bind(&opts.listen) {
@@ -323,11 +479,34 @@ fn main() {
         });
     }
 
+    // Control: stdin lines become events; EOF just ends the thread (a node
+    // run non-interactively keeps serving until --run-secs or a signal).
+    {
+        let tx = events_tx.clone();
+        thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines().map_while(Result::ok) {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_control(&line) {
+                    Ok(c) => {
+                        if tx.send(Event::Control(c)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => eprintln!("fuse-node: control: {e}"),
+                }
+            }
+        });
+    }
+
     let transport = Transport::new(opts.id, &opts.peers, &events_tx);
 
     // The stack thread: monotonic clock, timer heap, event pump.
     let t0 = Instant::now();
     let now = |t0: Instant| Time(t0.elapsed().as_nanos() as u64);
+    let wall = Cell::new(0u64);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut timers: BinaryHeap<Reverse<(u64, TimerKey)>> = BinaryHeap::new();
     let mut cancelled: HashSet<TimerKey> = HashSet::new();
@@ -370,12 +549,23 @@ fn main() {
                             api.create_group(member_infos.clone());
                         }
                     }
-                    AppCall::Event(FuseEvent::Created { result, .. }) => match result {
-                        Ok(h) => println!("CREATED id={} result=ok", h.id),
-                        Err(e) => println!("CREATED id=? result={e:?}"),
+                    AppCall::Event(FuseEvent::Created { ticket, result }) => match result {
+                        Ok(h) => {
+                            println!("CREATED id={} result=ok t_ns={}", h.id, wall_ns(&wall));
+                        }
+                        Err(e) => println!(
+                            "CREATED id={} result={e:?} t_ns={}",
+                            ticket.id(),
+                            wall_ns(&wall)
+                        ),
                     },
                     AppCall::Event(FuseEvent::Notified(n)) => {
-                        println!("NOTIFIED id={} reason={}", n.id, n.reason);
+                        println!(
+                            "NOTIFIED id={} reason={} t_ns={}",
+                            n.id,
+                            n.reason,
+                            wall_ns(&wall)
+                        );
                     }
                     AppCall::Message { .. } | AppCall::Timer(_) => {}
                 },
@@ -392,9 +582,12 @@ fn main() {
         .map(std::time::Duration::from_secs)
         .map(|d| t0 + d);
     loop {
+        if TERM.load(Ordering::Relaxed) {
+            graceful_exit();
+        }
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                exit(0);
+                graceful_exit();
             }
         }
         // Sleep until the next timer, the next socket event, or a 100 ms
@@ -411,6 +604,34 @@ fn main() {
             }
             Ok(Event::Broken { peer }) => {
                 stack.handle(now(t0), &mut rng, Input::LinkBroken { peer });
+                drain(&mut stack, &mut rng, &mut timers, &mut cancelled);
+            }
+            Ok(Event::Control(Control::Shutdown)) => graceful_exit(),
+            Ok(Event::Control(Control::Create(members))) => {
+                let mut resolved = Vec::with_capacity(members.len());
+                let mut ok = true;
+                for m in &members {
+                    match infos.iter().find(|i| i.proc == *m) {
+                        Some(i) if *m != opts.id => resolved.push(i.clone()),
+                        _ => {
+                            eprintln!("fuse-node: control: create member {m} unknown");
+                            ok = false;
+                        }
+                    }
+                }
+                if ok {
+                    let t = now(t0);
+                    let mut api = stack.api(t, &mut rng);
+                    api.create_group(resolved);
+                    drain(&mut stack, &mut rng, &mut timers, &mut cancelled);
+                } else {
+                    println!("CREATED id=? result=unknown-member t_ns={}", wall_ns(&wall));
+                }
+            }
+            Ok(Event::Control(Control::Signal(raw))) => {
+                let t = now(t0);
+                let mut api = stack.api(t, &mut rng);
+                api.signal_failure(FuseId(raw));
                 drain(&mut stack, &mut rng, &mut timers, &mut cancelled);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
