@@ -88,6 +88,17 @@ const fn m9(path: &'static str, direction: Direction, abs_slack: f64, floor: f64
     }
 }
 
+/// A metric introduced by the PR-10 chaos-SLO stake.
+const fn m10(path: &'static str, direction: Direction, abs_slack: f64, floor: f64) -> Metric {
+    Metric {
+        path,
+        direction,
+        abs_slack,
+        since_pr: 10,
+        floor,
+    }
+}
+
 /// The gated metric set. Scale-dependent numbers are deliberately absent:
 /// totals (event counts, wall time), the wheel-vs-heap speedup (the heap
 /// baseline is only slow at paper-scale queue depths), and churn
@@ -257,6 +268,37 @@ pub const GATED: &[Metric] = &[
         direction: Direction::LowerIsWorse,
         abs_slack: f64::INFINITY,
         since_pr: 9,
+        floor: 1.0,
+    },
+    // Chaos SLO (PR 10): simulated kill → notification latency over the
+    // pinned chaos smoke scripts, from the unified observation plane's
+    // per-phase reservoirs. The runs are deterministic (no runner noise),
+    // but the script mix shifts when the generator or protocol timers do,
+    // so the p99 carries a half-budget absolute allowance — the hard bar
+    // is the within_budget floor below, which any sample past 480 s trips.
+    m10(
+        "chaos_slo.kill_p99_s",
+        Direction::HigherIsWorse,
+        240.0,
+        f64::NEG_INFINITY,
+    ),
+    // The shared detector's refuted-suspicion fraction across all runs.
+    // The band is relative to a small stake, so the absolute slack does
+    // the real work: +0.25 of false-positive rate is the acceptance bar.
+    m10(
+        "chaos_slo.false_positive_rate",
+        Direction::HigherIsWorse,
+        0.25,
+        f64::NEG_INFINITY,
+    ),
+    // 1.0 = every kill-provoked notification landed within the detection
+    // budget. The relative band is meaningless for a boolean; the floor
+    // is the whole gate.
+    Metric {
+        path: "chaos_slo.within_budget",
+        direction: Direction::LowerIsWorse,
+        abs_slack: f64::INFINITY,
+        since_pr: 10,
         floor: 1.0,
     },
 ];
@@ -583,6 +625,71 @@ mod tests {
         let v = missed
             .iter()
             .find(|v| v.path == "node_load.kill.within_budget")
+            .unwrap();
+        assert!(!v.pass, "floor must bind: {v:?}");
+        assert_eq!(v.bound, 1.0);
+    }
+
+    /// `doc9(...)` plus the PR-10 `chaos_slo` section, `"pr"` bumped to 10.
+    fn doc10(kill_p99: f64, fp_rate: f64, within_budget: f64) -> Value {
+        let base = doc9(40.0, 120.0, 1.0);
+        let extra = parse(&format!(
+            r#"{{
+              "pr": 10,
+              "chaos_slo": {{
+                "scripts": 12,
+                "kill_p99_s": {kill_p99},
+                "false_positive_rate": {fp_rate},
+                "within_budget": {within_budget}
+              }}
+            }}"#
+        ))
+        .unwrap();
+        let (Value::Obj(b), Value::Obj(e)) = (base, extra) else {
+            unreachable!()
+        };
+        let mut b: Vec<_> = b.into_iter().filter(|(k, _)| k != "pr").collect();
+        b.extend(e);
+        Value::Obj(b)
+    }
+
+    #[test]
+    fn pr10_metrics_are_skipped_against_a_pre_pr10_stake() {
+        let stake = doc9(40.0, 120.0, 1.0); // "pr": 9, no chaos_slo
+        let current = doc10(210.0, 0.01, 1.0);
+        let verdicts = compare(&current, &stake, 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| !v.path.contains("chaos_slo")));
+        assert!(verdicts.iter().all(|v| v.pass), "{verdicts:?}");
+    }
+
+    #[test]
+    fn pr10_stake_gates_the_chaos_slo() {
+        let stake = doc10(210.0, 0.01, 1.0);
+        // Deterministic drift inside band + slack passes.
+        let good = compare(&doc10(350.0, 0.1, 1.0), &stake, 0.25).unwrap();
+        assert!(good.iter().any(|v| v.path.contains("chaos_slo")));
+        assert!(good.iter().all(|v| v.pass), "{good:?}");
+        // A detection path that degraded past band + half-budget slack fails.
+        let slow = compare(&doc10(600.0, 0.01, 1.0), &stake, 0.25).unwrap();
+        assert!(slow
+            .iter()
+            .any(|v| !v.pass && v.path == "chaos_slo.kill_p99_s"));
+        // A detector drowning in refuted suspicions fails.
+        let noisy = compare(&doc10(210.0, 0.5, 1.0), &stake, 0.25).unwrap();
+        assert!(noisy
+            .iter()
+            .any(|v| !v.pass && v.path == "chaos_slo.false_positive_rate"));
+    }
+
+    #[test]
+    fn missed_chaos_budget_fails_regardless_of_percentiles() {
+        let stake = doc10(210.0, 0.01, 1.0);
+        // Even with both documents agreeing, within_budget < 1 trips the
+        // floor — one notification past 480 s is never acceptable drift.
+        let missed = compare(&doc10(210.0, 0.01, 0.0), &stake, 0.25).unwrap();
+        let v = missed
+            .iter()
+            .find(|v| v.path == "chaos_slo.within_budget")
             .unwrap();
         assert!(!v.pass, "floor must bind: {v:?}");
         assert_eq!(v.bound, 1.0);

@@ -8,12 +8,17 @@
 
 pub mod alloc_count;
 pub mod gate;
-pub mod json;
 pub mod kernel_bench;
 pub mod liveness_bench;
 pub mod route_bench;
 pub mod shard_bench;
 pub mod wire_bench;
+
+/// The shared `BENCH_*.json` reader/writer. It lives in `fuse_obs` so
+/// crates below the bench crate (the chaos CLI's `--merge-into`, the load
+/// harness) can splice sections without a dependency cycle; re-exported
+/// here so `fuse_bench::json::` call sites keep reading naturally.
+pub use fuse_obs::json;
 
 /// Renders a finite float with three decimals, `null` otherwise (the
 /// hand-rolled JSON emitters share this; the workspace has no serde).

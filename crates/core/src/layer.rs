@@ -30,6 +30,7 @@ use std::collections::VecDeque;
 use fuse_liveness::{
     Detector, LivenessCx, LivenessEffect, LivenessTimer, SubscriptionRegistry, Verdict,
 };
+use fuse_obs::{Aggregates, Event, ObsSink, Recorder};
 use fuse_overlay::node::RouteStart;
 use fuse_overlay::{
     NodeInfo, OverlayCx, OverlayEffect, OverlayMsg, OverlayNode, OverlayTimer, OverlayUpcall,
@@ -147,8 +148,13 @@ impl CoreCx<'_> {
     }
 }
 
-/// Counters exposed for tests and experiments.
-#[derive(Debug, Clone, Default)]
+/// Counter view exposed for tests and experiments.
+///
+/// Since the observability-plane refactor this struct holds no state of
+/// its own: [`FuseLayer::stats`] computes it on demand from the layer's
+/// [`fuse_obs::Aggregates`], so every consumer reads the same recorder
+/// the chaos runner and benches aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FuseStats {
     /// Groups successfully created (root side).
     pub groups_created: u64,
@@ -259,8 +265,9 @@ pub struct FuseLayer {
     /// builds (`InstallChecking` envelopes): encoding reserves the exact
     /// size hint once and never re-counts or grows per message.
     ebuf: EncodeBuf,
-    /// Exposed counters.
-    pub stats: FuseStats,
+    /// The node's observation recorder; [`FuseLayer::stats`] and
+    /// [`FuseLayer::obs`] expose read-only views.
+    obs: Recorder,
 }
 
 impl FuseLayer {
@@ -268,6 +275,7 @@ impl FuseLayer {
     pub fn new(me: NodeInfo, cfg: FuseConfig) -> Self {
         let tag = u64::from(me.proc);
         let detector = Detector::new(cfg.liveness.clone());
+        let obs = Recorder::with_origin(me.proc);
         FuseLayer {
             cfg,
             me,
@@ -280,8 +288,33 @@ impl FuseLayer {
             handlers: DetHashMap::default(),
             send_bound: DetHashMap::default(),
             ebuf: EncodeBuf::new(),
-            stats: FuseStats::default(),
+            obs,
         }
+    }
+
+    /// The counter view, computed from the recorder aggregates.
+    pub fn stats(&self) -> FuseStats {
+        let a = self.obs.aggregates();
+        FuseStats {
+            groups_created: a.groups_created,
+            creates_failed: a.creates_failed,
+            notifications: a.notifications,
+            hard_sent: a.hard_sent,
+            soft_sent: a.soft_sent,
+            repairs_started: a.repairs_started,
+            repairs_failed: a.repairs_failed,
+            links_expired: a.links_expired,
+            reconciles: a.reconciles,
+            hashes_computed: a.hashes_computed,
+            suspects: a.suspects,
+            refutations: a.refutations,
+            peer_deaths: a.peer_deaths,
+        }
+    }
+
+    /// The node's full observation aggregates (read-only).
+    pub fn obs(&self) -> &Aggregates {
+        self.obs.aggregates()
     }
 
     /// Number of live groups this node holds state for (any role).
@@ -366,7 +399,7 @@ impl FuseLayer {
                     links: DetHashMap::default(),
                 },
             );
-            self.stats.groups_created += 1;
+            self.obs.record(Event::GroupCreated);
             cx.app(FuseEvent::Created {
                 ticket,
                 result: Ok(GroupHandle {
@@ -456,7 +489,7 @@ impl FuseLayer {
             RoleState::Member(_) => {
                 let root = g.root.proc;
                 let seq = g.seq;
-                self.stats.hard_sent += 1;
+                self.obs.record(Event::HardSent { n: 1 });
                 cx.send_fuse(root, FuseMsg::HardNotification { id, seq, reason });
                 self.fail_locally(cx, ov, id, reason);
             }
@@ -640,7 +673,7 @@ impl FuseLayer {
                 links: DetHashMap::default(),
             },
         );
-        self.stats.groups_created += 1;
+        self.obs.record(Event::GroupCreated);
         cx.app(FuseEvent::Created {
             ticket: CreateTicket::new(id),
             result: Ok(GroupHandle {
@@ -660,10 +693,10 @@ impl FuseLayer {
             return;
         };
         cx.cancel_fuse_timer(attempt.timer);
-        self.stats.creates_failed += 1;
+        self.obs.record(Event::CreateFailed);
         // Best effort: tear down any member state already installed.
         for m in &attempt.members {
-            self.stats.hard_sent += 1;
+            self.obs.record(Event::HardSent { n: 1 });
             cx.send_fuse(
                 m.proc,
                 FuseMsg::HardNotification {
@@ -697,7 +730,7 @@ impl FuseLayer {
         // damaged tree locally.
         let peers: Vec<PeerAddr> = g.links.keys().copied().filter(|&p| p != from).collect();
         for p in peers {
-            self.stats.soft_sent += 1;
+            self.obs.record(Event::SoftSent);
             cx.send_fuse(p, FuseMsg::SoftNotification { id, seq });
         }
         self.clear_links(cx, ov, id);
@@ -891,7 +924,7 @@ impl FuseLayer {
         }
         if !self.groups.contains_key(&ic.id) {
             // Group already failed: burn the fuse back toward the member.
-            self.stats.hard_sent += 1;
+            self.obs.record(Event::HardSent { n: 1 });
             cx.send_fuse(
                 src,
                 FuseMsg::HardNotification {
@@ -981,7 +1014,7 @@ impl FuseLayer {
             }
         } else {
             // Disagreement: exchange lists (§6.3).
-            self.stats.reconciles += 1;
+            self.obs.record(Event::Reconciled);
             let links = self.links_with(peer);
             cx.send_fuse(peer, FuseMsg::ReconcileRequest { links });
         }
@@ -1024,7 +1057,7 @@ impl FuseLayer {
     pub(crate) fn on_timer(&mut self, cx: &mut CoreCx<'_>, ov: &mut OverlayNode, tag: FuseTimer) {
         match tag {
             FuseTimer::LinkExpired { id, peer } => {
-                self.stats.links_expired += 1;
+                self.obs.record(Event::LinkExpired);
                 self.local_link_failed(cx, ov, id, peer);
             }
             FuseTimer::CreateTimeout { id } => {
@@ -1065,7 +1098,7 @@ impl FuseLayer {
                         let g = self.groups.get(&id).expect("member state");
                         (g.root.proc, g.seq)
                     };
-                    self.stats.hard_sent += 1;
+                    self.obs.record(Event::HardSent { n: 1 });
                     cx.send_fuse(
                         root,
                         FuseMsg::HardNotification {
@@ -1235,10 +1268,10 @@ impl FuseLayer {
         v: Verdict,
     ) {
         match v {
-            Verdict::Suspected => self.stats.suspects += 1,
-            Verdict::Refuted => self.stats.refutations += 1,
+            Verdict::Suspected => self.obs.record(Event::PeerSuspected),
+            Verdict::Refuted => self.obs.record(Event::PeerRefuted),
             Verdict::Dead => {
-                self.stats.peer_deaths += 1;
+                self.obs.record(Event::PeerDead);
                 for id in self.subs.subscribers(peer) {
                     self.local_link_failed(cx, ov, id, peer);
                 }
@@ -1280,7 +1313,7 @@ impl FuseLayer {
         let others: Vec<PeerAddr> = g.links.keys().copied().collect();
         self.unindex_link(cx, ov, id, peer);
         for p in others {
-            self.stats.soft_sent += 1;
+            self.obs.record(Event::SoftSent);
             cx.send_fuse(p, FuseMsg::SoftNotification { id, seq });
         }
         match &self.groups.get(&id).expect("group present").role {
@@ -1349,7 +1382,7 @@ impl FuseLayer {
         if awaiting.is_empty() {
             return;
         }
-        self.stats.repairs_started += 1;
+        self.obs.record(Event::RepairStarted);
         for m in rs.members.clone() {
             cx.send_fuse(
                 m.proc,
@@ -1385,7 +1418,7 @@ impl FuseLayer {
         except: Option<PeerAddr>,
         reason: NotifyReason,
     ) {
-        self.stats.repairs_failed += 1;
+        self.obs.record(Event::RepairFailed);
         if let Some(Group {
             role: RoleState::Root(rs),
             ..
@@ -1399,7 +1432,7 @@ impl FuseLayer {
                     sent += 1;
                 }
             }
-            self.stats.hard_sent += sent;
+            self.obs.record(Event::HardSent { n: sent });
         }
         self.fail_locally(cx, ov, id, reason);
     }
@@ -1427,7 +1460,7 @@ impl FuseLayer {
         // Clean the liveness tree below us.
         let peers: Vec<PeerAddr> = g.links.keys().copied().collect();
         for p in &peers {
-            self.stats.soft_sent += 1;
+            self.obs.record(Event::SoftSent);
             cx.send_fuse(*p, FuseMsg::SoftNotification { id, seq });
         }
         self.clear_links(cx, ov, id);
@@ -1454,7 +1487,11 @@ impl FuseLayer {
         let ctx = self.handlers.remove(&id);
         self.send_bound.remove(&id);
         if let Some(role) = role {
-            self.stats.notifications += 1;
+            self.obs.record(Event::Notified {
+                reason: reason.kind(),
+                at_nanos: cx.now().nanos(),
+                seq,
+            });
             cx.app(FuseEvent::Notified(Notification {
                 id,
                 reason,
@@ -1591,7 +1628,7 @@ impl FuseLayer {
 
     fn push_hash(&mut self, ov: &mut OverlayNode, peer: PeerAddr) {
         let hash = if self.subs.has_peer(peer) {
-            self.stats.hashes_computed += 1;
+            self.obs.record(Event::HashComputed);
             let d = self.recompute_hash(peer);
             self.hash_cache.insert(peer, d);
             Some(d)

@@ -336,6 +336,20 @@ impl NotifyReason {
             NotifyReason::UnknownGroup => "unknown-group",
         }
     }
+
+    /// The payload-free observability-plane mirror of this reason
+    /// ([`fuse_obs::ReasonKind`]): what recorded events and cross-plane
+    /// comparisons carry instead of wire enums or string labels.
+    pub fn kind(self) -> fuse_obs::ReasonKind {
+        match self {
+            NotifyReason::ExplicitSignal => fuse_obs::ReasonKind::ExplicitSignal,
+            NotifyReason::CreateFailed => fuse_obs::ReasonKind::CreateFailed,
+            NotifyReason::LivenessExpired => fuse_obs::ReasonKind::LivenessExpired,
+            NotifyReason::RepairFailed => fuse_obs::ReasonKind::RepairFailed,
+            NotifyReason::ConnectionBroken => fuse_obs::ReasonKind::ConnectionBroken,
+            NotifyReason::UnknownGroup => fuse_obs::ReasonKind::UnknownGroup,
+        }
+    }
 }
 
 impl std::fmt::Display for NotifyReason {

@@ -8,6 +8,7 @@
 
 use fuse_core::{FuseConfig, FuseId};
 use fuse_net::NetConfig;
+use fuse_obs::{Aggregates, PhaseMark, ReasonClass, ReasonKind};
 use fuse_sim::{ProcId, SimDuration, SimTime};
 use fuse_util::DetHashSet;
 
@@ -91,7 +92,12 @@ impl ChaosConfig {
 
 /// The outcome of one run: violations plus a fingerprint of the full
 /// notification trace (bit-identical across replays of the same token).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `PartialEq` only (no `Eq`): [`Aggregates`] carries f64 latency
+/// reservoirs. Equality is still exact — reservoirs compare as multisets
+/// of the bit-identical samples the deterministic kernels produced — so
+/// the shard-count cross-check's `==` remains a meaningful assertion.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Every invariant breach (empty = the run passed).
     pub violations: Vec<Violation>,
@@ -106,12 +112,19 @@ pub struct RunReport {
     pub end: SimTime,
     /// Per-participant notification counts, in slot order.
     pub notified: Vec<(ProcId, usize)>,
-    /// Per-participant notification reason labels, in slot and arrival
+    /// Per-participant notification reasons, typed, in slot and arrival
     /// order. The plane cross-check compares these (plus [`Self::burned`]
     /// and [`Self::notified`]) across liveness modes — never the
     /// fingerprint, which folds timing and event counts that legitimately
     /// differ between the per-group and shared planes.
-    pub reasons: Vec<(ProcId, Vec<&'static str>)>,
+    pub reasons: Vec<(ProcId, Vec<ReasonKind>)>,
+    /// Merged observation-plane aggregates: every live node's recorder
+    /// plus every network replica, in process-id order, with the script's
+    /// provoking phases marked and each notification's latency attributed
+    /// to the phase that provoked it (class `"kill"`, `"signal"`,
+    /// `"sever"`, `"partition"`, `"blackhole"`, `"loss"`, `"adversary"`
+    /// or `"spontaneous"`). Bit-identical across shard counts.
+    pub obs: Aggregates,
 }
 
 impl RunReport {
@@ -119,8 +132,26 @@ impl RunReport {
     /// many notifications, and for which reasons. Two liveness modes that
     /// agree on this value produced the same application-visible behavior
     /// even though their wire traffic (and hence fingerprints) differ.
-    pub fn burn_outcome(&self) -> (bool, &[(ProcId, usize)], &[(ProcId, Vec<&'static str>)]) {
+    pub fn burn_outcome(&self) -> (bool, &[(ProcId, usize)], &[(ProcId, Vec<ReasonKind>)]) {
         (self.burned, &self.notified, &self.reasons)
+    }
+
+    /// The burn outcome coarsened to reason *classes* (signaled /
+    /// create-failed / detected). When a script starves one liveness
+    /// plane's transport the two planes can detect the same failure over
+    /// different paths — `LivenessExpired` on one, `ConnectionBroken` on
+    /// the other — so exact reason equality legitimately fails while the
+    /// application-visible outcome (who burned, what *kind* of event they
+    /// heard) is still required to match.
+    pub fn coarse_outcome(&self) -> (bool, Vec<(ProcId, usize)>, Vec<(ProcId, Vec<ReasonClass>)>) {
+        (
+            self.burned,
+            self.notified.clone(),
+            self.reasons
+                .iter()
+                .map(|(p, ks)| (*p, ks.iter().map(|k| k.class()).collect()))
+                .collect(),
+        )
     }
 }
 
@@ -245,6 +276,7 @@ fn run_script_on<W: ChaosHost>(
                     end: SimTime::ZERO,
                     notified: Vec::new(),
                     reasons: Vec::new(),
+                    obs: Aggregates::default(),
                 };
             }
         }
@@ -276,6 +308,7 @@ fn run_script_on<W: ChaosHost>(
                 end: world.now(),
                 notified: Vec::new(),
                 reasons: Vec::new(),
+                obs: world.obs_aggregates(),
             };
         }
     };
@@ -295,6 +328,11 @@ fn run_script_on<W: ChaosHost>(
     // run.
     let mut benign = true;
     let mut active_drops: DetHashSet<&'static str> = DetHashSet::default();
+    // Provoking-phase timeline for latency attribution: every applied
+    // fault that can plausibly burn the group is marked with a class
+    // label, and a notification's latency is measured from the latest
+    // mark at or before it (`"spontaneous"` if none precedes it).
+    let mut provoking: Vec<(SimTime, &'static str)> = Vec::new();
     for &(at, op) in &ops {
         let when = t0 + at;
         world.run_to(when);
@@ -322,6 +360,23 @@ fn run_script_on<W: ChaosHost>(
                 ChaosOp::HealPartitions => {}
                 _ => benign = false,
             },
+        }
+        let slo_class = match op {
+            RtOp::GlobalLoss(rate) if rate > 0.0 => Some("loss"),
+            RtOp::GlobalLoss(_) => None,
+            RtOp::Op(op) => match op {
+                ChaosOp::Crash { .. } => Some("kill"),
+                ChaosOp::Signal { .. } => Some("signal"),
+                ChaosOp::Disconnect { .. } => Some("sever"),
+                ChaosOp::PartitionOff { .. } | ChaosOp::PartitionHalf { .. } => Some("partition"),
+                ChaosOp::Blackhole { .. } => Some("blackhole"),
+                ChaosOp::LinkLoss { .. } => Some("loss"),
+                ChaosOp::AdversaryDrop { .. } => Some("adversary"),
+                _ => None,
+            },
+        };
+        if let Some(c) = slo_class {
+            provoking.push((when, c));
         }
         match op {
             RtOp::GlobalLoss(rate) => world.set_global_loss(rate),
@@ -449,18 +504,40 @@ fn run_script_on<W: ChaosHost>(
         .iter()
         .map(|&p| (p, world.failures(p, id).len()))
         .collect();
-    let reasons: Vec<(ProcId, Vec<&'static str>)> = participants
+    let reasons: Vec<(ProcId, Vec<ReasonKind>)> = participants
         .iter()
         .map(|&p| {
-            let labels = world
+            let kinds = world
                 .notifications(p, id)
                 .into_iter()
-                .map(|(_, n)| n.reason.label())
+                .map(|(_, n)| n.reason.kind())
                 .collect();
-            (p, labels)
+            (p, kinds)
         })
         .collect();
     let fingerprint = fingerprint(&world, id, burned);
+
+    let mut obs = world.obs_aggregates();
+    for &(at, label) in &provoking {
+        obs.phases.push(PhaseMark {
+            at_nanos: at.nanos(),
+            label,
+        });
+    }
+    obs.phases.sort_unstable();
+    // Latency attribution: only never-crashed participants owe a timely
+    // notification (a restarted node rejoins knowing nothing and may hear
+    // late through reconcile — that tail is not the detection SLO).
+    for &p in &required {
+        for (t, _) in world.notifications(p, id) {
+            let (base, class) = provoking
+                .iter()
+                .rev()
+                .find(|&&(at, _)| at <= t)
+                .map_or((t0, "spontaneous"), |&(at, label)| (at, label));
+            obs.add_latency(class, t.since(base).as_secs_f64());
+        }
+    }
 
     RunReport {
         violations,
@@ -470,6 +547,7 @@ fn run_script_on<W: ChaosHost>(
         end: world.now(),
         notified,
         reasons,
+        obs,
     }
 }
 

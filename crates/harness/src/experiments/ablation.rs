@@ -10,11 +10,11 @@
 //! notification within twice the ping interval).
 
 use fuse_net::NetConfig;
+use fuse_obs::Reservoir;
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration};
 use fuse_simdriver::topologies::alltoall::{AllToAllConfig, AllToAllNode};
 use fuse_simdriver::topologies::central::{CentralConfig, CentralNode};
 use fuse_simdriver::topologies::direct::{DirectConfig, DirectNode};
-use fuse_util::Summary;
 
 use crate::metrics::MsgTrace;
 use crate::world::{pick_nodes, World, WorldParams};
@@ -199,8 +199,8 @@ pub fn render(r: &AblationResult) -> String {
 }
 
 /// §3 bound check: all-to-all notification latency across seeds.
-pub fn detection_bound(seeds: u32, group_size: usize) -> Summary {
-    let mut lat = Summary::new();
+pub fn detection_bound(seeds: u32, group_size: usize) -> Reservoir {
+    let mut lat = Reservoir::new();
     for seed in 0..seeds {
         let medium = PerfectMedium::new(SimDuration::from_millis(30));
         let mut sim: Sim<AllToAllNode, PerfectMedium> = Sim::new(u64::from(seed) + 500, medium);

@@ -7,8 +7,8 @@
 //! 21.5%.
 
 use fuse_net::{NetConfig, Network, TopologyConfig};
+use fuse_obs::Cdf;
 use fuse_sim::ProcId;
-use fuse_util::Cdf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

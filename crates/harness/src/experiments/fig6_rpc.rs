@@ -8,8 +8,8 @@
 //! two, which track each other.
 
 use fuse_net::NetConfig;
+use fuse_obs::Cdf;
 use fuse_sim::{ProcId, SimDuration};
-use fuse_util::Cdf;
 use rand::Rng;
 
 use crate::world::{World, WorldParams};

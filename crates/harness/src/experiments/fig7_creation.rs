@@ -8,8 +8,8 @@
 //! ones because create messages travel directly, not through the overlay.
 
 use fuse_net::NetConfig;
+use fuse_obs::Reservoir;
 use fuse_sim::SimDuration;
-use fuse_util::Summary;
 
 use crate::world::{pick_nodes, World, WorldParams};
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ impl Params {
 /// Result: creation latency distribution per group size (milliseconds).
 pub struct Fig7Result {
     /// `(size, latencies)` pairs.
-    pub per_size: Vec<(usize, Summary)>,
+    pub per_size: Vec<(usize, Reservoir)>,
     /// Creation attempts that failed (expected 0 in a quiet network).
     pub failures: usize,
 }
@@ -70,7 +70,7 @@ pub fn run(p: &Params) -> Fig7Result {
     let mut per_size = Vec::new();
     let mut failures = 0;
     for &size in &p.sizes {
-        let mut lat = Summary::new();
+        let mut lat = Reservoir::new();
         for _ in 0..p.groups_per_size {
             let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
             let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);

@@ -8,8 +8,8 @@
 //! growth after (per-member serialization at the root); paper max 1165 ms.
 
 use fuse_net::NetConfig;
+use fuse_obs::Reservoir;
 use fuse_sim::{ProcId, SimDuration};
-use fuse_util::Summary;
 
 use crate::world::{pick_nodes, World, WorldParams};
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ impl Params {
 /// Result: per-member notification latency per group size (ms).
 pub struct Fig8Result {
     /// `(size, latencies)` pairs.
-    pub per_size: Vec<(usize, Summary)>,
+    pub per_size: Vec<(usize, Reservoir)>,
     /// Largest observed notification latency (ms).
     pub max_ms: f64,
 }
@@ -70,7 +70,7 @@ pub fn run(p: &Params) -> Fig8Result {
     let mut per_size = Vec::new();
     let mut max_ms: f64 = 0.0;
     for &size in &p.sizes {
-        let mut lat = Summary::new();
+        let mut lat = Reservoir::new();
         for _ in 0..p.cycles {
             let root = pick_nodes(&mut wrng, p.n, 1, &[])[0];
             let members = pick_nodes(&mut wrng, p.n, size - 1, &[root]);

@@ -10,8 +10,8 @@
 
 use fuse_core::NotifyReason;
 use fuse_net::NetConfig;
+use fuse_obs::Cdf;
 use fuse_sim::{ProcId, SimDuration};
-use fuse_util::Cdf;
 
 use crate::world::{pick_nodes, World, WorldParams};
 use rand::rngs::StdRng;

@@ -27,7 +27,7 @@ pub fn render_cdf(title: &str, series: &[(f64, f64)], unit: &str) -> String {
 }
 
 /// Formats a quartile row (the paper's 25th/median/75th bars).
-pub fn quartile_row(label: &str, s: &mut fuse_util::Summary) -> String {
+pub fn quartile_row(label: &str, s: &mut fuse_obs::Reservoir) -> String {
     format!(
         "  {label:>8}  p25 {:>8.1}  median {:>8.1}  p75 {:>8.1}  max {:>8.1}  (n={})\n",
         s.quantile(0.25).unwrap_or(f64::NAN),

@@ -6,8 +6,8 @@
 //! phase; the §7.5 steady-state table compares bytes with and without
 //! groups).
 
+use fuse_obs::ClassCounter;
 use fuse_sim::{Payload, ProcId, SimTime, TraceSink, Verdict};
-use fuse_util::stats::ClassCounter;
 
 /// Snapshot of the counters at one instant.
 #[derive(Debug, Clone)]

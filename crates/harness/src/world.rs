@@ -6,6 +6,7 @@
 use fuse_core::Notification;
 use fuse_core::{CreateError, CreateTicket, FuseConfig, FuseId, GroupHandle};
 use fuse_net::{FaultPlane, NetConfig, Network, TopologyConfig};
+use fuse_obs::Aggregates;
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::process::{Ctx, Process};
 use fuse_sim::{ProcId, ShardedSim, Sim, SimDuration, SimTime};
@@ -395,6 +396,11 @@ pub trait ChaosObservable {
     fn events_executed(&self) -> u64;
     /// Current simulated time.
     fn now(&self) -> SimTime;
+    /// Folds the observation recorders of every live node stack (in
+    /// process-id order) and every network replica into one
+    /// [`Aggregates`]. Crashed nodes' recorders died with their stacks —
+    /// deterministically so, whatever the shard count.
+    fn obs_aggregates(&self) -> Aggregates;
 }
 
 /// The mutation surface one chaos run needs, implemented by both kernels'
@@ -461,6 +467,17 @@ impl ChaosObservable for World {
 
     fn now(&self) -> SimTime {
         World::now(self)
+    }
+
+    fn obs_aggregates(&self) -> Aggregates {
+        let mut agg = Aggregates::default();
+        for p in 0..self.infos.len() as ProcId {
+            if let Some(s) = self.sim.proc(p) {
+                agg.merge_from(s.fuse.obs());
+            }
+        }
+        agg.merge_from(self.sim.medium().obs());
+        agg
     }
 }
 
@@ -550,6 +567,22 @@ impl ChaosObservable for ShardedWorld {
 
     fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    fn obs_aggregates(&self) -> Aggregates {
+        let mut agg = Aggregates::default();
+        for p in 0..self.infos.len() as ProcId {
+            if let Some(s) = self.sim.proc(p) {
+                agg.merge_from(s.fuse.obs());
+            }
+        }
+        // Each replica saw only the sends its shard arbitrated (replicas
+        // start with fresh recorders), so the per-shard sum equals the
+        // single-kernel totals for any shard count.
+        for s in 0..self.sim.shard_count() {
+            agg.merge_from(self.sim.medium(s).obs());
+        }
+        agg
     }
 }
 

@@ -284,7 +284,7 @@ fn blind_detector_churn_is_real_kills_absorbed_by_real_repairs() {
     world.with_fault(|f| f.drop_class("overlay.probe-direct"));
     world.with_fault(|f| f.drop_class("overlay.probe-indirect"));
     world.run(SimDuration::from_secs(300));
-    let stats = &world.sim.proc(0).expect("root up").fuse.stats;
+    let stats = world.sim.proc(0).expect("root up").fuse.stats();
     assert!(
         stats.peer_deaths > 0,
         "the blind detector must actually issue Dead verdicts"

@@ -1,0 +1,82 @@
+//! Determinism contract of the unified observation plane (DESIGN.md §12).
+//!
+//! Two properties the `fuse_obs` recorder plane stakes:
+//!
+//! 1. **Partition invariance**: the merged run aggregates — every counter
+//!    AND every per-class latency reservoir — are bit-identical whether
+//!    the world ran on 1 shard or 4. Folding per-node and per-replica
+//!    recorders must be a pure function of the executed trace, never of
+//!    how the kernel partitioned it.
+//! 2. **Observation is free**: interrogating the recorder plane mid-run
+//!    (stats views, merged aggregates) never perturbs the simulation —
+//!    a probed world and an untouched one finish on the same event count,
+//!    clock, and aggregates.
+
+use fuse_harness::chaos::{run_script_sharded, ExploreParams};
+use fuse_harness::world::ChaosObservable;
+use fuse_harness::{World, WorldParams};
+use fuse_net::NetConfig;
+use fuse_sim::SimDuration;
+
+/// Differential check over generator-drawn chaos scripts: one world per
+/// shard count, every script, full [`fuse_obs::Aggregates`] equality.
+/// The scripts come from the chaos generator at a pinned seed, so they
+/// mix crashes, partitions, adversaries and loss ramps — the same
+/// distribution `chaos explore` walks.
+#[test]
+fn aggregates_are_bit_identical_across_shard_counts() {
+    let p = ExploreParams::new(20260807, 4);
+    let mut latency_samples = 0usize;
+    for i in 0..4 {
+        let cfg = p.config_for(i);
+        let script = p.script_for(i);
+        let one = run_script_sharded(&cfg, &script, 1);
+        let four = run_script_sharded(&cfg, &script, 4);
+        assert_eq!(one.fingerprint, four.fingerprint, "script {i}: fingerprint");
+        assert_eq!(
+            one.obs, four.obs,
+            "script {i}: aggregates must not depend on the shard count"
+        );
+        latency_samples += one.obs.latency.values().map(|r| r.len()).sum::<usize>();
+        // Counter spot-checks so a trivially-empty Aggregates can't make
+        // the equality vacuous: every run computes hashes and moves bytes.
+        assert!(one.obs.bytes_offered > 0, "script {i}: no bytes recorded");
+        assert!(
+            one.obs.hashes_computed > 0,
+            "script {i}: no hashes recorded"
+        );
+    }
+    assert!(
+        latency_samples > 0,
+        "no script produced latency samples; the reservoir leg is vacuous"
+    );
+}
+
+/// Runs two identical worlds step-locked; one has its observation plane
+/// interrogated at every step (per-node stats views, per-node raw
+/// aggregates, the world-level merged fold), the other is left alone.
+/// Both must land on the identical event count, clock and aggregates —
+/// reading the recorder plane is side-effect-free by construction
+/// (`&self` accessors over monotone state), and this pins it.
+#[test]
+fn reading_the_observation_plane_never_perturbs_the_run() {
+    let params = WorldParams::new(24, 0xb5, NetConfig::simulator());
+    let mut quiet = World::build(&params);
+    let mut probed = World::build(&params);
+    for _ in 0..12 {
+        quiet.run(SimDuration::from_secs(30));
+        probed.run(SimDuration::from_secs(30));
+        let _ = probed.obs_aggregates();
+        if let Some(stack) = probed.sim.proc(0) {
+            let stats = stack.fuse.stats();
+            let agg = stack.fuse.obs();
+            // The stats view is computed from the aggregates, never
+            // tracked separately — the two must always agree.
+            assert_eq!(stats.hashes_computed, agg.hashes_computed);
+            assert_eq!(stats.notifications, agg.notifications);
+        }
+    }
+    assert_eq!(quiet.sim.events_executed(), probed.sim.events_executed());
+    assert_eq!(quiet.now(), probed.now());
+    assert_eq!(quiet.obs_aggregates(), probed.obs_aggregates());
+}

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use fuse_bench::json::{self, Value};
-use fuse_util::stats::Summary;
+use fuse_obs::Reservoir;
 
 use crate::scenario::{FaultClass, ScenarioParams};
 
@@ -32,7 +32,7 @@ impl ClassReport {
     }
 
     fn quantiles(samples: &[f64]) -> (f64, f64, f64, f64, f64) {
-        let mut s = Summary::new();
+        let mut s = Reservoir::new();
         for &v in samples {
             s.add(v);
         }

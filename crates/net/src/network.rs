@@ -17,6 +17,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use fuse_obs::{Aggregates, Event, ObsSink, Recorder};
 use fuse_sim::{Medium, ProcBitSet, ProcId, SimDuration, SimTime, Verdict};
 use fuse_util::{DetHashMap, DetHashSet};
 
@@ -137,15 +138,10 @@ pub struct Network {
     down: ProcBitSet,
     /// Warm TCP connections, normalized `(low, high)` pairs.
     conns: DetHashSet<(ProcId, ProcId)>,
-    /// Messages that broke a connection (for metrics/tests).
-    breaks: u64,
-    /// Messages eaten by the content-based adversary (for metrics/tests).
-    content_drops: u64,
-    /// Wire bytes handed to `unicast` (payload sizes from the codec's exact
-    /// single-pass sizing; delivered or not — this is offered load).
-    bytes_offered: u64,
-    /// Wire bytes the network accepted for delivery (`Verdict::Deliver`).
-    bytes_delivered: u64,
+    /// The observation recorder: break counts, content drops and byte
+    /// accounting (offered and delivered, total and per message class) all
+    /// live in its aggregates; the counter accessors below are views.
+    obs: Recorder,
     /// Lazy per-ordered-pair cache keyed `(from << 32) | to`; invalidated
     /// wholesale by bumping `loss_epoch` (see [`Network::set_per_link_loss`]).
     route_cache: DetHashMap<u64, CachedRoute>,
@@ -169,10 +165,7 @@ impl Network {
             fault: FaultPlane::new(),
             down: ProcBitSet::default(),
             conns: DetHashSet::default(),
-            breaks: 0,
-            content_drops: 0,
-            bytes_offered: 0,
-            bytes_delivered: 0,
+            obs: Recorder::new(),
             route_cache: DetHashMap::default(),
             loss_epoch: 0,
         }
@@ -269,19 +262,19 @@ impl Network {
 
     /// Count of connection-break events so far.
     pub fn break_count(&self) -> u64 {
-        self.breaks
+        self.obs.aggregates().breaks
     }
 
     /// Count of messages silently eaten by the §3.5 content adversary.
     pub fn content_drop_count(&self) -> u64 {
-        self.content_drops
+        self.obs.aggregates().content_drops
     }
 
     /// Total wire bytes offered to the network (every `unicast`, whatever
     /// its verdict). Sizes come from the codec's exact single-pass hints,
     /// so this is real encoded-bytes load, not an estimate.
     pub fn bytes_offered(&self) -> u64 {
-        self.bytes_offered
+        self.obs.aggregates().bytes_offered
     }
 
     /// Total wire bytes of messages the network accepted for delivery
@@ -290,7 +283,13 @@ impl Network {
     /// arrival instant is still network load, even though the kernel drops
     /// it on arrival.
     pub fn bytes_delivered(&self) -> u64 {
-        self.bytes_delivered
+        self.obs.aggregates().bytes_delivered
+    }
+
+    /// The full observation aggregates: totals above plus per-class byte
+    /// and drop breakdowns, ready to merge into a run-level recorder.
+    pub fn obs(&self) -> &Aggregates {
+        self.obs.aggregates()
     }
 
     /// Whether a warm TCP connection exists between `a` and `b`.
@@ -328,10 +327,11 @@ impl fuse_sim::ShardMedium for Network {
                 fault: self.fault.clone(),
                 down: self.down.clone(),
                 conns: self.conns.clone(),
-                breaks: self.breaks,
-                content_drops: self.content_drops,
-                bytes_offered: self.bytes_offered,
-                bytes_delivered: self.bytes_delivered,
+                // Replicas start with FRESH recorders: each shard observes
+                // only the sends it arbitrates, so summing per-shard
+                // aggregates reproduces the single-shard totals exactly.
+                // Copying the pre-split counts would double-count them.
+                obs: Recorder::new(),
                 route_cache: DetHashMap::default(),
                 loss_epoch: self.loss_epoch,
             })
@@ -409,7 +409,10 @@ impl Medium for Network {
             (from as usize) < self.attach.len() && (to as usize) < self.attach.len(),
             "process not attached to the network"
         );
-        self.bytes_offered += size as u64;
+        self.obs.record(Event::BytesOffered {
+            class,
+            bytes: size as u64,
+        });
         // Per-attempt success (cached per pair): data over the forward
         // route and the ACK over the reverse route (symmetric latencies,
         // identical hop count).
@@ -419,7 +422,7 @@ impl Medium for Network {
         // Administrative blocks and dead peers: TCP retransmits into the
         // void, then the sender sees a broken connection.
         if self.fault.blocked(from, to) || self.down.contains(to) {
-            self.breaks += 1;
+            self.obs.record(Event::ConnectionBroken);
             self.drop_conn(from, to);
             return Verdict::Break {
                 sender_notice: now + self.tcp.give_up_after(rtt),
@@ -434,7 +437,7 @@ impl Medium for Network {
         // keepalives through is strictly harder to detect, and that is the
         // case modeled here.)
         if self.fault.content_blocked(from, to, class) {
-            self.content_drops += 1;
+            self.obs.record(Event::ContentDropped { class });
             return Verdict::Drop;
         }
 
@@ -461,11 +464,14 @@ impl Medium for Network {
                 if self.cfg.max_jitter > SimDuration::ZERO {
                     latency = latency + SimDuration(rng.gen_range(0..=self.cfg.max_jitter.nanos()));
                 }
-                self.bytes_delivered += size as u64;
+                self.obs.record(Event::BytesDelivered {
+                    class,
+                    bytes: size as u64,
+                });
                 Verdict::Deliver { at: now + latency }
             }
             TcpOutcome::Broken { give_up_after } => {
-                self.breaks += 1;
+                self.obs.record(Event::ConnectionBroken);
                 self.drop_conn(from, to);
                 Verdict::Break {
                     sender_notice: now + give_up_after,

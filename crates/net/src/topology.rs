@@ -422,7 +422,7 @@ impl Topology {
 mod tests {
     use super::*;
     use crate::routes::RouteTable;
-    use fuse_util::Summary;
+    use fuse_obs::Reservoir;
     use rand::SeedableRng;
 
     #[test]
@@ -463,8 +463,8 @@ mod tests {
         let topo = Topology::generate(&cfg, &mut rng);
         let attach = topo.sample_attachments(200, &mut rng);
         let table = RouteTable::build(&topo, &attach);
-        let mut hops = Summary::new();
-        let mut rtt_ms = Summary::new();
+        let mut hops = Reservoir::new();
+        let mut rtt_ms = Reservoir::new();
         for i in 0..50usize {
             for j in 0..attach.len() {
                 if attach[i] == attach[j] {

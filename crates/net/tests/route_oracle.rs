@@ -9,7 +9,7 @@
 //! mode.
 
 use fuse_net::{RouteOracle, RouteTable, Topology, TopologyConfig, SAME_ROUTER_LATENCY};
-use fuse_util::Summary;
+use fuse_obs::Reservoir;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,8 +137,8 @@ fn mercator_scale_smoke() {
     let cap = 64usize;
     let oracle = RouteOracle::new(cap);
     let attach = topo.sample_attachments(500, &mut rng);
-    let mut hops = Summary::new();
-    let mut rtt_ms = Summary::new();
+    let mut hops = Reservoir::new();
+    let mut rtt_ms = Reservoir::new();
     // 48 sources × a spread of destinations: enough distinct sources to
     // keep memory honest (48 < cap, so also re-query 40 extra sources to
     // force evictions) and enough samples for stable medians.

@@ -1,12 +1,14 @@
-//! Minimal JSON reader/writer for the bench gate.
+//! Minimal JSON reader/writer for the `BENCH_*.json` documents.
 //!
-//! The workspace has no serde; the gate only needs to pull numbers out of
-//! the `BENCH_*.json` documents this crate itself emits, so a ~100-line
+//! The workspace has no serde; the bench gate only needs to pull numbers
+//! out of the documents the bench runner itself emits, so a ~100-line
 //! recursive-descent parser covers it: objects, arrays, strings (no escape
 //! exotica beyond `\"`, `\\`, `\/`, `\n`, `\t`, `\r`), numbers, booleans,
 //! null. [`render`] is the inverse — it exists so tools like `fuse-load`
-//! can splice a section into an existing `BENCH_*.json` (parse, mutate,
-//! re-render) without a serializer dependency.
+//! and `chaos explore --slo` can splice a section into an existing
+//! `BENCH_*.json` (parse, mutate, re-render) without a serializer
+//! dependency. It lives here rather than in `fuse_bench` so crates below
+//! the bench crate in the dependency graph can use it.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,29 +1,49 @@
-//! Statistics helpers for experiments and tests.
+//! The one shared quantile/percentile implementation.
 //!
 //! The paper reports 25th/50th/75th percentiles (Figures 7–8), CDFs
-//! (Figures 6, 9, 11) and simple rates (Figure 10). [`Summary`] and [`Cdf`]
-//! regenerate exactly those shapes.
+//! (Figures 6, 9, 11) and simple rates (Figure 10); the bench and load
+//! reports add p99/p999 tails. [`Reservoir`] and [`Cdf`] regenerate
+//! exactly those shapes, for every consumer in the workspace.
 
 /// Streaming collection of samples with percentile extraction.
 ///
 /// Samples are kept in full (experiments collect at most a few hundred
-/// thousand points) and sorted lazily on first query.
+/// thousand points) and sorted lazily on first query. Two reservoirs
+/// compare equal when they hold the same multiset of samples — the lazy
+/// sort state is not observable.
 #[derive(Debug, Clone, Default)]
-pub struct Summary {
+pub struct Reservoir {
     samples: Vec<f64>,
     sorted: bool,
 }
 
-impl Summary {
-    /// Creates an empty summary.
+impl Reservoir {
+    /// Creates an empty reservoir.
     pub fn new() -> Self {
-        Summary::default()
+        Reservoir::default()
     }
 
     /// Adds one sample.
     pub fn add(&mut self, v: f64) {
         debug_assert!(v.is_finite(), "non-finite sample");
         self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Builds a reservoir from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut r = Reservoir::new();
+        for &v in samples {
+            r.add(v);
+        }
+        r
+    }
+
+    /// Absorbs every sample of `other`. Merging is commutative and
+    /// associative up to reservoir equality, which is what makes
+    /// per-shard aggregates shard-count-invariant.
+    pub fn merge_from(&mut self, other: &Reservoir) {
+        self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
 
@@ -35,6 +55,12 @@ impl Summary {
     /// Returns `true` when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
+    }
+
+    /// The raw samples, in insertion order until a quantile query sorts
+    /// them (treat as an unordered multiset).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
     }
 
     fn ensure_sorted(&mut self) {
@@ -87,12 +113,27 @@ impl Summary {
         self.samples.first().copied()
     }
 
-    /// Consumes the summary, producing a full CDF.
+    /// Consumes the reservoir, producing a full CDF.
     pub fn into_cdf(mut self) -> Cdf {
         self.ensure_sorted();
         Cdf {
             sorted: self.samples,
         }
+    }
+}
+
+impl PartialEq for Reservoir {
+    /// Multiset equality: insertion order and lazy-sort state are
+    /// implementation details, not observable values.
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples.len() != other.samples.len() {
+            return false;
+        }
+        let mut a = self.samples.clone();
+        let mut b = other.samples.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        a == b
     }
 }
 
@@ -161,8 +202,9 @@ impl Cdf {
 
 /// Counts events per named class; renders rates over a time window.
 ///
-/// Used for the Figure 10 "messages per second" accounting.
-#[derive(Debug, Clone, Default)]
+/// Used for the Figure 10 "messages per second" accounting and the
+/// per-class byte accounting in [`crate::Aggregates`].
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassCounter {
     counts: std::collections::BTreeMap<&'static str, u64>,
 }
@@ -181,6 +223,13 @@ impl ClassCounter {
     /// Adds `n` events of class `name`.
     pub fn bump_by(&mut self, name: &'static str, n: u64) {
         *self.counts.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds every count of `other` into this counter.
+    pub fn merge_from(&mut self, other: &ClassCounter) {
+        for (name, n) in other.iter() {
+            self.bump_by(name, n);
+        }
     }
 
     /// Total events across all classes.
@@ -212,7 +261,7 @@ mod tests {
 
     #[test]
     fn quantiles_of_known_distribution() {
-        let mut s = Summary::new();
+        let mut s = Reservoir::new();
         for i in 1..=100 {
             s.add(i as f64);
         }
@@ -225,11 +274,38 @@ mod tests {
     }
 
     #[test]
-    fn empty_summary_yields_none() {
-        let mut s = Summary::new();
+    fn empty_reservoir_yields_none() {
+        let mut s = Reservoir::new();
         assert_eq!(s.median(), None);
         assert_eq!(s.mean(), None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_order_and_sort_state() {
+        let mut a = Reservoir::from_samples(&[3.0, 1.0, 2.0]);
+        let b = Reservoir::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        a.median();
+        assert_eq!(a, b, "querying a quantile must not affect equality");
+        let c = Reservoir::from_samples(&[1.0, 2.0]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let parts = [vec![5.0, 1.0], vec![3.0], vec![4.0, 2.0]];
+        let mut fwd = Reservoir::new();
+        for p in &parts {
+            fwd.merge_from(&Reservoir::from_samples(p));
+        }
+        let mut rev = Reservoir::new();
+        for p in parts.iter().rev() {
+            rev.merge_from(&Reservoir::from_samples(p));
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 5);
+        assert_eq!(fwd.median(), Some(3.0));
     }
 
     #[test]
@@ -263,6 +339,10 @@ mod tests {
         assert_eq!(c.get("ping"), 2);
         assert_eq!(c.get("ack"), 3);
         assert_eq!(c.total(), 5);
+        let mut d = ClassCounter::new();
+        d.bump("ping");
+        d.merge_from(&c);
+        assert_eq!(d.get("ping"), 3);
         c.clear();
         assert_eq!(c.total(), 0);
     }

@@ -192,8 +192,8 @@ fn quiet_network_never_suspects_or_burns() {
     let mut probed = 0;
     for p in 0..sim.process_count() as ProcId {
         let s = sim.proc(p).unwrap();
-        assert_eq!(s.fuse.stats.suspects, 0, "node {p} suspected a live peer");
-        assert_eq!(s.fuse.stats.peer_deaths, 0);
+        assert_eq!(s.fuse.stats().suspects, 0, "node {p} suspected a live peer");
+        assert_eq!(s.fuse.stats().peer_deaths, 0);
         probed += s.fuse.detector().peer_count();
     }
     assert!(probed > 0, "the plane must actually be probing peers");
@@ -234,10 +234,10 @@ fn silently_partitioned_peer_burns_exactly_the_subscribed_groups() {
         );
     }
     let deaths: u64 = (0..24u32)
-        .map(|p| sim.proc(p).map_or(0, |s| s.fuse.stats.peer_deaths))
+        .map(|p| sim.proc(p).map_or(0, |s| s.fuse.stats().peer_deaths))
         .sum();
     let suspects: u64 = (0..24u32)
-        .map(|p| sim.proc(p).map_or(0, |s| s.fuse.stats.suspects))
+        .map(|p| sim.proc(p).map_or(0, |s| s.fuse.stats().suspects))
         .sum();
     assert!(
         deaths >= 1 && suspects >= 1,

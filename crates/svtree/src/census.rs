@@ -10,10 +10,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use fuse_core::FuseConfig;
+use fuse_obs::Reservoir;
 use fuse_overlay::{build_oracle_tables, NodeInfo, NodeName, OverlayConfig};
 use fuse_sim::{PerfectMedium, ProcId, Sim, SimDuration};
 use fuse_simdriver::NodeStack;
-use fuse_util::Summary;
 
 use crate::{SvApp, SvConfig};
 
@@ -91,7 +91,7 @@ pub fn run_census(p: &CensusParams) -> CensusResult {
     // Let the last joins settle.
     sim.run_for(SimDuration::from_secs(60));
 
-    let mut sizes = Summary::new();
+    let mut sizes = Reservoir::new();
     let mut linked = 0usize;
     for i in 0..n as ProcId {
         let app = &sim.proc(i).expect("alive").app;

@@ -8,7 +8,6 @@
 //!
 //! * [`det`] — hash maps and sets with a fixed (FNV-1a) hasher,
 //! * [`backoff`] — the capped exponential backoff used by FUSE group repair,
-//! * [`stats`] — percentile/CDF summaries used by tests and experiments,
 //! * [`idgen`] — deterministic unique-identifier generation,
 //! * [`time`] — transport-neutral instants and durations,
 //! * [`timer`] — driver-neutral timer keys for sans-io state machines,
@@ -25,7 +24,6 @@ pub mod backoff;
 pub mod det;
 pub mod idgen;
 pub mod payload;
-pub mod stats;
 pub mod time;
 pub mod timer;
 
@@ -37,6 +35,5 @@ pub type PeerAddr = u32;
 pub use backoff::Backoff;
 pub use det::{DetHashMap, DetHashSet};
 pub use payload::Payload;
-pub use stats::{Cdf, Summary};
 pub use time::{Duration, Time};
 pub use timer::{KeyedTimers, TimerKey};
